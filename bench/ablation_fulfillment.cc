@@ -1,0 +1,96 @@
+// Ablation A2 (§4): full vs partial fulfillment of the cluster sampling
+// plan. Full fulfillment evaluates every cross-stage run pair — more
+// point-space coverage per sampled block (better estimates), but each
+// stage grows more expensive; partial fulfillment evaluates only
+// new×new — cheap stages, less coverage. The paper suggests partial
+// fulfillment "may have its place" for using small amounts of leftover
+// time (§5.B).
+
+#include "paper_table_common.h"
+
+namespace tcq::bench {
+namespace {
+
+int RunOne(const char* name, const Workload& workload, double quota_s,
+           Fulfillment fulfillment, bool hybrid, int repetitions,
+           uint64_t seed) {
+  ExperimentConfig config;
+  config.query = workload.query;
+  config.catalog = &workload.catalog;
+  config.quota_s = quota_s;
+  config.options.fulfillment = fulfillment;
+  config.options.final_partial_stages = hybrid;
+  config.options.strategy.one_at_a_time.d_beta = 24.0;
+  config.repetitions = repetitions;
+  config.base_seed = seed;
+  config.exact_count = workload.exact_count;
+  auto row = RunExperiment(config);
+  if (!row.ok()) {
+    std::fprintf(stderr, "%s\n", row.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  %-8s  %6.2f  %6.1f  %8.3f  %7.1f  %7.1f  %9.1f\n", name,
+              row->mean_stages, row->risk_pct, row->mean_ovsp_s,
+              row->utilization_pct, row->mean_blocks,
+              row->mean_abs_rel_error_pct);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  for (int64_t output : {1000, 10000}) {
+    auto w = MakeIntersectionWorkload(output, 42);
+    if (!w.ok()) return 1;
+    std::printf(
+        "A2 — fulfillment on Intersection (%lld out, 10 s)\n"
+        "  plan      stages   risk%%   ovsp(s)  utiliz%%   blocks  "
+        "|rel.err|%%\n",
+        static_cast<long long>(output));
+    if (RunOne("full", *w, 10.0, Fulfillment::kFull, false,
+               args.repetitions, args.seed) != 0) {
+      return 1;
+    }
+    if (RunOne("partial", *w, 10.0, Fulfillment::kPartial, false,
+               args.repetitions, args.seed) != 0) {
+      return 1;
+    }
+    if (RunOne("hybrid", *w, 10.0, Fulfillment::kFull, true,
+               args.repetitions, args.seed) != 0) {
+      return 1;
+    }
+    std::printf("\n");
+  }
+  // The hybrid shines where full fulfillment prices itself out of the
+  // residual time — the paper observed this for the join at d_beta >= 24
+  // (§5.C): partial final stages put the leftover seconds to work.
+  auto join = MakeJoinWorkload(70000, 43);
+  if (!join.ok()) return 1;
+  ExperimentConfig config;
+  config.query = join->query;
+  config.catalog = &join->catalog;
+  config.quota_s = 2.5;
+  config.options.selectivity.initial_join = 0.1;
+  config.options.strategy.one_at_a_time.d_beta = 48.0;
+  config.repetitions = args.repetitions;
+  config.base_seed = args.seed;
+  config.exact_count = join->exact_count;
+  std::printf(
+      "A2b — hybrid on Join (70,000 out, 2.5 s, d_beta 48)\n"
+      "  plan      stages   risk%%   ovsp(s)  utiliz%%   blocks  "
+      "|rel.err|%%\n");
+  for (int hybrid = 0; hybrid <= 1; ++hybrid) {
+    config.options.final_partial_stages = hybrid != 0;
+    auto row = RunExperiment(config);
+    if (!row.ok()) return 1;
+    std::printf("  %-8s  %6.2f  %6.1f  %8.3f  %7.1f  %7.1f  %9.1f\n",
+                hybrid != 0 ? "hybrid" : "full", row->mean_stages,
+                row->risk_pct, row->mean_ovsp_s, row->utilization_pct,
+                row->mean_blocks, row->mean_abs_rel_error_pct);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcq::bench
+
+int main(int argc, char** argv) { return tcq::bench::Main(argc, argv); }

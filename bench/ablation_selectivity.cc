@@ -1,0 +1,76 @@
+// Ablation A7 (§3.1): run-time selectivity estimation vs prestored
+// selectivities. The paper chooses run-time estimation for its
+// flexibility — "it does not need any specific information about a
+// query" — noting that prestored statistics are fine for fixed query
+// mixes but need maintenance. Rows:
+//   run-time        Figure 3.3 revision from samples (the paper's choice)
+//   prestored-true  frozen at the true selectivity (a perfect, freshly
+//                   maintained statistics store)
+//   prestored-high  frozen at 1.0 (maximally stale/conservative)
+//   prestored-low   frozen at truth/10 (stale after data drift —
+//                   dangerous: the planner oversizes stages)
+
+#include "paper_table_common.h"
+
+namespace tcq::bench {
+namespace {
+
+int RunOne(const char* name, const Workload& workload,
+           const SelectivityOptions& sel, int repetitions, uint64_t seed) {
+  ExperimentConfig config;
+  config.query = workload.query;
+  config.catalog = &workload.catalog;
+  config.quota_s = 10.0;
+  config.options.selectivity = sel;
+  config.options.strategy.one_at_a_time.d_beta = 24.0;
+  config.repetitions = repetitions;
+  config.base_seed = seed;
+  config.exact_count = workload.exact_count;
+  auto row = RunExperiment(config);
+  if (!row.ok()) {
+    std::fprintf(stderr, "%s\n", row.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  %-15s  %6.2f  %6.1f  %8.3f  %7.1f  %7.1f  %9.1f\n", name,
+              row->mean_stages, row->risk_pct, row->mean_ovsp_s,
+              row->utilization_pct, row->mean_blocks,
+              row->mean_abs_rel_error_pct);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  auto workload = MakeSelectionWorkload(2000, 42);  // true sel = 0.2
+  if (!workload.ok()) return 1;
+  std::printf(
+      "A7 — run-time vs prestored selectivities, Selection (sel 0.2, "
+      "10 s)\n"
+      "  selectivities    stages   risk%%   ovsp(s)  utiliz%%   blocks  "
+      "|rel.err|%%\n");
+  SelectivityOptions runtime_est;  // defaults: revise from samples
+  if (RunOne("run-time", *workload, runtime_est, args.repetitions,
+             args.seed))
+    return 1;
+  SelectivityOptions truth;
+  truth.freeze_initial = true;
+  truth.initial_select = 0.2;
+  if (RunOne("prestored-true", *workload, truth, args.repetitions,
+             args.seed))
+    return 1;
+  SelectivityOptions high;
+  high.freeze_initial = true;
+  high.initial_select = 1.0;
+  if (RunOne("prestored-high", *workload, high, args.repetitions,
+             args.seed))
+    return 1;
+  SelectivityOptions low;
+  low.freeze_initial = true;
+  low.initial_select = 0.02;
+  return RunOne("prestored-low", *workload, low, args.repetitions,
+                args.seed);
+}
+
+}  // namespace
+}  // namespace tcq::bench
+
+int main(int argc, char** argv) { return tcq::bench::Main(argc, argv); }

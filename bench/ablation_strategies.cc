@@ -1,0 +1,102 @@
+// Ablation A1 (§3.3): compares the three time-control strategies —
+// One-at-a-Time-Interval (the paper's choice), Single-Interval, and the
+// heuristic — on the selection and intersection workloads. The paper
+// argues One-at-a-Time is cheaper to compute than Single-Interval while
+// controlling per-operator risk; the heuristic trades simplicity for
+// weaker risk control.
+
+#include "paper_table_common.h"
+
+namespace tcq::bench {
+namespace {
+
+struct StrategyRow {
+  const char* name;
+  ExperimentRow row;
+};
+
+Result<ExperimentRow> RunOne(const Workload& workload, double quota_s,
+                             ExecutorOptions options, int repetitions,
+                             uint64_t seed) {
+  ExperimentConfig config;
+  config.query = workload.query;
+  config.catalog = &workload.catalog;
+  config.quota_s = quota_s;
+  config.options = options;
+  config.repetitions = repetitions;
+  config.base_seed = seed;
+  config.exact_count = workload.exact_count;
+  return RunExperiment(config);
+}
+
+int RunComparison(const char* title, const Workload& workload,
+                  double quota_s, const ExecutorOptions& base,
+                  int repetitions, uint64_t seed) {
+  std::printf("%s\n", title);
+  std::printf(
+      "  strategy         stages   risk%%   ovsp(s)  utiliz%%   blocks  "
+      "|rel.err|%%\n");
+  struct Config {
+    const char* name;
+    StrategyConfig strategy;
+  };
+  std::vector<Config> configs;
+  {
+    Config one{"one-at-a-time", {}};
+    one.strategy.kind = StrategyConfig::Kind::kOneAtATime;
+    one.strategy.one_at_a_time.d_beta = 24.0;
+    configs.push_back(one);
+    Config single{"single-interval", {}};
+    single.strategy.kind = StrategyConfig::Kind::kSingleInterval;
+    single.strategy.single_interval.d_alpha = 1.64;
+    configs.push_back(single);
+    Config heuristic{"heuristic(0.5)", {}};
+    heuristic.strategy.kind = StrategyConfig::Kind::kHeuristic;
+    configs.push_back(heuristic);
+    // §3.3.1's refinement: scale d_β with the share of quota left, taking
+    // more risk as time runs out ("when there is a small amount of time
+    // left ... it may be reasonable to take a higher risk").
+    Config decay{"one@time-decay", {}};
+    decay.strategy.kind = StrategyConfig::Kind::kOneAtATime;
+    decay.strategy.one_at_a_time.d_beta = 48.0;
+    decay.strategy.one_at_a_time.decay_with_time_left = true;
+    configs.push_back(decay);
+  }
+  for (const Config& c : configs) {
+    ExecutorOptions options = base;
+    options.strategy = c.strategy;
+    auto row = RunOne(workload, quota_s, options, repetitions, seed);
+    if (!row.ok()) {
+      std::fprintf(stderr, "%s\n", row.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-15s  %6.2f  %6.1f  %8.3f  %7.1f  %7.1f  %9.1f\n",
+                c.name, row->mean_stages, row->risk_pct, row->mean_ovsp_s,
+                row->utilization_pct, row->mean_blocks,
+                row->mean_abs_rel_error_pct);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  auto selection = MakeSelectionWorkload(2000, 42);
+  if (!selection.ok()) return 1;
+  ExecutorOptions base;
+  if (RunComparison("A1a — strategies on Selection (2,000 out, 10 s)",
+                    *selection, 10.0, base, args.repetitions,
+                    args.seed) != 0) {
+    return 1;
+  }
+  auto intersection = MakeIntersectionWorkload(5000, 43);
+  if (!intersection.ok()) return 1;
+  return RunComparison(
+      "A1b — strategies on Intersection (5,000 out, 10 s)", *intersection,
+      10.0, base, args.repetitions, args.seed);
+}
+
+}  // namespace
+}  // namespace tcq::bench
+
+int main(int argc, char** argv) { return tcq::bench::Main(argc, argv); }

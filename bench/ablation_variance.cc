@@ -1,0 +1,86 @@
+// Ablation A8 (§3.3): the SRS variance approximation vs the exact
+// cluster variance estimator. The paper replaces the proper cluster
+// variance formula with the SRS-over-points approximation for speed and
+// admits it "usually gives a smaller value … some inaccuracy in the risk
+// control is expected". Here, one-stage cluster samples of a selection
+// query are drawn from increasingly block-clustered data and three
+// numbers are compared per setting:
+//   empirical  the true variance of the estimate across repetitions,
+//   cluster    the mean exact per-block variance estimate (Theorem 6
+//              route),
+//   srs        the mean SRS approximation (the paper's shortcut).
+
+#include <cmath>
+
+#include "estimator/cluster_variance.h"
+#include "paper_table_common.h"
+#include "ra/predicate.h"
+#include "util/stats.h"
+
+namespace tcq::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  const int sample_blocks = 100;
+  std::printf(
+      "A8 — variance estimators, Selection (2,000 out), one stage of %d "
+      "blocks\n",
+      sample_blocks);
+  std::printf(
+      "  clustering   sd.empirical  sd.cluster   sd.srs   design.effect\n");
+  for (double clustering : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    auto workload = MakeSelectionWorkload(2000, /*seed=*/42, kPaperTuples,
+                                          kPaperTupleBytes, clustering);
+    if (!workload.ok()) return 1;
+    auto rel = workload->catalog.Find("r1");
+    if (!rel.ok()) return 1;
+    auto pred =
+        BoundPredicate::Bind(workload->query->predicate, (*rel)->schema());
+    if (!pred.ok()) return 1;
+
+    Rng rng(args.seed);
+    RunningStat estimates, cluster_var, srs_var, deff;
+    const int reps = std::max(50, args.repetitions);
+    for (int rep = 0; rep < reps; ++rep) {
+      auto idx = rng.SampleWithoutReplacement(
+          static_cast<uint32_t>((*rel)->NumBlocks()),
+          static_cast<uint32_t>(sample_blocks));
+      std::vector<int64_t> block_hits;
+      int64_t hits = 0, points = 0;
+      for (uint32_t i : idx) {
+        int64_t y = 0;
+        for (const Tuple& t : (*rel)->block(i).tuples) {
+          if (pred->Eval(t)) ++y;
+        }
+        block_hits.push_back(y);
+        hits += y;
+        points += static_cast<int64_t>((*rel)->block(i).tuples.size());
+      }
+      double b_total = static_cast<double>((*rel)->NumBlocks());
+      double estimate = b_total * static_cast<double>(hits) /
+                        static_cast<double>(sample_blocks);
+      estimates.Add(estimate);
+      cluster_var.Add(ClusterVarianceEstimate(b_total, block_hits));
+      srs_var.Add(SrsApproxVarianceEstimate(
+          static_cast<double>((*rel)->NumTuples()),
+          static_cast<double>(points), hits));
+      deff.Add(DesignEffect(b_total,
+                            static_cast<double>((*rel)->NumTuples()),
+                            static_cast<double>(points), block_hits));
+    }
+    std::printf("  %10.2f   %12.1f  %10.1f  %7.1f   %13.2f\n", clustering,
+                estimates.stddev(), std::sqrt(cluster_var.mean()),
+                std::sqrt(srs_var.mean()), deff.mean());
+  }
+  std::printf(
+      "\n(the SRS column barely moves with clustering while the true "
+      "spread grows:\n the paper's shortcut underestimates exactly when "
+      "data is block-correlated)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcq::bench
+
+int main(int argc, char** argv) { return tcq::bench::Main(argc, argv); }

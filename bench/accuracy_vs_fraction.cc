@@ -1,0 +1,89 @@
+// Ablation A4: estimator accuracy vs sample fraction, backing the
+// [HoOT 88] estimators this paper builds on (§5 defers their accuracy to
+// the companion papers), plus the error-constrained stopping mode of
+// §3.2. For each sample fraction, many independent cluster samples are
+// drawn and the relative error / CI coverage of the COUNT estimate is
+// reported.
+
+#include <cmath>
+
+#include "estimator/count_estimator.h"
+#include "exec/staged.h"
+#include "paper_table_common.h"
+#include "util/stats.h"
+
+namespace tcq::bench {
+namespace {
+
+int SweepAccuracy(const char* title, const Workload& workload,
+                  int repetitions, uint64_t seed) {
+  std::printf("%s\n", title);
+  std::printf(
+      "  fraction  blocks/rel  mean.est   |rel.err|%%  ci95.cover%%\n");
+  std::vector<std::string> scans;
+  CollectScans(workload.query, &scans);
+  for (double f : {0.005, 0.01, 0.02, 0.05, 0.10, 0.20}) {
+    Rng rng(seed);
+    RunningStat err;
+    int covered = 0;
+    RunningStat estimates;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      auto ev = StagedTermEvaluator::Create(
+          workload.query, workload.catalog, Fulfillment::kFull, nullptr,
+          CostModel::Deterministic());
+      if (!ev.ok()) return 1;
+      std::map<std::string, std::vector<const Block*>> blocks;
+      for (const std::string& name : scans) {
+        auto rel = workload.catalog.Find(name);
+        if (!rel.ok()) return 1;
+        int64_t total = (*rel)->NumBlocks();
+        auto count = static_cast<uint32_t>(
+            std::llround(f * static_cast<double>(total)));
+        auto idx = rng.SampleWithoutReplacement(
+            static_cast<uint32_t>(total), count);
+        std::vector<const Block*> chosen;
+        for (uint32_t i : idx) chosen.push_back(&(*rel)->block(i));
+        blocks[name] = std::move(chosen);
+      }
+      if (!(*ev)->ExecuteStage(blocks).ok()) return 1;
+      CountEstimate e = ClusterCountEstimate(
+          (*ev)->total_space_blocks(), (*ev)->cum_space_blocks(),
+          (*ev)->cum_hits(), (*ev)->cum_points(), (*ev)->total_points());
+      estimates.Add(e.value);
+      double exact = static_cast<double>(workload.exact_count);
+      if (exact > 0) err.Add(std::abs(e.value - exact) / exact);
+      ConfidenceInterval ci = NormalConfidenceInterval(e, 0.95);
+      if (exact >= ci.lo && exact <= ci.hi) ++covered;
+    }
+    std::printf("  %8.3f  %10.0f  %9.1f  %10.1f  %11.1f\n", f,
+                f * 2000.0, estimates.mean(), 100.0 * err.mean(),
+                100.0 * covered / repetitions);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  auto selection = MakeSelectionWorkload(2000, 42);
+  if (!selection.ok()) return 1;
+  if (SweepAccuracy("A4a — Selection (exact 2,000)", *selection,
+                    args.repetitions, args.seed) != 0) {
+    return 1;
+  }
+  auto intersection = MakeIntersectionWorkload(5000, 43);
+  if (!intersection.ok()) return 1;
+  if (SweepAccuracy("A4b — Intersection (exact 5,000)", *intersection,
+                    args.repetitions, args.seed) != 0) {
+    return 1;
+  }
+  auto join = MakeJoinWorkload(70000, 44);
+  if (!join.ok()) return 1;
+  return SweepAccuracy("A4c — Join (exact 70,000)", *join,
+                       args.repetitions, args.seed);
+}
+
+}  // namespace
+}  // namespace tcq::bench
+
+int main(int argc, char** argv) { return tcq::bench::Main(argc, argv); }

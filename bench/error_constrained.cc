@@ -1,0 +1,70 @@
+// A9 — error-constrained evaluation (§3.2's companion problem): how much
+// time / how many blocks a given precision target costs, per workload.
+// The dual view of the paper's tables: instead of "how good within T",
+// "how long for quality ε".
+
+#include <cmath>
+
+#include "engine/error_constrained.h"
+#include "paper_table_common.h"
+#include "util/stats.h"
+
+namespace tcq::bench {
+namespace {
+
+int SweepTargets(const char* title, const Workload& workload,
+                 int repetitions, uint64_t seed) {
+  std::printf("%s\n", title);
+  std::printf(
+      "  target.rel%%   met%%   stages   blocks   sim.time(s)  "
+      "|rel.err|%%\n");
+  for (double target : {0.30, 0.15, 0.10, 0.05}) {
+    RunningStat stages, blocks, time_s, err;
+    int met = 0;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      ErrorConstrainedOptions options;
+      options.rel_halfwidth = target;
+      options.seed = seed + static_cast<uint64_t>(rep) * 31;
+      auto r = RunErrorConstrainedCount(workload.query, workload.catalog,
+                                        options);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      if (r->met_target) ++met;
+      stages.Add(r->stages);
+      blocks.Add(static_cast<double>(r->blocks_sampled));
+      time_s.Add(r->elapsed_seconds);
+      if (workload.exact_count > 0) {
+        err.Add(std::abs(r->estimate -
+                         static_cast<double>(workload.exact_count)) /
+                static_cast<double>(workload.exact_count));
+      }
+    }
+    std::printf("  %10.0f  %5.0f  %7.2f  %7.0f  %12.1f  %10.1f\n",
+                100.0 * target,
+                100.0 * met / repetitions, stages.mean(), blocks.mean(),
+                time_s.mean(), 100.0 * err.mean());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  auto selection = MakeSelectionWorkload(2000, 42);
+  if (!selection.ok()) return 1;
+  if (SweepTargets("A9a — Selection (exact 2,000)", *selection,
+                   args.repetitions, args.seed) != 0) {
+    return 1;
+  }
+  auto join = MakeJoinWorkload(70000, 43);
+  if (!join.ok()) return 1;
+  return SweepTargets("A9b — Join (exact 70,000)", *join, args.repetitions,
+                      args.seed);
+}
+
+}  // namespace
+}  // namespace tcq::bench
+
+int main(int argc, char** argv) { return tcq::bench::Main(argc, argv); }

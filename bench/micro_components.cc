@@ -1,0 +1,125 @@
+// A5 — google-benchmark micro-benchmarks of the library's components:
+// block sampling, operator evaluation on samples, estimator updates, the
+// sample-size bisection, and a whole time-constrained query. These
+// measure *real* wall time of the implementation (not simulated time).
+
+#include <benchmark/benchmark.h>
+
+#include "engine/executor.h"
+#include "exec/exact.h"
+#include "exec/staged.h"
+#include "ra/inclusion_exclusion.h"
+#include "timectrl/sample_size.h"
+#include "timectrl/selectivity.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace tcq {
+namespace {
+
+const Workload& SelectionWorkload() {
+  static const Workload& w = *new Workload(
+      std::move(*MakeSelectionWorkload(2000, 42)));
+  return w;
+}
+
+const Workload& IntersectionWorkload() {
+  static const Workload& w = *new Workload(
+      std::move(*MakeIntersectionWorkload(5000, 43)));
+  return w;
+}
+
+void BM_SampleWithoutReplacement(benchmark::State& state) {
+  Rng rng(1);
+  const auto n = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.SampleWithoutReplacement(2000, n));
+  }
+}
+BENCHMARK(BM_SampleWithoutReplacement)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_SelectStage(benchmark::State& state) {
+  const Workload& w = SelectionWorkload();
+  auto rel = w.catalog.Find("r1");
+  const auto blocks_per_stage = static_cast<int64_t>(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    auto ev = StagedTermEvaluator::Create(w.query, w.catalog,
+                                          Fulfillment::kFull, nullptr,
+                                          CostModel::Deterministic());
+    auto idx = rng.SampleWithoutReplacement(
+        2000, static_cast<uint32_t>(blocks_per_stage));
+    std::vector<const Block*> blocks;
+    for (uint32_t i : idx) blocks.push_back(&(*rel)->block(i));
+    benchmark::DoNotOptimize((*ev)->ExecuteStage({{"r1", blocks}}));
+  }
+  state.SetItemsProcessed(state.iterations() * blocks_per_stage * 5);
+}
+BENCHMARK(BM_SelectStage)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_IntersectStage(benchmark::State& state) {
+  const Workload& w = IntersectionWorkload();
+  auto r1 = w.catalog.Find("r1");
+  auto r2 = w.catalog.Find("r2");
+  const auto blocks_per_stage = static_cast<int64_t>(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    auto ev = StagedTermEvaluator::Create(w.query, w.catalog,
+                                          Fulfillment::kFull, nullptr,
+                                          CostModel::Deterministic());
+    std::map<std::string, std::vector<const Block*>> blocks;
+    for (const auto& rel : {*r1, *r2}) {
+      auto idx = rng.SampleWithoutReplacement(
+          2000, static_cast<uint32_t>(blocks_per_stage));
+      std::vector<const Block*> chosen;
+      for (uint32_t i : idx) chosen.push_back(&rel->block(i));
+      blocks[rel->name()] = std::move(chosen);
+    }
+    benchmark::DoNotOptimize((*ev)->ExecuteStage(blocks));
+  }
+}
+BENCHMARK(BM_IntersectStage)->Arg(32)->Arg(128);
+
+void BM_ExpandCountThreeWayUnion(benchmark::State& state) {
+  auto e = Union(Union(Scan("r1"), Scan("r2")), Scan("r3"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExpandCount(e));
+  }
+}
+BENCHMARK(BM_ExpandCountThreeWayUnion);
+
+void BM_SampleSizeBisection(benchmark::State& state) {
+  auto qcost = [](double f) -> Result<double> {
+    return 0.1 + 120.0 * f * f + 30.0 * f;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SampleSizeDetermine(qcost, 5.0, 0.01, 1.0, 0.0005));
+  }
+}
+BENCHMARK(BM_SampleSizeBisection);
+
+void BM_ExactCountSelection(benchmark::State& state) {
+  const Workload& w = SelectionWorkload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactCount(w.query, w.catalog));
+  }
+}
+BENCHMARK(BM_ExactCountSelection);
+
+void BM_TimeConstrainedQuery(benchmark::State& state) {
+  const Workload& w = SelectionWorkload();
+  ExecutorOptions options;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    benchmark::DoNotOptimize(
+        RunTimeConstrainedCount(w.query, 10.0, w.catalog, options));
+  }
+}
+BENCHMARK(BM_TimeConstrainedQuery);
+
+}  // namespace
+}  // namespace tcq
+
+BENCHMARK_MAIN();

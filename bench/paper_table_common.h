@@ -1,0 +1,89 @@
+#ifndef TCQ_BENCH_PAPER_TABLE_COMMON_H_
+#define TCQ_BENCH_PAPER_TABLE_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/experiment.h"
+#include "workload/generators.h"
+
+namespace tcq::bench {
+
+/// The paper sweeps d_β over these values in every §5 table.
+inline const std::vector<double> kPaperDBetas = {0, 12, 24, 48, 72};
+
+/// Reference values transcribed from the paper (OCR of the original is
+/// partially garbled; see EXPERIMENTS.md for the uncertainty notes).
+struct PaperRow {
+  double d_beta;
+  double stages;
+  double risk_pct;
+  double ovsp_s;
+  double utilization_pct;
+  double blocks;
+};
+
+inline void PrintPaperReference(const std::string& title,
+                                const std::vector<PaperRow>& rows) {
+  std::printf("%s (values from the 1989 paper)\n", title.c_str());
+  std::printf(
+      "  d_beta  stages   risk%%   ovsp(s)  utiliz%%   blocks\n");
+  for (const PaperRow& r : rows) {
+    std::printf("  %6.0f  %6.2f  %6.1f  %8.2f  %7.1f  %7.1f\n", r.d_beta,
+                r.stages, r.risk_pct, r.ovsp_s, r.utilization_pct, r.blocks);
+  }
+  std::printf("\n");
+}
+
+/// Runs the d_β sweep for one workload and prints our measured table.
+inline int RunSweep(const std::string& title, const Workload& workload,
+                    double quota_s, ExecutorOptions base_options,
+                    int repetitions, uint64_t seed) {
+  std::vector<ExperimentRow> rows;
+  for (double d_beta : kPaperDBetas) {
+    ExperimentConfig config;
+    config.query = workload.query;
+    config.catalog = &workload.catalog;
+    config.quota_s = quota_s;
+    config.options = base_options;
+    config.options.strategy.one_at_a_time.d_beta = d_beta;
+    config.repetitions = repetitions;
+    config.base_seed = seed;
+    config.exact_count = workload.exact_count;
+    auto row = RunExperiment(config);
+    if (!row.ok()) {
+      std::fprintf(stderr, "experiment failed: %s\n",
+                   row.status().ToString().c_str());
+      return 1;
+    }
+    rows.push_back(*row);
+  }
+  std::printf("%s\n", FormatExperimentTable(title + " (measured)", rows)
+                          .c_str());
+  return 0;
+}
+
+/// Parses "--reps N" / "--seed S" style overrides for quick runs.
+struct BenchArgs {
+  int repetitions = 200;
+  uint64_t seed = 1;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    if (flag == "--reps") args.repetitions = std::atoi(argv[i + 1]);
+    if (flag == "--seed") {
+      args.seed = static_cast<uint64_t>(std::atoll(argv[i + 1]));
+    }
+  }
+  return args;
+}
+
+}  // namespace tcq::bench
+
+#endif  // TCQ_BENCH_PAPER_TABLE_COMMON_H_

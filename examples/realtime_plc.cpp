@@ -1,0 +1,77 @@
+// Real-time control scenario: the paper's motivating application is a
+// database system for programmable logic controllers [OzHO 88], where a
+// control loop must read aggregate state within a fixed cycle budget.
+//
+// A controller supervises a plant with 10,000 sensor readings on disk.
+// Every control cycle it needs "how many sensors currently exceed the
+// alarm threshold?" — and it has exactly 500 simulated milliseconds per
+// cycle for the query, hard deadline. The example runs 20 cycles against
+// shifting thresholds and shows that every cycle gets an answer with a
+// bounded, small overshoot (only the aborted stage's work), while an
+// exact scan would blow the cycle budget by two orders of magnitude.
+//
+//   ./build/examples/realtime_plc
+
+#include <cstdio>
+
+#include "engine/executor.h"
+#include "exec/exact.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace tcq;
+
+  Catalog catalog;
+  // Sensor readings: key = reading value in [0, 1000).
+  auto sensors = MakeUniformRelation("sensors", 10000, 1000, /*seed=*/99);
+  if (sensors == nullptr || !catalog.Register(sensors).ok()) return 1;
+
+  const double kCycleBudgetS = 2.0;
+  std::printf(
+      "PLC control loop: COUNT(readings > threshold) per cycle, hard "
+      "%.0f ms budget\n\n",
+      1000.0 * kCycleBudgetS);
+  std::printf(
+      "  cycle  threshold  estimate   exact  err%%   time(ms)  over(ms)\n");
+
+  int answered = 0;
+  double worst_overshoot_ms = 0.0;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    int64_t threshold = 400 + 25 * cycle;  // drifting alarm level
+    auto query = Select(
+        Scan("sensors"), CmpLiteral("key", CompareOp::kGt, threshold));
+
+    ExecutorOptions options;
+    options.strategy.one_at_a_time.d_beta = 24.0;
+    options.deadline_mode = DeadlineMode::kHard;
+    options.seed = 1000 + static_cast<uint64_t>(cycle);
+    auto result =
+        RunTimeConstrainedCount(query, kCycleBudgetS, catalog, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "cycle %d: %s\n", cycle,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    auto exact = ExactCount(query, catalog);
+    double err = *exact > 0 ? 100.0 * (result->estimate - *exact) / *exact
+                            : 0.0;
+    double over_ms = 1000.0 * result->overspend_seconds;
+    if (over_ms > worst_overshoot_ms) worst_overshoot_ms = over_ms;
+    if (result->stages_counted > 0) ++answered;
+    std::printf("  %5d  %9lld  %8.0f  %6lld  %+5.1f  %8.1f  %8.1f\n",
+                cycle, static_cast<long long>(threshold), result->estimate,
+                static_cast<long long>(*exact), err,
+                1000.0 * result->elapsed_seconds, over_ms);
+  }
+
+  std::printf(
+      "\n%d/20 cycles answered inside their budget; worst overshoot "
+      "%.1f ms\n",
+      answered, worst_overshoot_ms);
+  std::printf(
+      "(an exact scan of the 2,000-block relation costs ~%.0f ms per "
+      "cycle — %0.fx the budget)\n",
+      2000 * CostModel::Sun360().block_read_s * 1000.0 / 1.0,
+      2000 * CostModel::Sun360().block_read_s / kCycleBudgetS);
+  return 0;
+}

@@ -1,0 +1,90 @@
+#ifndef TCQ_COST_ADAPTIVE_MODEL_H_
+#define TCQ_COST_ADAPTIVE_MODEL_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "sim/cost_model.h"
+
+namespace tcq {
+
+/// The time-consuming steps of the operator-evaluation algorithms (paper
+/// §4: "we identify the time-consuming steps of an RA operation and derive
+/// a cost formula for each such step"). Each (operator, step) pair carries
+/// its own fitted coefficient: seconds per basis unit.
+enum class CostStep {
+  kFetch = 0,   // random block reads; basis = blocks
+  kFilter,      // selection-formula evaluation; basis = input tuples
+  kTempWrite,   // writing runs to temp files; basis = tuples written
+  kSort,        // sorting runs; basis = n·log2(n+2)
+  kMerge,       // merge/dedup scans; basis = tuples read by the merges
+  kOutput,      // result writing; basis = output tuples
+  kSetup,       // per-operator constant; basis = 1 per stage
+  kNumSteps,    // sentinel
+};
+
+std::string_view CostStepName(CostStep step);
+
+/// Node id used for coefficients not tied to one operator (block fetches,
+/// per-stage overhead), maintained by the engine.
+inline constexpr int kGlobalCostNode = -1;
+
+/// Per-(operator, step) cost coefficients with run-time re-fitting.
+///
+/// The paper's *adaptive time-cost formulas*: coefficients start from
+/// deliberately generic values (the authors initialized from experiments
+/// with the largest tuple size and two-comparison formulas) and are
+/// adjusted after every stage from the realized (units, seconds) of each
+/// step, so the formulas converge to the specific query's behaviour. With
+/// `adaptive = false` the initial values are used throughout (the
+/// fixed-form alternative the paper argues against; kept for ablation).
+class AdaptiveCostModel {
+ public:
+  struct Options {
+    bool adaptive = true;
+    /// EWMA weight of the newest observation when re-fitting.
+    double ewma = 0.5;
+    /// Multiplier applied to the physically derived initial values,
+    /// modelling the paper's deliberately pessimistic initialization.
+    double initial_scale = 1.5;
+    /// Assumed tuples-per-page for the initial write coefficients (the
+    /// paper initialized for its largest tuples; 2/page keeps the
+    /// pessimism while still letting a 2.5 s quota fund a first stage).
+    double assumed_blocking_factor = 2.0;
+    /// Assumed comparisons per tuple in selection formulas.
+    double assumed_comparisons = 2.0;
+  };
+
+  explicit AdaptiveCostModel(const CostModel& physical, Options options);
+  explicit AdaptiveCostModel(const CostModel& physical)
+      : AdaptiveCostModel(physical, Options()) {}
+
+  /// Current coefficient (seconds per basis unit) for a node's step.
+  double Coef(int node_id, CostStep step) const;
+
+  /// Feeds one realized (units, seconds) observation; no-op when units are
+  /// non-positive or the model is not adaptive.
+  void Observe(int node_id, CostStep step, double units, double seconds);
+
+  bool adaptive() const { return options_.adaptive; }
+
+ private:
+  double Initial(CostStep step) const;
+
+  Options options_;
+  CostModel physical_;
+  std::map<std::pair<int, int>, double> coefs_;
+};
+
+/// The shared sort-cost basis n·log2(n+2).
+double SortCostUnits(double n);
+
+/// Number of blocks a sample fraction maps to: round(f·D), clamped to
+/// [0, D]. Both the sampler and the predictor use this rounding so
+/// predictions match draws exactly.
+int64_t BlocksForFraction(double fraction, int64_t total_blocks);
+
+}  // namespace tcq
+
+#endif  // TCQ_COST_ADAPTIVE_MODEL_H_

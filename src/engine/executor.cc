@@ -1,0 +1,450 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "cost/predictor.h"
+#include "sampling/block_sampler.h"
+#include "estimator/combined.h"
+#include "estimator/sum_estimator.h"
+#include "estimator/goodman.h"
+#include "ra/inclusion_exclusion.h"
+#include "sim/clock.h"
+#include "sim/ledger.h"
+#include "util/stats.h"
+
+namespace tcq {
+
+std::unique_ptr<TimeControlStrategy> MakeStrategy(
+    const StrategyConfig& config) {
+  switch (config.kind) {
+    case StrategyConfig::Kind::kOneAtATime:
+      return std::make_unique<OneAtATimeStrategy>(config.one_at_a_time);
+    case StrategyConfig::Kind::kSingleInterval:
+      return std::make_unique<SingleIntervalStrategy>(
+          config.single_interval);
+    case StrategyConfig::Kind::kHeuristic:
+      return std::make_unique<HeuristicStrategy>(config.heuristic);
+  }
+  return std::make_unique<OneAtATimeStrategy>(config.one_at_a_time);
+}
+
+namespace {
+
+/// The current estimate of one term (cluster estimator, or guarded
+/// Goodman for projection roots).
+CountEstimate EstimateTerm(const StagedTermEvaluator& ev) {
+  if (!ev.root_is_project()) {
+    return ClusterCountEstimate(ev.total_space_blocks(),
+                                ev.cum_space_blocks(), ev.cum_hits(),
+                                ev.cum_points(), ev.total_points());
+  }
+  // Projection: COUNT is the number of distinct groups among the
+  // expression's output tuples. Estimate the qualifying population from
+  // the child's selectivity, then apply Goodman's estimator to the sample
+  // occupancies ([HoOT 88]'s revised-Goodman approach; see DESIGN.md).
+  const StagedNode& root = ev.root();
+  const StagedNode& child = *root.left;
+  std::vector<int64_t> occupancies = ev.RootOccupancies();
+  int64_t sample_n = 0;
+  for (int64_t c : occupancies) sample_n += c;
+  double sel_child =
+      child.cum_points > 0.0
+          ? static_cast<double>(child.cum_tuples) / child.cum_points
+          : 0.0;
+  double qualifying_pop = std::max(sel_child * ev.total_points(),
+                                   static_cast<double>(sample_n));
+  CountEstimate e;
+  e.value = GoodmanEstimate(qualifying_pop, occupancies);
+  e.hits = static_cast<int64_t>(occupancies.size());
+  e.points = ev.cum_points();
+  e.total_points = ev.total_points();
+  if (sample_n > 0 && qualifying_pop > 0.0) {
+    // Two uncertainty sources: the distinct share within the qualifying
+    // population, and the size of that population itself (estimated from
+    // the child's sample). With all-singleton samples the share variance
+    // degenerates to 0, so the population term keeps the interval honest.
+    double distinct_share = static_cast<double>(occupancies.size()) /
+                            static_cast<double>(sample_n);
+    double share_var = qualifying_pop * qualifying_pop *
+                       SrsProportionVariance(distinct_share, qualifying_pop,
+                                             static_cast<double>(sample_n));
+    double pop_var = ev.total_points() * ev.total_points() *
+                     SrsProportionVariance(sel_child, ev.total_points(),
+                                           child.cum_points);
+    e.variance = share_var + distinct_share * distinct_share * pop_var;
+  }
+  return e;
+}
+
+}  // namespace
+
+Result<QueryResult> RunTimeConstrainedCount(const ExprPtr& expr,
+                                            double quota_s,
+                                            const Catalog& catalog,
+                                            const ExecutorOptions& options) {
+  return RunTimeConstrainedAggregate(expr, AggregateSpec::Count(), quota_s,
+                                     catalog, options);
+}
+
+Result<QueryResult> RunTimeConstrainedAggregate(
+    const ExprPtr& expr, const AggregateSpec& aggregate, double quota_s,
+    const Catalog& catalog, const ExecutorOptions& options) {
+  if (quota_s <= 0.0) {
+    return Status::InvalidArgument("time quota must be positive");
+  }
+  // Validate the expression and expand it into intersect-only terms.
+  TCQ_ASSIGN_OR_RETURN(Schema schema, InferSchema(expr, catalog));
+  int value_col = -1;
+  if (aggregate.kind != AggregateSpec::Kind::kCount) {
+    TCQ_ASSIGN_OR_RETURN(value_col, schema.IndexOf(aggregate.column));
+  }
+  TCQ_ASSIGN_OR_RETURN(std::vector<SignedTerm> terms, ExpandCount(expr));
+  if (terms.empty()) {
+    QueryResult r;
+    r.ci.level = options.confidence;
+    return r;
+  }
+
+  const bool wall = options.use_wall_clock;
+  VirtualClock virtual_clock;
+  WallClock wall_clock;
+  const Clock& clock =
+      wall ? static_cast<const Clock&>(wall_clock) : virtual_clock;
+  CostLedger ledger(wall ? nullptr : &virtual_clock);
+  Rng rng(options.seed);
+  Rng noise_rng = rng.Fork();
+  if (!wall) {
+    ledger.AttachNoise(&noise_rng, options.physical.stage_speed_cv,
+                       options.physical.block_read_jitter);
+  }
+  AdaptiveCostModel coefs(options.physical, options.cost);
+  std::unique_ptr<TimeControlStrategy> strategy =
+      MakeStrategy(options.strategy);
+
+  // Terms that are bare scans have exactly known aggregates (the catalog
+  // knows |r|); they are priced at zero and never sampled. COUNT(r1 ∪ r2)
+  // thus spends its whole quota on the r1 ∩ r2 term.
+  std::vector<SignedTerm> sampled_terms;
+  std::vector<CountEstimate> constant_estimates;
+  std::vector<int> constant_signs;
+  for (const SignedTerm& term : terms) {
+    if (term.expr->kind != ExprKind::kScan) {
+      sampled_terms.push_back(term);
+      continue;
+    }
+    TCQ_ASSIGN_OR_RETURN(RelationPtr rel, catalog.Find(term.expr->relation));
+    CountEstimate constant;
+    constant.total_points = static_cast<double>(rel->NumTuples());
+    if (aggregate.kind == AggregateSpec::Kind::kCount) {
+      constant.value = static_cast<double>(rel->NumTuples());
+      constant.hits = rel->NumTuples();
+    }
+    constant_estimates.push_back(constant);
+    constant_signs.push_back(term.sign);
+  }
+  // For SUM/AVG the scan term's exact value needs one pass over the
+  // relation; keep those sampled for simplicity (rare in practice).
+  if (aggregate.kind != AggregateSpec::Kind::kCount) {
+    sampled_terms = terms;
+    constant_estimates.clear();
+    constant_signs.clear();
+  }
+  terms = std::move(sampled_terms);
+  if (terms.empty()) {
+    // Fully constant query (e.g. COUNT(r1)).
+    CountEstimate combined =
+        CombineSignedEstimates(constant_signs, constant_estimates);
+    QueryResult r;
+    r.estimate = combined.value;
+    r.variance = combined.variance;
+    r.ci = NormalConfidenceInterval(combined, options.confidence);
+    r.stages_counted = 0;
+    r.utilization = 0.0;
+    return r;
+  }
+
+  // Build one staged evaluator per term; collect the relations involved.
+  std::vector<std::unique_ptr<StagedTermEvaluator>> evaluators;
+  std::vector<int> signs;
+  std::map<std::string, std::unique_ptr<BlockSampler>> samplers;
+  for (const SignedTerm& term : terms) {
+    TCQ_ASSIGN_OR_RETURN(
+        auto ev, StagedTermEvaluator::Create(term.expr, catalog,
+                                             options.fulfillment, &ledger,
+                                             options.physical));
+    if (value_col >= 0) {
+      TCQ_RETURN_NOT_OK(ev->TrackValueColumn(value_col));
+    }
+    if (wall) ev->MeasureStepsWith(&clock);
+    std::vector<std::string> scans;
+    CollectScans(term.expr, &scans);
+    for (const std::string& name : scans) {
+      if (samplers.count(name) == 0) {
+        TCQ_ASSIGN_OR_RETURN(RelationPtr rel, catalog.Find(name));
+        samplers[name] = std::make_unique<BlockSampler>(std::move(rel));
+      }
+    }
+    evaluators.push_back(std::move(ev));
+    signs.push_back(term.sign);
+  }
+
+  const Deadline deadline = Deadline::StartingNow(clock, quota_s);
+
+  QueryResult result;
+  result.ci.level = options.confidence;
+  double counted_elapsed = 0.0;
+  double previous_estimate = std::nan("");
+  // Current fulfillment mode; may downgrade to partial once (§5.B hybrid).
+  Fulfillment current_mode = options.fulfillment;
+
+  for (int stage = 0; stage < options.max_stages; ++stage) {
+    double time_left = deadline.Remaining(clock);
+    if (time_left <= 0.0) break;
+
+    // Largest drawable fraction and the one-block fraction step.
+    double f_max = 0.0;
+    double min_step = 1.0;
+    for (const auto& [name, sampler] : samplers) {
+      double total = static_cast<double>(sampler->total_blocks());
+      if (total <= 0.0) continue;
+      f_max = std::max(
+          f_max, static_cast<double>(sampler->remaining_blocks()) / total);
+      min_step = std::min(min_step, 1.0 / total);
+    }
+    if (f_max <= 0.0) break;  // every relation fully sampled
+
+    // Figure 3.3: revise per-operator selectivities from all samples.
+    std::vector<std::map<int, double>> sel_prev;
+    sel_prev.reserve(evaluators.size());
+    for (const auto& ev : evaluators) {
+      sel_prev.push_back(ReviseSelectivities(*ev, options.selectivity));
+    }
+
+    // Full-query cost formula: per-stage overhead + block fetches (priced
+    // once per relation) + every term's operator costs.
+    auto fetch_cost = [&](double f) {
+      double seconds = 0.0;
+      for (const auto& [name, sampler] : samplers) {
+        int64_t d_new = std::min<int64_t>(
+            BlocksForFraction(f, sampler->total_blocks()),
+            sampler->remaining_blocks());
+        seconds += static_cast<double>(d_new) *
+                   coefs.Coef(kGlobalCostNode, CostStep::kFetch);
+      }
+      return seconds;
+    };
+    auto qcost = [&](double f, double d_beta) -> Result<double> {
+      double seconds = coefs.Coef(kGlobalCostNode, CostStep::kSetup) +
+                       fetch_cost(f);
+      for (size_t t = 0; t < evaluators.size(); ++t) {
+        std::map<int, double> sel_plus = ComputeSelPlus(
+            *evaluators[t], sel_prev[t], f, d_beta, current_mode);
+        TCQ_ASSIGN_OR_RETURN(
+            TermStagePrediction p,
+            PredictTermStageCost(*evaluators[t], f, sel_plus, coefs,
+                                 current_mode));
+        seconds += p.seconds;
+      }
+      return seconds;
+    };
+    // First-order std-dev of the stage cost: per-operator selectivity
+    // sigmas propagated through the cost formula, combined with the
+    // conservative perfect-correlation bound (§3.3.1's covariances are
+    // upper-bounded rather than estimated).
+    auto qcost_sigma = [&](double f) -> Result<double> {
+      double sigma = 0.0;
+      for (size_t t = 0; t < evaluators.size(); ++t) {
+        std::map<int, NodePoints> points =
+            PredictNodePoints(*evaluators[t], f, current_mode);
+        TCQ_ASSIGN_OR_RETURN(
+            TermStagePrediction base,
+            PredictTermStageCost(*evaluators[t], f, sel_prev[t], coefs,
+                                 current_mode));
+        for (const auto& [id, sel] : sel_prev[t]) {
+          auto it = points.find(id);
+          if (it == points.end()) continue;
+          double sd = std::sqrt(SrsProportionVariance(
+              sel, it->second.remaining_points, it->second.new_points));
+          if (sd <= 0.0) continue;
+          std::map<int, double> bumped = sel_prev[t];
+          bumped[id] = std::min(1.0, sel + sd);
+          TCQ_ASSIGN_OR_RETURN(
+              TermStagePrediction hi,
+              PredictTermStageCost(*evaluators[t], f, bumped, coefs,
+                                   current_mode));
+          sigma += std::max(0.0, hi.seconds - base.seconds);
+        }
+      }
+      return sigma;
+    };
+
+    StagePlanContext context;
+    context.next_stage = stage;
+    context.time_left = time_left;
+    context.quota = quota_s;
+    context.f_max = f_max;
+    context.f_min_step = min_step;
+    context.epsilon = options.epsilon_s;
+    context.qcost = qcost;
+    context.qcost_sigma = qcost_sigma;
+
+    TCQ_ASSIGN_OR_RETURN(StagePlan plan, strategy->PlanStage(context));
+    if (plan.fraction <= 0.0) {
+      if (options.final_partial_stages &&
+          current_mode == Fulfillment::kFull) {
+        // §5.B hybrid: a full stage no longer fits, but a cheap partial
+        // (new×new only) stage might still use the residual time.
+        current_mode = Fulfillment::kPartial;
+        --stage;  // re-plan this stage under the partial cost formula
+        continue;
+      }
+      result.stopped_no_affordable_stage = true;
+      break;
+    }
+
+    // ---- Execute the stage. ----
+    double stage_start = clock.Now();
+    ledger.BeginStage();
+    if (!wall) {
+      // Simulated per-stage bookkeeping overhead; under a wall clock the
+      // planning work above took real time already.
+      ledger.Charge(CostCategory::kStageOverhead,
+                    options.physical.stage_overhead_s);
+      coefs.Observe(kGlobalCostNode, CostStep::kSetup, 1.0,
+                    options.physical.stage_overhead_s);
+    } else {
+      coefs.Observe(kGlobalCostNode, CostStep::kSetup, 1.0,
+                    clock.Now() - stage_start);
+    }
+
+    std::map<std::string, std::vector<const Block*>> stage_blocks;
+    int64_t blocks_drawn = 0;
+    for (auto& [name, sampler] : samplers) {
+      int64_t d_new = std::min<int64_t>(
+          BlocksForFraction(plan.fraction, sampler->total_blocks()),
+          sampler->remaining_blocks());
+      double fetch_start = clock.Now();
+      auto blocks = sampler->Draw(d_new, &rng);
+      blocks_drawn += static_cast<int64_t>(blocks.size());
+      if (!wall) {
+        ledger.ChargeN(CostCategory::kBlockRead,
+                       static_cast<int64_t>(blocks.size()),
+                       options.physical.block_read_s);
+      }
+      coefs.Observe(kGlobalCostNode, CostStep::kFetch,
+                    static_cast<double>(blocks.size()),
+                    wall ? clock.Now() - fetch_start
+                         : static_cast<double>(blocks.size()) *
+                               options.physical.block_read_s);
+      stage_blocks[name] = std::move(blocks);
+    }
+    for (auto& ev : evaluators) {
+      TCQ_RETURN_NOT_OK(ev->ExecuteStageWithMode(stage_blocks, current_mode));
+      ObserveTermStage(*ev, &coefs);
+    }
+    double stage_end = clock.Now();
+    double actual = stage_end - stage_start;
+    bool within = deadline.Remaining(clock) >= 0.0;
+    strategy->OnStageOutcome(plan.predicted_seconds, actual, !within);
+
+    // ---- Recompute the combined estimate. ----
+    std::vector<CountEstimate> term_estimates;
+    term_estimates.reserve(evaluators.size());
+    for (const auto& ev : evaluators) {
+      term_estimates.push_back(EstimateTerm(*ev));
+    }
+    for (size_t c = 0; c < constant_estimates.size(); ++c) {
+      term_estimates.push_back(constant_estimates[c]);
+    }
+    std::vector<int> all_signs = signs;
+    all_signs.insert(all_signs.end(), constant_signs.begin(),
+                     constant_signs.end());
+    CountEstimate combined = CombineSignedEstimates(all_signs, term_estimates);
+    if (aggregate.kind != AggregateSpec::Kind::kCount) {
+      std::vector<CountEstimate> sum_estimates;
+      sum_estimates.reserve(evaluators.size());
+      for (const auto& ev : evaluators) {
+        sum_estimates.push_back(ClusterSumEstimate(
+            ev->total_space_blocks(), ev->cum_space_blocks(),
+            ev->cum_value_sum(), ev->cum_value_sq_sum(), ev->cum_points(),
+            ev->total_points()));
+      }
+      CountEstimate sum_combined =
+          CombineSignedEstimates(signs, sum_estimates);
+      if (aggregate.kind == AggregateSpec::Kind::kSum) {
+        combined = sum_combined;
+      } else {
+        // AVG = SUM / COUNT, delta-method variance (covariance ignored).
+        CountEstimate avg;
+        avg.points = combined.points;
+        avg.total_points = combined.total_points;
+        if (combined.value != 0.0) {
+          double ratio = sum_combined.value / combined.value;
+          avg.value = ratio;
+          avg.variance = (sum_combined.variance +
+                          ratio * ratio * combined.variance) /
+                         (combined.value * combined.value);
+        }
+        combined = avg;
+      }
+    }
+
+    StageTrace trace;
+    trace.index = stage;
+    trace.time_left_before = time_left;
+    trace.planned_fraction = plan.fraction;
+    trace.d_beta_used = plan.d_beta_used;
+    trace.predicted_seconds = plan.predicted_seconds;
+    trace.actual_seconds = actual;
+    trace.blocks_drawn = blocks_drawn;
+    trace.within_quota = within;
+    trace.estimate_after = combined.value;
+    trace.variance_after = combined.variance;
+    result.stages.push_back(trace);
+    ++result.stages_run;
+
+    if (!within) {
+      result.overspent = true;
+      result.overspend_seconds = deadline.Elapsed(clock) - quota_s;
+      if (options.deadline_mode == DeadlineMode::kHard) {
+        // The interrupted stage is aborted: its samples are wasted and the
+        // previous stage's estimate stands.
+        break;
+      }
+      // Soft deadline: the finished stage counts, then we stop.
+      result.estimate = combined.value;
+      result.variance = combined.variance;
+      ++result.stages_counted;
+      result.blocks_sampled += blocks_drawn;
+      counted_elapsed = deadline.Elapsed(clock);
+      break;
+    }
+
+    result.estimate = combined.value;
+    result.variance = combined.variance;
+    ++result.stages_counted;
+    result.blocks_sampled += blocks_drawn;
+    counted_elapsed = deadline.Elapsed(clock);
+
+    if (ShouldStopForPrecision(options.precision, combined,
+                               previous_estimate)) {
+      result.stopped_for_precision = true;
+      break;
+    }
+    previous_estimate = combined.value;
+  }
+
+  CountEstimate final_estimate;
+  final_estimate.value = result.estimate;
+  final_estimate.variance = result.variance;
+  result.ci = NormalConfidenceInterval(final_estimate, options.confidence);
+  result.elapsed_seconds = deadline.Elapsed(clock);
+  result.utilization =
+      quota_s > 0.0 ? std::min(1.0, counted_elapsed / quota_s) : 0.0;
+  return result;
+}
+
+}  // namespace tcq

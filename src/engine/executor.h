@@ -1,0 +1,147 @@
+#ifndef TCQ_ENGINE_EXECUTOR_H_
+#define TCQ_ENGINE_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/adaptive_model.h"
+#include "estimator/count_estimator.h"
+#include "exec/staged.h"
+#include "ra/expr.h"
+#include "sim/cost_model.h"
+#include "storage/relation.h"
+#include "timectrl/selectivity.h"
+#include "timectrl/stopping.h"
+#include "timectrl/strategy.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace tcq {
+
+/// Which time-control strategy to run (§3.3).
+struct StrategyConfig {
+  enum class Kind { kOneAtATime, kSingleInterval, kHeuristic };
+  Kind kind = Kind::kOneAtATime;
+  OneAtATimeStrategy::Options one_at_a_time;
+  SingleIntervalStrategy::Options single_interval;
+  HeuristicStrategy::Options heuristic;
+};
+
+std::unique_ptr<TimeControlStrategy> MakeStrategy(
+    const StrategyConfig& config);
+
+/// Options of a time-constrained COUNT(E) run.
+struct ExecutorOptions {
+  StrategyConfig strategy;
+  Fulfillment fulfillment = Fulfillment::kFull;
+  /// §5.B's suggestion: when no further *full*-fulfillment stage fits in
+  /// the residual time, switch to partial fulfillment (new×new only) for
+  /// the remaining stages instead of stopping, using up time that would
+  /// otherwise be wasted. Only meaningful with `fulfillment = kFull`.
+  bool final_partial_stages = false;
+  DeadlineMode deadline_mode = DeadlineMode::kHard;
+  PrecisionStop precision;  // disabled by default
+  SelectivityOptions selectivity;
+  AdaptiveCostModel::Options cost;
+  CostModel physical = CostModel::Sun360();
+  /// Figure 3.4's ε: acceptable slack when targeting the remaining time.
+  double epsilon_s = 0.05;
+  /// Confidence level of the reported interval.
+  double confidence = 0.95;
+  /// Safety bound on the number of stages.
+  int max_stages = 200;
+  /// Seed of the block-sampling RNG (every run is reproducible).
+  uint64_t seed = 1;
+  /// Run against real elapsed time instead of the simulator: the
+  /// deadline, stage planning, and cost-coefficient fitting all use the
+  /// machine's monotonic clock, and the CostModel constants only seed the
+  /// initial coefficients (re-fitted from real measurements after
+  /// stage 1). Sampling stays reproducible; timing does not.
+  bool use_wall_clock = false;
+};
+
+/// What happened during one stage (Figure 3.1's while-loop body).
+struct StageTrace {
+  int index = 0;                    // 0-based
+  double time_left_before = 0.0;    // Ti
+  double planned_fraction = 0.0;    // fi
+  double d_beta_used = 0.0;
+  double predicted_seconds = 0.0;
+  double actual_seconds = 0.0;
+  int64_t blocks_drawn = 0;         // over all relations
+  bool within_quota = false;        // stage finished before the deadline
+  double estimate_after = 0.0;
+  double variance_after = 0.0;
+};
+
+/// Result of a time-constrained COUNT(E) evaluation.
+struct QueryResult {
+  /// The returned estimate: after the last within-quota stage under a
+  /// hard deadline; after the final stage under a soft one.
+  double estimate = 0.0;
+  double variance = 0.0;
+  ConfidenceInterval ci;
+
+  int stages_run = 0;        // stages started (incl. an aborted one)
+  int stages_counted = 0;    // stages contributing to `estimate`
+  bool overspent = false;    // the quota expired mid-stage
+  double overspend_seconds = 0.0;  // time past the quota spent finishing it
+  /// Share of the quota spent in the counted stages ("successfully used").
+  double utilization = 0.0;
+  int64_t blocks_sampled = 0;  // blocks contributing to `estimate`
+  double elapsed_seconds = 0.0;  // total, incl. any aborted stage
+  bool stopped_for_precision = false;
+  /// Set when the run ended because no affordable stage remained.
+  bool stopped_no_affordable_stage = false;
+  std::vector<StageTrace> stages;
+};
+
+/// Which aggregate of the expression's output to estimate. The paper
+/// restricts itself to COUNT (§1); SUM and AVG are the natural extension
+/// it alludes to — the same sampling, time-control and cost machinery
+/// with the 0/1 point value replaced by an output column's value.
+struct AggregateSpec {
+  enum class Kind { kCount, kSum, kAvg };
+  Kind kind = Kind::kCount;
+  /// Numeric output column for kSum / kAvg (name in the expression's
+  /// output schema).
+  std::string column;
+
+  static AggregateSpec Count() { return {}; }
+  static AggregateSpec Sum(std::string column) {
+    return {Kind::kSum, std::move(column)};
+  }
+  static AggregateSpec Avg(std::string column) {
+    return {Kind::kAvg, std::move(column)};
+  }
+};
+
+/// Evaluates the estimator of an aggregate of `expr` within `quota_s`
+/// simulated seconds. AVG is estimated as the ratio of the SUM and COUNT
+/// estimates, with a first-order (delta-method) variance that neglects
+/// their covariance.
+Result<QueryResult> RunTimeConstrainedAggregate(
+    const ExprPtr& expr, const AggregateSpec& aggregate, double quota_s,
+    const Catalog& catalog, const ExecutorOptions& options);
+
+/// Evaluates the estimator of COUNT(expr) within `quota_s` simulated
+/// seconds (Figure 3.1):
+///
+///   expand COUNT(E) by inclusion–exclusion; then repeat
+///     revise selectivities → plan the stage (strategy + Sample-Size-
+///     Determine over the adaptive cost formulas) → draw cluster samples →
+///     evaluate all terms (full/partial fulfillment) → re-fit cost
+///     coefficients → recompute the combined estimate
+///   until the quota, a precision target, or sample exhaustion stops it.
+///
+/// Deterministic: all timing flows through a fresh VirtualClock and all
+/// randomness through Rng(options.seed).
+Result<QueryResult> RunTimeConstrainedCount(const ExprPtr& expr,
+                                            double quota_s,
+                                            const Catalog& catalog,
+                                            const ExecutorOptions& options);
+
+}  // namespace tcq
+
+#endif  // TCQ_ENGINE_EXECUTOR_H_

@@ -1,0 +1,50 @@
+#ifndef TCQ_ENGINE_EXPERIMENT_H_
+#define TCQ_ENGINE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+
+namespace tcq {
+
+/// One experiment: a query run `repetitions` times under the same options
+/// with independent sampling seeds (the paper's "every entry obtained from
+/// 200 independent experiments").
+struct ExperimentConfig {
+  ExprPtr query;
+  const Catalog* catalog = nullptr;
+  double quota_s = 10.0;
+  ExecutorOptions options;
+  int repetitions = 200;
+  uint64_t base_seed = 1;
+  /// Exact answer, for the relative-error column (0 = unknown).
+  int64_t exact_count = 0;
+};
+
+/// Aggregates matching the columns of the paper's §5 tables, plus the
+/// estimation-quality extras.
+struct ExperimentRow {
+  double d_beta = 0.0;           // the row's knob (echoed by the caller)
+  double mean_stages = 0.0;      // "stages"
+  double risk_pct = 0.0;         // "risk": % runs that overspent
+  double mean_ovsp_s = 0.0;      // "ovsp": mean overshoot among them
+  double utilization_pct = 0.0;  // "utilization"
+  double mean_blocks = 0.0;      // "blocks" counted in the estimate
+  // Extras (not in the paper's tables, recorded in EXPERIMENTS.md):
+  double mean_estimate = 0.0;
+  double mean_abs_rel_error_pct = 0.0;  // vs exact_count, counted runs only
+  int runs = 0;
+  int zero_stage_runs = 0;  // runs that could not afford any stage
+};
+
+/// Runs the experiment; deterministic in (config, base_seed).
+Result<ExperimentRow> RunExperiment(const ExperimentConfig& config);
+
+/// Renders rows as the paper-style table (one line per d_beta).
+std::string FormatExperimentTable(const std::string& title,
+                                  const std::vector<ExperimentRow>& rows);
+
+}  // namespace tcq
+
+#endif  // TCQ_ENGINE_EXPERIMENT_H_

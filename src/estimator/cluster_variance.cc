@@ -1,0 +1,36 @@
+#include "estimator/cluster_variance.h"
+
+#include "util/stats.h"
+
+namespace tcq {
+
+double ClusterVarianceEstimate(double total_blocks,
+                               const std::vector<int64_t>& block_hits) {
+  const auto b = static_cast<double>(block_hits.size());
+  if (b < 2.0 || total_blocks <= 0.0) return 0.0;
+  RunningStat stat;
+  for (int64_t y : block_hits) stat.Add(static_cast<double>(y));
+  double fpc = 1.0 - b / total_blocks;
+  if (fpc < 0.0) fpc = 0.0;
+  return total_blocks * total_blocks * fpc * stat.variance() / b;
+}
+
+double SrsApproxVarianceEstimate(double total_points, double sampled_points,
+                                 int64_t hits) {
+  if (sampled_points <= 0.0) return 0.0;
+  double sel = static_cast<double>(hits) / sampled_points;
+  return total_points * total_points *
+         SrsProportionVariance(sel, total_points, sampled_points);
+}
+
+double DesignEffect(double total_blocks, double total_points,
+                    double sampled_points,
+                    const std::vector<int64_t>& block_hits) {
+  int64_t hits = 0;
+  for (int64_t y : block_hits) hits += y;
+  double srs = SrsApproxVarianceEstimate(total_points, sampled_points, hits);
+  if (srs <= 0.0) return 1.0;
+  return ClusterVarianceEstimate(total_blocks, block_hits) / srs;
+}
+
+}  // namespace tcq

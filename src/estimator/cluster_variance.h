@@ -1,0 +1,38 @@
+#ifndef TCQ_ESTIMATOR_CLUSTER_VARIANCE_H_
+#define TCQ_ESTIMATOR_CLUSTER_VARIANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tcq {
+
+/// Unbiased variance estimate of the cluster estimator Ŷb = B·(Σ yi)/b
+/// from the per-space-block hit counts of a single-stage sample
+/// (the exact alternative the paper's Theorem 6 route provides but its
+/// implementation skips as "too expensive", §3.3):
+///
+///   Var̂(Ŷb) = B² · (1 − b/B) · s_y² / b,
+///   s_y² = Σ (yi − ȳ)² / (b − 1).
+///
+/// Returns 0 when fewer than two blocks were sampled.
+double ClusterVarianceEstimate(double total_blocks,
+                               const std::vector<int64_t>& block_hits);
+
+/// The SRS-over-points approximation the paper's implementation uses
+/// instead (§3.3): treats the m = Σ(block sizes) sampled points as a
+/// simple random sample. `hits` = Σ yi. Returns the estimated variance of
+/// the *count* estimate (N² × selectivity variance).
+double SrsApproxVarianceEstimate(double total_points, double sampled_points,
+                                 int64_t hits);
+
+/// Design effect of a one-stage cluster sample: the ratio of the exact
+/// cluster variance estimate to the SRS approximation (≈1 for randomly
+/// scattered tuples, >1 for block-clustered data). Returns 1 when the
+/// SRS term is 0.
+double DesignEffect(double total_blocks, double total_points,
+                    double sampled_points,
+                    const std::vector<int64_t>& block_hits);
+
+}  // namespace tcq
+
+#endif  // TCQ_ESTIMATOR_CLUSTER_VARIANCE_H_

@@ -1,0 +1,27 @@
+#include "estimator/combined.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace tcq {
+
+CountEstimate CombineSignedEstimates(
+    const std::vector<int>& signs,
+    const std::vector<CountEstimate>& terms) {
+  assert(signs.size() == terms.size());
+  CountEstimate out;
+  double sigma_sum = 0.0;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    double a = static_cast<double>(signs[i]);
+    out.value += a * terms[i].value;
+    sigma_sum += std::abs(a) * std::sqrt(terms[i].variance);
+    out.hits += terms[i].hits;
+    out.points += terms[i].points;
+    out.total_points += terms[i].total_points;
+  }
+  out.variance = sigma_sum * sigma_sum;
+  return out;
+}
+
+}  // namespace tcq

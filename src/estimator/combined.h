@@ -1,0 +1,25 @@
+#ifndef TCQ_ESTIMATOR_COMBINED_H_
+#define TCQ_ESTIMATOR_COMBINED_H_
+
+#include <vector>
+
+#include "estimator/count_estimator.h"
+
+namespace tcq {
+
+/// Combines the per-term estimates of an inclusion–exclusion expansion
+/// COUNT(E) = Σ sign_i · COUNT(Ei') into one estimate.
+///
+/// The terms are evaluated on the *same* samples, so they are correlated;
+/// rather than estimating cross-term covariances, the combined variance
+/// uses the Cauchy–Schwarz upper bound
+///   Var(Σ aᵢXᵢ) ≤ (Σ |aᵢ|·σᵢ)²,
+/// which is safe (never understates the interval) and cheap — in the same
+/// spirit as the paper's preference for inexpensive variance
+/// approximations (§3.3).
+CountEstimate CombineSignedEstimates(const std::vector<int>& signs,
+                                     const std::vector<CountEstimate>& terms);
+
+}  // namespace tcq
+
+#endif  // TCQ_ESTIMATOR_COMBINED_H_

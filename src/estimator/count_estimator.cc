@@ -1,0 +1,87 @@
+#include "estimator/count_estimator.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace tcq {
+
+namespace {
+
+double SelectivityVarianceToCountVariance(double selectivity,
+                                          double total_points,
+                                          double sampled_points) {
+  double var_sel =
+      SrsProportionVariance(selectivity, total_points, sampled_points);
+  return total_points * total_points * var_sel;
+}
+
+/// With zero observed hits the plug-in variance degenerates to 0 and the
+/// interval collapses to [0, 0], hiding the real uncertainty. Instead,
+/// back a variance out of the exact one-sided 95% bound for a zero-count
+/// sample (the "rule of three" generalization 1 − 0.05^(1/m)), so the
+/// normal interval's upper end lands on that bound.
+double ZeroHitVariance(double total_points, double sampled_points) {
+  if (sampled_points < 1.0 || total_points <= sampled_points) return 0.0;
+  double upper_sel =
+      ZeroHitUpperBound(static_cast<int64_t>(sampled_points), 0.05);
+  double half_width = total_points * upper_sel;
+  double sd = half_width / 1.959963985;
+  return sd * sd;
+}
+
+}  // namespace
+
+CountEstimate ClusterCountEstimate(double total_space_blocks,
+                                   double covered_space_blocks, int64_t hits,
+                                   double covered_points,
+                                   double total_points) {
+  CountEstimate e;
+  e.hits = hits;
+  e.points = covered_points;
+  e.total_points = total_points;
+  if (covered_space_blocks <= 0.0) return e;
+  e.value = total_space_blocks * static_cast<double>(hits) /
+            covered_space_blocks;
+  if (covered_points > 0.0) {
+    if (hits == 0) {
+      e.variance = ZeroHitVariance(total_points, covered_points);
+    } else {
+      double sel = static_cast<double>(hits) / covered_points;
+      e.variance = SelectivityVarianceToCountVariance(sel, total_points,
+                                                      covered_points);
+    }
+  }
+  return e;
+}
+
+CountEstimate SrsCountEstimate(double total_points, double sampled_points,
+                               int64_t hits) {
+  CountEstimate e;
+  e.hits = hits;
+  e.points = sampled_points;
+  e.total_points = total_points;
+  if (sampled_points <= 0.0) return e;
+  double sel = static_cast<double>(hits) / sampled_points;
+  e.value = total_points * sel;
+  if (hits == 0) {
+    e.variance = ZeroHitVariance(total_points, sampled_points);
+  } else {
+    e.variance = SelectivityVarianceToCountVariance(sel, total_points,
+                                                    sampled_points);
+  }
+  return e;
+}
+
+ConfidenceInterval NormalConfidenceInterval(const CountEstimate& estimate,
+                                            double level) {
+  ConfidenceInterval ci;
+  ci.level = level;
+  double z = NormalQuantile(0.5 + level / 2.0);
+  double half = z * std::sqrt(estimate.variance);
+  ci.lo = estimate.value - half;
+  ci.hi = estimate.value + half;
+  return ci;
+}
+
+}  // namespace tcq

@@ -1,0 +1,54 @@
+#ifndef TCQ_ESTIMATOR_COUNT_ESTIMATOR_H_
+#define TCQ_ESTIMATOR_COUNT_ESTIMATOR_H_
+
+#include <cstdint>
+
+namespace tcq {
+
+/// A point estimate of COUNT(E) with an estimated variance.
+struct CountEstimate {
+  double value = 0.0;
+  double variance = 0.0;
+
+  /// Inputs the estimate was computed from (for traces and tests).
+  int64_t hits = 0;       // 1-points (or distinct groups) observed
+  double points = 0.0;    // points of the point space covered
+  double total_points = 0.0;
+};
+
+/// Symmetric confidence interval [lo, hi] at the given level.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double level = 0.0;
+
+  double HalfWidth() const { return (hi - lo) / 2.0; }
+};
+
+/// Cluster-sampling estimator Ŷb(E) = B · (Σ yi) / b (paper §2, [HoOT 88]):
+/// `total_space_blocks` B space blocks in the point space, of which
+/// `covered_space_blocks` b were evaluated, observing `hits` 1-points.
+///
+/// The variance is approximated with the simple-random-sampling formula
+/// over points (paper §3.3's implementation choice): with sample
+/// selectivity s = hits/points,
+///   Var(count) = N² · s(1-s)(N-m) / (m(N-1)).
+/// The paper notes this usually *underestimates* the cluster variance,
+/// trading some risk-control accuracy for computation time.
+CountEstimate ClusterCountEstimate(double total_space_blocks,
+                                   double covered_space_blocks, int64_t hits,
+                                   double covered_points,
+                                   double total_points);
+
+/// Simple-random-sampling estimator û(E) = N·(y/m).
+CountEstimate SrsCountEstimate(double total_points, double sampled_points,
+                               int64_t hits);
+
+/// Normal-approximation confidence interval around an estimate.
+/// `level` in (0,1), e.g. 0.95.
+ConfidenceInterval NormalConfidenceInterval(const CountEstimate& estimate,
+                                            double level);
+
+}  // namespace tcq
+
+#endif  // TCQ_ESTIMATOR_COUNT_ESTIMATOR_H_

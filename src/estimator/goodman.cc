@@ -1,0 +1,76 @@
+#include "estimator/goodman.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace tcq {
+
+namespace {
+
+/// log C(n, k) via lgamma; requires 0 <= k <= n.
+double LogChoose(double n, double k) {
+  if (k < 0.0 || k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+}  // namespace
+
+double Chao1Estimate(double population_size,
+                     const std::vector<int64_t>& occupancies) {
+  double d = static_cast<double>(occupancies.size());
+  double f1 = 0.0, f2 = 0.0;
+  for (int64_t c : occupancies) {
+    if (c == 1) f1 += 1.0;
+    if (c == 2) f2 += 1.0;
+  }
+  double extra =
+      f2 > 0.0 ? f1 * f1 / (2.0 * f2) : f1 * (f1 - 1.0) / 2.0;
+  double est = d + extra;
+  if (est < d) est = d;
+  if (est > population_size) est = population_size;
+  return est;
+}
+
+double GoodmanRawEstimate(double population_size,
+                          const std::vector<int64_t>& occupancies) {
+  const double n_distinct = static_cast<double>(occupancies.size());
+  if (occupancies.empty()) return 0.0;
+  int64_t n = 0;
+  std::map<int64_t, int64_t> f;  // occupancy -> class count
+  for (int64_t c : occupancies) {
+    n += c;
+    ++f[c];
+  }
+  const double N = population_size;
+  const double nn = static_cast<double>(n);
+  if (nn >= N) return n_distinct;  // full census
+
+  double est = n_distinct;
+  for (const auto& [i, fi] : f) {
+    double di = static_cast<double>(i);
+    // (−1)^{i+1} · C(N−n+i−1, i) / C(n, i) · f_i, in log space.
+    double log_term = LogChoose(N - nn + di - 1.0, di) - LogChoose(nn, di) +
+                      std::log(static_cast<double>(fi));
+    if (log_term > 700.0) {  // exp would overflow
+      return std::numeric_limits<double>::infinity();
+    }
+    double term = std::exp(log_term);
+    est += (i % 2 == 1) ? term : -term;
+  }
+  return est;
+}
+
+double GoodmanEstimate(double population_size,
+                       const std::vector<int64_t>& occupancies) {
+  if (occupancies.empty()) return 0.0;
+  const double n_distinct = static_cast<double>(occupancies.size());
+  double est = GoodmanRawEstimate(population_size, occupancies);
+  if (!std::isfinite(est) || est < n_distinct || est > population_size) {
+    return Chao1Estimate(population_size, occupancies);
+  }
+  return est;
+}
+
+}  // namespace tcq

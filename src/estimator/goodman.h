@@ -1,0 +1,40 @@
+#ifndef TCQ_ESTIMATOR_GOODMAN_H_
+#define TCQ_ESTIMATOR_GOODMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tcq {
+
+/// Goodman's (1949) unbiased estimator of the number of distinct classes
+/// in a finite population of `population_size` units, from a simple random
+/// sample whose distinct classes have the given `occupancies` (one entry
+/// per distinct class observed; the sample size is their sum).
+///
+///   D̂ = d + Σ_{i>=1} (−1)^{i+1} · C(N−n+i−1, i) / C(n, i) · f_i
+///
+/// where d = number of distinct classes in the sample and f_i = number of
+/// classes occurring exactly i times. Unbiased when n exceeds the largest
+/// class multiplicity, but notoriously unstable for small sampling
+/// fractions (terms alternate in sign and explode). Following the
+/// estimator literature, when the raw value leaves [d, N] or is not
+/// finite, we fall back to the Chao (1984) lower bound
+/// d + f1²/(2·f2) (using f1(f1−1)/2 when f2 = 0), clamped to [d, N].
+/// The paper [HoOT 88] uses a "revised" Goodman estimator for projection
+/// queries; this guarded version is our equivalent (see DESIGN.md).
+double GoodmanEstimate(double population_size,
+                       const std::vector<int64_t>& occupancies);
+
+/// Chao's 1984 lower-bound estimator (used as the fallback above).
+double Chao1Estimate(double population_size,
+                     const std::vector<int64_t>& occupancies);
+
+/// The raw Goodman value, without the [d, N] guard or fallback. Exactly
+/// unbiased when the sample size exceeds the largest class multiplicity;
+/// may be wildly out of range otherwise. Exposed for tests and analysis.
+double GoodmanRawEstimate(double population_size,
+                          const std::vector<int64_t>& occupancies);
+
+}  // namespace tcq
+
+#endif  // TCQ_ESTIMATOR_GOODMAN_H_

@@ -1,0 +1,26 @@
+#include "estimator/sum_estimator.h"
+
+namespace tcq {
+
+CountEstimate ClusterSumEstimate(double total_space_blocks,
+                                 double covered_space_blocks,
+                                 double value_sum, double value_sq_sum,
+                                 double covered_points,
+                                 double total_points) {
+  CountEstimate e;
+  e.points = covered_points;
+  e.total_points = total_points;
+  if (covered_space_blocks <= 0.0) return e;
+  e.value = total_space_blocks * value_sum / covered_space_blocks;
+  const double m = covered_points;
+  const double n = total_points;
+  if (m > 0.0 && n > m) {
+    double mean = value_sum / m;
+    double s2 = value_sq_sum / m - mean * mean;
+    if (s2 < 0.0) s2 = 0.0;
+    e.variance = n * n * (1.0 - m / n) * s2 / m;
+  }
+  return e;
+}
+
+}  // namespace tcq

@@ -1,0 +1,29 @@
+#ifndef TCQ_ESTIMATOR_SUM_ESTIMATOR_H_
+#define TCQ_ESTIMATOR_SUM_ESTIMATOR_H_
+
+#include "estimator/count_estimator.h"
+
+namespace tcq {
+
+/// Cluster-sampling estimator for SUM(E.column) — the natural extension
+/// of the paper's COUNT framework to other aggregates (§1 restricts the
+/// paper to COUNT; the methodology carries over by replacing the 0/1
+/// point value with the output tuple's column value).
+///
+/// Each point of the point space carries value v = column value when the
+/// point produces an output tuple, 0 otherwise. Then
+///   SUM-hat = B · (Σ v over covered space blocks) / b,
+/// and the variance uses the SRS mean-estimator approximation over points
+/// (mirroring the paper's COUNT variance choice):
+///   s² = Σv²/m − (Σv/m)²,  Var = N²·(1−m/N)·s²/m.
+///
+/// `value_sum` / `value_sq_sum` are over the sampled *output tuples*
+/// (zero-valued points contribute nothing to either).
+CountEstimate ClusterSumEstimate(double total_space_blocks,
+                                 double covered_space_blocks,
+                                 double value_sum, double value_sq_sum,
+                                 double covered_points, double total_points);
+
+}  // namespace tcq
+
+#endif  // TCQ_ESTIMATOR_SUM_ESTIMATOR_H_

@@ -1,0 +1,35 @@
+#ifndef TCQ_EXEC_EXACT_H_
+#define TCQ_EXEC_EXACT_H_
+
+#include <cstdint>
+
+#include "exec/tuple_set.h"
+#include "ra/expr.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace tcq {
+
+/// Fully evaluates `expr` against `catalog` with classical set-semantics
+/// relational algebra (Union/Intersect/Difference/Project outputs are
+/// duplicate-free; Select and Join preserve input multiplicity).
+///
+/// This is the ground-truth evaluator: tests and benches compare the
+/// sampling estimator against `ExactCount`. It deliberately performs no
+/// cost accounting.
+Result<TupleSet> EvaluateExact(const ExprPtr& expr, const Catalog& catalog);
+
+/// COUNT(E) under the same semantics.
+Result<int64_t> ExactCount(const ExprPtr& expr, const Catalog& catalog);
+
+/// SUM(E.column) over the exact output (column must be numeric).
+Result<double> ExactSum(const ExprPtr& expr, const std::string& column,
+                        const Catalog& catalog);
+
+/// AVG(E.column) over the exact output; InvalidArgument when empty.
+Result<double> ExactAvg(const ExprPtr& expr, const std::string& column,
+                        const Catalog& catalog);
+
+}  // namespace tcq
+
+#endif  // TCQ_EXEC_EXACT_H_

@@ -1,0 +1,279 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcq {
+
+namespace {
+
+/// Accumulates charges into both the ledger and a local step counter so
+/// each operator step knows the simulated time it consumed.
+class ChargeScope {
+ public:
+  ChargeScope(CostLedger* ledger, StepMetrics* metrics)
+      : ledger_(ledger), metrics_(metrics) {}
+
+  void ChargeN(CostCategory category, int64_t count, double unit_seconds) {
+    if (count <= 0) return;
+    if (ledger_ != nullptr) ledger_->ChargeN(category, count, unit_seconds);
+    if (metrics_ != nullptr) {
+      metrics_->seconds += unit_seconds * static_cast<double>(count);
+    }
+  }
+
+ private:
+  CostLedger* ledger_;
+  StepMetrics* metrics_;
+};
+
+/// Charges the output-writing step (tuple moves + page writes) and records
+/// it into `step`.
+void ChargeOutput(const Schema& schema, int64_t out_tuples,
+                  CostLedger* ledger, const CostModel& model,
+                  StepMetrics* step) {
+  ChargeScope charge(ledger, step);
+  int64_t pages = PagesFor(schema, out_tuples);
+  charge.ChargeN(CostCategory::kTupleMove, out_tuples, model.tuple_move_s);
+  charge.ChargeN(CostCategory::kBlockWrite, pages, model.block_write_s);
+  if (step != nullptr) {
+    step->out_tuples += out_tuples;
+    step->out_pages += pages;
+  }
+}
+
+}  // namespace
+
+std::vector<Tuple> SelectTuples(const std::vector<Tuple>& tuples,
+                                const BoundPredicate& predicate,
+                                const Schema& schema, CostLedger* ledger,
+                                const CostModel& model, OpMetrics* metrics) {
+  StepMetrics* process = metrics != nullptr ? &metrics->process : nullptr;
+  std::vector<Tuple> out;
+  for (const Tuple& t : tuples) {
+    if (predicate.Eval(t)) out.push_back(t);
+  }
+  int64_t n = static_cast<int64_t>(tuples.size());
+  int64_t out_n = static_cast<int64_t>(out.size());
+  ChargeScope charge(ledger, process);
+  charge.ChargeN(CostCategory::kPredicate, n * predicate.num_comparisons(),
+                 model.predicate_compare_s);
+  if (process != nullptr) {
+    process->in_tuples += n;
+    process->comparisons += n * predicate.num_comparisons();
+  }
+  ChargeOutput(schema, out_n, ledger, model,
+               metrics != nullptr ? &metrics->output : nullptr);
+  return out;
+}
+
+void ChargeTempWrite(const Schema& schema, int64_t num_tuples,
+                     CostLedger* ledger, const CostModel& model,
+                     StepMetrics* metrics) {
+  ChargeScope charge(ledger, metrics);
+  int64_t pages = PagesFor(schema, num_tuples);
+  charge.ChargeN(CostCategory::kTupleMove, num_tuples, model.tuple_move_s);
+  charge.ChargeN(CostCategory::kBlockWrite, pages, model.block_write_s);
+  if (metrics != nullptr) {
+    metrics->in_tuples += num_tuples;
+    metrics->out_tuples += num_tuples;
+    metrics->out_pages += pages;
+  }
+}
+
+void SortRun(std::vector<Tuple>* tuples, const std::vector<int>& key,
+             CostLedger* ledger, const CostModel& model,
+             StepMetrics* metrics) {
+  int64_t comparisons = 0;
+  if (key.empty()) {
+    std::sort(tuples->begin(), tuples->end(),
+              [&comparisons](const Tuple& a, const Tuple& b) {
+                ++comparisons;
+                return CompareTuples(a, b) < 0;
+              });
+  } else {
+    std::sort(tuples->begin(), tuples->end(),
+              [&comparisons, &key](const Tuple& a, const Tuple& b) {
+                ++comparisons;
+                return CompareTuplesOnKey(a, b, key) < 0;
+              });
+  }
+  ChargeScope charge(ledger, metrics);
+  charge.ChargeN(CostCategory::kSortCompare, comparisons,
+                 model.sort_compare_s);
+  if (metrics != nullptr) {
+    metrics->in_tuples += static_cast<int64_t>(tuples->size());
+    metrics->out_tuples += static_cast<int64_t>(tuples->size());
+    metrics->comparisons += comparisons;
+  }
+}
+
+std::vector<Tuple> MergeIntersect(const std::vector<Tuple>& left,
+                                  const std::vector<Tuple>& right,
+                                  const Schema& schema, CostLedger* ledger,
+                                  const CostModel& model,
+                                  OpMetrics* metrics) {
+  StepMetrics* process = metrics != nullptr ? &metrics->process : nullptr;
+  std::vector<Tuple> out;
+  int64_t comparisons = 0;
+  size_t i = 0, j = 0;
+  while (i < left.size() && j < right.size()) {
+    ++comparisons;
+    int c = CompareTuples(left[i], right[j]);
+    if (c < 0) {
+      ++i;
+    } else if (c > 0) {
+      ++j;
+    } else {
+      // Equal group: emit one output point per (left, right) pair.
+      size_t i_end = i + 1;
+      while (i_end < left.size()) {
+        ++comparisons;
+        if (CompareTuples(left[i_end], left[i]) != 0) break;
+        ++i_end;
+      }
+      size_t j_end = j + 1;
+      while (j_end < right.size()) {
+        ++comparisons;
+        if (CompareTuples(right[j_end], right[j]) != 0) break;
+        ++j_end;
+      }
+      for (size_t a = i; a < i_end; ++a) {
+        for (size_t b = j; b < j_end; ++b) {
+          (void)b;
+          out.push_back(left[a]);
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  ChargeScope charge(ledger, process);
+  charge.ChargeN(CostCategory::kMergeCompare, comparisons,
+                 model.merge_compare_s);
+  if (process != nullptr) {
+    process->in_tuples += static_cast<int64_t>(left.size() + right.size());
+    process->comparisons += comparisons;
+  }
+  ChargeOutput(schema, static_cast<int64_t>(out.size()), ledger, model,
+               metrics != nullptr ? &metrics->output : nullptr);
+  return out;
+}
+
+std::vector<Tuple> MergeJoin(const std::vector<Tuple>& left,
+                             const std::vector<int>& left_key,
+                             const Schema& left_schema,
+                             const std::vector<Tuple>& right,
+                             const std::vector<int>& right_key,
+                             const Schema& right_schema,
+                             CostLedger* ledger, const CostModel& model,
+                             OpMetrics* metrics) {
+  assert(left_key.size() == right_key.size());
+  StepMetrics* process = metrics != nullptr ? &metrics->process : nullptr;
+  Schema out_schema = left_schema.ConcatForJoin(right_schema);
+  std::vector<Tuple> out;
+  int64_t comparisons = 0;
+  auto cmp_lr = [&](const Tuple& a, const Tuple& b) {
+    ++comparisons;
+    for (size_t k = 0; k < left_key.size(); ++k) {
+      int c = CompareValues(a[static_cast<size_t>(left_key[k])],
+                            b[static_cast<size_t>(right_key[k])]);
+      if (c != 0) return c;
+    }
+    return 0;
+  };
+  size_t i = 0, j = 0;
+  while (i < left.size() && j < right.size()) {
+    int c = cmp_lr(left[i], right[j]);
+    if (c < 0) {
+      ++i;
+    } else if (c > 0) {
+      ++j;
+    } else {
+      size_t i_end = i + 1;
+      while (i_end < left.size()) {
+        ++comparisons;
+        if (CompareTuplesOnKey(left[i_end], left[i], left_key) != 0) break;
+        ++i_end;
+      }
+      size_t j_end = j + 1;
+      while (j_end < right.size()) {
+        ++comparisons;
+        if (CompareTuplesOnKey(right[j_end], right[j], right_key) != 0) break;
+        ++j_end;
+      }
+      for (size_t a = i; a < i_end; ++a) {
+        for (size_t b = j; b < j_end; ++b) {
+          Tuple joined = left[a];
+          joined.insert(joined.end(), right[b].begin(), right[b].end());
+          out.push_back(std::move(joined));
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  ChargeScope charge(ledger, process);
+  charge.ChargeN(CostCategory::kMergeCompare, comparisons,
+                 model.merge_compare_s);
+  if (process != nullptr) {
+    process->in_tuples += static_cast<int64_t>(left.size() + right.size());
+    process->comparisons += comparisons;
+  }
+  ChargeOutput(out_schema, static_cast<int64_t>(out.size()), ledger, model,
+               metrics != nullptr ? &metrics->output : nullptr);
+  return out;
+}
+
+std::vector<GroupCount> DedupSorted(const std::vector<Tuple>& tuples,
+                                    const Schema& schema, CostLedger* ledger,
+                                    const CostModel& model,
+                                    OpMetrics* metrics) {
+  StepMetrics* process = metrics != nullptr ? &metrics->process : nullptr;
+  std::vector<GroupCount> out;
+  int64_t comparisons = 0;
+  for (const Tuple& t : tuples) {
+    if (!out.empty()) {
+      ++comparisons;
+      if (CompareTuples(out.back().tuple, t) == 0) {
+        ++out.back().count;
+        continue;
+      }
+    }
+    out.push_back(GroupCount{t, 1});
+  }
+  ChargeScope charge(ledger, process);
+  charge.ChargeN(CostCategory::kMergeCompare, comparisons,
+                 model.merge_compare_s);
+  if (process != nullptr) {
+    process->in_tuples += static_cast<int64_t>(tuples.size());
+    process->comparisons += comparisons;
+  }
+  ChargeOutput(schema, static_cast<int64_t>(out.size()), ledger, model,
+               metrics != nullptr ? &metrics->output : nullptr);
+  return out;
+}
+
+std::vector<Tuple> ProjectColumns(const std::vector<Tuple>& tuples,
+                                  const std::vector<int>& columns,
+                                  CostLedger* ledger, const CostModel& model,
+                                  StepMetrics* metrics) {
+  std::vector<Tuple> out;
+  out.reserve(tuples.size());
+  for (const Tuple& t : tuples) {
+    Tuple projected;
+    projected.reserve(columns.size());
+    for (int c : columns) projected.push_back(t[static_cast<size_t>(c)]);
+    out.push_back(std::move(projected));
+  }
+  ChargeScope charge(ledger, metrics);
+  charge.ChargeN(CostCategory::kTupleMove,
+                 static_cast<int64_t>(tuples.size()), model.tuple_move_s);
+  if (metrics != nullptr) {
+    metrics->in_tuples += static_cast<int64_t>(tuples.size());
+    metrics->out_tuples += static_cast<int64_t>(out.size());
+  }
+  return out;
+}
+
+}  // namespace tcq

@@ -1,0 +1,103 @@
+#ifndef TCQ_EXEC_OPERATORS_H_
+#define TCQ_EXEC_OPERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/tuple_set.h"
+#include "ra/predicate.h"
+#include "sim/cost_model.h"
+#include "sim/ledger.h"
+#include "storage/relation.h"
+
+namespace tcq {
+
+/// Realized resource counts of one operator step, used both for cost
+/// accounting and for fitting the adaptive cost-formula coefficients
+/// (paper §4: "record the actual amount of time spent on each step").
+struct StepMetrics {
+  int64_t in_tuples = 0;
+  int64_t out_tuples = 0;
+  int64_t out_pages = 0;
+  int64_t comparisons = 0;
+  double seconds = 0.0;  // realized (simulated) time of the step
+};
+
+/// Step-separated metrics of one operator invocation: the paper's adaptive
+/// cost formulas fit a coefficient per *step*, so reading/comparing time is
+/// recorded separately from result-writing time.
+struct OpMetrics {
+  StepMetrics process;  // reading, predicate evaluation, merge comparisons
+  StepMetrics output;   // tuple moves and page writes of the results
+};
+
+/// Evaluates a selection formula over `tuples`, charging one predicate
+/// comparison per formula leaf per tuple plus output-page writes.
+/// The input tuples are assumed already paid for (block fetch happens at
+/// sampling time; intermediate inputs were paid for by the producer).
+std::vector<Tuple> SelectTuples(const std::vector<Tuple>& tuples,
+                                const BoundPredicate& predicate,
+                                const Schema& schema, CostLedger* ledger,
+                                const CostModel& model, OpMetrics* metrics);
+
+/// Writes `tuples` to a temporary file (step 1 of the paper's intersect/
+/// join/project algorithms, Figures 4.4/4.6/4.7): charges one tuple move
+/// per tuple and one page write per output page.
+void ChargeTempWrite(const Schema& schema, int64_t num_tuples,
+                     CostLedger* ledger, const CostModel& model,
+                     StepMetrics* metrics);
+
+/// Sorts `tuples` in place on the given key columns (all columns when
+/// `key` is empty), charging each realized comparison (step 2, external
+/// sort; eq. 4.3's `C2·n·log n + C3·n` shape emerges from the realized
+/// comparison count).
+void SortRun(std::vector<Tuple>* tuples, const std::vector<int>& key,
+             CostLedger* ledger, const CostModel& model,
+             StepMetrics* metrics);
+
+/// Merge-intersects two runs sorted on all columns. Each matching group
+/// contributes (left multiplicity × right multiplicity) output tuples —
+/// the number of 1-points in the point space. Charges merge comparisons
+/// and output-page writes.
+std::vector<Tuple> MergeIntersect(const std::vector<Tuple>& left,
+                                  const std::vector<Tuple>& right,
+                                  const Schema& schema, CostLedger* ledger,
+                                  const CostModel& model,
+                                  OpMetrics* metrics);
+
+/// Merge-joins two runs sorted on the given key columns, producing
+/// concatenated tuples. Charges merge comparisons and output-page writes.
+std::vector<Tuple> MergeJoin(const std::vector<Tuple>& left,
+                             const std::vector<int>& left_key,
+                             const Schema& left_schema,
+                             const std::vector<Tuple>& right,
+                             const std::vector<int>& right_key,
+                             const Schema& right_schema,
+                             CostLedger* ledger, const CostModel& model,
+                             OpMetrics* metrics);
+
+/// One distinct tuple and how many times it occurred.
+struct GroupCount {
+  Tuple tuple;
+  int64_t count = 0;
+};
+
+/// Scans a run sorted on all columns and collapses duplicates, returning
+/// each distinct tuple with its occupancy (step 3 of the paper's Project
+/// algorithm, which writes "distinct tuples with their occupancy").
+/// Charges one merge comparison per input tuple and output-page writes.
+std::vector<GroupCount> DedupSorted(const std::vector<Tuple>& tuples,
+                                    const Schema& schema, CostLedger* ledger,
+                                    const CostModel& model,
+                                    OpMetrics* metrics);
+
+/// Projects `tuples` onto the given column positions (no dedup; charges
+/// tuple moves only — dedup is SortRun + DedupSorted).
+std::vector<Tuple> ProjectColumns(const std::vector<Tuple>& tuples,
+                                  const std::vector<int>& columns,
+                                  CostLedger* ledger, const CostModel& model,
+                                  StepMetrics* metrics);
+
+}  // namespace tcq
+
+#endif  // TCQ_EXEC_OPERATORS_H_

@@ -1,0 +1,508 @@
+#include "exec/staged.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace tcq {
+
+namespace {
+
+/// The cost-formula basis for a sort of `n` tuples (eq. 4.3's n·log n
+/// shape); shared with the cost predictor via the stage records.
+double SortUnits(double n) {
+  if (n <= 0) return 0.0;
+  return n * std::log2(n + 2.0);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StagedNode>> StagedTermEvaluator::BuildNode(
+    const ExprPtr& expr, const Catalog& catalog, bool is_root,
+    int* next_id) {
+  if (expr == nullptr) return Status::InvalidArgument("null expression");
+  auto node = std::make_unique<StagedNode>();
+  node->id = (*next_id)++;
+  node->kind = expr->kind;
+  node->expr = expr.get();
+
+  switch (expr->kind) {
+    case ExprKind::kScan: {
+      TCQ_ASSIGN_OR_RETURN(node->rel, catalog.Find(expr->relation));
+      node->out_schema = node->rel->schema();
+      node->total_points = static_cast<double>(node->rel->NumTuples());
+      return node;
+    }
+    case ExprKind::kSelect: {
+      TCQ_ASSIGN_OR_RETURN(
+          node->left, BuildNode(expr->left, catalog, false, next_id));
+      node->out_schema = node->left->out_schema;
+      TCQ_ASSIGN_OR_RETURN(
+          BoundPredicate bound,
+          BoundPredicate::Bind(expr->predicate, node->out_schema));
+      node->predicate = std::make_unique<BoundPredicate>(std::move(bound));
+      node->total_points = node->left->total_points;
+      return node;
+    }
+    case ExprKind::kProject: {
+      if (!is_root) {
+        return Status::NotImplemented(
+            "sampled evaluation supports Project only as the outermost "
+            "operator (Goodman's estimator applies to the whole "
+            "expression); got nested " +
+            expr->ToString());
+      }
+      TCQ_ASSIGN_OR_RETURN(
+          node->left, BuildNode(expr->left, catalog, false, next_id));
+      for (const std::string& name : expr->columns) {
+        TCQ_ASSIGN_OR_RETURN(int idx,
+                             node->left->out_schema.IndexOf(name));
+        node->proj_cols.push_back(idx);
+      }
+      node->out_schema =
+          node->left->out_schema.SelectColumns(node->proj_cols);
+      node->total_points = node->left->total_points;
+      return node;
+    }
+    case ExprKind::kJoin: {
+      TCQ_ASSIGN_OR_RETURN(
+          node->left, BuildNode(expr->left, catalog, false, next_id));
+      TCQ_ASSIGN_OR_RETURN(
+          node->right, BuildNode(expr->right, catalog, false, next_id));
+      for (const auto& [lname, rname] : expr->join_keys) {
+        TCQ_ASSIGN_OR_RETURN(int li,
+                             node->left->out_schema.IndexOf(lname));
+        TCQ_ASSIGN_OR_RETURN(int ri,
+                             node->right->out_schema.IndexOf(rname));
+        node->lkey.push_back(li);
+        node->rkey.push_back(ri);
+      }
+      node->out_schema =
+          node->left->out_schema.ConcatForJoin(node->right->out_schema);
+      node->total_points =
+          node->left->total_points * node->right->total_points;
+      return node;
+    }
+    case ExprKind::kIntersect: {
+      TCQ_ASSIGN_OR_RETURN(
+          node->left, BuildNode(expr->left, catalog, false, next_id));
+      TCQ_ASSIGN_OR_RETURN(
+          node->right, BuildNode(expr->right, catalog, false, next_id));
+      if (!node->left->out_schema.CompatibleWith(node->right->out_schema)) {
+        return Status::InvalidArgument("intersect operands incompatible");
+      }
+      // Empty key means "all columns" for the sort/merge helpers.
+      node->out_schema = node->left->out_schema;
+      node->total_points =
+          node->left->total_points * node->right->total_points;
+      return node;
+    }
+    case ExprKind::kUnion:
+    case ExprKind::kDifference:
+      return Status::InvalidArgument(
+          "staged evaluation requires Union/Difference-free terms; run "
+          "ExpandCount first");
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<std::unique_ptr<StagedTermEvaluator>> StagedTermEvaluator::Create(
+    ExprPtr term, const Catalog& catalog, Fulfillment fulfillment,
+    CostLedger* ledger, const CostModel& model) {
+  std::unique_ptr<StagedTermEvaluator> evaluator(
+      new StagedTermEvaluator(std::move(term), fulfillment, ledger, model));
+  int next_id = 0;
+  TCQ_ASSIGN_OR_RETURN(
+      evaluator->root_,
+      BuildNode(evaluator->term_, catalog, /*is_root=*/true, &next_id));
+  // The sampling plan assumes each operand relation is a distinct
+  // dimension of the point space; a relation scanned twice would require
+  // two independent sample streams from the same relation.
+  std::vector<std::string> scans;
+  CollectScans(evaluator->term_, &scans);
+  std::set<std::string> unique(scans.begin(), scans.end());
+  if (unique.size() != scans.size()) {
+    return Status::NotImplemented(
+        "a relation appears more than once in one term (self-join / "
+        "self-intersect); not supported by the sampled evaluator");
+  }
+  return evaluator;
+}
+
+Status StagedTermEvaluator::ExecuteStage(
+    const std::map<std::string, std::vector<const Block*>>& new_blocks) {
+  return ExecuteStageWithMode(new_blocks, fulfillment_);
+}
+
+Status StagedTermEvaluator::ExecuteStageWithMode(
+    const std::map<std::string, std::vector<const Block*>>& new_blocks,
+    Fulfillment mode) {
+  if (ran_partial_stage_ && mode == Fulfillment::kFull) {
+    return Status::InvalidArgument(
+        "a full-fulfillment stage cannot follow a partial one");
+  }
+  // Previous per-scan cumulative block counts, for coverage accounting.
+  std::vector<const StagedNode*> scan_nodes;
+  CollectScanNodes(root_.get(), &scan_nodes);
+  std::vector<int64_t> prev_cum;
+  for (const StagedNode* scan : scan_nodes) {
+    prev_cum.push_back(scan->cum_blocks);
+  }
+
+  TCQ_RETURN_NOT_OK(ExecuteNode(root_.get(), new_blocks, mode));
+
+  // Record per-scan new block counts and the space-block coverage gained
+  // by this stage: full fulfillment covers every combination of the
+  // cumulative samples; partial covers only the new×new combinations.
+  std::vector<int64_t> counts;
+  double prev_product = 1.0, cum_product = 1.0, new_product = 1.0;
+  for (size_t i = 0; i < scan_nodes.size(); ++i) {
+    auto it = new_blocks.find(scan_nodes[i]->rel->name());
+    int64_t added =
+        it == new_blocks.end() ? 0 : static_cast<int64_t>(it->second.size());
+    counts.push_back(added);
+    prev_product *= static_cast<double>(prev_cum[i]);
+    cum_product *= static_cast<double>(scan_nodes[i]->cum_blocks);
+    new_product *= static_cast<double>(added);
+  }
+  if (mode == Fulfillment::kFull) {
+    covered_space_blocks_ += cum_product - prev_product;
+  } else {
+    covered_space_blocks_ += new_product;
+    ran_partial_stage_ = true;
+  }
+  stage_scan_blocks_.push_back(std::move(counts));
+  if (value_col_ >= 0) {
+    for (const Tuple& t : root_->stage_out.back()) {
+      const Value& v = t[static_cast<size_t>(value_col_)];
+      double x = v.index() == 0
+                     ? static_cast<double>(std::get<int64_t>(v))
+                     : std::get<double>(v);
+      value_sum_ += x;
+      value_sq_sum_ += x * x;
+    }
+  }
+  ++num_stages_;
+  return Status::OK();
+}
+
+Status StagedTermEvaluator::TrackValueColumn(int index) {
+  if (root_->kind == ExprKind::kProject) {
+    return Status::NotImplemented(
+        "SUM/AVG over a projection (distinct groups) is not supported");
+  }
+  if (index < 0 || index >= root_->out_schema.num_columns()) {
+    return Status::InvalidArgument("aggregate column index out of range");
+  }
+  DataType type = root_->out_schema.column(index).type;
+  if (type == DataType::kString) {
+    return Status::InvalidArgument(
+        "aggregate column must be numeric, got string column '" +
+        root_->out_schema.column(index).name + "'");
+  }
+  value_col_ = index;
+  return Status::OK();
+}
+
+Status StagedTermEvaluator::ExecuteNode(
+    StagedNode* node,
+    const std::map<std::string, std::vector<const Block*>>& new_blocks,
+    Fulfillment mode) {
+  const size_t s = static_cast<size_t>(num_stages_);
+  NodeStageRecord rec;
+  // Recorded step times must match what the clock actually advanced by,
+  // including the stage's machine-speed noise factor — the adaptive cost
+  // formulas are fitted from these "measured" times, noise and all, just
+  // as the paper fit them from wall-clock measurements.
+  const double speed =
+      ledger_ != nullptr ? ledger_->current_stage_factor() : 1.0;
+  auto scale_record = [speed](NodeStageRecord* r) {
+    r->write.seconds *= speed;
+    r->sort.seconds *= speed;
+    r->process.seconds *= speed;
+    r->output.seconds *= speed;
+    r->seconds *= speed;
+  };
+  // Wall-clock mode helpers: steps are timed with real clock deltas; a
+  // combined process+output delta is split proportionally to the two
+  // steps' simulated charges (they interleave inside one operator call).
+  auto now = [this] {
+    return timing_clock_ != nullptr ? timing_clock_->Now() : 0.0;
+  };
+  auto split_delta = [](double delta, StepMetrics* process,
+                        StepMetrics* output) {
+    double total = process->seconds + output->seconds;
+    if (total > 0.0) {
+      process->seconds = delta * process->seconds / total;
+      output->seconds = delta - process->seconds;
+    } else {
+      process->seconds = delta;
+      output->seconds = 0.0;
+    }
+  };
+
+  switch (node->kind) {
+    case ExprKind::kScan: {
+      auto it = new_blocks.find(node->rel->name());
+      if (it == new_blocks.end()) {
+        return Status::InvalidArgument("no sample blocks for relation '" +
+                                       node->rel->name() + "'");
+      }
+      std::vector<Tuple> run;
+      for (const Block* b : it->second) {
+        run.insert(run.end(), b->tuples.begin(), b->tuples.end());
+      }
+      node->cum_blocks += static_cast<int64_t>(it->second.size());
+      rec.new_blocks = static_cast<int64_t>(it->second.size());
+      rec.new_points = static_cast<double>(run.size());
+      rec.new_tuples = static_cast<int64_t>(run.size());
+      node->cum_points += rec.new_points;
+      node->cum_tuples += rec.new_tuples;
+      node->stage_out.push_back(std::move(run));
+      node->stages.push_back(std::move(rec));
+      return Status::OK();
+    }
+
+    case ExprKind::kSelect: {
+      TCQ_RETURN_NOT_OK(ExecuteNode(node->left.get(), new_blocks, mode));
+      if (ledger_ != nullptr) {
+        ledger_->Charge(CostCategory::kOpSetup, model_.op_setup_s);
+      }
+      OpMetrics om;
+      double t0 = now();
+      std::vector<Tuple> run =
+          SelectTuples(node->left->stage_out[s], *node->predicate,
+                       node->out_schema, ledger_, model_, &om);
+      double t1 = now();
+      rec.process = om.process;
+      rec.output = om.output;
+      rec.new_points = node->left->stages[s].new_points;
+      rec.new_tuples = static_cast<int64_t>(run.size());
+      if (timing_clock_ != nullptr) {
+        split_delta(t1 - t0, &rec.process, &rec.output);
+        rec.seconds = t1 - t0;
+      } else {
+        rec.seconds = rec.process.seconds + rec.output.seconds +
+                      model_.op_setup_s;
+        scale_record(&rec);
+      }
+      node->cum_points += rec.new_points;
+      node->cum_tuples += rec.new_tuples;
+      node->stage_out.push_back(std::move(run));
+      node->stages.push_back(std::move(rec));
+      return Status::OK();
+    }
+
+    case ExprKind::kProject: {
+      TCQ_RETURN_NOT_OK(ExecuteNode(node->left.get(), new_blocks, mode));
+      if (ledger_ != nullptr) {
+        ledger_->Charge(CostCategory::kOpSetup, model_.op_setup_s);
+      }
+      // Step 1: project the new child run and write it to a temp file.
+      double t0 = now();
+      std::vector<Tuple> projected =
+          ProjectColumns(node->left->stage_out[s], node->proj_cols, ledger_,
+                         model_, &rec.write);
+      ChargeTempWrite(node->out_schema,
+                      static_cast<int64_t>(projected.size()), ledger_,
+                      model_, &rec.write);
+      double t1 = now();
+      // Step 2: sort the new run.
+      rec.sort_units = SortUnits(static_cast<double>(projected.size()));
+      SortRun(&projected, /*key=*/{}, ledger_, model_, &rec.sort);
+      double t2 = now();
+      // Step 3: merge with the previously sorted sample and re-derive the
+      // distinct groups with occupancies.
+      std::vector<Tuple> merged;
+      merged.reserve(node->cum_projected_sorted.size() + projected.size());
+      std::merge(node->cum_projected_sorted.begin(),
+                 node->cum_projected_sorted.end(), projected.begin(),
+                 projected.end(), std::back_inserter(merged),
+                 [](const Tuple& a, const Tuple& b) {
+                   return CompareTuples(a, b) < 0;
+                 });
+      if (ledger_ != nullptr) {
+        ledger_->ChargeN(CostCategory::kMergeCompare,
+                         static_cast<int64_t>(merged.size()),
+                         model_.merge_compare_s);
+      }
+      rec.process.seconds +=
+          model_.merge_compare_s * static_cast<double>(merged.size());
+      rec.process.comparisons += static_cast<int64_t>(merged.size());
+      node->cum_projected_sorted = std::move(merged);
+      OpMetrics dedup_metrics;
+      node->groups = DedupSorted(node->cum_projected_sorted,
+                                 node->out_schema, ledger_, model_,
+                                 &dedup_metrics);
+      rec.process.seconds += dedup_metrics.process.seconds;
+      rec.process.comparisons += dedup_metrics.process.comparisons;
+      rec.process.in_tuples += dedup_metrics.process.in_tuples;
+      rec.output = dedup_metrics.output;
+      int64_t prev_groups = node->cum_tuples;
+      node->cum_tuples = static_cast<int64_t>(node->groups.size());
+      rec.new_tuples = node->cum_tuples - prev_groups;
+      rec.new_points = node->left->stages[s].new_points;
+      if (timing_clock_ != nullptr) {
+        double t3 = now();
+        rec.write.seconds = t1 - t0;
+        rec.sort.seconds = t2 - t1;
+        split_delta(t3 - t2, &rec.process, &rec.output);
+        rec.seconds = t3 - t0;
+      } else {
+        rec.seconds = rec.write.seconds + rec.sort.seconds +
+                      rec.process.seconds + rec.output.seconds +
+                      model_.op_setup_s;
+        scale_record(&rec);
+      }
+      node->cum_points += rec.new_points;
+      node->stage_out.push_back({});  // projection is terminal
+      node->stages.push_back(std::move(rec));
+      return Status::OK();
+    }
+
+    case ExprKind::kJoin:
+    case ExprKind::kIntersect: {
+      const double prev_l = node->left->cum_points;
+      const double prev_r = node->right->cum_points;
+      TCQ_RETURN_NOT_OK(ExecuteNode(node->left.get(), new_blocks, mode));
+      TCQ_RETURN_NOT_OK(ExecuteNode(node->right.get(), new_blocks, mode));
+      if (ledger_ != nullptr) {
+        ledger_->Charge(CostCategory::kOpSetup, model_.op_setup_s);
+      }
+      const bool is_join = node->kind == ExprKind::kJoin;
+      // Steps 1–2 (Figures 4.4/4.6): write the new sample runs to temp
+      // files and sort them (previous runs stay sorted from earlier
+      // stages).
+      double t0 = now();
+      std::vector<Tuple> new_l = node->left->stage_out[s];
+      std::vector<Tuple> new_r = node->right->stage_out[s];
+      ChargeTempWrite(node->left->out_schema,
+                      static_cast<int64_t>(new_l.size()), ledger_, model_,
+                      &rec.write);
+      ChargeTempWrite(node->right->out_schema,
+                      static_cast<int64_t>(new_r.size()), ledger_, model_,
+                      &rec.write);
+      double t1 = now();
+      rec.sort_units = SortUnits(static_cast<double>(new_l.size())) +
+                       SortUnits(static_cast<double>(new_r.size()));
+      SortRun(&new_l, is_join ? node->lkey : std::vector<int>{}, ledger_,
+              model_, &rec.sort);
+      SortRun(&new_r, is_join ? node->rkey : std::vector<int>{}, ledger_,
+              model_, &rec.sort);
+      double t2 = now();
+      node->sorted_left.push_back(std::move(new_l));
+      node->sorted_right.push_back(std::move(new_r));
+
+      // Step 3: merge run pairs. Full fulfillment: every pair whose newest
+      // run is this stage (Figure 4.5). Partial: new×new only.
+      std::vector<Tuple> out;
+      OpMetrics om;
+      auto merge_pair = [&](size_t i, size_t j) {
+        std::vector<Tuple> part;
+        if (is_join) {
+          part = MergeJoin(node->sorted_left[i], node->lkey,
+                           node->left->out_schema, node->sorted_right[j],
+                           node->rkey, node->right->out_schema, ledger_,
+                           model_, &om);
+        } else {
+          part = MergeIntersect(node->sorted_left[i], node->sorted_right[j],
+                                node->out_schema, ledger_, model_, &om);
+        }
+        out.insert(out.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+      };
+      if (mode == Fulfillment::kFull) {
+        for (size_t j = 0; j <= s; ++j) merge_pair(s, j);
+        for (size_t i = 0; i < s; ++i) merge_pair(i, s);
+      } else {
+        merge_pair(s, s);
+      }
+
+      if (mode == Fulfillment::kFull) {
+        rec.new_points = node->left->cum_points * node->right->cum_points -
+                         prev_l * prev_r;
+      } else {
+        rec.new_points = node->left->stages[s].new_points *
+                         node->right->stages[s].new_points;
+      }
+      rec.process = om.process;
+      rec.output = om.output;
+      rec.new_tuples = static_cast<int64_t>(out.size());
+      if (timing_clock_ != nullptr) {
+        double t3 = now();
+        rec.write.seconds = t1 - t0;
+        rec.sort.seconds = t2 - t1;
+        split_delta(t3 - t2, &rec.process, &rec.output);
+        rec.seconds = t3 - t0;
+      } else {
+        rec.seconds = rec.write.seconds + rec.sort.seconds +
+                      rec.process.seconds + rec.output.seconds +
+                      model_.op_setup_s;
+        scale_record(&rec);
+      }
+      node->cum_points += rec.new_points;
+      node->cum_tuples += rec.new_tuples;
+      node->stage_out.push_back(std::move(out));
+      node->stages.push_back(std::move(rec));
+      return Status::OK();
+    }
+
+    case ExprKind::kUnion:
+    case ExprKind::kDifference:
+      return Status::Internal("set op in staged term");
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+void StagedTermEvaluator::CollectScanNodes(
+    const StagedNode* node, std::vector<const StagedNode*>* out) const {
+  if (node == nullptr) return;
+  if (node->kind == ExprKind::kScan) {
+    out->push_back(node);
+    return;
+  }
+  CollectScanNodes(node->left.get(), out);
+  CollectScanNodes(node->right.get(), out);
+}
+
+double StagedTermEvaluator::total_space_blocks() const {
+  std::vector<const StagedNode*> scans;
+  CollectScanNodes(root_.get(), &scans);
+  double b = 1.0;
+  for (const StagedNode* scan : scans) {
+    b *= static_cast<double>(scan->rel->NumBlocks());
+  }
+  return b;
+}
+
+double StagedTermEvaluator::cum_space_blocks() const {
+  return covered_space_blocks_;
+}
+
+std::vector<int64_t> StagedTermEvaluator::RootOccupancies() const {
+  std::vector<int64_t> out;
+  if (!root_is_project()) return out;
+  out.reserve(root_->groups.size());
+  for (const GroupCount& g : root_->groups) out.push_back(g.count);
+  return out;
+}
+
+std::vector<const StagedNode*> StagedTermEvaluator::NodesPreOrder() const {
+  std::vector<const StagedNode*> out;
+  // Pre-order matches the id assignment in BuildNode.
+  std::vector<const StagedNode*> stack{root_.get()};
+  while (!stack.empty()) {
+    const StagedNode* node = stack.back();
+    stack.pop_back();
+    out.push_back(node);
+    if (node->right != nullptr) stack.push_back(node->right.get());
+    if (node->left != nullptr) stack.push_back(node->left.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StagedNode* a, const StagedNode* b) {
+              return a->id < b->id;
+            });
+  return out;
+}
+
+}  // namespace tcq

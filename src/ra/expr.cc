@@ -1,0 +1,215 @@
+#include "ra/expr.h"
+
+namespace tcq {
+
+std::string_view ExprKindName(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kScan:
+      return "Scan";
+    case ExprKind::kSelect:
+      return "Select";
+    case ExprKind::kProject:
+      return "Project";
+    case ExprKind::kJoin:
+      return "Join";
+    case ExprKind::kIntersect:
+      return "Intersect";
+    case ExprKind::kUnion:
+      return "Union";
+    case ExprKind::kDifference:
+      return "Difference";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kScan:
+      return relation;
+    case ExprKind::kSelect:
+      return "Select[" + (predicate ? predicate->ToString() : "?") + "](" +
+             left->ToString() + ")";
+    case ExprKind::kProject: {
+      std::string cols;
+      for (size_t i = 0; i < columns.size(); ++i) {
+        if (i > 0) cols += ",";
+        cols += columns[i];
+      }
+      return "Project[" + cols + "](" + left->ToString() + ")";
+    }
+    case ExprKind::kJoin: {
+      std::string keys;
+      for (size_t i = 0; i < join_keys.size(); ++i) {
+        if (i > 0) keys += ",";
+        keys += join_keys[i].first + "=" + join_keys[i].second;
+      }
+      return "Join[" + keys + "](" + left->ToString() + ", " +
+             right->ToString() + ")";
+    }
+    case ExprKind::kIntersect:
+      return "(" + left->ToString() + " ∩ " + right->ToString() + ")";
+    case ExprKind::kUnion:
+      return "(" + left->ToString() + " ∪ " + right->ToString() + ")";
+    case ExprKind::kDifference:
+      return "(" + left->ToString() + " − " + right->ToString() + ")";
+  }
+  return "?";
+}
+
+ExprPtr Scan(std::string relation) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kScan;
+  e->relation = std::move(relation);
+  return e;
+}
+
+ExprPtr Select(ExprPtr child, PredicatePtr predicate) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kSelect;
+  e->left = std::move(child);
+  e->predicate = std::move(predicate);
+  return e;
+}
+
+ExprPtr Project(ExprPtr child, std::vector<std::string> columns) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kProject;
+  e->left = std::move(child);
+  e->columns = std::move(columns);
+  return e;
+}
+
+ExprPtr Join(ExprPtr left, ExprPtr right,
+             std::vector<std::pair<std::string, std::string>> join_keys) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kJoin;
+  e->left = std::move(left);
+  e->right = std::move(right);
+  e->join_keys = std::move(join_keys);
+  return e;
+}
+
+namespace {
+ExprPtr BinarySetOp(ExprKind kind, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+}  // namespace
+
+ExprPtr Intersect(ExprPtr left, ExprPtr right) {
+  return BinarySetOp(ExprKind::kIntersect, std::move(left), std::move(right));
+}
+ExprPtr Union(ExprPtr left, ExprPtr right) {
+  return BinarySetOp(ExprKind::kUnion, std::move(left), std::move(right));
+}
+ExprPtr Difference(ExprPtr left, ExprPtr right) {
+  return BinarySetOp(ExprKind::kDifference, std::move(left),
+                     std::move(right));
+}
+
+Result<Schema> InferSchema(const ExprPtr& expr, const Catalog& catalog) {
+  if (expr == nullptr) return Status::InvalidArgument("null expression");
+  switch (expr->kind) {
+    case ExprKind::kScan: {
+      TCQ_ASSIGN_OR_RETURN(RelationPtr rel, catalog.Find(expr->relation));
+      return rel->schema();
+    }
+    case ExprKind::kSelect: {
+      TCQ_ASSIGN_OR_RETURN(Schema child, InferSchema(expr->left, catalog));
+      // Binding validates column references and literal types.
+      TCQ_ASSIGN_OR_RETURN(BoundPredicate bound,
+                           BoundPredicate::Bind(expr->predicate, child));
+      (void)bound;
+      return child;
+    }
+    case ExprKind::kProject: {
+      TCQ_ASSIGN_OR_RETURN(Schema child, InferSchema(expr->left, catalog));
+      if (expr->columns.empty()) {
+        return Status::InvalidArgument("projection onto zero columns");
+      }
+      std::vector<int> indices;
+      for (const std::string& name : expr->columns) {
+        TCQ_ASSIGN_OR_RETURN(int idx, child.IndexOf(name));
+        indices.push_back(idx);
+      }
+      return child.SelectColumns(indices);
+    }
+    case ExprKind::kJoin: {
+      TCQ_ASSIGN_OR_RETURN(Schema l, InferSchema(expr->left, catalog));
+      TCQ_ASSIGN_OR_RETURN(Schema r, InferSchema(expr->right, catalog));
+      if (expr->join_keys.empty()) {
+        return Status::InvalidArgument("join requires at least one key");
+      }
+      for (const auto& [lname, rname] : expr->join_keys) {
+        TCQ_ASSIGN_OR_RETURN(int li, l.IndexOf(lname));
+        TCQ_ASSIGN_OR_RETURN(int ri, r.IndexOf(rname));
+        if (l.column(li).type != r.column(ri).type) {
+          return Status::InvalidArgument("join key type mismatch: '" + lname +
+                                         "' vs '" + rname + "'");
+        }
+      }
+      return l.ConcatForJoin(r);
+    }
+    case ExprKind::kIntersect:
+    case ExprKind::kUnion:
+    case ExprKind::kDifference: {
+      TCQ_ASSIGN_OR_RETURN(Schema l, InferSchema(expr->left, catalog));
+      TCQ_ASSIGN_OR_RETURN(Schema r, InferSchema(expr->right, catalog));
+      if (!l.CompatibleWith(r)) {
+        return Status::InvalidArgument(
+            std::string(ExprKindName(expr->kind)) +
+            " operands have incompatible schemas: " + l.ToString() + " vs " +
+            r.ToString());
+      }
+      return l;
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+void CollectScans(const ExprPtr& expr, std::vector<std::string>* names) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kScan) {
+    names->push_back(expr->relation);
+    return;
+  }
+  CollectScans(expr->left, names);
+  CollectScans(expr->right, names);
+}
+
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case ExprKind::kScan:
+      return a->relation == b->relation;
+    case ExprKind::kSelect:
+      return PredicateEquals(a->predicate, b->predicate) &&
+             ExprEquals(a->left, b->left);
+    case ExprKind::kProject:
+      return a->columns == b->columns && ExprEquals(a->left, b->left);
+    case ExprKind::kJoin:
+      return a->join_keys == b->join_keys && ExprEquals(a->left, b->left) &&
+             ExprEquals(a->right, b->right);
+    case ExprKind::kIntersect:
+    case ExprKind::kUnion:
+    case ExprKind::kDifference:
+      return ExprEquals(a->left, b->left) && ExprEquals(a->right, b->right);
+  }
+  return false;
+}
+
+bool ContainsSetDifferenceOrUnion(const ExprPtr& expr) {
+  if (expr == nullptr) return false;
+  if (expr->kind == ExprKind::kUnion || expr->kind == ExprKind::kDifference) {
+    return true;
+  }
+  return ContainsSetDifferenceOrUnion(expr->left) ||
+         ContainsSetDifferenceOrUnion(expr->right);
+}
+
+}  // namespace tcq

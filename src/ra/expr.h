@@ -1,0 +1,79 @@
+#ifndef TCQ_RA_EXPR_H_
+#define TCQ_RA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ra/predicate.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tcq {
+
+/// Relational-algebra operator kinds. The paper's estimator executes only
+/// Select/Project/Join/Intersect directly; Union and Difference are
+/// rewritten away by inclusion–exclusion (see inclusion_exclusion.h).
+enum class ExprKind {
+  kScan,
+  kSelect,
+  kProject,
+  kJoin,
+  kIntersect,
+  kUnion,
+  kDifference,
+};
+
+std::string_view ExprKindName(ExprKind kind);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable RA expression tree node. Construct via the factory functions
+/// below; fields that do not apply to a node's kind are left empty.
+struct Expr {
+  ExprKind kind = ExprKind::kScan;
+
+  std::string relation;              // kScan: base relation name
+  PredicatePtr predicate;            // kSelect
+  std::vector<std::string> columns;  // kProject: kept column names
+  // kJoin: pairs of (left column name, right column name) equated.
+  std::vector<std::pair<std::string, std::string>> join_keys;
+
+  ExprPtr left;   // unary ops use `left` as the single child
+  ExprPtr right;  // binary ops
+
+  std::string ToString() const;
+};
+
+ExprPtr Scan(std::string relation);
+ExprPtr Select(ExprPtr child, PredicatePtr predicate);
+ExprPtr Project(ExprPtr child, std::vector<std::string> columns);
+ExprPtr Join(ExprPtr left, ExprPtr right,
+             std::vector<std::pair<std::string, std::string>> join_keys);
+ExprPtr Intersect(ExprPtr left, ExprPtr right);
+ExprPtr Union(ExprPtr left, ExprPtr right);
+ExprPtr Difference(ExprPtr left, ExprPtr right);
+
+/// Computes the output schema of `expr` against `catalog`, validating
+/// column references, predicate types, join-key types, and set-operation
+/// compatibility along the way.
+Result<Schema> InferSchema(const ExprPtr& expr, const Catalog& catalog);
+
+/// Appends the names of base relations scanned by `expr`, left-to-right,
+/// one entry per Scan node (duplicates preserved).
+void CollectScans(const ExprPtr& expr, std::vector<std::string>* names);
+
+/// Structural equality of expression trees (used to merge identical
+/// inclusion–exclusion terms).
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b);
+
+/// True if the tree contains any Union or Difference node.
+bool ContainsSetDifferenceOrUnion(const ExprPtr& expr);
+
+}  // namespace tcq
+
+#endif  // TCQ_RA_EXPR_H_

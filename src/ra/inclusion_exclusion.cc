@@ -1,0 +1,286 @@
+#include "ra/inclusion_exclusion.h"
+
+#include <algorithm>
+
+namespace tcq {
+
+namespace {
+
+bool IsSetOp(const ExprPtr& e) {
+  return e->kind == ExprKind::kUnion || e->kind == ExprKind::kDifference;
+}
+
+/// Rebuilds a unary node over a new child.
+ExprPtr RebuildUnary(const ExprPtr& node, ExprPtr child) {
+  if (node->kind == ExprKind::kSelect) {
+    return Select(std::move(child), node->predicate);
+  }
+  return Project(std::move(child), node->columns);
+}
+
+/// Rebuilds a binary (join/intersect) node over new children.
+ExprPtr RebuildBinary(const ExprPtr& node, ExprPtr l, ExprPtr r) {
+  if (node->kind == ExprKind::kJoin) {
+    return Join(std::move(l), std::move(r), node->join_keys);
+  }
+  return Intersect(std::move(l), std::move(r));
+}
+
+/// Distributes a unary operator over a normalized (set-ops-at-top) child.
+Result<ExprPtr> DistributeUnary(const ExprPtr& node, const ExprPtr& child) {
+  if (!IsSetOp(child)) return RebuildUnary(node, child);
+  if (node->kind == ExprKind::kProject &&
+      child->kind == ExprKind::kDifference) {
+    return Status::NotImplemented(
+        "projection over set difference does not distribute; cannot expand "
+        "by inclusion-exclusion: " +
+        node->ToString());
+  }
+  TCQ_ASSIGN_OR_RETURN(ExprPtr l, DistributeUnary(node, child->left));
+  TCQ_ASSIGN_OR_RETURN(ExprPtr r, DistributeUnary(node, child->right));
+  if (child->kind == ExprKind::kUnion) return Union(std::move(l), std::move(r));
+  return Difference(std::move(l), std::move(r));
+}
+
+/// Distributes a binary operator (join/intersect) over normalized children.
+/// Identities (set semantics):
+///   (A ∪ B) op C = (A op C) ∪ (B op C)
+///   (A − B) op C = (A op C) − (B op C)
+/// and symmetrically on the right.
+Result<ExprPtr> DistributeBinary(const ExprPtr& node, const ExprPtr& l,
+                                 const ExprPtr& r) {
+  if (IsSetOp(l)) {
+    TCQ_ASSIGN_OR_RETURN(ExprPtr a, DistributeBinary(node, l->left, r));
+    TCQ_ASSIGN_OR_RETURN(ExprPtr b, DistributeBinary(node, l->right, r));
+    if (l->kind == ExprKind::kUnion) return Union(std::move(a), std::move(b));
+    return Difference(std::move(a), std::move(b));
+  }
+  if (IsSetOp(r)) {
+    TCQ_ASSIGN_OR_RETURN(ExprPtr a, DistributeBinary(node, l, r->left));
+    TCQ_ASSIGN_OR_RETURN(ExprPtr b, DistributeBinary(node, l, r->right));
+    if (r->kind == ExprKind::kUnion) return Union(std::move(a), std::move(b));
+    return Difference(std::move(a), std::move(b));
+  }
+  return RebuildBinary(node, l, r);
+}
+
+/// Expands one normalized tree into signed Union/Difference-free terms.
+///
+///   terms(A ∪ B) = terms(A) + terms(B) − terms(norm(A ∩ B))
+///   terms(A − B) = terms(A) − terms(norm(A ∩ B))
+///
+/// where norm(A ∩ B) re-distributes the new Intersect over any set ops
+/// remaining in A or B. Terminates because each recursive call sees
+/// strictly fewer Union/Difference nodes.
+Status ExpandNormalized(const ExprPtr& expr, int sign,
+                        std::vector<SignedTerm>* out) {
+  if (!IsSetOp(expr)) {
+    out->push_back(SignedTerm{sign, expr});
+    return Status::OK();
+  }
+  const ExprPtr& a = expr->left;
+  const ExprPtr& b = expr->right;
+  TCQ_RETURN_NOT_OK(ExpandNormalized(a, sign, out));
+  if (expr->kind == ExprKind::kUnion) {
+    TCQ_RETURN_NOT_OK(ExpandNormalized(b, sign, out));
+  }
+  // Both Union and Difference subtract COUNT(A ∩ B).
+  auto intersect_node = Intersect(a, b);
+  TCQ_ASSIGN_OR_RETURN(ExprPtr normalized,
+                       DistributeBinary(intersect_node, a, b));
+  return ExpandNormalized(normalized, -sign, out);
+}
+
+/// Canonicalizes intersections bottom-up: flattens Intersect spines,
+/// removes duplicate operands (A ∩ A = A), and orders operands by their
+/// printed form so that semantically equal intersections compare equal
+/// structurally. This keeps inclusion–exclusion terms like
+/// (r1 ∩ r3) ∩ (r2 ∩ r3) in the minimal form r1 ∩ r2 ∩ r3.
+ExprPtr CanonicalizeIntersects(const ExprPtr& expr) {
+  if (expr == nullptr || expr->kind == ExprKind::kScan) return expr;
+  // Recurse into children first.
+  ExprPtr left = expr->left ? CanonicalizeIntersects(expr->left) : nullptr;
+  ExprPtr right = expr->right ? CanonicalizeIntersects(expr->right) : nullptr;
+  ExprPtr rebuilt;
+  switch (expr->kind) {
+    case ExprKind::kSelect:
+      rebuilt = Select(left, expr->predicate);
+      break;
+    case ExprKind::kProject:
+      rebuilt = Project(left, expr->columns);
+      break;
+    case ExprKind::kJoin:
+      rebuilt = Join(left, right, expr->join_keys);
+      break;
+    case ExprKind::kIntersect:
+      rebuilt = Intersect(left, right);
+      break;
+    case ExprKind::kUnion:
+      rebuilt = Union(left, right);
+      break;
+    case ExprKind::kDifference:
+      rebuilt = Difference(left, right);
+      break;
+    case ExprKind::kScan:
+      return expr;  // unreachable
+  }
+  if (rebuilt->kind != ExprKind::kIntersect) return rebuilt;
+
+  // Flatten the intersect spine while hoisting selections out of the
+  // operands: σp(X) ∩ Y = σp(X ∩ Y), because intersection keeps only
+  // tuples present on both sides, so a predicate on either side
+  // constrains the result identically. Peeling a Select can expose a
+  // nested Intersect (and vice versa), so both are processed from one
+  // worklist. This collapses inclusion–exclusion cross terms like
+  // σp(A∩B) ∩ σp(A∩C) toward a single point space per relation.
+  std::vector<ExprPtr> operands;
+  std::vector<PredicatePtr> predicates;
+  std::vector<ExprPtr> work{rebuilt};
+  while (!work.empty()) {
+    ExprPtr op = work.back();
+    work.pop_back();
+    if (op->kind == ExprKind::kIntersect) {
+      work.push_back(op->left);
+      work.push_back(op->right);
+      continue;
+    }
+    if (op->kind == ExprKind::kSelect) {
+      bool duplicate = false;
+      for (const PredicatePtr& p : predicates) {
+        if (PredicateEquals(p, op->predicate)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) predicates.push_back(op->predicate);
+      work.push_back(op->left);
+      continue;
+    }
+    operands.push_back(std::move(op));
+  }
+
+  // Factor joins with a structurally identical side and the same keys:
+  //   (L ⋈ R1) ∩ (L ⋈ R2) = L ⋈ (R1 ∩ R2)
+  //   (L1 ⋈ R) ∩ (L2 ⋈ R) = (L1 ∩ L2) ⋈ R
+  // (valid because the intersect of concatenated tuples forces both
+  // halves equal). Repeat until no pair factors.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < operands.size() && !changed; ++i) {
+      for (size_t j = i + 1; j < operands.size() && !changed; ++j) {
+        const ExprPtr& a = operands[i];
+        const ExprPtr& b = operands[j];
+        if (a->kind != ExprKind::kJoin || b->kind != ExprKind::kJoin ||
+            a->join_keys != b->join_keys) {
+          continue;
+        }
+        ExprPtr merged;
+        if (ExprEquals(a->left, b->left)) {
+          merged = Join(a->left,
+                        CanonicalizeIntersects(Intersect(a->right, b->right)),
+                        a->join_keys);
+        } else if (ExprEquals(a->right, b->right)) {
+          merged = Join(CanonicalizeIntersects(Intersect(a->left, b->left)),
+                        a->right, a->join_keys);
+        } else {
+          continue;
+        }
+        operands[i] = std::move(merged);
+        operands.erase(operands.begin() + static_cast<ptrdiff_t>(j));
+        changed = true;
+      }
+    }
+  }
+
+  // Dedup by structural equality.
+  std::vector<ExprPtr> unique;
+  for (const ExprPtr& op : operands) {
+    bool seen = false;
+    for (const ExprPtr& u : unique) {
+      if (ExprEquals(u, op)) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) unique.push_back(op);
+  }
+  // Canonical order for commutativity.
+  std::sort(unique.begin(), unique.end(),
+            [](const ExprPtr& a, const ExprPtr& b) {
+              return a->ToString() < b->ToString();
+            });
+  ExprPtr acc = unique[0];
+  for (size_t i = 1; i < unique.size(); ++i) {
+    acc = Intersect(acc, unique[i]);
+  }
+  // Re-apply the hoisted selections (canonical order) above the spine.
+  std::sort(predicates.begin(), predicates.end(),
+            [](const PredicatePtr& a, const PredicatePtr& b) {
+              return a->ToString() < b->ToString();
+            });
+  for (const PredicatePtr& p : predicates) {
+    acc = Select(acc, p);
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<ExprPtr> PullUpSetOps(const ExprPtr& expr) {
+  if (expr == nullptr) return Status::InvalidArgument("null expression");
+  switch (expr->kind) {
+    case ExprKind::kScan:
+      return expr;
+    case ExprKind::kSelect:
+    case ExprKind::kProject: {
+      TCQ_ASSIGN_OR_RETURN(ExprPtr child, PullUpSetOps(expr->left));
+      return DistributeUnary(expr, child);
+    }
+    case ExprKind::kJoin:
+    case ExprKind::kIntersect: {
+      TCQ_ASSIGN_OR_RETURN(ExprPtr l, PullUpSetOps(expr->left));
+      TCQ_ASSIGN_OR_RETURN(ExprPtr r, PullUpSetOps(expr->right));
+      return DistributeBinary(expr, l, r);
+    }
+    case ExprKind::kUnion:
+    case ExprKind::kDifference: {
+      TCQ_ASSIGN_OR_RETURN(ExprPtr l, PullUpSetOps(expr->left));
+      TCQ_ASSIGN_OR_RETURN(ExprPtr r, PullUpSetOps(expr->right));
+      if (expr->kind == ExprKind::kUnion) {
+        return Union(std::move(l), std::move(r));
+      }
+      return Difference(std::move(l), std::move(r));
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<std::vector<SignedTerm>> ExpandCount(const ExprPtr& expr) {
+  TCQ_ASSIGN_OR_RETURN(ExprPtr normalized, PullUpSetOps(expr));
+  std::vector<SignedTerm> raw;
+  TCQ_RETURN_NOT_OK(ExpandNormalized(normalized, 1, &raw));
+  // Canonicalize intersections, then merge structurally identical terms.
+  for (SignedTerm& term : raw) {
+    term.expr = CanonicalizeIntersects(term.expr);
+  }
+  std::vector<SignedTerm> merged;
+  for (SignedTerm& term : raw) {
+    bool found = false;
+    for (SignedTerm& existing : merged) {
+      if (ExprEquals(existing.expr, term.expr)) {
+        existing.sign += term.sign;
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.push_back(std::move(term));
+  }
+  std::vector<SignedTerm> out;
+  for (SignedTerm& term : merged) {
+    if (term.sign != 0) out.push_back(std::move(term));
+  }
+  return out;
+}
+
+}  // namespace tcq

@@ -1,0 +1,41 @@
+#ifndef TCQ_RA_INCLUSION_EXCLUSION_H_
+#define TCQ_RA_INCLUSION_EXCLUSION_H_
+
+#include <vector>
+
+#include "ra/expr.h"
+#include "util/result.h"
+
+namespace tcq {
+
+/// One term of the inclusion–exclusion expansion of COUNT(E):
+/// `sign * COUNT(expr)` where `expr` contains only
+/// Scan/Select/Project/Join/Intersect.
+struct SignedTerm {
+  int sign = 1;  // +1 or -1 before merging; any integer after merging
+  ExprPtr expr;
+};
+
+/// Rewrites `COUNT(expr)` into a signed sum of COUNTs of Union/Difference-
+/// free expressions, per the paper's use of the Principle of Inclusion and
+/// Exclusion (§2, §4.2):
+///
+///   COUNT(A ∪ B) = COUNT(A) + COUNT(B) − COUNT(A ∩ B)
+///   COUNT(A − B) = COUNT(A) − COUNT(A ∩ B)
+///
+/// Union/Difference nodes below Select/Join/Intersect/Project are first
+/// pulled to the top using distributivity (valid under set semantics). One
+/// exception: projection does *not* distribute over Difference
+/// (π(A−B) ≠ π(A) − π(B)), so such inputs return NotImplemented.
+///
+/// Structurally identical terms are merged (signs summed) and zero-sign
+/// terms dropped, so the returned signs may have magnitude > 1.
+Result<std::vector<SignedTerm>> ExpandCount(const ExprPtr& expr);
+
+/// Pulls all Union/Difference nodes above Select/Join/Intersect/Project.
+/// Exposed for testing; `ExpandCount` calls it internally.
+Result<ExprPtr> PullUpSetOps(const ExprPtr& expr);
+
+}  // namespace tcq
+
+#endif  // TCQ_RA_INCLUSION_EXCLUSION_H_

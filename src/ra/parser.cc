@@ -1,0 +1,377 @@
+#include "ra/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace tcq {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,    // relation / column names, keywords
+  kInteger,
+  kFloat,
+  kString,   // 'quoted'
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kOp,       // = != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      size_t start = pos_;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ++pos_;
+        }
+        tokens.push_back({TokenKind::kIdent,
+                          std::string(text_.substr(start, pos_ - start)),
+                          start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && pos_ + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        ++pos_;
+        bool is_float = false;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.')) {
+          if (text_[pos_] == '.') is_float = true;
+          ++pos_;
+        }
+        tokens.push_back({is_float ? TokenKind::kFloat
+                                   : TokenKind::kInteger,
+                          std::string(text_.substr(start, pos_ - start)),
+                          start});
+        continue;
+      }
+      switch (c) {
+        case '\'': {
+          ++pos_;
+          std::string value;
+          while (pos_ < text_.size() && text_[pos_] != '\'') {
+            value += text_[pos_++];
+          }
+          if (pos_ >= text_.size()) {
+            return Status::InvalidArgument(
+                "unterminated string literal at offset " +
+                std::to_string(start));
+          }
+          ++pos_;  // closing quote
+          tokens.push_back({TokenKind::kString, value, start});
+          continue;
+        }
+        case '(':
+          tokens.push_back({TokenKind::kLParen, "(", start});
+          ++pos_;
+          continue;
+        case ')':
+          tokens.push_back({TokenKind::kRParen, ")", start});
+          ++pos_;
+          continue;
+        case '[':
+          tokens.push_back({TokenKind::kLBracket, "[", start});
+          ++pos_;
+          continue;
+        case ']':
+          tokens.push_back({TokenKind::kRBracket, "]", start});
+          ++pos_;
+          continue;
+        case ',':
+          tokens.push_back({TokenKind::kComma, ",", start});
+          ++pos_;
+          continue;
+        case '=':
+          tokens.push_back({TokenKind::kOp, "=", start});
+          ++pos_;
+          continue;
+        case '!':
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+            tokens.push_back({TokenKind::kOp, "!=", start});
+            pos_ += 2;
+            continue;
+          }
+          return Status::InvalidArgument("stray '!' at offset " +
+                                         std::to_string(start));
+        case '<':
+        case '>': {
+          std::string op(1, c);
+          ++pos_;
+          if (pos_ < text_.size() && text_[pos_] == '=') {
+            op += '=';
+            ++pos_;
+          }
+          tokens.push_back({TokenKind::kOp, op, start});
+          continue;
+        }
+        default:
+          return Status::InvalidArgument(
+              std::string("unexpected character '") + c + "' at offset " +
+              std::to_string(start));
+      }
+    }
+    tokens.push_back({TokenKind::kEnd, "", text_.size()});
+    return tokens;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+std::string ToUpper(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool IsKeyword(const Token& t, const char* keyword) {
+  return t.kind == TokenKind::kIdent && ToUpper(t.text) == keyword;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> Parse() {
+    TCQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!AtEnd()) {
+      return Status::InvalidArgument("trailing input after query at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return Status::InvalidArgument(std::string("expected ") + what +
+                                     " at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<ExprPtr> ParseExpr() {
+    TCQ_ASSIGN_OR_RETURN(ExprPtr left, ParseTerm());
+    while (IsKeyword(Peek(), "UNION") || IsKeyword(Peek(), "INTERSECT") ||
+           IsKeyword(Peek(), "MINUS")) {
+      std::string op = ToUpper(Advance().text);
+      TCQ_ASSIGN_OR_RETURN(ExprPtr right, ParseTerm());
+      if (op == "UNION") {
+        left = Union(std::move(left), std::move(right));
+      } else if (op == "INTERSECT") {
+        left = Intersect(std::move(left), std::move(right));
+      } else {
+        left = Difference(std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kLParen) {
+      Advance();
+      TCQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      TCQ_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return e;
+    }
+    if (IsKeyword(t, "SELECT")) {
+      Advance();
+      TCQ_RETURN_NOT_OK(Expect(TokenKind::kLBracket, "'['"));
+      TCQ_ASSIGN_OR_RETURN(PredicatePtr pred, ParsePredicate());
+      TCQ_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "']'"));
+      TCQ_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+      TCQ_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+      TCQ_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return Select(std::move(child), std::move(pred));
+    }
+    if (IsKeyword(t, "PROJECT")) {
+      Advance();
+      TCQ_RETURN_NOT_OK(Expect(TokenKind::kLBracket, "'['"));
+      std::vector<std::string> columns;
+      do {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Status::InvalidArgument("expected column name at offset " +
+                                         std::to_string(Peek().offset));
+        }
+        columns.push_back(Advance().text);
+      } while (Peek().kind == TokenKind::kComma && (Advance(), true));
+      TCQ_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "']'"));
+      TCQ_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+      TCQ_ASSIGN_OR_RETURN(ExprPtr child, ParseExpr());
+      TCQ_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return Project(std::move(child), std::move(columns));
+    }
+    if (IsKeyword(t, "JOIN")) {
+      Advance();
+      TCQ_RETURN_NOT_OK(Expect(TokenKind::kLBracket, "'['"));
+      std::vector<std::pair<std::string, std::string>> keys;
+      do {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Status::InvalidArgument(
+              "expected join column name at offset " +
+              std::to_string(Peek().offset));
+        }
+        std::string lhs = Advance().text;
+        if (Peek().kind != TokenKind::kOp || Peek().text != "=") {
+          return Status::InvalidArgument("expected '=' at offset " +
+                                         std::to_string(Peek().offset));
+        }
+        Advance();
+        if (Peek().kind != TokenKind::kIdent) {
+          return Status::InvalidArgument(
+              "expected join column name at offset " +
+              std::to_string(Peek().offset));
+        }
+        keys.emplace_back(std::move(lhs), Advance().text);
+      } while (Peek().kind == TokenKind::kComma && (Advance(), true));
+      TCQ_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "']'"));
+      TCQ_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+      TCQ_ASSIGN_OR_RETURN(ExprPtr left, ParseExpr());
+      TCQ_RETURN_NOT_OK(Expect(TokenKind::kComma, "','"));
+      TCQ_ASSIGN_OR_RETURN(ExprPtr right, ParseExpr());
+      TCQ_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return Join(std::move(left), std::move(right), std::move(keys));
+    }
+    if (t.kind == TokenKind::kIdent) {
+      return Scan(Advance().text);
+    }
+    return Status::InvalidArgument("expected a query term at offset " +
+                                   std::to_string(t.offset));
+  }
+
+  Result<PredicatePtr> ParsePredicate() {
+    TCQ_ASSIGN_OR_RETURN(PredicatePtr left, ParseDisjunct());
+    while (IsKeyword(Peek(), "OR")) {
+      Advance();
+      TCQ_ASSIGN_OR_RETURN(PredicatePtr right, ParseDisjunct());
+      left = Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<PredicatePtr> ParseDisjunct() {
+    TCQ_ASSIGN_OR_RETURN(PredicatePtr left, ParseConjunct());
+    while (IsKeyword(Peek(), "AND")) {
+      Advance();
+      TCQ_ASSIGN_OR_RETURN(PredicatePtr right, ParseConjunct());
+      left = And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<PredicatePtr> ParseConjunct() {
+    if (IsKeyword(Peek(), "NOT")) {
+      Advance();
+      TCQ_ASSIGN_OR_RETURN(PredicatePtr inner, ParseConjunct());
+      return Not(std::move(inner));
+    }
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      TCQ_ASSIGN_OR_RETURN(PredicatePtr inner, ParsePredicate());
+      TCQ_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return inner;
+    }
+    // comparison: ident op rhs
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected column name at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    std::string column = Advance().text;
+    if (Peek().kind != TokenKind::kOp) {
+      return Status::InvalidArgument(
+          "expected comparison operator at offset " +
+          std::to_string(Peek().offset));
+    }
+    std::string op_text = Advance().text;
+    CompareOp op;
+    if (op_text == "=") {
+      op = CompareOp::kEq;
+    } else if (op_text == "!=") {
+      op = CompareOp::kNe;
+    } else if (op_text == "<") {
+      op = CompareOp::kLt;
+    } else if (op_text == "<=") {
+      op = CompareOp::kLe;
+    } else if (op_text == ">") {
+      op = CompareOp::kGt;
+    } else if (op_text == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Status::InvalidArgument("unknown operator '" + op_text + "'");
+    }
+    const Token& rhs = Peek();
+    switch (rhs.kind) {
+      case TokenKind::kInteger: {
+        Advance();
+        return CmpLiteral(std::move(column), op,
+                          static_cast<int64_t>(std::atoll(rhs.text.c_str())));
+      }
+      case TokenKind::kFloat: {
+        Advance();
+        return CmpLiteral(std::move(column), op,
+                          std::atof(rhs.text.c_str()));
+      }
+      case TokenKind::kString: {
+        Advance();
+        return CmpLiteral(std::move(column), op, rhs.text);
+      }
+      case TokenKind::kIdent: {
+        Advance();
+        return CmpColumns(std::move(column), op, rhs.text);
+      }
+      default:
+        return Status::InvalidArgument(
+            "expected a literal or column after operator at offset " +
+            std::to_string(rhs.offset));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseQuery(std::string_view text) {
+  Lexer lexer(text);
+  TCQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace tcq

@@ -1,0 +1,42 @@
+#ifndef TCQ_RA_PARSER_H_
+#define TCQ_RA_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "ra/expr.h"
+#include "util/result.h"
+
+namespace tcq {
+
+/// Parses the textual relational-algebra query language of the prototype
+/// (the paper's ERAM system "uses relational algebra expressions as its
+/// query language"). Grammar (case-insensitive keywords):
+///
+///   expr       := term (("UNION" | "INTERSECT" | "MINUS") term)*
+///   term       := "SELECT"  "[" predicate "]" "(" expr ")"
+///               | "PROJECT" "[" ident ("," ident)* "]" "(" expr ")"
+///               | "JOIN" "[" ident "=" ident ("," ident "=" ident)* "]"
+///                        "(" expr "," expr ")"
+///               | "(" expr ")"
+///               | ident                          -- base-relation scan
+///   predicate  := disjunct ("OR" disjunct)*
+///   disjunct   := conjunct ("AND" conjunct)*
+///   conjunct   := "NOT" conjunct | "(" predicate ")" | comparison
+///   comparison := ident op (integer | float | 'string' | ident)
+///   op         := "=" | "!=" | "<" | "<=" | ">" | ">="
+///
+/// Set operators associate left. A right-hand identifier in a comparison
+/// names a column (column-to-column comparison); quoted text and numbers
+/// are literals (a number with a '.' is a double, otherwise int64).
+///
+/// Examples:
+///   SELECT[key < 2000](r1)
+///   JOIN[key = key](r1, r2)
+///   PROJECT[region](SELECT[amount >= 100 AND region != 'EU'](orders))
+///   (r1 UNION r2) MINUS r3
+Result<ExprPtr> ParseQuery(std::string_view text);
+
+}  // namespace tcq
+
+#endif  // TCQ_RA_PARSER_H_

@@ -1,0 +1,28 @@
+#include "sampling/block_sampler.h"
+
+#include <algorithm>
+
+namespace tcq {
+
+BlockSampler::BlockSampler(RelationPtr rel) : rel_(std::move(rel)) {
+  remaining_.reserve(static_cast<size_t>(rel_->NumBlocks()));
+  for (int64_t i = 0; i < rel_->NumBlocks(); ++i) {
+    remaining_.push_back(static_cast<uint32_t>(i));
+  }
+}
+
+std::vector<const Block*> BlockSampler::Draw(int64_t count, Rng* rng) {
+  int64_t k = std::min<int64_t>(count, remaining_blocks());
+  std::vector<const Block*> out;
+  out.reserve(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    size_t j = remaining_.size() - 1 -
+               static_cast<size_t>(rng->Uniform(remaining_.size()));
+    std::swap(remaining_[j], remaining_.back());
+    out.push_back(&rel_->block(remaining_.back()));
+    remaining_.pop_back();
+  }
+  return out;
+}
+
+}  // namespace tcq

@@ -1,0 +1,41 @@
+#ifndef TCQ_SAMPLING_BLOCK_SAMPLER_H_
+#define TCQ_SAMPLING_BLOCK_SAMPLER_H_
+
+#include <vector>
+
+#include "storage/relation.h"
+#include "util/random.h"
+
+namespace tcq {
+
+/// Without-replacement stream of disk blocks from one relation — the
+/// cluster-sampling primitive of the paper (§2): a disk block is the
+/// sample unit, and blocks already drawn in earlier stages are never
+/// drawn again. One sampler per relation is shared by all query terms
+/// that scan it.
+class BlockSampler {
+ public:
+  explicit BlockSampler(RelationPtr rel);
+
+  const RelationPtr& relation() const { return rel_; }
+  int64_t total_blocks() const { return rel_->NumBlocks(); }
+  int64_t remaining_blocks() const {
+    return static_cast<int64_t>(remaining_.size());
+  }
+  int64_t drawn_blocks() const {
+    return total_blocks() - remaining_blocks();
+  }
+
+  /// Draws up to `count` random blocks without replacement (fewer when
+  /// the relation is nearly exhausted). Pointers stay valid for the
+  /// relation's lifetime.
+  std::vector<const Block*> Draw(int64_t count, Rng* rng);
+
+ private:
+  RelationPtr rel_;
+  std::vector<uint32_t> remaining_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_SAMPLING_BLOCK_SAMPLER_H_

@@ -1,0 +1,73 @@
+#ifndef TCQ_SIM_CLOCK_H_
+#define TCQ_SIM_CLOCK_H_
+
+#include <chrono>
+
+namespace tcq {
+
+/// Source of the "clock time" the paper's algorithm reads (Figure 3.1
+/// START_TIME / CURRENT_TIME). All times are in seconds.
+///
+/// Two implementations:
+///  - `VirtualClock` advances only when simulated work is charged to it
+///    (deterministic, used by the experiment harness);
+///  - `WallClock` reads the machine's monotonic clock (for running the
+///    engine against real elapsed time).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double Now() const = 0;
+};
+
+/// Deterministic simulated clock. Starts at 0.
+class VirtualClock : public Clock {
+ public:
+  double Now() const override { return now_; }
+
+  /// Advances simulated time; `seconds` must be >= 0.
+  void Advance(double seconds) { now_ += seconds; }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// Monotonic wall clock; Now() is seconds since construction.
+class WallClock : public Clock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+  double Now() const override {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// A time budget anchored at a start instant (the paper's quota `T`).
+class Deadline {
+ public:
+  Deadline(double start, double quota) : start_(start), quota_(quota) {}
+
+  static Deadline StartingNow(const Clock& clock, double quota) {
+    return Deadline(clock.Now(), quota);
+  }
+
+  double start() const { return start_; }
+  double quota() const { return quota_; }
+  double Elapsed(const Clock& clock) const { return clock.Now() - start_; }
+  /// Remaining quota; negative once overspent.
+  double Remaining(const Clock& clock) const {
+    return quota_ - Elapsed(clock);
+  }
+  bool Expired(const Clock& clock) const { return Remaining(clock) <= 0.0; }
+
+ private:
+  double start_;
+  double quota_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_SIM_CLOCK_H_

@@ -1,0 +1,47 @@
+#include "sim/ledger.h"
+
+#include <cstdio>
+
+namespace tcq {
+
+std::string_view CostCategoryName(CostCategory category) {
+  switch (category) {
+    case CostCategory::kBlockRead:
+      return "block_read";
+    case CostCategory::kBlockWrite:
+      return "block_write";
+    case CostCategory::kPredicate:
+      return "predicate";
+    case CostCategory::kSortCompare:
+      return "sort_compare";
+    case CostCategory::kMergeCompare:
+      return "merge_compare";
+    case CostCategory::kTupleMove:
+      return "tuple_move";
+    case CostCategory::kStageOverhead:
+      return "stage_overhead";
+    case CostCategory::kOpSetup:
+      return "op_setup";
+    case CostCategory::kNumCategories:
+      break;
+  }
+  return "unknown";
+}
+
+std::string CostLedger::Report() const {
+  std::string out;
+  char line[128];
+  for (size_t i = 0; i < kN; ++i) {
+    auto cat = static_cast<CostCategory>(i);
+    std::snprintf(line, sizeof(line), "%-16s %12.6f s  (%lld ops)\n",
+                  std::string(CostCategoryName(cat)).c_str(), totals_[i],
+                  static_cast<long long>(counts_[i]));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-16s %12.6f s\n", "total",
+                GrandTotal());
+  out += line;
+  return out;
+}
+
+}  // namespace tcq

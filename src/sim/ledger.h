@@ -1,0 +1,132 @@
+#ifndef TCQ_SIM_LEDGER_H_
+#define TCQ_SIM_LEDGER_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/clock.h"
+#include "util/random.h"
+
+namespace tcq {
+
+/// What a unit of simulated work was spent on. Used both for accounting
+/// (per-category totals) and, in simulation mode, to advance the
+/// `VirtualClock`.
+enum class CostCategory {
+  kBlockRead = 0,
+  kBlockWrite,
+  kPredicate,
+  kSortCompare,
+  kMergeCompare,
+  kTupleMove,
+  kStageOverhead,
+  kOpSetup,
+  kNumCategories,  // sentinel
+};
+
+std::string_view CostCategoryName(CostCategory category);
+
+/// Receives cost charges from the storage/execution layer.
+///
+/// In simulation mode the ledger is constructed with a `VirtualClock`,
+/// which it advances by each charged amount — simulated time *is* the sum
+/// of charges. In wall-clock mode pass `nullptr`: real work takes real
+/// time, and the ledger only keeps the per-category accounting.
+class CostLedger {
+ public:
+  /// `clock` may be null (wall-clock mode); not owned, must outlive this.
+  explicit CostLedger(VirtualClock* clock = nullptr) : clock_(clock) {}
+
+  /// Enables the timing-noise model (see CostModel): every subsequent
+  /// charge is scaled by the current stage-speed factor, and block reads
+  /// additionally by an independent uniform 1±jitter draw. `rng` is not
+  /// owned and must outlive the ledger.
+  void AttachNoise(Rng* rng, double stage_speed_cv,
+                   double block_read_jitter) {
+    noise_rng_ = rng;
+    stage_speed_cv_ = stage_speed_cv;
+    block_read_jitter_ = block_read_jitter;
+    BeginStage();
+  }
+
+  /// Draws a fresh machine-speed factor for the next stage.
+  void BeginStage() {
+    if (noise_rng_ != nullptr && stage_speed_cv_ > 0.0) {
+      stage_factor_ = std::exp(stage_speed_cv_ * noise_rng_->Gaussian());
+    } else {
+      stage_factor_ = 1.0;
+    }
+  }
+
+  void Charge(CostCategory category, double seconds) {
+    double charged = seconds * FactorFor(category);
+    totals_[static_cast<size_t>(category)] += charged;
+    counts_[static_cast<size_t>(category)] += 1;
+    if (clock_ != nullptr) clock_->Advance(charged);
+  }
+
+  /// Charges `count` occurrences of a per-unit cost in one call. Block
+  /// reads draw per-unit jitter; other categories share the stage factor.
+  void ChargeN(CostCategory category, int64_t count, double unit_seconds) {
+    if (count <= 0) return;
+    if (category == CostCategory::kBlockRead && noise_rng_ != nullptr &&
+        block_read_jitter_ > 0.0) {
+      for (int64_t i = 0; i < count; ++i) Charge(category, unit_seconds);
+      return;
+    }
+    double charged =
+        unit_seconds * static_cast<double>(count) * stage_factor_;
+    totals_[static_cast<size_t>(category)] += charged;
+    counts_[static_cast<size_t>(category)] += count;
+    if (clock_ != nullptr) clock_->Advance(charged);
+  }
+
+  /// The machine-speed factor applied to the current stage's charges
+  /// (1.0 when noise is disabled). Exposed so execution layers can report
+  /// realized step times consistent with the clock.
+  double current_stage_factor() const { return stage_factor_; }
+
+  double Total(CostCategory category) const {
+    return totals_[static_cast<size_t>(category)];
+  }
+  int64_t Count(CostCategory category) const {
+    return counts_[static_cast<size_t>(category)];
+  }
+  double GrandTotal() const {
+    double acc = 0.0;
+    for (double t : totals_) acc += t;
+    return acc;
+  }
+
+  /// Multi-line per-category report (for logs and examples).
+  std::string Report() const;
+
+ private:
+  static constexpr size_t kN =
+      static_cast<size_t>(CostCategory::kNumCategories);
+
+  double FactorFor(CostCategory category) {
+    double factor = stage_factor_;
+    if (category == CostCategory::kBlockRead && noise_rng_ != nullptr &&
+        block_read_jitter_ > 0.0) {
+      factor *= 1.0 + block_read_jitter_ *
+                          (2.0 * noise_rng_->UniformDouble() - 1.0);
+    }
+    return factor;
+  }
+
+  VirtualClock* clock_;
+  Rng* noise_rng_ = nullptr;
+  double stage_speed_cv_ = 0.0;
+  double block_read_jitter_ = 0.0;
+  double stage_factor_ = 1.0;
+  std::array<double, kN> totals_{};
+  std::array<int64_t, kN> counts_{};
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_SIM_LEDGER_H_

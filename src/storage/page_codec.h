@@ -1,0 +1,56 @@
+#ifndef TCQ_STORAGE_PAGE_CODEC_H_
+#define TCQ_STORAGE_PAGE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/schema.h"
+#include "util/result.h"
+
+namespace tcq {
+
+/// Fixed-width byte encoding of tuples and disk pages — the on-disk
+/// representation behind the simulator's block geometry. Every column
+/// occupies exactly its schema byte width: int64 and double are 8 bytes
+/// little-endian; strings are zero-padded to their declared width
+/// (embedded or trailing NULs are therefore not representable).
+
+/// Appends the encoded tuple (schema.TupleBytes() bytes) to `out`.
+/// The tuple must validate against the schema.
+Status EncodeTuple(const Tuple& tuple, const Schema& schema,
+                   std::vector<uint8_t>* out);
+
+/// Decodes one tuple from `bytes` (which must hold at least
+/// schema.TupleBytes() bytes at `offset`).
+Result<Tuple> DecodeTuple(const std::vector<uint8_t>& bytes, size_t offset,
+                          const Schema& schema);
+
+/// Encodes a block's tuples into exactly `block_bytes` bytes (unused tail
+/// zero-padded). Fails if the tuples exceed the block capacity.
+Result<std::vector<uint8_t>> EncodePage(const Block& block,
+                                        const Schema& schema,
+                                        int block_bytes);
+
+/// Decodes `count` tuples from a page buffer.
+Result<Block> DecodePage(const std::vector<uint8_t>& page, int count,
+                         const Schema& schema);
+
+/// Serializes a whole relation to a single file (magic "TCQF", version,
+/// name, schema, geometry, per-page tuple counts, then the raw pages).
+Status SaveRelation(const Relation& relation, const std::string& path);
+
+/// Loads a relation previously written by SaveRelation.
+Result<Relation> LoadRelation(const std::string& path);
+
+/// Saves every relation of the catalog into `directory` (one
+/// "<name>.tcq" file each; the directory must exist).
+Status SaveCatalog(const Catalog& catalog, const std::string& directory);
+
+/// Loads every "*.tcq" file in `directory` into a fresh catalog.
+Result<Catalog> LoadCatalog(const std::string& directory);
+
+}  // namespace tcq
+
+#endif  // TCQ_STORAGE_PAGE_CODEC_H_

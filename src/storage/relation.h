@@ -1,0 +1,94 @@
+#ifndef TCQ_STORAGE_RELATION_H_
+#define TCQ_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tcq {
+
+/// Default disk block (page) size — the paper uses 1 KiB blocks.
+inline constexpr int kDefaultBlockBytes = 1024;
+
+/// A disk block: up to `blocking factor` tuples stored together. The block
+/// is the cluster-sampling unit (paper §2): drawing a block retrieves all
+/// of its tuples at the cost of one random read.
+struct Block {
+  std::vector<Tuple> tuples;
+};
+
+/// A stored relation: a schema plus a sequence of disk blocks.
+///
+/// The in-memory representation holds decoded tuples, but block geometry
+/// (block size, blocking factor, block count) matches the declared byte
+/// widths exactly, because the sampling plan, the estimators (space blocks)
+/// and the cost formulas are all expressed in blocks.
+class Relation {
+ public:
+  /// Creates an empty relation. `block_bytes` must be at least one tuple.
+  static Result<Relation> Create(std::string name, Schema schema,
+                                 int block_bytes = kDefaultBlockBytes);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  int block_bytes() const { return block_bytes_; }
+  /// Tuples per block.
+  int blocking_factor() const { return blocking_factor_; }
+
+  int64_t NumTuples() const { return num_tuples_; }
+  int64_t NumBlocks() const { return static_cast<int64_t>(blocks_.size()); }
+
+  /// Appends a tuple (validated against the schema), packing blocks to the
+  /// blocking factor.
+  Status Append(Tuple tuple);
+
+  /// Unchecked append for bulk loading by trusted generators.
+  void AppendUnchecked(Tuple tuple);
+
+  const Block& block(int64_t i) const {
+    return blocks_[static_cast<size_t>(i)];
+  }
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+ private:
+  Relation(std::string name, Schema schema, int block_bytes,
+           int blocking_factor)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        block_bytes_(block_bytes),
+        blocking_factor_(blocking_factor) {}
+
+  std::string name_;
+  Schema schema_;
+  int block_bytes_;
+  int blocking_factor_;
+  int64_t num_tuples_ = 0;
+  std::vector<Block> blocks_;
+};
+
+using RelationPtr = std::shared_ptr<const Relation>;
+
+/// Named registry of base relations available to queries.
+class Catalog {
+ public:
+  /// Registers a relation under its own name; AlreadyExists on duplicates.
+  Status Register(RelationPtr relation);
+
+  /// Looks a relation up by name.
+  Result<RelationPtr> Find(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<RelationPtr> relations_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_STORAGE_RELATION_H_

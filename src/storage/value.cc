@@ -1,0 +1,83 @@
+#include "storage/value.h"
+
+#include <cassert>
+
+namespace tcq {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+DataType ValueType(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return DataType::kInt64;
+    case 1:
+      return DataType::kDouble;
+    default:
+      return DataType::kString;
+  }
+}
+
+namespace {
+template <typename T>
+int Compare3(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+}  // namespace
+
+int CompareValues(const Value& a, const Value& b) {
+  assert(a.index() == b.index());
+  switch (a.index()) {
+    case 0:
+      return Compare3(std::get<int64_t>(a), std::get<int64_t>(b));
+    case 1:
+      return Compare3(std::get<double>(a), std::get<double>(b));
+    default:
+      return Compare3(std::get<std::string>(a), std::get<std::string>(b));
+  }
+}
+
+std::string ValueToString(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return std::to_string(std::get<int64_t>(v));
+    case 1:
+      return std::to_string(std::get<double>(v));
+    default:
+      return std::get<std::string>(v);
+  }
+}
+
+int CompareTuplesOnKey(const Tuple& a, const Tuple& b,
+                       const std::vector<int>& key) {
+  for (int idx : key) {
+    assert(idx >= 0 && static_cast<size_t>(idx) < a.size() &&
+           static_cast<size_t>(idx) < b.size());
+    int c = CompareValues(a[static_cast<size_t>(idx)],
+                          b[static_cast<size_t>(idx)]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+int CompareTuples(const Tuple& a, const Tuple& b) {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    int c = CompareValues(a[i], b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+}  // namespace tcq

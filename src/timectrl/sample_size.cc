@@ -1,0 +1,51 @@
+#include "timectrl/sample_size.h"
+
+#include <cmath>
+
+namespace tcq {
+
+Result<SampleSizeResult> SampleSizeDetermine(const QCostFn& qcost,
+                                             double time_left,
+                                             double epsilon, double f_max,
+                                             double f_min_step) {
+  SampleSizeResult best;
+  if (f_max <= 0.0 || time_left <= 0.0) return best;
+
+  // If everything remaining fits, take it all.
+  TCQ_ASSIGN_OR_RETURN(double cost_max, qcost(f_max));
+  if (cost_max <= time_left) {
+    best.fraction = f_max;
+    best.predicted_seconds = cost_max;
+    return best;
+  }
+  // If even one block's worth does not fit, give up (the paper observed
+  // exactly this for Join/Intersect at large d_β: the remaining time
+  // cannot fund another full-fulfillment stage).
+  double f_smallest = std::min(f_min_step, f_max);
+  TCQ_ASSIGN_OR_RETURN(double cost_min, qcost(f_smallest));
+  if (cost_min > time_left) return best;
+
+  best.fraction = f_smallest;
+  best.predicted_seconds = cost_min;
+  double low = f_smallest;
+  double high = f_max;
+  double f = (low + high) / 2.0;
+  for (int iter = 0; iter < 64; ++iter) {
+    TCQ_ASSIGN_OR_RETURN(double cost, qcost(f));
+    if (cost <= time_left) {
+      if (f > best.fraction) {
+        best.fraction = f;
+        best.predicted_seconds = cost;
+      }
+      if (time_left - cost <= epsilon) break;
+      low = f;
+    } else {
+      high = f;
+    }
+    if (high - low <= f_min_step / 2.0) break;
+    f = (low + high) / 2.0;
+  }
+  return best;
+}
+
+}  // namespace tcq

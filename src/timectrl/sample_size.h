@@ -1,0 +1,39 @@
+#ifndef TCQ_TIMECTRL_SAMPLE_SIZE_H_
+#define TCQ_TIMECTRL_SAMPLE_SIZE_H_
+
+#include <functional>
+
+#include "util/result.h"
+
+namespace tcq {
+
+/// Predicted stage cost as a function of the candidate sample fraction.
+using QCostFn = std::function<Result<double>(double f)>;
+
+/// Outcome of Sample-Size-Determine.
+struct SampleSizeResult {
+  /// Chosen fraction; 0 means even the smallest possible stage does not
+  /// fit in the remaining time (terminate the query).
+  double fraction = 0.0;
+  /// Predicted cost at `fraction`.
+  double predicted_seconds = 0.0;
+};
+
+/// Sample-Size-Determine (Figure 3.4): finds the largest sample fraction
+/// whose predicted stage cost approximates `time_left`, by bisection on
+/// [0, f_max]:
+///   while |μ_ti − Ti| > ε:  μ < Ti ? low = f : high = f;  f = (low+high)/2
+///
+/// `f_min_step` is the fraction equivalent of one disk block — the cost
+/// function is a step function of f, so the loop also terminates once the
+/// bracket is narrower than a block, returning the largest *feasible*
+/// fraction seen (cost ≤ time_left). Returns fraction 0 when qcost(f_min_step)
+/// already exceeds the budget.
+Result<SampleSizeResult> SampleSizeDetermine(const QCostFn& qcost,
+                                             double time_left,
+                                             double epsilon, double f_max,
+                                             double f_min_step);
+
+}  // namespace tcq
+
+#endif  // TCQ_TIMECTRL_SAMPLE_SIZE_H_

@@ -1,0 +1,155 @@
+#include "timectrl/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cost/adaptive_model.h"
+#include "util/stats.h"
+
+namespace tcq {
+
+namespace {
+
+double InitialSelectivity(const StagedNode& node,
+                          const SelectivityOptions& options) {
+  switch (node.kind) {
+    case ExprKind::kSelect:
+      return options.initial_select;
+    case ExprKind::kProject:
+      return options.initial_project;
+    case ExprKind::kJoin:
+      return options.initial_join;
+    case ExprKind::kIntersect: {
+      // Figure 3.3: sel = 1 / maximum(|r1|, |r2|).
+      double max_side = std::max(node.left->total_points,
+                                 node.right->total_points);
+      if (max_side <= 0.0) return 1.0;
+      return std::min(1.0, options.initial_intersect_scale / max_side);
+    }
+    default:
+      return 1.0;
+  }
+}
+
+struct PointsWalk {
+  double new_points = 0.0;
+  double cum_before = 0.0;
+};
+
+PointsWalk WalkPoints(const StagedNode& node, double f,
+                      Fulfillment fulfillment,
+                      std::map<int, NodePoints>* out) {
+  PointsWalk p;
+  switch (node.kind) {
+    case ExprKind::kScan: {
+      int64_t total = node.rel->NumBlocks();
+      int64_t d_new = std::min<int64_t>(BlocksForFraction(f, total),
+                                        total - node.cum_blocks);
+      p.new_points =
+          static_cast<double>(d_new * node.rel->blocking_factor());
+      p.cum_before = node.cum_points;
+      break;
+    }
+    case ExprKind::kSelect:
+    case ExprKind::kProject: {
+      p = WalkPoints(*node.left, f, fulfillment, out);
+      break;
+    }
+    case ExprKind::kJoin:
+    case ExprKind::kIntersect: {
+      PointsWalk l = WalkPoints(*node.left, f, fulfillment, out);
+      PointsWalk r = WalkPoints(*node.right, f, fulfillment, out);
+      if (fulfillment == Fulfillment::kFull) {
+        p.new_points = (l.cum_before + l.new_points) *
+                           (r.cum_before + r.new_points) -
+                       l.cum_before * r.cum_before;
+      } else {
+        p.new_points = l.new_points * r.new_points;
+      }
+      p.cum_before = node.cum_points;
+      break;
+    }
+    case ExprKind::kUnion:
+    case ExprKind::kDifference:
+      break;  // never present in staged terms
+  }
+  if (node.kind != ExprKind::kScan) {
+    NodePoints np;
+    np.new_points = p.new_points;
+    np.remaining_points = std::max(0.0, node.total_points - node.cum_points);
+    (*out)[node.id] = np;
+  }
+  return p;
+}
+
+}  // namespace
+
+std::map<int, double> ReviseSelectivities(const StagedTermEvaluator& term,
+                                          const SelectivityOptions& options) {
+  std::map<int, double> out;
+  for (const StagedNode* node : term.NodesPreOrder()) {
+    if (node->kind == ExprKind::kScan) continue;
+    if (options.freeze_initial || term.num_stages() == 0 ||
+        node->cum_points <= 0.0) {
+      out[node->id] = InitialSelectivity(*node, options);
+      continue;
+    }
+    if (node->cum_tuples == 0) {
+      // §3.4: all sampled points were 0 — a zero selectivity (with zero
+      // estimated variance) would freeze sel⁺ at 0 and guarantee
+      // overspending once an output tuple finally appears. Use the closed
+      // upper confidence bound instead.
+      int64_t m = static_cast<int64_t>(node->cum_points);
+      if (m < 1) m = 1;
+      out[node->id] = ZeroHitUpperBound(m, options.zero_hit_beta);
+      continue;
+    }
+    out[node->id] =
+        static_cast<double>(node->cum_tuples) / node->cum_points;
+  }
+  return out;
+}
+
+std::map<int, NodePoints> PredictNodePoints(const StagedTermEvaluator& term,
+                                            double f) {
+  return PredictNodePoints(term, f, term.fulfillment());
+}
+
+std::map<int, NodePoints> PredictNodePoints(const StagedTermEvaluator& term,
+                                            double f, Fulfillment mode) {
+  std::map<int, NodePoints> out;
+  WalkPoints(term.root(), f, mode, &out);
+  return out;
+}
+
+std::map<int, double> ComputeSelPlus(const StagedTermEvaluator& term,
+                                     const std::map<int, double>& sel_prev,
+                                     double f, double d_beta) {
+  return ComputeSelPlus(term, sel_prev, f, d_beta, term.fulfillment());
+}
+
+std::map<int, double> ComputeSelPlus(const StagedTermEvaluator& term,
+                                     const std::map<int, double>& sel_prev,
+                                     double f, double d_beta,
+                                     Fulfillment mode) {
+  std::map<int, NodePoints> points = PredictNodePoints(term, f, mode);
+  std::map<int, double> out;
+  // At stage 1 no samples exist, so there is no variation to estimate
+  // Var(sel) from (Figure 3.5 uses "the variation among previously
+  // sampled units"); the assumed initial selectivity is used as is.
+  const bool can_inflate = term.num_stages() > 0;
+  for (const auto& [id, sel] : sel_prev) {
+    double inflated = sel;
+    auto it = points.find(id);
+    if (can_inflate && d_beta > 0.0 && it != points.end()) {
+      double m = it->second.new_points;
+      double remaining = it->second.remaining_points;
+      double var = SrsProportionVariance(sel, remaining, m);
+      inflated = sel + d_beta * std::sqrt(var);
+    }
+    out[id] = std::clamp(inflated, 0.0, 1.0);
+  }
+  return out;
+}
+
+}  // namespace tcq

@@ -1,0 +1,71 @@
+#ifndef TCQ_TIMECTRL_SELECTIVITY_H_
+#define TCQ_TIMECTRL_SELECTIVITY_H_
+
+#include <map>
+
+#include "exec/staged.h"
+
+namespace tcq {
+
+/// Stage-1 defaults and knobs for the run-time selectivity estimation
+/// (paper Figure 3.3 + §3.4).
+struct SelectivityOptions {
+  /// First-stage selectivity assumed for Select/Project/Join: the paper's
+  /// reference algorithm uses the maximum (1); §5's join experiment
+  /// overrides it to 0.1.
+  double initial_select = 1.0;
+  double initial_project = 1.0;
+  double initial_join = 1.0;
+  /// Intersect's first-stage default is 1/max(|r1|, |r2|) (Figure 3.3);
+  /// this scales it (1.0 = paper behaviour).
+  double initial_intersect_scale = 1.0;
+  /// Confidence parameter of the zero-selectivity fix: after a stage with
+  /// zero output tuples, use the (1−beta) upper confidence bound
+  /// 1 − beta^(1/m) instead of 0 (§3.4; see DESIGN.md substitutions).
+  double zero_hit_beta = 0.05;
+  /// Prestored-selectivity mode (§3.1's alternative the paper rejects for
+  /// generality): the initial selectivities are used at *every* stage and
+  /// never revised from samples. For ablations: set the initial values to
+  /// the true selectivities to simulate a perfectly maintained statistics
+  /// store, or to wrong ones to show what staleness costs.
+  bool freeze_initial = false;
+};
+
+/// Revise-Selectivities (Figure 3.3): returns sel^(i-1) for every non-scan
+/// operator node id of `term`, from the cumulative samples of stages
+/// 1..i−1, with the stage-1 defaults above and the zero-hit fix applied.
+std::map<int, double> ReviseSelectivities(const StagedTermEvaluator& term,
+                                          const SelectivityOptions& options);
+
+/// Per-node point-space deltas for a candidate fraction `f` of the next
+/// stage: `new_points` the stage would cover and `remaining_points` not
+/// yet covered (Figure 3.5's m_i and N_i). Purely structural — does not
+/// depend on selectivities.
+struct NodePoints {
+  double new_points = 0.0;
+  double remaining_points = 0.0;
+};
+std::map<int, NodePoints> PredictNodePoints(const StagedTermEvaluator& term,
+                                            double f);
+/// Same, for an explicit fulfillment mode of the candidate stage (hybrid
+/// planning).
+std::map<int, NodePoints> PredictNodePoints(const StagedTermEvaluator& term,
+                                            double f, Fulfillment mode);
+
+/// ComputeSel⁺ (Figure 3.5): inflates each operator's selectivity so that
+/// P(sel⁺ ≥ realized stage selectivity) ≈ 1 − β, using the simple-random-
+/// sampling variance approximation:
+///   sel⁺ = sel^(i-1) + d_β · sqrt( sel(1−sel)(N_i−m_i) / (m_i(N_i−1)) )
+/// clamped to [0, 1]. `sel_prev` comes from ReviseSelectivities; m_i/N_i
+/// from PredictNodePoints at the candidate fraction `f`.
+std::map<int, double> ComputeSelPlus(const StagedTermEvaluator& term,
+                                     const std::map<int, double>& sel_prev,
+                                     double f, double d_beta);
+std::map<int, double> ComputeSelPlus(const StagedTermEvaluator& term,
+                                     const std::map<int, double>& sel_prev,
+                                     double f, double d_beta,
+                                     Fulfillment mode);
+
+}  // namespace tcq
+
+#endif  // TCQ_TIMECTRL_SELECTIVITY_H_

@@ -1,0 +1,74 @@
+#ifndef TCQ_TIMECTRL_STOPPING_H_
+#define TCQ_TIMECTRL_STOPPING_H_
+
+#include <cmath>
+#include <cstdlib>
+
+#include "estimator/count_estimator.h"
+
+namespace tcq {
+
+/// Deadline semantics (paper §3.2).
+enum class DeadlineMode {
+  /// The stage running when the quota expires is aborted and its time
+  /// wasted; the estimate from the last *completed* stage is returned.
+  /// (The paper's implementation choice for real-time databases.)
+  kHard,
+  /// The last stage is allowed to finish past the quota (the
+  /// while-loop-check semantics of Figure 3.1 as printed).
+  kSoft,
+};
+
+/// Precision-based stopping (the second criterion type in §3.2): stop
+/// early when the estimate is good enough, even with time left.
+struct PrecisionStop {
+  /// Stop when the CI half-width falls below `rel_halfwidth` × estimate
+  /// (0 disables).
+  double rel_halfwidth = 0.0;
+  /// Stop when the CI half-width falls below this absolute count
+  /// (0 disables).
+  double abs_halfwidth = 0.0;
+  /// Confidence level of the interval.
+  double confidence = 0.95;
+  /// Stop when the estimate changed by less than `min_improvement`
+  /// (relative) over the previous stage (0 disables) — the paper's
+  /// "does not improve much over the last few stages".
+  double min_improvement = 0.0;
+
+  bool enabled() const {
+    return rel_halfwidth > 0.0 || abs_halfwidth > 0.0 ||
+           min_improvement > 0.0;
+  }
+};
+
+/// True when the current estimate satisfies the precision criteria.
+/// `previous_value` is the estimate after the previous stage (NaN when
+/// there is none).
+inline bool ShouldStopForPrecision(const PrecisionStop& options,
+                                   const CountEstimate& estimate,
+                                   double previous_value) {
+  if (!options.enabled()) return false;
+  ConfidenceInterval ci =
+      NormalConfidenceInterval(estimate, options.confidence);
+  if (options.abs_halfwidth > 0.0 &&
+      ci.HalfWidth() <= options.abs_halfwidth) {
+    return true;
+  }
+  if (options.rel_halfwidth > 0.0 && estimate.value > 0.0 &&
+      ci.HalfWidth() <= options.rel_halfwidth * estimate.value) {
+    return true;
+  }
+  if (options.min_improvement > 0.0 && !std::isnan(previous_value)) {
+    double denom = std::abs(previous_value) > 1.0 ? std::abs(previous_value)
+                                                  : 1.0;
+    if (std::abs(estimate.value - previous_value) / denom <
+        options.min_improvement) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace tcq
+
+#endif  // TCQ_TIMECTRL_STOPPING_H_

@@ -1,0 +1,61 @@
+#ifndef TCQ_UTIL_RANDOM_H_
+#define TCQ_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tcq {
+
+/// Deterministic pseudo-random generator (xoshiro256**), seeded via
+/// SplitMix64 so that any 64-bit seed yields a well-mixed state.
+///
+/// All randomness in the library flows through explicitly passed `Rng`
+/// instances; there is no global generator, so every experiment is exactly
+/// reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling (Lemire's method) to avoid modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Normal(0,1) variate (Box-Muller, one value per call).
+  double Gaussian();
+
+  /// Draws `k` distinct values from {0, 1, ..., n-1} without replacement
+  /// (partial Fisher-Yates). Requires k <= n. Order of the result is random.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  /// Randomly permutes `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// experiment repetition its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_UTIL_RANDOM_H_

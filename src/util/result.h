@@ -1,0 +1,75 @@
+#ifndef TCQ_UTIL_RESULT_H_
+#define TCQ_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace tcq {
+
+/// A value of type `T` or a non-OK `Status`, in the style of
+/// `arrow::Result` / `absl::StatusOr`.
+///
+/// Use `TCQ_ASSIGN_OR_RETURN(lhs, expr)` to unwrap inside functions that
+/// themselves return Status/Result.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, to allow `return value;`).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, to allow
+  /// `return Status::...;`). Passing an OK status is a programming error.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns the status: OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  /// Accessors; must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace tcq
+
+#define TCQ_CONCAT_IMPL_(x, y) x##y
+#define TCQ_CONCAT_(x, y) TCQ_CONCAT_IMPL_(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// assigns the unwrapped value to `lhs` (which may include a declaration).
+#define TCQ_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  TCQ_ASSIGN_OR_RETURN_IMPL_(TCQ_CONCAT_(_tcq_result_, __LINE__), lhs, rexpr)
+
+#define TCQ_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#endif  // TCQ_UTIL_RESULT_H_

@@ -1,0 +1,61 @@
+#ifndef TCQ_UTIL_STATS_H_
+#define TCQ_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tcq {
+
+/// Streaming mean / variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (divides by n-1); 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Standard normal cumulative distribution function.
+double NormalCdf(double x);
+
+/// Standard normal quantile function (inverse CDF), Acklam's rational
+/// approximation (|error| < 1.2e-9). Requires 0 < p < 1.
+double NormalQuantile(double p);
+
+/// Variance of the sample proportion under simple random sampling *without*
+/// replacement: `S(1-S)(N-m) / (m(N-1))` for true proportion `S`, population
+/// size `N` and sample size `m` (paper §3.3, from [Coch 77]).
+///
+/// Returns 0 when m == 0, N <= 1, or m >= N (the sample is the population).
+double SrsProportionVariance(double proportion, double population,
+                             double sample);
+
+/// Upper confidence bound for a proportion after observing *zero* hits in
+/// `m` independent draws: the largest `s` with `(1-s)^m >= beta`, i.e.
+/// `1 - beta^(1/m)`. This is the closed combinatorial zero-selectivity fix
+/// of paper §3.4 (see DESIGN.md substitutions). Requires m >= 1 and
+/// 0 < beta < 1.
+double ZeroHitUpperBound(int64_t m, double beta);
+
+/// Sample covariance of two equal-length series (divides by n-1); 0 when
+/// fewer than two observations.
+double SampleCovariance(const std::vector<double>& xs,
+                        const std::vector<double>& ys);
+
+}  // namespace tcq
+
+#endif  // TCQ_UTIL_STATS_H_

@@ -1,0 +1,89 @@
+#ifndef TCQ_UTIL_STATUS_H_
+#define TCQ_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tcq {
+
+/// Error category carried by a `Status`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kDeadlineExceeded,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g., "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Operation outcome: an (error code, message) pair, or OK.
+///
+/// This library does not use C++ exceptions. Every fallible operation
+/// returns a `Status` (or a `Result<T>`, see result.h) which the caller must
+/// consult. The OK state carries no message and is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace tcq
+
+/// Propagates a non-OK Status to the caller.
+#define TCQ_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::tcq::Status _tcq_status = (expr);        \
+    if (!_tcq_status.ok()) return _tcq_status; \
+  } while (false)
+
+#endif  // TCQ_UTIL_STATUS_H_

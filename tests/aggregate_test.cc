@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/executor.h"
+#include "estimator/sum_estimator.h"
+#include "exec/exact.h"
+#include "workload/generators.h"
+
+namespace tcq {
+namespace {
+
+ExecutorOptions Opts(double d_beta = 24.0) {
+  ExecutorOptions options;
+  options.strategy.one_at_a_time.d_beta = d_beta;
+  return options;
+}
+
+TEST(SumEstimatorTest, FullCoverageExact) {
+  // All 10 space blocks covered, value sum 55 over 100 points of 100.
+  auto e = ClusterSumEstimate(10.0, 10.0, 55.0, 385.0, 100.0, 100.0);
+  EXPECT_DOUBLE_EQ(e.value, 55.0);
+  EXPECT_DOUBLE_EQ(e.variance, 0.0);
+}
+
+TEST(SumEstimatorTest, ScalesByCoverage) {
+  // Half the space blocks covered: estimate doubles the observed sum.
+  auto e = ClusterSumEstimate(10.0, 5.0, 30.0, 200.0, 50.0, 100.0);
+  EXPECT_DOUBLE_EQ(e.value, 60.0);
+  EXPECT_GT(e.variance, 0.0);
+}
+
+TEST(SumEstimatorTest, EmptySampleSafe) {
+  auto e = ClusterSumEstimate(10.0, 0.0, 0.0, 0.0, 0.0, 100.0);
+  EXPECT_DOUBLE_EQ(e.value, 0.0);
+  EXPECT_DOUBLE_EQ(e.variance, 0.0);
+}
+
+TEST(ExactAggregateTest, SumAndAvgOfSelection) {
+  auto w = MakeSelectionWorkload(2000, 9);
+  ASSERT_TRUE(w.ok());
+  // keys are a permutation of 0..9999; qualifying keys are 0..1999.
+  auto sum = ExactSum(w->query, "key", w->catalog);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(*sum, 1999.0 * 2000.0 / 2.0);
+  auto avg = ExactAvg(w->query, "key", w->catalog);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(*avg, 1999.0 / 2.0);
+}
+
+TEST(ExactAggregateTest, RejectsStringColumnAndEmptyAvg) {
+  auto w = MakeSelectionWorkload(2000, 9);
+  ASSERT_TRUE(w.ok());
+  EXPECT_FALSE(ExactSum(w->query, "payload", w->catalog).ok());
+  EXPECT_FALSE(ExactSum(w->query, "nope", w->catalog).ok());
+  auto empty = MakeSelectionWorkload(0, 9);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(ExactAvg(empty->query, "key", empty->catalog).ok());
+}
+
+TEST(AggregateQueryTest, SumFullCoverageExact) {
+  auto w = MakeSelectionWorkload(2000, 10);
+  ASSERT_TRUE(w.ok());
+  auto r = RunTimeConstrainedAggregate(w->query, AggregateSpec::Sum("key"),
+                                       100000.0, w->catalog, Opts());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->estimate, 1999.0 * 2000.0 / 2.0);
+}
+
+TEST(AggregateQueryTest, SumTightQuotaApproximates) {
+  auto w = MakeSelectionWorkload(2000, 11);
+  ASSERT_TRUE(w.ok());
+  auto r = RunTimeConstrainedAggregate(w->query, AggregateSpec::Sum("key"),
+                                       10.0, w->catalog, Opts());
+  ASSERT_TRUE(r.ok());
+  double exact = 1999.0 * 2000.0 / 2.0;
+  EXPECT_NEAR(r->estimate, exact, 0.5 * exact);
+  EXPECT_GT(r->variance, 0.0);
+}
+
+TEST(AggregateQueryTest, AvgFullCoverageExact) {
+  auto w = MakeSelectionWorkload(2000, 12);
+  ASSERT_TRUE(w.ok());
+  auto r = RunTimeConstrainedAggregate(w->query, AggregateSpec::Avg("key"),
+                                       100000.0, w->catalog, Opts());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->estimate, 1999.0 / 2.0);
+}
+
+TEST(AggregateQueryTest, AvgTightQuotaCloseToExact) {
+  // AVG is a ratio estimator: numerator and denominator share the same
+  // sample, so it is far more stable than either alone.
+  auto w = MakeSelectionWorkload(2000, 13);
+  ASSERT_TRUE(w.ok());
+  auto r = RunTimeConstrainedAggregate(w->query, AggregateSpec::Avg("key"),
+                                       10.0, w->catalog, Opts());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->estimate, 999.5, 150.0);
+}
+
+TEST(AggregateQueryTest, SumOverUnionViaInclusionExclusion) {
+  auto w = MakeIntersectionWorkload(5000, 14);
+  ASSERT_TRUE(w.ok());
+  auto query = Union(Scan("r1"), Scan("r2"));
+  auto exact = ExactSum(query, "key", w->catalog);
+  ASSERT_TRUE(exact.ok());
+  auto r = RunTimeConstrainedAggregate(query, AggregateSpec::Sum("key"),
+                                       100000.0, w->catalog, Opts());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->estimate, *exact, 1e-6);
+}
+
+TEST(AggregateQueryTest, SumRejectsUnknownColumn) {
+  auto w = MakeSelectionWorkload(2000, 15);
+  ASSERT_TRUE(w.ok());
+  EXPECT_FALSE(RunTimeConstrainedAggregate(w->query,
+                                           AggregateSpec::Sum("missing"),
+                                           10.0, w->catalog, Opts())
+                   .ok());
+}
+
+TEST(AggregateQueryTest, SumRejectsStringColumn) {
+  auto w = MakeSelectionWorkload(2000, 16);
+  ASSERT_TRUE(w.ok());
+  EXPECT_FALSE(RunTimeConstrainedAggregate(w->query,
+                                           AggregateSpec::Sum("payload"),
+                                           10.0, w->catalog, Opts())
+                   .ok());
+}
+
+TEST(AggregateQueryTest, SumOverProjectionRejected) {
+  auto w = MakeSelectionWorkload(2000, 17);
+  ASSERT_TRUE(w.ok());
+  auto query = Project(Scan("r1"), {"key"});
+  EXPECT_EQ(RunTimeConstrainedAggregate(query, AggregateSpec::Sum("key"),
+                                        10.0, w->catalog, Opts())
+                .status()
+                .code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST(AggregateQueryTest, CountSpecMatchesCountEntryPoint) {
+  auto w = MakeSelectionWorkload(2000, 18);
+  ASSERT_TRUE(w.ok());
+  auto opts = Opts();
+  opts.seed = 3;
+  auto a = RunTimeConstrainedAggregate(w->query, AggregateSpec::Count(),
+                                       10.0, w->catalog, opts);
+  auto b = RunTimeConstrainedCount(w->query, 10.0, w->catalog, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->estimate, b->estimate);
+}
+
+/// Property sweep: the SUM estimator is unbiased — over many independent
+/// runs its mean approaches the exact sum, at several d_β values.
+class SumUnbiasednessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SumUnbiasednessTest, MeanApproachesExact) {
+  auto w = MakeSelectionWorkload(2000, 19);
+  ASSERT_TRUE(w.ok());
+  double exact = 1999.0 * 2000.0 / 2.0;
+  double sum = 0.0;
+  const int reps = 60;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto opts = Opts(GetParam());
+    opts.seed = 100 + static_cast<uint64_t>(rep);
+    auto r = RunTimeConstrainedAggregate(
+        w->query, AggregateSpec::Sum("key"), 10.0, w->catalog, opts);
+    ASSERT_TRUE(r.ok());
+    sum += r->estimate;
+  }
+  EXPECT_NEAR(sum / reps, exact, 0.10 * exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(DBetas, SumUnbiasednessTest,
+                         ::testing::Values(0.0, 24.0, 48.0));
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,155 @@
+// Edge cases across modules that the focused suites do not reach:
+// project-term cost prediction, multi-attribute joins, executor caps,
+// double-typed predicates, and small-relation geometries.
+
+#include <gtest/gtest.h>
+
+#include "cost/predictor.h"
+#include "engine/executor.h"
+#include "exec/exact.h"
+#include "exec/staged.h"
+#include "timectrl/selectivity.h"
+#include "workload/generators.h"
+
+namespace tcq {
+namespace {
+
+TEST(EdgeCaseTest, ProjectTermCostPrediction) {
+  // PredictTermStageCost must price a projection root (temp write + sort
+  // + merge + dedup + output) and grow with the fraction.
+  Catalog catalog;
+  auto rel = MakeUniformRelation("u", 10000, 50, 3);
+  ASSERT_TRUE(catalog.Register(rel).ok());
+  auto term = Project(Scan("u"), {"key"});
+  auto ev = StagedTermEvaluator::Create(term, catalog, Fulfillment::kFull,
+                                        nullptr, CostModel::Deterministic());
+  ASSERT_TRUE(ev.ok());
+  AdaptiveCostModel coefs(CostModel::Deterministic());
+  std::map<int, double> sel_plus{{(*ev)->root().id, 0.01}};
+  auto small = PredictTermStageCost(**ev, 0.01, sel_plus, coefs);
+  auto large = PredictTermStageCost(**ev, 0.10, sel_plus, coefs);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(small->seconds, 0.0);
+  EXPECT_GT(large->seconds, small->seconds);
+}
+
+TEST(EdgeCaseTest, TwoAttributeJoinExactAndSampled) {
+  // Join on (key, tag): matches require both attributes equal.
+  Catalog catalog;
+  Schema schema({{"key", DataType::kInt64, 0},
+                 {"tag", DataType::kInt64, 0},
+                 {"id", DataType::kInt64, 0}});
+  auto a = Relation::Create("a", schema, 96);  // 4 tuples/block
+  auto b = Relation::Create("b", schema, 96);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int64_t i = 0; i < 64; ++i) {
+    a->AppendUnchecked({i % 8, i % 4, i});
+    b->AppendUnchecked({i % 8, i % 2, 1000 + i});
+  }
+  ASSERT_TRUE(catalog.Register(std::make_shared<Relation>(std::move(*a))).ok());
+  ASSERT_TRUE(catalog.Register(std::make_shared<Relation>(std::move(*b))).ok());
+  auto query =
+      Join(Scan("a"), Scan("b"), {{"key", "key"}, {"tag", "tag"}});
+  auto exact = ExactCount(query, catalog);
+  ASSERT_TRUE(exact.ok());
+  // key matches 1/8 of pairs (8 each side per key value), tag matches
+  // where i%4 == j%2, i.e. tags 0/1 on the left half the time each.
+  EXPECT_GT(*exact, 0);
+
+  // Full-coverage staged evaluation agrees.
+  auto ev = StagedTermEvaluator::Create(query, catalog, Fulfillment::kFull,
+                                        nullptr, CostModel::Deterministic());
+  ASSERT_TRUE(ev.ok());
+  std::map<std::string, std::vector<const Block*>> blocks;
+  for (const char* name : {"a", "b"}) {
+    auto rel = catalog.Find(name);
+    std::vector<const Block*> all;
+    for (int64_t i = 0; i < (*rel)->NumBlocks(); ++i) {
+      all.push_back(&(*rel)->block(i));
+    }
+    blocks[name] = std::move(all);
+  }
+  ASSERT_TRUE((*ev)->ExecuteStage(blocks).ok());
+  EXPECT_EQ((*ev)->cum_hits(), *exact);
+}
+
+TEST(EdgeCaseTest, DoubleTypedPredicateThroughEngine) {
+  Catalog catalog;
+  Schema schema({{"x", DataType::kDouble, 0}, {"id", DataType::kInt64, 0}});
+  auto rel = Relation::Create("d", schema, 128);
+  ASSERT_TRUE(rel.ok());
+  Rng rng(5);
+  for (int64_t i = 0; i < 2000; ++i) {
+    rel->AppendUnchecked({rng.UniformDouble(), i});
+  }
+  ASSERT_TRUE(
+      catalog.Register(std::make_shared<Relation>(std::move(*rel))).ok());
+  auto query = Select(Scan("d"), CmpLiteral("x", CompareOp::kLt, 0.25));
+  auto exact = ExactCount(query, catalog);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(static_cast<double>(*exact), 500.0, 80.0);
+  ExecutorOptions options;
+  auto r = RunTimeConstrainedCount(query, 1e9, catalog, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->estimate, static_cast<double>(*exact));
+}
+
+TEST(EdgeCaseTest, MaxStagesCapRespected) {
+  auto w = MakeSelectionWorkload(2000, 9);
+  ASSERT_TRUE(w.ok());
+  ExecutorOptions options;
+  options.max_stages = 2;
+  options.strategy.one_at_a_time.d_beta = 72.0;  // many small stages
+  auto r = RunTimeConstrainedCount(w->query, 1e6, w->catalog, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->stages_run, 2);
+}
+
+TEST(EdgeCaseTest, SingleBlockRelation) {
+  Catalog catalog;
+  auto rel = MakeUniformRelation("tiny", 5, 3, 1);  // one block
+  ASSERT_TRUE(catalog.Register(rel).ok());
+  auto query =
+      Select(Scan("tiny"), CmpLiteral("key", CompareOp::kGe, int64_t{0}));
+  ExecutorOptions options;
+  auto r = RunTimeConstrainedCount(query, 100.0, catalog, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->estimate, 5.0);
+  EXPECT_EQ(r->blocks_sampled, 1);
+}
+
+TEST(EdgeCaseTest, SoftDeadlineWithPrecisionStopComposes) {
+  auto w = MakeSelectionWorkload(5000, 10);
+  ASSERT_TRUE(w.ok());
+  ExecutorOptions options;
+  options.deadline_mode = DeadlineMode::kSoft;
+  options.precision.rel_halfwidth = 0.25;
+  options.seed = 3;
+  auto r = RunTimeConstrainedCount(w->query, 60.0, w->catalog, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stages_counted, 0);
+  // One of the two criteria ended the run before sample exhaustion.
+  EXPECT_LT(r->blocks_sampled, 2000);
+}
+
+TEST(EdgeCaseTest, SelPlusOnProjectTermStaysBounded) {
+  Catalog catalog;
+  auto rel = MakeUniformRelation("u", 1000, 10, 7);
+  ASSERT_TRUE(catalog.Register(rel).ok());
+  auto term = Project(Scan("u"), {"key"});
+  auto ev = StagedTermEvaluator::Create(term, catalog, Fulfillment::kFull,
+                                        nullptr, CostModel::Deterministic());
+  ASSERT_TRUE(ev.ok());
+  SelectivityOptions sopts;
+  auto sel = ReviseSelectivities(**ev, sopts);
+  auto plus = ComputeSelPlus(**ev, sel, 0.1, 72.0);
+  for (const auto& [id, v] : plus) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace tcq

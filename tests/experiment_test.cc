@@ -1,0 +1,137 @@
+#include "engine/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace tcq {
+namespace {
+
+ExperimentConfig SmallConfig(const Workload& w, double d_beta) {
+  ExperimentConfig config;
+  config.query = w.query;
+  config.catalog = &w.catalog;
+  config.quota_s = 10.0;
+  config.options.strategy.one_at_a_time.d_beta = d_beta;
+  config.repetitions = 30;
+  config.base_seed = 5;
+  config.exact_count = w.exact_count;
+  return config;
+}
+
+TEST(ExperimentTest, AggregatesBasicColumns) {
+  auto w = MakeSelectionWorkload(2000, 1);
+  ASSERT_TRUE(w.ok());
+  auto row = RunExperiment(SmallConfig(*w, 24.0));
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  EXPECT_EQ(row->runs, 30);
+  EXPECT_EQ(row->d_beta, 24.0);
+  EXPECT_GT(row->mean_stages, 1.0);
+  EXPECT_GE(row->risk_pct, 0.0);
+  EXPECT_LE(row->risk_pct, 100.0);
+  EXPECT_GT(row->utilization_pct, 50.0);
+  EXPECT_LE(row->utilization_pct, 100.0);
+  EXPECT_GT(row->mean_blocks, 10.0);
+  EXPECT_NEAR(row->mean_estimate, 2000.0, 400.0);
+  EXPECT_GT(row->mean_abs_rel_error_pct, 0.0);
+  EXPECT_EQ(row->zero_stage_runs, 0);
+}
+
+TEST(ExperimentTest, DeterministicInSeed) {
+  auto w = MakeSelectionWorkload(2000, 2);
+  ASSERT_TRUE(w.ok());
+  auto a = RunExperiment(SmallConfig(*w, 12.0));
+  auto b = RunExperiment(SmallConfig(*w, 12.0));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->mean_stages, b->mean_stages);
+  EXPECT_DOUBLE_EQ(a->risk_pct, b->risk_pct);
+  EXPECT_DOUBLE_EQ(a->mean_blocks, b->mean_blocks);
+  EXPECT_DOUBLE_EQ(a->mean_estimate, b->mean_estimate);
+}
+
+TEST(ExperimentTest, RiskDecreasesWithDBeta) {
+  // The paper's central claim, as a regression test: d_β = 0 risks ~50%,
+  // a large d_β nearly eliminates overspending.
+  auto w = MakeSelectionWorkload(2000, 3);
+  ASSERT_TRUE(w.ok());
+  auto config = SmallConfig(*w, 0.0);
+  config.repetitions = 60;
+  auto low = RunExperiment(config);
+  config.options.strategy.one_at_a_time.d_beta = 48.0;
+  auto high = RunExperiment(config);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(low->risk_pct, 30.0);
+  EXPECT_LT(high->risk_pct, 15.0);
+  EXPECT_GT(high->utilization_pct, low->utilization_pct);
+  EXPECT_GT(high->mean_stages, low->mean_stages);
+}
+
+TEST(ExperimentTest, ValidatesArguments) {
+  auto w = MakeSelectionWorkload(2000, 4);
+  ASSERT_TRUE(w.ok());
+  ExperimentConfig config = SmallConfig(*w, 12.0);
+  config.catalog = nullptr;
+  EXPECT_FALSE(RunExperiment(config).ok());
+  config = SmallConfig(*w, 12.0);
+  config.query = nullptr;
+  EXPECT_FALSE(RunExperiment(config).ok());
+  config = SmallConfig(*w, 12.0);
+  config.repetitions = 0;
+  EXPECT_FALSE(RunExperiment(config).ok());
+}
+
+TEST(ExperimentTest, FormatTableContainsColumnsAndRows) {
+  ExperimentRow row;
+  row.d_beta = 24;
+  row.mean_stages = 3.5;
+  row.risk_pct = 12.5;
+  row.runs = 200;
+  std::string table = FormatExperimentTable("My Table", {row});
+  EXPECT_NE(table.find("My Table"), std::string::npos);
+  EXPECT_NE(table.find("d_beta"), std::string::npos);
+  EXPECT_NE(table.find("24"), std::string::npos);
+  EXPECT_NE(table.find("3.50"), std::string::npos);
+  EXPECT_NE(table.find("12.5"), std::string::npos);
+}
+
+TEST(ExperimentTest, ClusteredDataInflatesEstimateError) {
+  // The A6 ablation as a regression test: block-clustered qualifying
+  // tuples inflate the cluster-sample variance, so at the same budget
+  // the mean |relative error| grows.
+  auto uniform = MakeSelectionWorkload(2000, 7, kPaperTuples,
+                                       kPaperTupleBytes, 0.0);
+  auto clustered = MakeSelectionWorkload(2000, 7, kPaperTuples,
+                                         kPaperTupleBytes, 0.9);
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(clustered.ok());
+  auto cu = SmallConfig(*uniform, 24.0);
+  auto cc = SmallConfig(*clustered, 24.0);
+  cu.repetitions = cc.repetitions = 60;
+  auto ru = RunExperiment(cu);
+  auto rc = RunExperiment(cc);
+  ASSERT_TRUE(ru.ok());
+  ASSERT_TRUE(rc.ok());
+  EXPECT_GT(rc->mean_abs_rel_error_pct, ru->mean_abs_rel_error_pct);
+}
+
+TEST(ExperimentTest, PrestoredLowSelectivityRaisesRisk) {
+  // The A7 ablation as a regression test: a stale, too-low prestored
+  // selectivity makes the planner oversize stages and overspend.
+  auto w = MakeSelectionWorkload(2000, 8);
+  ASSERT_TRUE(w.ok());
+  auto runtime_cfg = SmallConfig(*w, 24.0);
+  runtime_cfg.repetitions = 60;
+  auto stale_cfg = runtime_cfg;
+  stale_cfg.options.selectivity.freeze_initial = true;
+  stale_cfg.options.selectivity.initial_select = 0.02;
+  auto runtime_row = RunExperiment(runtime_cfg);
+  auto stale_row = RunExperiment(stale_cfg);
+  ASSERT_TRUE(runtime_row.ok());
+  ASSERT_TRUE(stale_row.ok());
+  EXPECT_GT(stale_row->risk_pct, runtime_row->risk_pct + 10.0);
+}
+
+}  // namespace
+}  // namespace tcq

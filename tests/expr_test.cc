@@ -1,0 +1,125 @@
+#include "ra/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace tcq {
+namespace {
+
+Schema BaseSchema() {
+  return Schema({{"id", DataType::kInt64, 0},
+                 {"key", DataType::kInt64, 0},
+                 {"payload", DataType::kString, 184}});
+}
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  for (const char* name : {"r1", "r2", "r3"}) {
+    auto rel = Relation::Create(name, BaseSchema());
+    EXPECT_TRUE(rel.ok());
+    EXPECT_TRUE(
+        catalog.Register(std::make_shared<Relation>(std::move(*rel))).ok());
+  }
+  return catalog;
+}
+
+TEST(ExprTest, ScanSchema) {
+  Catalog c = MakeCatalog();
+  auto schema = InferSchema(Scan("r1"), c);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_columns(), 3);
+}
+
+TEST(ExprTest, ScanUnknownRelation) {
+  Catalog c = MakeCatalog();
+  EXPECT_EQ(InferSchema(Scan("zz"), c).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ExprTest, SelectKeepsSchema) {
+  Catalog c = MakeCatalog();
+  auto e = Select(Scan("r1"), CmpLiteral("key", CompareOp::kLt, int64_t{5}));
+  auto schema = InferSchema(e, c);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_columns(), 3);
+}
+
+TEST(ExprTest, SelectValidatesPredicate) {
+  Catalog c = MakeCatalog();
+  auto e = Select(Scan("r1"), CmpLiteral("nope", CompareOp::kLt, int64_t{5}));
+  EXPECT_FALSE(InferSchema(e, c).ok());
+}
+
+TEST(ExprTest, ProjectSchema) {
+  Catalog c = MakeCatalog();
+  auto e = Project(Scan("r1"), {"key"});
+  auto schema = InferSchema(e, c);
+  ASSERT_TRUE(schema.ok());
+  ASSERT_EQ(schema->num_columns(), 1);
+  EXPECT_EQ(schema->column(0).name, "key");
+}
+
+TEST(ExprTest, ProjectRejectsEmptyAndUnknown) {
+  Catalog c = MakeCatalog();
+  EXPECT_FALSE(InferSchema(Project(Scan("r1"), {}), c).ok());
+  EXPECT_FALSE(InferSchema(Project(Scan("r1"), {"zz"}), c).ok());
+}
+
+TEST(ExprTest, JoinSchemaConcatenates) {
+  Catalog c = MakeCatalog();
+  auto e = Join(Scan("r1"), Scan("r2"), {{"key", "key"}});
+  auto schema = InferSchema(e, c);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_columns(), 6);
+  EXPECT_EQ(schema->column(3).name, "r_id");
+}
+
+TEST(ExprTest, JoinRequiresKeys) {
+  Catalog c = MakeCatalog();
+  EXPECT_FALSE(InferSchema(Join(Scan("r1"), Scan("r2"), {}), c).ok());
+}
+
+TEST(ExprTest, SetOpsRequireCompatibleSchemas) {
+  Catalog c = MakeCatalog();
+  EXPECT_TRUE(InferSchema(Union(Scan("r1"), Scan("r2")), c).ok());
+  EXPECT_TRUE(InferSchema(Intersect(Scan("r1"), Scan("r2")), c).ok());
+  EXPECT_TRUE(InferSchema(Difference(Scan("r1"), Scan("r2")), c).ok());
+  auto projected = Project(Scan("r2"), {"key"});
+  EXPECT_FALSE(InferSchema(Union(Scan("r1"), projected), c).ok());
+}
+
+TEST(ExprTest, CollectScansInOrder) {
+  auto e = Union(Join(Scan("r1"), Scan("r2"), {{"key", "key"}}),
+                 Intersect(Scan("r3"), Scan("r1")));
+  std::vector<std::string> scans;
+  CollectScans(e, &scans);
+  EXPECT_EQ(scans, (std::vector<std::string>{"r1", "r2", "r3", "r1"}));
+}
+
+TEST(ExprTest, StructuralEquality) {
+  auto a = Select(Scan("r1"), CmpLiteral("key", CompareOp::kLt, int64_t{5}));
+  auto b = Select(Scan("r1"), CmpLiteral("key", CompareOp::kLt, int64_t{5}));
+  auto c = Select(Scan("r1"), CmpLiteral("key", CompareOp::kLt, int64_t{6}));
+  auto d = Select(Scan("r2"), CmpLiteral("key", CompareOp::kLt, int64_t{5}));
+  EXPECT_TRUE(ExprEquals(a, b));
+  EXPECT_FALSE(ExprEquals(a, c));
+  EXPECT_FALSE(ExprEquals(a, d));
+  EXPECT_TRUE(ExprEquals(Intersect(a, b), Intersect(b, a)));
+  EXPECT_FALSE(ExprEquals(Union(a, b), Intersect(a, b)));
+}
+
+TEST(ExprTest, ContainsSetOps) {
+  auto plain = Join(Scan("r1"), Scan("r2"), {{"key", "key"}});
+  EXPECT_FALSE(ContainsSetDifferenceOrUnion(plain));
+  EXPECT_TRUE(ContainsSetDifferenceOrUnion(Union(Scan("r1"), Scan("r2"))));
+  EXPECT_TRUE(ContainsSetDifferenceOrUnion(
+      Select(Difference(Scan("r1"), Scan("r2")),
+             CmpLiteral("key", CompareOp::kEq, int64_t{0}))));
+}
+
+TEST(ExprTest, ToStringReadable) {
+  auto e = Select(Scan("r1"), CmpLiteral("key", CompareOp::kLt, int64_t{5}));
+  EXPECT_EQ(e->ToString(), "Select[key < 5](r1)");
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,186 @@
+// Randomized property tests: generate random RA expressions over small
+// duplicate-free relations and check the system-level invariants that
+// hold regardless of the expression shape:
+//
+//   P1  the signed sum of the inclusion–exclusion terms, each evaluated
+//       exactly, equals the exact COUNT of the whole expression;
+//   P2  the staged sampled evaluator at FULL COVERAGE (every block of
+//       every relation in one stage) reproduces the exact COUNT for every
+//       Union/Difference-free term;
+//   P3  the full engine with an effectively unlimited quota returns the
+//       exact COUNT;
+//   P4  with a tight quota the engine still returns a finite estimate and
+//       a valid trace.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/executor.h"
+#include "exec/exact.h"
+#include "exec/staged.h"
+#include "ra/inclusion_exclusion.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace tcq {
+namespace {
+
+/// Small relations so exact evaluation of deep trees stays fast. Keys are
+/// drawn from a narrow domain so joins/intersections actually match;
+/// tuples are duplicate-free (unique ids would break set-compatibility of
+/// Union, so the whole tuple is (key, tag) with tag from a tiny domain
+/// and duplicates removed).
+Catalog MakeFuzzCatalog(Rng* rng) {
+  Catalog catalog;
+  Schema schema({{"key", DataType::kInt64, 0},
+                 {"tag", DataType::kInt64, 0}});
+  for (const std::string name : {"A", "B", "C"}) {
+    auto rel = Relation::Create(name, schema, /*block_bytes=*/64);
+    EXPECT_TRUE(rel.ok());
+    std::vector<Tuple> rows;
+    for (int64_t key = 0; key < 12; ++key) {
+      for (int64_t tag = 0; tag < 3; ++tag) {
+        if (rng->UniformDouble() < 0.5) {
+          rows.push_back(Tuple{key, tag});
+        }
+      }
+    }
+    rng->Shuffle(rows);
+    for (Tuple& row : rows) rel->AppendUnchecked(std::move(row));
+    if (rel->NumTuples() == 0) rel->AppendUnchecked(Tuple{int64_t{0}, int64_t{0}});
+    EXPECT_TRUE(
+        catalog.Register(std::make_shared<Relation>(std::move(*rel))).ok());
+  }
+  return catalog;
+}
+
+/// Random expression over {A, B, C}. `depth` bounds the tree height.
+/// Never puts Project over Difference (the rewriter rejects it by
+/// design) — Project appears only as an optional outermost operator.
+ExprPtr RandomExpr(Rng* rng, int depth, std::vector<std::string>* used) {
+  const char* names[] = {"A", "B", "C"};
+  if (depth <= 0 || rng->UniformDouble() < 0.25) {
+    // Pick a relation not used yet (the sampled evaluator rejects
+    // repeats within one term).
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      std::string name = names[rng->Uniform(3)];
+      bool seen = false;
+      for (const auto& u : *used) seen |= (u == name);
+      if (!seen) {
+        used->push_back(name);
+        return Scan(name);
+      }
+    }
+    return nullptr;  // all three used
+  }
+  switch (rng->Uniform(4)) {
+    case 0: {  // Select
+      ExprPtr child = RandomExpr(rng, depth - 1, used);
+      if (child == nullptr) return nullptr;
+      auto pred = CmpLiteral("key", rng->UniformDouble() < 0.5
+                                        ? CompareOp::kLt
+                                        : CompareOp::kGe,
+                             rng->UniformInt(2, 10));
+      if (rng->UniformDouble() < 0.3) {
+        pred = And(std::move(pred),
+                   CmpLiteral("tag", CompareOp::kNe, rng->UniformInt(0, 2)));
+      }
+      return Select(std::move(child), std::move(pred));
+    }
+    case 1: {  // Union
+      ExprPtr l = RandomExpr(rng, depth - 1, used);
+      ExprPtr r = RandomExpr(rng, depth - 1, used);
+      if (l == nullptr || r == nullptr) return nullptr;
+      return Union(std::move(l), std::move(r));
+    }
+    case 2: {  // Intersect
+      ExprPtr l = RandomExpr(rng, depth - 1, used);
+      ExprPtr r = RandomExpr(rng, depth - 1, used);
+      if (l == nullptr || r == nullptr) return nullptr;
+      return Intersect(std::move(l), std::move(r));
+    }
+    default: {  // Difference
+      ExprPtr l = RandomExpr(rng, depth - 1, used);
+      ExprPtr r = RandomExpr(rng, depth - 1, used);
+      if (l == nullptr || r == nullptr) return nullptr;
+      return Difference(std::move(l), std::move(r));
+    }
+  }
+}
+
+class FuzzEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzEquivalenceTest, InvariantsHold) {
+  Rng rng(GetParam() * 7919 + 13);
+  Catalog catalog = MakeFuzzCatalog(&rng);
+  int checked = 0;
+  for (int attempt = 0; attempt < 40 && checked < 12; ++attempt) {
+    std::vector<std::string> used;
+    ExprPtr expr = RandomExpr(&rng, 3, &used);
+    if (expr == nullptr) continue;
+    auto exact = ExactCount(expr, catalog);
+    ASSERT_TRUE(exact.ok()) << expr->ToString();
+
+    // P1: inclusion–exclusion identity on exact evaluation.
+    auto terms = ExpandCount(expr);
+    ASSERT_TRUE(terms.ok()) << expr->ToString();
+    int64_t signed_sum = 0;
+    for (const auto& term : *terms) {
+      auto c = ExactCount(term.expr, catalog);
+      ASSERT_TRUE(c.ok()) << term.expr->ToString();
+      signed_sum += term.sign * *c;
+    }
+    EXPECT_EQ(signed_sum, *exact) << expr->ToString();
+
+    // P2: every term at full coverage matches its exact count.
+    for (const auto& term : *terms) {
+      auto ev = StagedTermEvaluator::Create(term.expr, catalog,
+                                            Fulfillment::kFull, nullptr,
+                                            CostModel::Deterministic());
+      ASSERT_TRUE(ev.ok()) << term.expr->ToString();
+      std::map<std::string, std::vector<const Block*>> blocks;
+      std::vector<std::string> scans;
+      CollectScans(term.expr, &scans);
+      for (const std::string& name : scans) {
+        auto rel = catalog.Find(name);
+        ASSERT_TRUE(rel.ok());
+        std::vector<const Block*> all;
+        for (int64_t i = 0; i < (*rel)->NumBlocks(); ++i) {
+          all.push_back(&(*rel)->block(i));
+        }
+        blocks[name] = std::move(all);
+      }
+      ASSERT_TRUE((*ev)->ExecuteStage(blocks).ok());
+      auto term_exact = ExactCount(term.expr, catalog);
+      ASSERT_TRUE(term_exact.ok());
+      EXPECT_EQ((*ev)->cum_hits(), *term_exact) << term.expr->ToString();
+      EXPECT_DOUBLE_EQ((*ev)->cum_points(), (*ev)->total_points());
+    }
+
+    // P3: the engine with an unlimited quota is exact.
+    ExecutorOptions generous;
+    generous.seed = GetParam();
+    auto full = RunTimeConstrainedCount(expr, 1e9, catalog, generous);
+    ASSERT_TRUE(full.ok()) << expr->ToString();
+    EXPECT_DOUBLE_EQ(full->estimate, static_cast<double>(*exact))
+        << expr->ToString();
+
+    // P4: a tight quota still yields a sane result.
+    ExecutorOptions tight;
+    tight.seed = GetParam() + 1;
+    auto quick = RunTimeConstrainedCount(expr, 2.0, catalog, tight);
+    ASSERT_TRUE(quick.ok()) << expr->ToString();
+    EXPECT_TRUE(std::isfinite(quick->estimate));
+    EXPECT_EQ(static_cast<int>(quick->stages.size()), quick->stages_run);
+
+    ++checked;
+  }
+  EXPECT_GE(checked, 8) << "random generator produced too few queries";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,236 @@
+#include "ra/inclusion_exclusion.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tcq {
+namespace {
+
+PredicatePtr KeyLt(int64_t v) {
+  return CmpLiteral("key", CompareOp::kLt, v);
+}
+
+/// Counts Union/Difference nodes in a tree.
+int CountSetOps(const ExprPtr& e) {
+  if (e == nullptr) return 0;
+  int n = (e->kind == ExprKind::kUnion || e->kind == ExprKind::kDifference)
+              ? 1
+              : 0;
+  return n + CountSetOps(e->left) + CountSetOps(e->right);
+}
+
+/// Verifies no ∪/− appears below a non-set-op node.
+bool SetOpsAtTopOnly(const ExprPtr& e) {
+  if (e == nullptr) return true;
+  if (e->kind == ExprKind::kUnion || e->kind == ExprKind::kDifference) {
+    return SetOpsAtTopOnly(e->left) && SetOpsAtTopOnly(e->right);
+  }
+  return !ContainsSetDifferenceOrUnion(e);
+}
+
+TEST(PullUpTest, NoSetOpsIsIdentity) {
+  auto e = Select(Scan("r1"), KeyLt(5));
+  auto r = PullUpSetOps(e);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(ExprEquals(*r, e));
+}
+
+TEST(PullUpTest, SelectOverUnionDistributes) {
+  auto e = Select(Union(Scan("r1"), Scan("r2")), KeyLt(5));
+  auto r = PullUpSetOps(e);
+  ASSERT_TRUE(r.ok());
+  auto expected = Union(Select(Scan("r1"), KeyLt(5)),
+                        Select(Scan("r2"), KeyLt(5)));
+  EXPECT_TRUE(ExprEquals(*r, expected)) << (*r)->ToString();
+}
+
+TEST(PullUpTest, SelectOverDifferenceDistributes) {
+  auto e = Select(Difference(Scan("r1"), Scan("r2")), KeyLt(5));
+  auto r = PullUpSetOps(e);
+  ASSERT_TRUE(r.ok());
+  auto expected = Difference(Select(Scan("r1"), KeyLt(5)),
+                             Select(Scan("r2"), KeyLt(5)));
+  EXPECT_TRUE(ExprEquals(*r, expected));
+}
+
+TEST(PullUpTest, JoinOverUnionBothSides) {
+  std::vector<std::pair<std::string, std::string>> keys{{"key", "key"}};
+  auto e = Join(Union(Scan("r1"), Scan("r2")),
+                Union(Scan("r3"), Scan("r4")), keys);
+  auto r = PullUpSetOps(e);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(SetOpsAtTopOnly(*r)) << (*r)->ToString();
+  // (r1∪r2)⋈(r3∪r4) -> 4 joins combined by 3 unions.
+  EXPECT_EQ(CountSetOps(*r), 3);
+}
+
+TEST(PullUpTest, ProjectOverUnionDistributes) {
+  auto e = Project(Union(Scan("r1"), Scan("r2")), {"key"});
+  auto r = PullUpSetOps(e);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(SetOpsAtTopOnly(*r));
+}
+
+TEST(PullUpTest, ProjectOverDifferenceRejected) {
+  auto e = Project(Difference(Scan("r1"), Scan("r2")), {"key"});
+  EXPECT_EQ(PullUpSetOps(e).status().code(), StatusCode::kNotImplemented);
+}
+
+TEST(PullUpTest, NestedPullUp) {
+  auto e = Select(Intersect(Union(Scan("r1"), Scan("r2")), Scan("r3")),
+                  KeyLt(9));
+  auto r = PullUpSetOps(e);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(SetOpsAtTopOnly(*r)) << (*r)->ToString();
+}
+
+TEST(ExpandTest, PlainExpressionSingleTerm) {
+  auto e = Select(Scan("r1"), KeyLt(5));
+  auto terms = ExpandCount(e);
+  ASSERT_TRUE(terms.ok());
+  ASSERT_EQ(terms->size(), 1u);
+  EXPECT_EQ((*terms)[0].sign, 1);
+  EXPECT_TRUE(ExprEquals((*terms)[0].expr, e));
+}
+
+TEST(ExpandTest, UnionThreeTerms) {
+  // COUNT(r1 ∪ r2) = COUNT(r1) + COUNT(r2) − COUNT(r1 ∩ r2)
+  auto terms = ExpandCount(Union(Scan("r1"), Scan("r2")));
+  ASSERT_TRUE(terms.ok());
+  ASSERT_EQ(terms->size(), 3u);
+  int plus = 0, minus = 0;
+  for (const auto& t : *terms) {
+    EXPECT_FALSE(ContainsSetDifferenceOrUnion(t.expr));
+    if (t.sign > 0) {
+      plus += t.sign;
+    } else {
+      minus -= t.sign;
+    }
+  }
+  EXPECT_EQ(plus, 2);
+  EXPECT_EQ(minus, 1);
+}
+
+TEST(ExpandTest, DifferenceTwoTerms) {
+  // COUNT(r1 − r2) = COUNT(r1) − COUNT(r1 ∩ r2)
+  auto terms = ExpandCount(Difference(Scan("r1"), Scan("r2")));
+  ASSERT_TRUE(terms.ok());
+  ASSERT_EQ(terms->size(), 2u);
+  EXPECT_EQ((*terms)[0].sign, 1);
+  EXPECT_TRUE(ExprEquals((*terms)[0].expr, Scan("r1")));
+  EXPECT_EQ((*terms)[1].sign, -1);
+  EXPECT_TRUE(ExprEquals((*terms)[1].expr, Intersect(Scan("r1"), Scan("r2"))));
+}
+
+TEST(ExpandTest, SelectionPushedIntoTerms) {
+  auto e = Select(Union(Scan("r1"), Scan("r2")), KeyLt(5));
+  auto terms = ExpandCount(e);
+  ASSERT_TRUE(terms.ok());
+  ASSERT_EQ(terms->size(), 3u);
+  // Every term must contain a Select over its scans.
+  for (const auto& t : *terms) {
+    EXPECT_FALSE(ContainsSetDifferenceOrUnion(t.expr));
+  }
+}
+
+TEST(ExpandTest, ThreeWayUnionInclusionExclusion) {
+  // |A∪B∪C| = |A|+|B|+|C| −|A∩B|−|A∩C|−|B∩C| +|A∩B∩C|
+  auto e = Union(Union(Scan("r1"), Scan("r2")), Scan("r3"));
+  auto terms = ExpandCount(e);
+  ASSERT_TRUE(terms.ok());
+  int total_sign = 0;
+  int singles = 0, pairs = 0, triples = 0;
+  for (const auto& t : *terms) {
+    std::vector<std::string> scans;
+    CollectScans(t.expr, &scans);
+    total_sign += t.sign;
+    if (scans.size() == 1) singles += t.sign;
+    if (scans.size() == 2) pairs += t.sign;
+    if (scans.size() == 3) triples += t.sign;
+  }
+  EXPECT_EQ(singles, 3);
+  EXPECT_EQ(pairs, -3);
+  EXPECT_EQ(triples, 1);
+  EXPECT_EQ(total_sign, 1);
+}
+
+TEST(ExpandTest, DifferenceOfUnion) {
+  // (A ∪ B) − C: signed counts must sum to the right combination.
+  auto e = Difference(Union(Scan("r1"), Scan("r2")), Scan("r3"));
+  auto terms = ExpandCount(e);
+  ASSERT_TRUE(terms.ok());
+  for (const auto& t : *terms) {
+    EXPECT_FALSE(ContainsSetDifferenceOrUnion(t.expr));
+  }
+  // Signed sum over all terms with k scans: 2 singles, then the
+  // inclusion-exclusion corrections.
+  int total_sign = 0;
+  for (const auto& t : *terms) total_sign += t.sign;
+  // |A∪B−C| as signed measure: |A|+|B|−|A∩B|−|A∩C|−|B∩C|+|A∩B∩C| -> sum 0.
+  EXPECT_EQ(total_sign, 0);
+}
+
+TEST(ExpandTest, SelectHoistingCollapsesSharedScans) {
+  // σp(A ∩ (B ∪ C)) expands to terms whose union cross term would be
+  // σp(A∩B) ∩ σp(A∩C); hoisting σp through ∩ and deduplicating operands
+  // must collapse it to σp(A∩B∩C) — one scan per relation per term.
+  auto e = Select(Intersect(Scan("A"), Union(Scan("B"), Scan("C"))),
+                  KeyLt(7));
+  auto terms = ExpandCount(e);
+  ASSERT_TRUE(terms.ok());
+  for (const auto& t : *terms) {
+    std::vector<std::string> scans;
+    CollectScans(t.expr, &scans);
+    std::sort(scans.begin(), scans.end());
+    EXPECT_EQ(std::unique(scans.begin(), scans.end()), scans.end())
+        << t.expr->ToString();
+  }
+}
+
+TEST(ExpandTest, JoinFactoringCollapsesSharedSides) {
+  // A ⋈ (B ∪ C): the cross term (A⋈B) ∩ (A⋈C) must factor to
+  // A ⋈ (B∩C), so A appears once per term.
+  std::vector<std::pair<std::string, std::string>> keys{{"key", "key"}};
+  auto e = Join(Scan("A"), Union(Scan("B"), Scan("C")), keys);
+  auto terms = ExpandCount(e);
+  ASSERT_TRUE(terms.ok());
+  ASSERT_EQ(terms->size(), 3u);
+  for (const auto& t : *terms) {
+    std::vector<std::string> scans;
+    CollectScans(t.expr, &scans);
+    std::sort(scans.begin(), scans.end());
+    EXPECT_EQ(std::unique(scans.begin(), scans.end()), scans.end())
+        << t.expr->ToString();
+  }
+}
+
+TEST(ExpandTest, DuplicatePredicatesDeduplicated) {
+  // σp(A) ∪ σp(B): the cross term σp(A) ∩ σp(B) becomes σp(A∩B) with the
+  // predicate applied once.
+  auto e = Union(Select(Scan("A"), KeyLt(5)), Select(Scan("B"), KeyLt(5)));
+  auto terms = ExpandCount(e);
+  ASSERT_TRUE(terms.ok());
+  for (const auto& t : *terms) {
+    // Count select nodes along the spine.
+    int selects = 0;
+    ExprPtr cur = t.expr;
+    while (cur->kind == ExprKind::kSelect) {
+      ++selects;
+      cur = cur->left;
+    }
+    EXPECT_LE(selects, 1) << t.expr->ToString();
+  }
+}
+
+TEST(ExpandTest, IdenticalTermsMerged) {
+  // A ∪ A expands to 2·COUNT(A) − COUNT(A∩A); terms are merged by
+  // structural equality so at most two terms remain.
+  auto e = Union(Scan("r1"), Scan("r1"));
+  auto terms = ExpandCount(e);
+  ASSERT_TRUE(terms.ok());
+  EXPECT_LE(terms->size(), 2u);
+}
+
+}  // namespace
+}  // namespace tcq

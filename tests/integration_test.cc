@@ -1,0 +1,127 @@
+// End-to-end integration across module boundaries: relations persisted to
+// disk, reloaded, queried through the textual parser, and estimated under
+// a time quota — the full path a downstream user of the library takes.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "engine/error_constrained.h"
+#include "engine/executor.h"
+#include "exec/exact.h"
+#include "ra/parser.h"
+#include "storage/page_codec.h"
+#include "workload/generators.h"
+
+namespace tcq {
+namespace {
+
+std::string TempDir(const char* leaf) {
+  auto dir = std::filesystem::temp_directory_path() / "tcq_integration" /
+             leaf;
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(IntegrationTest, DiskToParserToEngine) {
+  // Build the paper workload, persist it, reload it, and answer a parsed
+  // query under a quota against the reloaded catalog.
+  auto w = MakeIntersectionWorkload(5000, 21);
+  ASSERT_TRUE(w.ok());
+  std::string dir = TempDir("roundtrip");
+  ASSERT_TRUE(SaveCatalog(w->catalog, dir).ok());
+  auto catalog = LoadCatalog(dir);
+  ASSERT_TRUE(catalog.ok());
+
+  auto query = ParseQuery("SELECT[key < 3000](r1)");
+  ASSERT_TRUE(query.ok());
+  auto exact = ExactCount(*query, *catalog);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(*exact, 3000);
+
+  ExecutorOptions options;
+  options.strategy.one_at_a_time.d_beta = 24.0;
+  options.seed = 4;
+  auto r = RunTimeConstrainedCount(*query, 10.0, *catalog, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->estimate, 3000.0, 1200.0);
+  EXPECT_GT(r->stages_counted, 0);
+}
+
+TEST(IntegrationTest, ParsedSetQueryThroughEngine) {
+  auto w = MakeIntersectionWorkload(5000, 22);
+  ASSERT_TRUE(w.ok());
+  auto query = ParseQuery("(r1 UNION r2) MINUS (r1 INTERSECT r2)");
+  ASSERT_TRUE(query.ok());
+  auto exact = ExactCount(*query, w->catalog);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(*exact, 10000);  // symmetric difference: 2 × 5,000 unique
+  ExecutorOptions options;
+  options.seed = 5;
+  auto r = RunTimeConstrainedCount(*query, 1e9, w->catalog, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->estimate, 10000.0);
+}
+
+TEST(IntegrationTest, ParsedAggregateOverReloadedCatalog) {
+  auto w = MakeSelectionWorkload(2000, 23);
+  ASSERT_TRUE(w.ok());
+  std::string dir = TempDir("aggregate");
+  ASSERT_TRUE(SaveCatalog(w->catalog, dir).ok());
+  auto catalog = LoadCatalog(dir);
+  ASSERT_TRUE(catalog.ok());
+  auto query = ParseQuery("SELECT[key < 2000](r1)");
+  ASSERT_TRUE(query.ok());
+  auto r = RunTimeConstrainedAggregate(*query, AggregateSpec::Avg("key"),
+                                       1e9, *catalog, ExecutorOptions());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->estimate, 999.5);
+}
+
+TEST(IntegrationTest, ErrorConstrainedOverParsedQuery) {
+  auto w = MakeSelectionWorkload(2000, 24);
+  ASSERT_TRUE(w.ok());
+  auto query = ParseQuery("SELECT[key < 2000](r1)");
+  ASSERT_TRUE(query.ok());
+  ErrorConstrainedOptions options;
+  options.rel_halfwidth = 0.2;
+  options.seed = 6;
+  auto r = RunErrorConstrainedCount(*query, w->catalog, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->met_target);
+  EXPECT_NEAR(r->estimate, 2000.0, 600.0);
+}
+
+TEST(IntegrationTest, HybridAndPrecisionComposeWithHardDeadline) {
+  // All the stopping/fulfillment options together on one query.
+  auto w = MakeIntersectionWorkload(10000, 25);
+  ASSERT_TRUE(w.ok());
+  ExecutorOptions options;
+  options.strategy.one_at_a_time.d_beta = 48.0;
+  options.final_partial_stages = true;
+  options.precision.rel_halfwidth = 0.10;
+  options.deadline_mode = DeadlineMode::kHard;
+  options.seed = 7;
+  auto r = RunTimeConstrainedCount(w->query, 10.0, w->catalog, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stages_counted, 0);
+  EXPECT_LE(r->utilization, 1.0);
+}
+
+TEST(IntegrationTest, WallClockOverParsedQuery) {
+  auto w = MakeSelectionWorkload(2000, 26);
+  ASSERT_TRUE(w.ok());
+  auto query = ParseQuery("SELECT[key >= 8000](r1)");
+  ASSERT_TRUE(query.ok());
+  ExecutorOptions options;
+  options.use_wall_clock = true;
+  options.physical = CostModel::ModernInMemory();
+  options.seed = 8;
+  auto r = RunTimeConstrainedCount(*query, 0.050, w->catalog, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stages_counted, 0);
+  EXPECT_NEAR(r->estimate, 2000.0, 1500.0);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/ledger.h"
+#include "util/stats.h"
+
+namespace tcq {
+namespace {
+
+TEST(LedgerNoiseTest, DisabledByDefault) {
+  VirtualClock clock;
+  CostLedger ledger(&clock);
+  ledger.ChargeN(CostCategory::kBlockRead, 10, 0.1);
+  EXPECT_DOUBLE_EQ(clock.Now(), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.current_stage_factor(), 1.0);
+}
+
+TEST(LedgerNoiseTest, StageFactorAppliesUniformly) {
+  VirtualClock clock;
+  CostLedger ledger(&clock);
+  Rng rng(5);
+  ledger.AttachNoise(&rng, /*stage_speed_cv=*/0.2,
+                     /*block_read_jitter=*/0.0);
+  double factor = ledger.current_stage_factor();
+  EXPECT_NE(factor, 1.0);
+  ledger.Charge(CostCategory::kSortCompare, 1.0);
+  EXPECT_NEAR(clock.Now(), factor, 1e-12);
+  ledger.ChargeN(CostCategory::kTupleMove, 3, 1.0);
+  EXPECT_NEAR(clock.Now(), 4.0 * factor, 1e-12);
+}
+
+TEST(LedgerNoiseTest, BeginStageRedrawsFactor) {
+  VirtualClock clock;
+  CostLedger ledger(&clock);
+  Rng rng(5);
+  ledger.AttachNoise(&rng, 0.2, 0.0);
+  double f1 = ledger.current_stage_factor();
+  ledger.BeginStage();
+  double f2 = ledger.current_stage_factor();
+  EXPECT_NE(f1, f2);
+}
+
+TEST(LedgerNoiseTest, StageFactorIsLognormalWithGivenCv) {
+  Rng rng(17);
+  RunningStat log_factors;
+  VirtualClock clock;
+  CostLedger ledger(&clock);
+  ledger.AttachNoise(&rng, 0.15, 0.0);
+  for (int i = 0; i < 20000; ++i) {
+    ledger.BeginStage();
+    log_factors.Add(std::log(ledger.current_stage_factor()));
+  }
+  EXPECT_NEAR(log_factors.mean(), 0.0, 0.005);
+  EXPECT_NEAR(log_factors.stddev(), 0.15, 0.01);
+}
+
+TEST(LedgerNoiseTest, BlockReadJitterPerUnit) {
+  // With jitter, N block reads cost N·unit on average but individual
+  // reads vary within ±jitter.
+  Rng rng(23);
+  VirtualClock clock;
+  CostLedger ledger(&clock);
+  ledger.AttachNoise(&rng, 0.0, /*block_read_jitter=*/0.5);
+  const int n = 20000;
+  ledger.ChargeN(CostCategory::kBlockRead, n, 0.01);
+  double total = clock.Now();
+  EXPECT_NEAR(total, n * 0.01, 0.02 * n * 0.01);
+  // And some variation happened (not exactly the deterministic value).
+  EXPECT_NE(total, n * 0.01);
+}
+
+TEST(LedgerNoiseTest, NonReadCategoriesUnjittered) {
+  Rng rng(29);
+  VirtualClock clock;
+  CostLedger ledger(&clock);
+  ledger.AttachNoise(&rng, 0.0, 0.5);  // cv 0 => stage factor 1
+  ledger.ChargeN(CostCategory::kSortCompare, 100, 0.01);
+  EXPECT_DOUBLE_EQ(clock.Now(), 1.0);
+}
+
+TEST(LedgerNoiseTest, ZeroCvMeansFactorOne) {
+  Rng rng(31);
+  VirtualClock clock;
+  CostLedger ledger(&clock);
+  ledger.AttachNoise(&rng, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(ledger.current_stage_factor(), 1.0);
+  ledger.BeginStage();
+  EXPECT_DOUBLE_EQ(ledger.current_stage_factor(), 1.0);
+}
+
+}  // namespace
+}  // namespace tcq

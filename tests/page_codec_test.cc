@@ -1,0 +1,146 @@
+#include "storage/page_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "exec/exact.h"
+#include "workload/generators.h"
+
+namespace tcq {
+namespace {
+
+Schema Mixed() {
+  return Schema({{"i", DataType::kInt64, 0},
+                 {"d", DataType::kDouble, 0},
+                 {"s", DataType::kString, 8}});
+}
+
+std::string TempDir() {
+  auto dir = std::filesystem::temp_directory_path() / "tcq_codec_test";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+TEST(TupleCodecTest, RoundTripMixedTypes) {
+  Schema schema = Mixed();
+  Tuple t{int64_t{-42}, 3.25, std::string("hi")};
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(EncodeTuple(t, schema, &bytes).ok());
+  EXPECT_EQ(bytes.size(), 24u);  // 8 + 8 + 8
+  auto back = DecodeTuple(bytes, 0, schema);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(CompareTuples(*back, t), 0);
+}
+
+TEST(TupleCodecTest, ExtremeValues) {
+  Schema schema = Mixed();
+  Tuple t{std::numeric_limits<int64_t>::min(), -0.0,
+          std::string("abcdefgh")};  // full-width string
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(EncodeTuple(t, schema, &bytes).ok());
+  auto back = DecodeTuple(bytes, 0, schema);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::get<int64_t>((*back)[0]),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(std::get<std::string>((*back)[2]), "abcdefgh");
+}
+
+TEST(TupleCodecTest, RejectsInvalidTuple) {
+  Schema schema = Mixed();
+  std::vector<uint8_t> bytes;
+  EXPECT_FALSE(EncodeTuple({int64_t{1}}, schema, &bytes).ok());
+}
+
+TEST(TupleCodecTest, DecodePastEndFails) {
+  Schema schema = Mixed();
+  std::vector<uint8_t> tiny(10, 0);
+  EXPECT_FALSE(DecodeTuple(tiny, 0, schema).ok());
+}
+
+TEST(PageCodecTest, RoundTripPartialPage) {
+  Schema schema = Mixed();  // 24 bytes/tuple
+  Block block;
+  block.tuples.push_back(Tuple{int64_t{1}, 1.5, std::string("a")});
+  block.tuples.push_back(Tuple{int64_t{2}, 2.5, std::string("bb")});
+  auto page = EncodePage(block, schema, 128);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->size(), 128u);
+  auto back = DecodePage(*page, 2, schema);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->tuples.size(), 2u);
+  EXPECT_EQ(CompareTuples(back->tuples[1], block.tuples[1]), 0);
+}
+
+TEST(PageCodecTest, RejectsOverfullBlock) {
+  Schema schema = Mixed();
+  Block block;
+  for (int i = 0; i < 10; ++i) {
+    block.tuples.push_back(Tuple{int64_t{i}, 0.0, std::string()});
+  }
+  EXPECT_FALSE(EncodePage(block, schema, 128).ok());  // 240 > 128
+}
+
+TEST(RelationFileTest, RoundTripPaperRelation) {
+  auto w = MakeSelectionWorkload(2000, 77);
+  ASSERT_TRUE(w.ok());
+  auto rel = w->catalog.Find("r1");
+  ASSERT_TRUE(rel.ok());
+  std::string path = TempDir() + "/r1.tcq";
+  ASSERT_TRUE(SaveRelation(**rel, path).ok());
+
+  auto loaded = LoadRelation(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), "r1");
+  EXPECT_EQ(loaded->NumTuples(), 10000);
+  EXPECT_EQ(loaded->NumBlocks(), 2000);
+  EXPECT_EQ(loaded->blocking_factor(), 5);
+  // Every tuple identical, block by block.
+  for (int64_t b = 0; b < loaded->NumBlocks(); ++b) {
+    const Block& orig = (*rel)->block(b);
+    const Block& copy = loaded->block(b);
+    ASSERT_EQ(orig.tuples.size(), copy.tuples.size()) << b;
+    for (size_t i = 0; i < orig.tuples.size(); ++i) {
+      ASSERT_EQ(CompareTuples(orig.tuples[i], copy.tuples[i]), 0);
+    }
+  }
+}
+
+TEST(RelationFileTest, LoadRejectsGarbage) {
+  std::string path = TempDir() + "/garbage.tcq";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a tcqf file at all", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadRelation(path).ok());
+  EXPECT_FALSE(LoadRelation(TempDir() + "/missing.tcq").ok());
+}
+
+TEST(CatalogFileTest, RoundTripAndQuery) {
+  auto w = MakeIntersectionWorkload(5000, 88);
+  ASSERT_TRUE(w.ok());
+  std::string dir = TempDir() + "/catalog";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(SaveCatalog(w->catalog, dir).ok());
+
+  auto loaded = LoadCatalog(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->Names().size(), 2u);
+  // The loaded catalog answers the same query identically.
+  auto original = ExactCount(w->query, w->catalog);
+  auto reloaded = ExactCount(w->query, *loaded);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(*original, *reloaded);
+  EXPECT_EQ(*reloaded, 5000);
+}
+
+TEST(CatalogFileTest, LoadMissingDirectoryFails) {
+  EXPECT_FALSE(LoadCatalog(TempDir() + "/definitely_missing_dir").ok());
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,150 @@
+#include "ra/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace tcq {
+namespace {
+
+ExprPtr MustParse(const std::string& text) {
+  auto e = ParseQuery(text);
+  EXPECT_TRUE(e.ok()) << text << " -> " << e.status().ToString();
+  return e.ok() ? *e : nullptr;
+}
+
+TEST(ParserTest, BareScan) {
+  auto e = MustParse("orders");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, ExprKind::kScan);
+  EXPECT_EQ(e->relation, "orders");
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto e = MustParse("SELECT[key < 2000](r1)");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(ExprEquals(
+      e, Select(Scan("r1"), CmpLiteral("key", CompareOp::kLt, int64_t{2000}))));
+}
+
+TEST(ParserTest, KeywordsCaseInsensitive) {
+  auto e = MustParse("select[key >= 10](r1)");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, ExprKind::kSelect);
+}
+
+TEST(ParserTest, AllComparisonOperators) {
+  struct Case {
+    const char* text;
+    CompareOp op;
+  } cases[] = {
+      {"SELECT[a = 1](r)", CompareOp::kEq},
+      {"SELECT[a != 1](r)", CompareOp::kNe},
+      {"SELECT[a < 1](r)", CompareOp::kLt},
+      {"SELECT[a <= 1](r)", CompareOp::kLe},
+      {"SELECT[a > 1](r)", CompareOp::kGt},
+      {"SELECT[a >= 1](r)", CompareOp::kGe},
+  };
+  for (const auto& c : cases) {
+    auto e = MustParse(c.text);
+    ASSERT_NE(e, nullptr) << c.text;
+    EXPECT_EQ(e->predicate->op, c.op) << c.text;
+  }
+}
+
+TEST(ParserTest, LiteralTypes) {
+  auto ints = MustParse("SELECT[a = -42](r)");
+  EXPECT_EQ(std::get<int64_t>(ints->predicate->literal), -42);
+  auto floats = MustParse("SELECT[a = 2.5](r)");
+  EXPECT_DOUBLE_EQ(std::get<double>(floats->predicate->literal), 2.5);
+  auto strings = MustParse("SELECT[name = 'bob'](r)");
+  EXPECT_EQ(std::get<std::string>(strings->predicate->literal), "bob");
+}
+
+TEST(ParserTest, ColumnToColumnComparison) {
+  auto e = MustParse("SELECT[a = b](r)");
+  EXPECT_EQ(e->predicate->kind, Predicate::Kind::kCompareColumns);
+  EXPECT_EQ(e->predicate->rhs_column, "b");
+}
+
+TEST(ParserTest, BooleanStructureAndPrecedence) {
+  // AND binds tighter than OR.
+  auto e = MustParse("SELECT[a < 1 OR b > 2 AND c = 3](r)");
+  ASSERT_EQ(e->predicate->kind, Predicate::Kind::kOr);
+  EXPECT_EQ(e->predicate->right->kind, Predicate::Kind::kAnd);
+  auto n = MustParse("SELECT[NOT a = 1](r)");
+  EXPECT_EQ(n->predicate->kind, Predicate::Kind::kNot);
+  auto p = MustParse("SELECT[(a < 1 OR b > 2) AND c = 3](r)");
+  EXPECT_EQ(p->predicate->kind, Predicate::Kind::kAnd);
+}
+
+TEST(ParserTest, ProjectMultipleColumns) {
+  auto e = MustParse("PROJECT[region, year](sales)");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, ExprKind::kProject);
+  EXPECT_EQ(e->columns, (std::vector<std::string>{"region", "year"}));
+}
+
+TEST(ParserTest, JoinWithMultipleKeys) {
+  auto e = MustParse("JOIN[a = x, b = y](r1, r2)");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, ExprKind::kJoin);
+  ASSERT_EQ(e->join_keys.size(), 2u);
+  EXPECT_EQ(e->join_keys[0], (std::pair<std::string, std::string>{"a", "x"}));
+  EXPECT_EQ(e->join_keys[1], (std::pair<std::string, std::string>{"b", "y"}));
+}
+
+TEST(ParserTest, SetOperatorsLeftAssociative) {
+  auto e = MustParse("r1 UNION r2 MINUS r3");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, ExprKind::kDifference);
+  EXPECT_EQ(e->left->kind, ExprKind::kUnion);
+  auto i = MustParse("r1 INTERSECT r2");
+  EXPECT_EQ(i->kind, ExprKind::kIntersect);
+}
+
+TEST(ParserTest, ParenthesesOverrideAssociativity) {
+  auto e = MustParse("r1 MINUS (r2 UNION r3)");
+  EXPECT_EQ(e->kind, ExprKind::kDifference);
+  EXPECT_EQ(e->right->kind, ExprKind::kUnion);
+}
+
+TEST(ParserTest, NestedComposition) {
+  auto e = MustParse(
+      "PROJECT[region](SELECT[amount >= 100 AND region != 'EU']("
+      "JOIN[id = order_id](customers, orders)))");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, ExprKind::kProject);
+  EXPECT_EQ(e->left->kind, ExprKind::kSelect);
+  EXPECT_EQ(e->left->left->kind, ExprKind::kJoin);
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  // ToString of a parsed query re-parses to an equal tree (for the
+  // operators whose printed form is in the grammar).
+  auto e = MustParse("SELECT[key < 2000](r1)");
+  auto again = ParseQuery(e->ToString());
+  ASSERT_TRUE(again.ok()) << e->ToString();
+  EXPECT_TRUE(ExprEquals(e, *again));
+}
+
+TEST(ParserTest, WhitespaceInsensitive) {
+  auto a = MustParse("SELECT[key<2000](r1)");
+  auto b = MustParse("  SELECT [ key  <  2000 ] ( r1 )  ");
+  EXPECT_TRUE(ExprEquals(a, b));
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT[](r1)").ok());
+  EXPECT_FALSE(ParseQuery("SELECT[key < 2000](r1").ok());     // missing )
+  EXPECT_FALSE(ParseQuery("SELECT[key 2000](r1)").ok());      // missing op
+  EXPECT_FALSE(ParseQuery("JOIN[a = b](r1)").ok());           // one child
+  EXPECT_FALSE(ParseQuery("r1 UNION").ok());                  // dangling op
+  EXPECT_FALSE(ParseQuery("r1 r2").ok());                     // trailing
+  EXPECT_FALSE(ParseQuery("SELECT[name = 'oops](r1)").ok());  // bad quote
+  EXPECT_FALSE(ParseQuery("SELECT[a ! b](r1)").ok());         // stray !
+  EXPECT_FALSE(ParseQuery("#").ok());                         // bad char
+  EXPECT_FALSE(ParseQuery("PROJECT[](r1)").ok());             // no columns
+}
+
+}  // namespace
+}  // namespace tcq

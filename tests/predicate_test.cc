@@ -1,0 +1,118 @@
+#include "ra/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace tcq {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"a", DataType::kInt64, 0},
+                 {"b", DataType::kInt64, 0},
+                 {"name", DataType::kString, 16}});
+}
+
+TEST(PredicateTest, CompareLiteralAllOps) {
+  Schema s = TestSchema();
+  Tuple t{int64_t{5}, int64_t{10}, std::string("x")};
+  struct Case {
+    CompareOp op;
+    int64_t rhs;
+    bool expected;
+  } cases[] = {
+      {CompareOp::kEq, 5, true},  {CompareOp::kEq, 6, false},
+      {CompareOp::kNe, 5, false}, {CompareOp::kNe, 6, true},
+      {CompareOp::kLt, 6, true},  {CompareOp::kLt, 5, false},
+      {CompareOp::kLe, 5, true},  {CompareOp::kLe, 4, false},
+      {CompareOp::kGt, 4, true},  {CompareOp::kGt, 5, false},
+      {CompareOp::kGe, 5, true},  {CompareOp::kGe, 6, false},
+  };
+  for (const auto& c : cases) {
+    auto p = CmpLiteral("a", c.op, c.rhs);
+    auto bound = BoundPredicate::Bind(p, s);
+    ASSERT_TRUE(bound.ok());
+    EXPECT_EQ(bound->Eval(t), c.expected)
+        << "op=" << CompareOpSymbol(c.op) << " rhs=" << c.rhs;
+  }
+}
+
+TEST(PredicateTest, CompareColumns) {
+  Schema s = TestSchema();
+  auto p = CmpColumns("a", CompareOp::kLt, "b");
+  auto bound = BoundPredicate::Bind(p, s);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound->Eval({int64_t{1}, int64_t{2}, std::string()}));
+  EXPECT_FALSE(bound->Eval({int64_t{2}, int64_t{2}, std::string()}));
+}
+
+TEST(PredicateTest, StringComparison) {
+  Schema s = TestSchema();
+  auto p = CmpLiteral("name", CompareOp::kEq, std::string("bob"));
+  auto bound = BoundPredicate::Bind(p, s);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound->Eval({int64_t{0}, int64_t{0}, std::string("bob")}));
+  EXPECT_FALSE(bound->Eval({int64_t{0}, int64_t{0}, std::string("eve")}));
+}
+
+TEST(PredicateTest, BooleanConnectives) {
+  Schema s = TestSchema();
+  auto lt = CmpLiteral("a", CompareOp::kLt, int64_t{10});
+  auto gt = CmpLiteral("b", CompareOp::kGt, int64_t{0});
+  Tuple both{int64_t{5}, int64_t{5}, std::string()};
+  Tuple neither{int64_t{15}, int64_t{-5}, std::string()};
+  Tuple onlyA{int64_t{5}, int64_t{-5}, std::string()};
+
+  auto and_bound = BoundPredicate::Bind(And(lt, gt), s);
+  ASSERT_TRUE(and_bound.ok());
+  EXPECT_TRUE(and_bound->Eval(both));
+  EXPECT_FALSE(and_bound->Eval(onlyA));
+  EXPECT_FALSE(and_bound->Eval(neither));
+
+  auto or_bound = BoundPredicate::Bind(Or(lt, gt), s);
+  ASSERT_TRUE(or_bound.ok());
+  EXPECT_TRUE(or_bound->Eval(both));
+  EXPECT_TRUE(or_bound->Eval(onlyA));
+  EXPECT_FALSE(or_bound->Eval(neither));
+
+  auto not_bound = BoundPredicate::Bind(Not(lt), s);
+  ASSERT_TRUE(not_bound.ok());
+  EXPECT_FALSE(not_bound->Eval(both));
+  EXPECT_TRUE(not_bound->Eval(neither));
+}
+
+TEST(PredicateTest, CountsComparisons) {
+  Schema s = TestSchema();
+  auto p = And(CmpLiteral("a", CompareOp::kLt, int64_t{1}),
+               Or(CmpLiteral("b", CompareOp::kGt, int64_t{2}),
+                  CmpColumns("a", CompareOp::kEq, "b")));
+  auto bound = BoundPredicate::Bind(p, s);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound->num_comparisons(), 3);
+}
+
+TEST(PredicateTest, BindRejectsUnknownColumn) {
+  auto p = CmpLiteral("zz", CompareOp::kEq, int64_t{1});
+  EXPECT_EQ(BoundPredicate::Bind(p, TestSchema()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PredicateTest, BindRejectsTypeMismatch) {
+  auto p = CmpLiteral("a", CompareOp::kEq, std::string("text"));
+  EXPECT_EQ(BoundPredicate::Bind(p, TestSchema()).status().code(),
+            StatusCode::kInvalidArgument);
+  auto q = CmpColumns("a", CompareOp::kEq, "name");
+  EXPECT_EQ(BoundPredicate::Bind(q, TestSchema()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PredicateTest, BindRejectsNull) {
+  EXPECT_FALSE(BoundPredicate::Bind(nullptr, TestSchema()).ok());
+}
+
+TEST(PredicateTest, ToStringReadable) {
+  auto p = And(CmpLiteral("a", CompareOp::kLt, int64_t{7}),
+               Not(CmpColumns("a", CompareOp::kEq, "b")));
+  EXPECT_EQ(p->ToString(), "(a < 7 AND NOT (a = b))");
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,70 @@
+#include "sampling/block_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/generators.h"
+
+namespace tcq {
+namespace {
+
+RelationPtr SmallRel() {
+  return MakeUniformRelation("r", 100, 10, 5, 200, 1024);  // 20 blocks
+}
+
+TEST(BlockSamplerTest, InitialState) {
+  BlockSampler sampler(SmallRel());
+  EXPECT_EQ(sampler.total_blocks(), 20);
+  EXPECT_EQ(sampler.remaining_blocks(), 20);
+  EXPECT_EQ(sampler.drawn_blocks(), 0);
+}
+
+TEST(BlockSamplerTest, DrawsWithoutReplacement) {
+  auto rel = SmallRel();
+  BlockSampler sampler(rel);
+  Rng rng(1);
+  std::set<const Block*> seen;
+  for (int stage = 0; stage < 4; ++stage) {
+    auto blocks = sampler.Draw(5, &rng);
+    ASSERT_EQ(blocks.size(), 5u);
+    for (const Block* b : blocks) {
+      EXPECT_TRUE(seen.insert(b).second) << "block drawn twice";
+    }
+  }
+  EXPECT_EQ(sampler.remaining_blocks(), 0);
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(BlockSamplerTest, DrawCappedByRemaining) {
+  BlockSampler sampler(SmallRel());
+  Rng rng(2);
+  EXPECT_EQ(sampler.Draw(15, &rng).size(), 15u);
+  EXPECT_EQ(sampler.Draw(15, &rng).size(), 5u);
+  EXPECT_TRUE(sampler.Draw(15, &rng).empty());
+}
+
+TEST(BlockSamplerTest, DeterministicPerSeed) {
+  auto rel = SmallRel();
+  BlockSampler a(rel), b(rel);
+  Rng ra(7), rb(7);
+  EXPECT_EQ(a.Draw(10, &ra), b.Draw(10, &rb));
+}
+
+TEST(BlockSamplerTest, UniformOverBlocks) {
+  auto rel = SmallRel();
+  std::map<const Block*, int> counts;
+  Rng rng(3);
+  const int reps = 4000;
+  for (int rep = 0; rep < reps; ++rep) {
+    BlockSampler sampler(rel);
+    for (const Block* b : sampler.Draw(4, &rng)) ++counts[b];
+  }
+  // Each of the 20 blocks should be drawn in ~1/5 of the reps.
+  for (const auto& [block, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / reps, 0.2, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace tcq

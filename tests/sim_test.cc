@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+#include "sim/ledger.h"
+
+namespace tcq {
+namespace {
+
+TEST(VirtualClockTest, StartsAtZeroAndAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.Now(), 0.0);
+  clock.Advance(1.5);
+  clock.Advance(0.25);
+  EXPECT_DOUBLE_EQ(clock.Now(), 1.75);
+}
+
+TEST(WallClockTest, MonotonicNonNegative) {
+  WallClock clock;
+  double a = clock.Now();
+  double b = clock.Now();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(DeadlineTest, RemainingAndExpiry) {
+  VirtualClock clock;
+  Deadline deadline = Deadline::StartingNow(clock, 10.0);
+  EXPECT_DOUBLE_EQ(deadline.Remaining(clock), 10.0);
+  EXPECT_FALSE(deadline.Expired(clock));
+  clock.Advance(4.0);
+  EXPECT_DOUBLE_EQ(deadline.Remaining(clock), 6.0);
+  EXPECT_DOUBLE_EQ(deadline.Elapsed(clock), 4.0);
+  clock.Advance(7.0);
+  EXPECT_TRUE(deadline.Expired(clock));
+  EXPECT_DOUBLE_EQ(deadline.Remaining(clock), -1.0);
+}
+
+TEST(DeadlineTest, AnchoredAtNonZeroStart) {
+  VirtualClock clock;
+  clock.Advance(5.0);
+  Deadline deadline = Deadline::StartingNow(clock, 2.0);
+  clock.Advance(1.0);
+  EXPECT_DOUBLE_EQ(deadline.Elapsed(clock), 1.0);
+  EXPECT_DOUBLE_EQ(deadline.Remaining(clock), 1.0);
+}
+
+TEST(CostLedgerTest, ChargesAdvanceVirtualClock) {
+  VirtualClock clock;
+  CostLedger ledger(&clock);
+  ledger.Charge(CostCategory::kBlockRead, 0.05);
+  ledger.ChargeN(CostCategory::kPredicate, 10, 0.001);
+  EXPECT_DOUBLE_EQ(clock.Now(), 0.06);
+  EXPECT_DOUBLE_EQ(ledger.Total(CostCategory::kBlockRead), 0.05);
+  EXPECT_DOUBLE_EQ(ledger.Total(CostCategory::kPredicate), 0.01);
+  EXPECT_EQ(ledger.Count(CostCategory::kBlockRead), 1);
+  EXPECT_EQ(ledger.Count(CostCategory::kPredicate), 10);
+  EXPECT_DOUBLE_EQ(ledger.GrandTotal(), 0.06);
+}
+
+TEST(CostLedgerTest, NullClockOnlyAccounts) {
+  CostLedger ledger(nullptr);
+  ledger.Charge(CostCategory::kSortCompare, 0.5);
+  EXPECT_DOUBLE_EQ(ledger.GrandTotal(), 0.5);
+}
+
+TEST(CostLedgerTest, ChargeNZeroCountIsNoop) {
+  VirtualClock clock;
+  CostLedger ledger(&clock);
+  ledger.ChargeN(CostCategory::kTupleMove, 0, 1.0);
+  ledger.ChargeN(CostCategory::kTupleMove, -5, 1.0);
+  EXPECT_EQ(clock.Now(), 0.0);
+  EXPECT_EQ(ledger.Count(CostCategory::kTupleMove), 0);
+}
+
+TEST(CostLedgerTest, ReportMentionsCategories) {
+  CostLedger ledger(nullptr);
+  ledger.Charge(CostCategory::kBlockRead, 1.0);
+  std::string report = ledger.Report();
+  EXPECT_NE(report.find("block_read"), std::string::npos);
+  EXPECT_NE(report.find("total"), std::string::npos);
+}
+
+TEST(CostModelTest, DefaultsArePositive) {
+  CostModel m = CostModel::Sun360();
+  EXPECT_GT(m.block_read_s, 0.0);
+  EXPECT_GT(m.block_write_s, 0.0);
+  EXPECT_GT(m.predicate_compare_s, 0.0);
+  EXPECT_GT(m.sort_compare_s, 0.0);
+  EXPECT_GT(m.merge_compare_s, 0.0);
+  EXPECT_GT(m.tuple_move_s, 0.0);
+  EXPECT_GT(m.stage_overhead_s, 0.0);
+}
+
+TEST(CostModelTest, ReadsDominateComparisons) {
+  // Sanity: one block read should cost much more than one comparison, or
+  // the cluster-sampling rationale evaporates.
+  CostModel m = CostModel::Sun360();
+  EXPECT_GT(m.block_read_s, 20 * m.sort_compare_s);
+}
+
+}  // namespace
+}  // namespace tcq

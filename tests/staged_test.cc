@@ -1,0 +1,352 @@
+#include "exec/staged.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/exact.h"
+#include "util/random.h"
+
+namespace tcq {
+namespace {
+
+Schema KV() {
+  return Schema({{"k", DataType::kInt64, 0}, {"v", DataType::kInt64, 0}});
+}
+
+RelationPtr MakeRel(const std::string& name,
+                    const std::vector<std::pair<int64_t, int64_t>>& rows) {
+  auto rel = Relation::Create(name, KV(), /*block_bytes=*/64);  // bf = 4
+  EXPECT_TRUE(rel.ok());
+  for (const auto& [k, v] : rows) rel->AppendUnchecked({k, v});
+  return std::make_shared<Relation>(std::move(*rel));
+}
+
+/// Returns pointers to the blocks of `rel` with the given indices.
+std::vector<const Block*> BlocksOf(const RelationPtr& rel,
+                                   const std::vector<int64_t>& indices) {
+  std::vector<const Block*> out;
+  for (int64_t i : indices) out.push_back(&rel->block(i));
+  return out;
+}
+
+std::vector<int64_t> Range(int64_t lo, int64_t hi) {
+  std::vector<int64_t> out;
+  for (int64_t i = lo; i < hi; ++i) out.push_back(i);
+  return out;
+}
+
+class StagedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 16 tuples -> 4 blocks each (blocking factor 4).
+    std::vector<std::pair<int64_t, int64_t>> a_rows, b_rows;
+    for (int64_t i = 0; i < 16; ++i) {
+      a_rows.push_back({i, 100 + i});
+      // B shares keys {4..11} with A but tuple-equality only where v
+      // matches; give B the same (k,v) for k in 4..7.
+      int64_t v = (i >= 4 && i < 8) ? 100 + i : 500 + i;
+      b_rows.push_back({i, v});
+    }
+    a_ = MakeRel("A", a_rows);
+    b_ = MakeRel("B", b_rows);
+    ASSERT_TRUE(catalog_.Register(a_).ok());
+    ASSERT_TRUE(catalog_.Register(b_).ok());
+  }
+
+  std::unique_ptr<StagedTermEvaluator> Make(const ExprPtr& term,
+                                            Fulfillment f) {
+    auto ev = StagedTermEvaluator::Create(term, catalog_, f, &ledger_,
+                                          CostModel::Sun360());
+    EXPECT_TRUE(ev.ok()) << ev.status().ToString();
+    return std::move(*ev);
+  }
+
+  Catalog catalog_;
+  RelationPtr a_, b_;
+  VirtualClock clock_;
+  CostLedger ledger_{&clock_};
+};
+
+TEST_F(StagedTest, SelectFullCoverageOneStageMatchesExact) {
+  auto term = Select(Scan("A"), CmpLiteral("k", CompareOp::kLt, int64_t{5}));
+  auto ev = Make(term, Fulfillment::kFull);
+  std::map<std::string, std::vector<const Block*>> blocks{
+      {"A", BlocksOf(a_, Range(0, 4))}};
+  ASSERT_TRUE(ev->ExecuteStage(blocks).ok());
+  auto exact = ExactCount(term, catalog_);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(ev->cum_hits(), *exact);
+  EXPECT_EQ(ev->cum_points(), 16.0);
+  EXPECT_EQ(ev->total_points(), 16.0);
+  EXPECT_EQ(ev->cum_space_blocks(), 4.0);
+  EXPECT_EQ(ev->total_space_blocks(), 4.0);
+  EXPECT_EQ(ev->num_stages(), 1);
+}
+
+TEST_F(StagedTest, SelectTwoStagesSameTotals) {
+  auto term = Select(Scan("A"), CmpLiteral("k", CompareOp::kLt, int64_t{5}));
+  auto ev = Make(term, Fulfillment::kFull);
+  ASSERT_TRUE(
+      ev->ExecuteStage({{"A", BlocksOf(a_, Range(0, 2))}}).ok());
+  ASSERT_TRUE(
+      ev->ExecuteStage({{"A", BlocksOf(a_, Range(2, 4))}}).ok());
+  auto exact = ExactCount(term, catalog_);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(ev->cum_hits(), *exact);
+  EXPECT_EQ(ev->cum_points(), 16.0);
+  EXPECT_EQ(ev->num_stages(), 2);
+}
+
+TEST_F(StagedTest, PartialSampleCountsOnlySampledTuples) {
+  auto term = Select(Scan("A"), CmpLiteral("k", CompareOp::kLt, int64_t{5}));
+  auto ev = Make(term, Fulfillment::kFull);
+  // Blocks 0..1 hold keys 0..7 -> 5 hits among keys {0,1,2,3,4}.
+  ASSERT_TRUE(
+      ev->ExecuteStage({{"A", BlocksOf(a_, Range(0, 2))}}).ok());
+  EXPECT_EQ(ev->cum_points(), 8.0);
+  EXPECT_EQ(ev->cum_hits(), 5);
+  EXPECT_EQ(ev->cum_space_blocks(), 2.0);
+}
+
+TEST_F(StagedTest, IntersectFullCoverageMatchesExactAcrossStages) {
+  auto term = Intersect(Scan("A"), Scan("B"));
+  auto exact = ExactCount(term, catalog_);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(*exact, 4);  // tuples (4..7, 104..107)
+
+  auto ev = Make(term, Fulfillment::kFull);
+  // Stage 1: first half of A, second half of B; stage 2: the rest. Only
+  // full fulfillment's cross-stage merges can find all matches.
+  ASSERT_TRUE(ev->ExecuteStage({{"A", BlocksOf(a_, Range(0, 2))},
+                                {"B", BlocksOf(b_, Range(2, 4))}})
+                  .ok());
+  ASSERT_TRUE(ev->ExecuteStage({{"A", BlocksOf(a_, Range(2, 4))},
+                                {"B", BlocksOf(b_, Range(0, 2))}})
+                  .ok());
+  EXPECT_EQ(ev->cum_hits(), *exact);
+  EXPECT_EQ(ev->cum_points(), 256.0);
+  EXPECT_EQ(ev->total_points(), 256.0);
+  EXPECT_EQ(ev->cum_space_blocks(), 16.0);
+  EXPECT_EQ(ev->total_space_blocks(), 16.0);
+}
+
+TEST_F(StagedTest, PartialFulfillmentCoversOnlyStagePairs) {
+  auto term = Intersect(Scan("A"), Scan("B"));
+  auto ev = Make(term, Fulfillment::kPartial);
+  ASSERT_TRUE(ev->ExecuteStage({{"A", BlocksOf(a_, Range(0, 2))},
+                                {"B", BlocksOf(b_, Range(2, 4))}})
+                  .ok());
+  ASSERT_TRUE(ev->ExecuteStage({{"A", BlocksOf(a_, Range(2, 4))},
+                                {"B", BlocksOf(b_, Range(0, 2))}})
+                  .ok());
+  // Each stage covers 8×8 = 64 points; two stages cover 128 < 256.
+  EXPECT_EQ(ev->cum_points(), 128.0);
+  EXPECT_EQ(ev->cum_space_blocks(), 8.0);
+  // The matching tuples (k=4..7) live in A blocks 1 (k 4..7) and B blocks
+  // 1; stage 1 evaluated A[0,1]×B[2,3], stage 2 A[2,3]×B[0,1]: no match
+  // pair was co-evaluated.
+  EXPECT_EQ(ev->cum_hits(), 0);
+}
+
+TEST_F(StagedTest, JoinFullCoverageMatchesExact) {
+  auto term = Join(Scan("A"), Scan("B"), {{"k", "k"}});
+  auto exact = ExactCount(term, catalog_);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(*exact, 16);  // keys 0..15 all match exactly once
+
+  auto ev = Make(term, Fulfillment::kFull);
+  ASSERT_TRUE(ev->ExecuteStage({{"A", BlocksOf(a_, Range(0, 1))},
+                                {"B", BlocksOf(b_, Range(3, 4))}})
+                  .ok());
+  ASSERT_TRUE(ev->ExecuteStage({{"A", BlocksOf(a_, Range(1, 4))},
+                                {"B", BlocksOf(b_, Range(0, 3))}})
+                  .ok());
+  EXPECT_EQ(ev->cum_hits(), *exact);
+  EXPECT_EQ(ev->cum_points(), 256.0);
+}
+
+TEST_F(StagedTest, SelectOverJoinComposes) {
+  auto term = Select(Join(Scan("A"), Scan("B"), {{"k", "k"}}),
+                     CmpLiteral("k", CompareOp::kLt, int64_t{6}));
+  auto exact = ExactCount(term, catalog_);
+  ASSERT_TRUE(exact.ok());
+  auto ev = Make(term, Fulfillment::kFull);
+  ASSERT_TRUE(ev->ExecuteStage({{"A", BlocksOf(a_, Range(0, 2))},
+                                {"B", BlocksOf(b_, Range(0, 2))}})
+                  .ok());
+  ASSERT_TRUE(ev->ExecuteStage({{"A", BlocksOf(a_, Range(2, 4))},
+                                {"B", BlocksOf(b_, Range(2, 4))}})
+                  .ok());
+  EXPECT_EQ(ev->cum_hits(), *exact);
+}
+
+TEST_F(StagedTest, ProjectRootCountsDistinctGroups) {
+  // v % values: A's v = 100+i all distinct, so project onto (k % ...) —
+  // instead build a relation with duplicate v values.
+  Catalog catalog;
+  std::vector<std::pair<int64_t, int64_t>> rows;
+  for (int64_t i = 0; i < 16; ++i) rows.push_back({i, i % 3});
+  auto d = MakeRel("D", rows);
+  ASSERT_TRUE(catalog.Register(d).ok());
+  auto term = Project(Scan("D"), {"v"});
+  auto ev = StagedTermEvaluator::Create(term, catalog, Fulfillment::kFull,
+                                        nullptr, CostModel::Sun360());
+  ASSERT_TRUE(ev.ok());
+  ASSERT_TRUE((*ev)
+                  ->ExecuteStage({{"D", BlocksOf(d, Range(0, 2))}})
+                  .ok());
+  ASSERT_TRUE((*ev)
+                  ->ExecuteStage({{"D", BlocksOf(d, Range(2, 4))}})
+                  .ok());
+  EXPECT_TRUE((*ev)->root_is_project());
+  EXPECT_EQ((*ev)->cum_hits(), 3);  // groups 0, 1, 2
+  auto occ = (*ev)->RootOccupancies();
+  int64_t total = 0;
+  for (int64_t c : occ) total += c;
+  EXPECT_EQ(total, 16);
+}
+
+TEST_F(StagedTest, StageRecordsTrackNewPointsAndCosts) {
+  auto term = Intersect(Scan("A"), Scan("B"));
+  auto ev = Make(term, Fulfillment::kFull);
+  double before = clock_.Now();
+  ASSERT_TRUE(ev->ExecuteStage({{"A", BlocksOf(a_, Range(0, 2))},
+                                {"B", BlocksOf(b_, Range(0, 2))}})
+                  .ok());
+  double mid = clock_.Now();
+  EXPECT_GT(mid, before);
+  ASSERT_TRUE(ev->ExecuteStage({{"A", BlocksOf(a_, Range(2, 4))},
+                                {"B", BlocksOf(b_, Range(2, 4))}})
+                  .ok());
+  const StagedNode& root = ev->root();
+  ASSERT_EQ(root.stages.size(), 2u);
+  EXPECT_EQ(root.stages[0].new_points, 64.0);
+  // Stage 2 full fulfillment: 16*16 - 8*8 = 192 new points.
+  EXPECT_EQ(root.stages[1].new_points, 192.0);
+  // Full fulfillment does three merges at stage 2 (new×new, new×old,
+  // old×new) vs one at stage 1, so it reads more tuples even though the
+  // realized seconds can be lower (stage 1 found more matches to write).
+  EXPECT_GT(root.stages[1].process.in_tuples,
+            root.stages[0].process.in_tuples);
+  EXPECT_GT(root.stages[0].seconds, 0.0);
+  EXPECT_GT(root.stages[1].seconds, 0.0);
+  // Node ids are assigned pre-order: intersect=0, scans 1 and 2.
+  auto nodes = ev->NodesPreOrder();
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0]->kind, ExprKind::kIntersect);
+  EXPECT_EQ(nodes[0]->id, 0);
+  EXPECT_EQ(nodes[1]->kind, ExprKind::kScan);
+  EXPECT_EQ(nodes[2]->kind, ExprKind::kScan);
+}
+
+TEST_F(StagedTest, RejectsUnionTerm) {
+  auto bad = StagedTermEvaluator::Create(Union(Scan("A"), Scan("B")),
+                                         catalog_, Fulfillment::kFull,
+                                         nullptr, CostModel::Sun360());
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(StagedTest, RejectsNestedProject) {
+  auto term = Select(Project(Scan("A"), {"k"}),
+                     CmpLiteral("k", CompareOp::kLt, int64_t{3}));
+  auto bad = StagedTermEvaluator::Create(term, catalog_, Fulfillment::kFull,
+                                         nullptr, CostModel::Sun360());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST_F(StagedTest, RejectsRepeatedRelation) {
+  auto bad = StagedTermEvaluator::Create(
+      Join(Scan("A"), Scan("A"), {{"k", "k"}}), catalog_, Fulfillment::kFull,
+      nullptr, CostModel::Sun360());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST_F(StagedTest, HybridModeCoverageAccounting) {
+  auto term = Intersect(Scan("A"), Scan("B"));
+  auto ev = Make(term, Fulfillment::kFull);
+  // Stage 1 full: 2×2 blocks -> covers 4 space blocks.
+  ASSERT_TRUE(ev->ExecuteStageWithMode({{"A", BlocksOf(a_, Range(0, 2))},
+                                        {"B", BlocksOf(b_, Range(0, 2))}},
+                                       Fulfillment::kFull)
+                  .ok());
+  EXPECT_EQ(ev->cum_space_blocks(), 4.0);
+  // Stage 2 partial: only the new 1×1 combination adds coverage.
+  ASSERT_TRUE(ev->ExecuteStageWithMode({{"A", BlocksOf(a_, Range(2, 3))},
+                                        {"B", BlocksOf(b_, Range(2, 3))}},
+                                       Fulfillment::kPartial)
+                  .ok());
+  EXPECT_EQ(ev->cum_space_blocks(), 5.0);
+  // bf = 4: stage 1 covers (2·4)² = 64 points, stage 2 adds 4·4 = 16.
+  EXPECT_EQ(ev->cum_points(), 80.0);
+  // A full stage after a partial one is rejected: its all-pairs merges
+  // would assume combinations the partial stage never evaluated.
+  EXPECT_FALSE(
+      ev->ExecuteStageWithMode({{"A", BlocksOf(a_, Range(3, 4))},
+                                {"B", BlocksOf(b_, Range(3, 4))}},
+                               Fulfillment::kFull)
+          .ok());
+  // Another partial stage is fine.
+  EXPECT_TRUE(
+      ev->ExecuteStageWithMode({{"A", BlocksOf(a_, Range(3, 4))},
+                                {"B", BlocksOf(b_, Range(3, 4))}},
+                               Fulfillment::kPartial)
+          .ok());
+  EXPECT_EQ(ev->cum_space_blocks(), 6.0);
+}
+
+TEST_F(StagedTest, MissingRelationInStageFails) {
+  auto term = Intersect(Scan("A"), Scan("B"));
+  auto ev = Make(term, Fulfillment::kFull);
+  EXPECT_FALSE(
+      ev->ExecuteStage({{"A", BlocksOf(a_, Range(0, 1))}}).ok());
+}
+
+/// Property: pooling random cluster samples, the ratio estimator
+/// B·hits/b applied to a select term is unbiased — its mean over many
+/// independent samples approaches the exact count.
+class ClusterUnbiasednessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterUnbiasednessTest, SelectEstimatorCentersOnExact) {
+  const int sample_blocks = GetParam();
+  Schema schema = KV();
+  auto rel = Relation::Create("R", schema, 64);
+  ASSERT_TRUE(rel.ok());
+  Rng data_rng(99);
+  for (int64_t i = 0; i < 200; ++i) {
+    rel->AppendUnchecked({data_rng.UniformInt(0, 9), i});
+  }
+  auto r = std::make_shared<Relation>(std::move(*rel));
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register(r).ok());
+  auto term = Select(Scan("R"), CmpLiteral("k", CompareOp::kLt, int64_t{3}));
+  auto exact = ExactCount(term, catalog);
+  ASSERT_TRUE(exact.ok());
+
+  Rng rng(1234 + static_cast<uint64_t>(sample_blocks));
+  const int reps = 600;
+  double sum = 0.0;
+  const int64_t num_blocks = r->NumBlocks();
+  for (int rep = 0; rep < reps; ++rep) {
+    auto ev = StagedTermEvaluator::Create(term, catalog, Fulfillment::kFull,
+                                          nullptr, CostModel::Sun360());
+    ASSERT_TRUE(ev.ok());
+    auto idx = rng.SampleWithoutReplacement(
+        static_cast<uint32_t>(num_blocks),
+        static_cast<uint32_t>(sample_blocks));
+    std::vector<const Block*> blocks;
+    for (uint32_t i : idx) blocks.push_back(&r->block(i));
+    ASSERT_TRUE((*ev)->ExecuteStage({{"R", blocks}}).ok());
+    double estimate = (*ev)->total_space_blocks() *
+                      static_cast<double>((*ev)->cum_hits()) /
+                      (*ev)->cum_space_blocks();
+    sum += estimate;
+  }
+  double mean = sum / reps;
+  // Standard error of the mean across 600 reps is small; 10% tolerance.
+  EXPECT_NEAR(mean, static_cast<double>(*exact), 0.1 * *exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, ClusterUnbiasednessTest,
+                         ::testing::Values(5, 10, 25));
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,145 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace tcq {
+namespace {
+
+TEST(RunningStatTest, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic data set: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MatchesBatchComputation) {
+  Rng rng(5);
+  RunningStat s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Gaussian() * 3.0 + 10.0;
+    xs.push_back(v);
+    s.Add(v);
+  }
+  double mean = 0.0;
+  for (double v : xs) mean += v;
+  mean /= xs.size();
+  double var = 0.0;
+  for (double v : xs) var += (v - mean) * (v - mean);
+  var /= (xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.84134474), 1.0, 1e-5);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p = 0.001; p < 0.999; p += 0.0177) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-7) << "p=" << p;
+  }
+}
+
+TEST(SrsVarianceTest, MatchesFormula) {
+  // S(1-S)(N-m)/(m(N-1))
+  double v = SrsProportionVariance(0.3, 1000.0, 100.0);
+  EXPECT_NEAR(v, 0.3 * 0.7 * 900.0 / (100.0 * 999.0), 1e-15);
+}
+
+TEST(SrsVarianceTest, ZeroWhenSampleIsPopulation) {
+  EXPECT_EQ(SrsProportionVariance(0.5, 100.0, 100.0), 0.0);
+}
+
+TEST(SrsVarianceTest, ZeroWhenEmptySample) {
+  EXPECT_EQ(SrsProportionVariance(0.5, 100.0, 0.0), 0.0);
+}
+
+TEST(SrsVarianceTest, ClampsProportion) {
+  EXPECT_EQ(SrsProportionVariance(-0.1, 100.0, 10.0), 0.0);
+  EXPECT_EQ(SrsProportionVariance(1.2, 100.0, 10.0), 0.0);
+}
+
+TEST(SrsVarianceTest, DecreasesWithSampleSize) {
+  double v10 = SrsProportionVariance(0.4, 10000.0, 10.0);
+  double v100 = SrsProportionVariance(0.4, 10000.0, 100.0);
+  double v1000 = SrsProportionVariance(0.4, 10000.0, 1000.0);
+  EXPECT_GT(v10, v100);
+  EXPECT_GT(v100, v1000);
+}
+
+TEST(ZeroHitTest, MatchesClosedForm) {
+  // (1 - s)^m = beta at the bound.
+  for (int64_t m : {1, 5, 50, 500}) {
+    double s = ZeroHitUpperBound(m, 0.05);
+    EXPECT_NEAR(std::pow(1.0 - s, static_cast<double>(m)), 0.05, 1e-9);
+  }
+}
+
+TEST(ZeroHitTest, ShrinksWithSampleSize) {
+  EXPECT_GT(ZeroHitUpperBound(10, 0.05), ZeroHitUpperBound(100, 0.05));
+  EXPECT_GT(ZeroHitUpperBound(100, 0.05), ZeroHitUpperBound(1000, 0.05));
+}
+
+TEST(ZeroHitTest, AlwaysPositive) {
+  EXPECT_GT(ZeroHitUpperBound(1000000, 0.5), 0.0);
+}
+
+TEST(CovarianceTest, KnownValue) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{2, 4, 6, 8};
+  // cov = 2 * var(xs) = 2 * (5/3)
+  EXPECT_NEAR(SampleCovariance(xs, ys), 10.0 / 3.0, 1e-12);
+}
+
+TEST(CovarianceTest, IndependentNearZero) {
+  Rng rng(77);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.Gaussian());
+    ys.push_back(rng.Gaussian());
+  }
+  EXPECT_NEAR(SampleCovariance(xs, ys), 0.0, 0.03);
+}
+
+TEST(CovarianceTest, FewerThanTwoIsZero) {
+  EXPECT_EQ(SampleCovariance({}, {}), 0.0);
+  EXPECT_EQ(SampleCovariance({1.0}, {2.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "workload/generators.h"
+
+namespace tcq {
+namespace {
+
+TEST(WallClockModeTest, AnswersWithinRealQuota) {
+  auto w = MakeSelectionWorkload(2000, 1);
+  ASSERT_TRUE(w.ok());
+  ExecutorOptions options;
+  options.use_wall_clock = true;
+  options.physical = CostModel::ModernInMemory();
+  options.strategy.one_at_a_time.d_beta = 24.0;
+  options.epsilon_s = 0.001;
+  // 50 real milliseconds: on any modern machine this covers the whole
+  // 2,000-block relation many times over after the coefficients adapt.
+  auto r = RunTimeConstrainedCount(w->query, 0.050, w->catalog, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->stages_counted, 0);
+  EXPECT_GT(r->estimate, 0.0);
+  // The wall clock really advanced and stayed near the quota even if the
+  // last stage overshot; generous bound for noisy CI machines.
+  EXPECT_GT(r->elapsed_seconds, 0.0);
+  EXPECT_LT(r->elapsed_seconds, 5.0);
+}
+
+TEST(WallClockModeTest, CoefficientsAdaptFromWrongInitialScale) {
+  // Seed the coefficients with the 1989 disk-era constants — about four
+  // orders of magnitude too slow for an in-memory run. Stage 1 is
+  // therefore tiny, but the coefficients are re-fitted from the real
+  // timings it produces, so stage 2 samples vastly more blocks: the
+  // paper's adaptive-formula argument, live against a wall clock.
+  auto w = MakeSelectionWorkload(2000, 2);
+  ASSERT_TRUE(w.ok());
+  ExecutorOptions options;
+  options.use_wall_clock = true;
+  options.physical = CostModel::Sun360();  // deliberately wrong scale
+  options.strategy.one_at_a_time.d_beta = 12.0;
+  options.epsilon_s = 0.0005;
+  auto r = RunTimeConstrainedCount(w->query, 1.0, w->catalog, options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->stages_run, 2) << "expected multiple stages in 1 s";
+  EXPECT_GT(r->stages[1].blocks_drawn, r->stages[0].blocks_drawn);
+  // Real elapsed time is far below what the 1989 constants predicted for
+  // the work done (the run should finish the relation quickly).
+  EXPECT_LT(r->elapsed_seconds, 5.0);
+}
+
+TEST(WallClockModeTest, SamplingStillSeedDeterministic) {
+  // Timing is real, but which blocks get drawn at a given stage size is
+  // still driven by the seeded RNG.
+  auto w = MakeSelectionWorkload(2000, 3);
+  ASSERT_TRUE(w.ok());
+  ExecutorOptions options;
+  options.use_wall_clock = true;
+  options.physical = CostModel::ModernInMemory();
+  options.seed = 9;
+  auto r = RunTimeConstrainedCount(w->query, 0.050, w->catalog, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->blocks_sampled, 0);
+}
+
+}  // namespace
+}  // namespace tcq

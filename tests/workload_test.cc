@@ -1,0 +1,127 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/exact.h"
+
+namespace tcq {
+namespace {
+
+TEST(SyntheticSchemaTest, PaperGeometry) {
+  Schema s = SyntheticSchema();
+  EXPECT_EQ(s.TupleBytes(), 200);
+}
+
+TEST(SelectionWorkloadTest, ExactCountMatches) {
+  for (int64_t target : {0LL, 1LL, 2000LL, 10000LL}) {
+    auto w = MakeSelectionWorkload(target, 42);
+    ASSERT_TRUE(w.ok()) << target;
+    auto exact = ExactCount(w->query, w->catalog);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_EQ(*exact, target);
+    EXPECT_EQ(*exact, w->exact_count);
+  }
+}
+
+TEST(SelectionWorkloadTest, PaperBlockGeometry) {
+  auto w = MakeSelectionWorkload(2000, 42);
+  ASSERT_TRUE(w.ok());
+  auto rel = w->catalog.Find("r1");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->NumTuples(), 10000);
+  EXPECT_EQ((*rel)->NumBlocks(), 2000);
+  EXPECT_EQ((*rel)->blocking_factor(), 5);
+}
+
+TEST(SelectionWorkloadTest, QualifyingTuplesScattered) {
+  // The qualifying tuples should not be clustered in a prefix of blocks:
+  // with 20% selectivity, the first 10 blocks (50 tuples) should hold
+  // roughly 10 qualifiers, not 50.
+  auto w = MakeSelectionWorkload(2000, 43);
+  ASSERT_TRUE(w.ok());
+  auto rel = w->catalog.Find("r1");
+  ASSERT_TRUE(rel.ok());
+  int qualifying = 0;
+  for (int64_t b = 0; b < 10; ++b) {
+    for (const Tuple& t : (*rel)->block(b).tuples) {
+      if (std::get<int64_t>(t[1]) < 2000) ++qualifying;
+    }
+  }
+  EXPECT_GT(qualifying, 1);
+  EXPECT_LT(qualifying, 30);
+}
+
+TEST(SelectionWorkloadTest, RejectsOutOfRange) {
+  EXPECT_FALSE(MakeSelectionWorkload(-1, 1).ok());
+  EXPECT_FALSE(MakeSelectionWorkload(10001, 1).ok());
+}
+
+TEST(IntersectionWorkloadTest, ExactOverlap) {
+  for (int64_t target : {1000LL, 5000LL, 10000LL}) {
+    auto w = MakeIntersectionWorkload(target, 7);
+    ASSERT_TRUE(w.ok());
+    auto exact = ExactCount(w->query, w->catalog);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_EQ(*exact, target) << target;
+  }
+}
+
+TEST(IntersectionWorkloadTest, TwoRelationsRegistered) {
+  auto w = MakeIntersectionWorkload(1000, 7);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w->catalog.Find("r1").ok());
+  EXPECT_TRUE(w->catalog.Find("r2").ok());
+  EXPECT_EQ((*w->catalog.Find("r2"))->NumBlocks(), 2000);
+}
+
+TEST(JoinWorkloadTest, ExactOutputCount) {
+  auto w = MakeJoinWorkload(70000, 11);
+  ASSERT_TRUE(w.ok());
+  auto exact = ExactCount(w->query, w->catalog);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(*exact, 70000);
+}
+
+TEST(JoinWorkloadTest, SmallerOutputs) {
+  for (int64_t target : {0LL, 10LL, 1000LL}) {
+    auto w = MakeJoinWorkload(target, 13);
+    ASSERT_TRUE(w.ok()) << target;
+    auto exact = ExactCount(w->query, w->catalog);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_EQ(*exact, target);
+  }
+}
+
+TEST(JoinWorkloadTest, RejectsBadParameters) {
+  EXPECT_FALSE(MakeJoinWorkload(75, 1).ok());  // not a multiple of 10
+  EXPECT_FALSE(MakeJoinWorkload(70000, 1, 10000, 200, 3).ok());  // 3∤10000
+}
+
+TEST(UniformRelationTest, GeometryAndKeys) {
+  auto rel = MakeUniformRelation("u", 500, 10, 3);
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->NumTuples(), 500);
+  for (const Block& b : rel->blocks()) {
+    for (const Tuple& t : b.tuples) {
+      int64_t key = std::get<int64_t>(t[1]);
+      EXPECT_GE(key, 0);
+      EXPECT_LT(key, 10);
+    }
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDifferentLayouts) {
+  auto a = MakeSelectionWorkload(2000, 1);
+  auto b = MakeSelectionWorkload(2000, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto ra = a->catalog.Find("r1");
+  auto rb = b->catalog.Find("r1");
+  // First block should differ with overwhelming probability.
+  EXPECT_NE(CompareTuples((*ra)->block(0).tuples[0],
+                          (*rb)->block(0).tuples[0]),
+            0);
+}
+
+}  // namespace
+}  // namespace tcq
