@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI entry point: build and test the Release configuration, then rebuild
+# the whole tree under ThreadSanitizer and re-run the suite so data races
+# in the parallel stage loop are caught, not just logic bugs.
+#
+#   ./ci.sh              # Release + TSan
+#   ./ci.sh --release    # Release only
+#   ./ci.sh --tsan       # TSan only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run_release=1
+run_tsan=1
+case "${1:-}" in
+  --release) run_tsan=0 ;;
+  --tsan) run_release=0 ;;
+  "") ;;
+  *) echo "usage: $0 [--release|--tsan]" >&2; exit 2 ;;
+esac
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+if [[ "$run_release" == 1 ]]; then
+  echo "=== Release build ==="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "$jobs"
+  (cd build && ctest --output-on-failure -j "$jobs")
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "=== ThreadSanitizer build ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTCQ_SANITIZE=thread
+  cmake --build build-tsan -j "$jobs"
+  # TSan aborts the process on the first race (halt_on_error), so a green
+  # ctest run doubles as a no-race assertion.
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
+       ctest --output-on-failure -j "$jobs")
+fi
+
+echo "ci.sh: all requested configurations passed"

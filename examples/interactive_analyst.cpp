@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "engine/executor.h"
+#include "api/tcq.h"
 #include "exec/exact.h"
 #include "workload/generators.h"
 
@@ -19,20 +19,23 @@ int main() {
   // join workload (70,000 result tuples from 10,000 × 10,000).
   auto workload = MakeJoinWorkload(70000, /*seed=*/5);
   if (!workload.ok()) return 1;
-  auto exact = ExactCount(workload->query, workload->catalog);
+  const ExprPtr query = workload->query;
+
+  // Session-wide defaults shared by every query below.
+  Session::Options session_options;
+  session_options.defaults.strategy.one_at_a_time.d_beta = 24.0;
+  session_options.defaults.selectivity.initial_join = 0.1;
+  session_options.defaults.seed = 11;
+  Session session(std::move(workload->catalog), session_options);
+
+  auto exact = ExactCount(query, session.catalog());
   std::printf("query : COUNT(%s), exact = %lld\n\n",
-              workload->query->ToString().c_str(),
-              static_cast<long long>(*exact));
+              query->ToString().c_str(), static_cast<long long>(*exact));
 
   std::printf("-- progressive refinement under growing quotas --\n");
   std::printf("  quota(s)  estimate     95%% CI                blocks\n");
   for (double quota : {1.0, 2.5, 5.0, 10.0, 30.0, 60.0}) {
-    ExecutorOptions options;
-    options.strategy.one_at_a_time.d_beta = 24.0;
-    options.selectivity.initial_join = 0.1;
-    options.seed = 11;
-    auto r = RunTimeConstrainedCount(workload->query, quota,
-                                     workload->catalog, options);
+    auto r = session.Query(query).WithQuota(quota).Run();
     if (!r.ok()) return 1;
     std::printf("  %8.1f  %8.0f  [%8.0f, %8.0f]  %6lld\n", quota,
                 r->estimate, r->ci.lo, r->ci.hi,
@@ -42,13 +45,10 @@ int main() {
   std::printf(
       "\n-- error-constrained mode: stop when the 95%% CI half-width "
       "drops under 15%% --\n");
-  ExecutorOptions options;
-  options.strategy.one_at_a_time.d_beta = 24.0;
-  options.selectivity.initial_join = 0.1;
-  options.precision.rel_halfwidth = 0.15;
-  options.seed = 11;
-  auto r = RunTimeConstrainedCount(workload->query, /*quota_s=*/600.0,
-                                   workload->catalog, options);
+  PrecisionStop precision;
+  precision.rel_halfwidth = 0.15;
+  auto r =
+      session.Query(query).WithQuota(600.0).WithPrecision(precision).Run();
   if (!r.ok()) return 1;
   std::printf(
       "  stopped %s after %.1f s of the 600 s quota: estimate %.0f, "

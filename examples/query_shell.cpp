@@ -25,7 +25,7 @@
 #include <string>
 #include <unistd.h>
 
-#include "engine/executor.h"
+#include "api/tcq.h"
 #include "exec/exact.h"
 #include "ra/parser.h"
 #include "storage/page_codec.h"
@@ -35,18 +35,13 @@ namespace {
 
 using namespace tcq;
 
-void RunQuery(const std::string& text, const Catalog& catalog,
-              double quota_s, double d_beta, bool with_exact,
-              uint64_t* seed) {
-  auto expr = ParseQuery(text);
-  if (!expr.ok()) {
-    std::printf("  parse error: %s\n", expr.status().ToString().c_str());
-    return;
-  }
-  ExecutorOptions options;
-  options.strategy.one_at_a_time.d_beta = d_beta;
-  options.seed = (*seed)++;
-  auto r = RunTimeConstrainedCount(*expr, quota_s, catalog, options);
+void RunQuery(const std::string& text, Session* session, double quota_s,
+              double d_beta, bool with_exact, uint64_t* seed) {
+  auto r = session->Query(text)
+               .WithQuota(quota_s)
+               .WithRiskMargin(d_beta)
+               .WithSeed((*seed)++)
+               .Run();
   if (!r.ok()) {
     std::printf("  error: %s\n", r.status().ToString().c_str());
     return;
@@ -58,7 +53,9 @@ void RunQuery(const std::string& text, const Catalog& catalog,
       static_cast<long long>(r->blocks_sampled), r->elapsed_seconds,
       quota_s, r->overspent ? " (last stage aborted)" : "");
   if (with_exact) {
-    auto exact = ExactCount(*expr, catalog);
+    auto expr = ParseQuery(text);
+    if (!expr.ok()) return;
+    auto exact = ExactCount(*expr, session->catalog());
     if (exact.ok()) {
       std::printf("  exact    %lld\n", static_cast<long long>(*exact));
     }
@@ -70,7 +67,7 @@ void RunQuery(const std::string& text, const Catalog& catalog,
 int main() {
   auto workload = MakeIntersectionWorkload(5000, /*seed=*/12);
   if (!workload.ok()) return 1;
-  Catalog catalog = std::move(workload->catalog);
+  Session session(std::move(workload->catalog));
 
   double quota_s = 5.0;
   double d_beta = 24.0;
@@ -123,7 +120,7 @@ int main() {
       } else if (name == "save") {
         std::string dir;
         cmd >> dir;
-        Status s = SaveCatalog(catalog, dir);
+        Status s = SaveCatalog(session.catalog(), dir);
         std::printf("  %s\n", s.ok() ? ("saved to " + dir).c_str()
                                       : s.ToString().c_str());
       } else if (name == "load") {
@@ -131,8 +128,9 @@ int main() {
         cmd >> dir;
         auto loaded = LoadCatalog(dir);
         if (loaded.ok()) {
-          catalog = std::move(*loaded);
-          std::printf("  loaded %zu relations\n", catalog.Names().size());
+          session.ResetCatalog(std::move(*loaded));
+          std::printf("  loaded %zu relations\n",
+                      session.catalog().Names().size());
         } else {
           std::printf("  %s\n", loaded.status().ToString().c_str());
         }
@@ -147,7 +145,7 @@ int main() {
       }
       continue;
     }
-    RunQuery(line, catalog, quota_s, d_beta, with_exact, &seed);
+    RunQuery(line, &session, quota_s, d_beta, with_exact, &seed);
   }
   std::printf("\n");
   return 0;

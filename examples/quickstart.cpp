@@ -6,7 +6,7 @@
 
 #include <cstdio>
 
-#include "engine/executor.h"
+#include "api/tcq.h"
 #include "exec/exact.h"
 #include "workload/generators.h"
 
@@ -27,23 +27,24 @@ int main() {
   // 2. The query: COUNT(σ_{key < 2000}(r1)). Any Select / Project / Join /
   //    Intersect / Union / Difference tree works — Union and Difference
   //    are rewritten away by inclusion–exclusion.
-  const ExprPtr& query = workload->query;
+  const ExprPtr query = workload->query;
   std::printf("query : COUNT(%s)\n", query->ToString().c_str());
 
-  // 3. Evaluate it with a hard 5-second quota.
-  ExecutorOptions options;
-  options.strategy.one_at_a_time.d_beta = 24.0;  // overspend-risk margin
-  options.seed = 7;
-  auto result =
-      RunTimeConstrainedCount(query, /*quota_s=*/5.0, workload->catalog,
-                              options);
+  // 3. A session owns the catalog (and the worker pool, if any); evaluate
+  //    the query with a hard 5-second quota via the fluent builder.
+  Session session(std::move(workload->catalog));
+  auto result = session.Query(query)
+                    .WithQuota(5.0)
+                    .WithRiskMargin(24.0)  // overspend-risk margin d_β
+                    .WithSeed(7)
+                    .Run();
   if (!result.ok()) {
     std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
     return 1;
   }
 
   // 4. The answer, and how it was produced.
-  auto exact = ExactCount(query, workload->catalog);
+  auto exact = ExactCount(query, session.catalog());
   std::printf("estimate: %.1f   (exact: %lld)\n", result->estimate,
               static_cast<long long>(*exact));
   std::printf("95%% CI : [%.1f, %.1f]\n", result->ci.lo, result->ci.hi);

@@ -14,17 +14,17 @@
 
 #include <cstdio>
 
-#include "engine/executor.h"
+#include "api/tcq.h"
 #include "exec/exact.h"
 #include "workload/generators.h"
 
 int main() {
   using namespace tcq;
 
-  Catalog catalog;
+  Session session;
   // Sensor readings: key = reading value in [0, 1000).
   auto sensors = MakeUniformRelation("sensors", 10000, 1000, /*seed=*/99);
-  if (sensors == nullptr || !catalog.Register(sensors).ok()) return 1;
+  if (sensors == nullptr || !session.Register(sensors).ok()) return 1;
 
   const double kCycleBudgetS = 2.0;
   std::printf(
@@ -41,18 +41,18 @@ int main() {
     auto query = Select(
         Scan("sensors"), CmpLiteral("key", CompareOp::kGt, threshold));
 
-    ExecutorOptions options;
-    options.strategy.one_at_a_time.d_beta = 24.0;
-    options.deadline_mode = DeadlineMode::kHard;
-    options.seed = 1000 + static_cast<uint64_t>(cycle);
-    auto result =
-        RunTimeConstrainedCount(query, kCycleBudgetS, catalog, options);
+    auto result = session.Query(query)
+                      .WithQuota(kCycleBudgetS)
+                      .WithRiskMargin(24.0)
+                      .WithDeadline(DeadlineMode::kHard)
+                      .WithSeed(1000 + static_cast<uint64_t>(cycle))
+                      .Run();
     if (!result.ok()) {
       std::fprintf(stderr, "cycle %d: %s\n", cycle,
                    result.status().ToString().c_str());
       return 1;
     }
-    auto exact = ExactCount(query, catalog);
+    auto exact = ExactCount(query, session.catalog());
     double err = *exact > 0 ? 100.0 * (result->estimate - *exact) / *exact
                             : 0.0;
     double over_ms = 1000.0 * result->overspend_seconds;

@@ -17,7 +17,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "engine/executor.h"
+#include "api/tcq.h"
 #include "exec/exact.h"
 #include "workload/generators.h"
 
@@ -58,7 +58,8 @@ double ExactDuration(const ExprPtr& query, const Catalog& catalog) {
 int main() {
   auto workload = MakeIntersectionWorkload(5000, /*seed=*/31);
   if (!workload.ok()) return 1;
-  const Catalog& catalog = workload->catalog;
+  Session session(std::move(workload->catalog));
+  const Catalog& catalog = session.catalog();
 
   // Build 40 transactions mixing cheap selections and an intersection.
   Rng rng(2718);
@@ -97,10 +98,11 @@ int main() {
     // Policy 2: fixed quotas per query.
     double quota_duration = 0.0;
     for (const ExprPtr& q : t.queries) {
-      ExecutorOptions options;
-      options.strategy.one_at_a_time.d_beta = 24.0;
-      options.seed = static_cast<uint64_t>(t.id) * 101 + 17;
-      auto r = RunTimeConstrainedCount(q, kQueryQuota, catalog, options);
+      auto r = session.Query(q)
+                   .WithQuota(kQueryQuota)
+                   .WithRiskMargin(24.0)
+                   .WithSeed(static_cast<uint64_t>(t.id) * 101 + 17)
+                   .Run();
       if (!r.ok()) return 1;
       quota_duration += r->elapsed_seconds;
       auto exact = ExactCount(q, catalog);

@@ -1,0 +1,85 @@
+#include "api/tcq.h"
+
+#include <cctype>
+
+#include "ra/parser.h"
+
+namespace tcq {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Strips an optional COUNT( ... ) wrapper (case-insensitive) when the
+/// opening parenthesis matches the text's final character; otherwise the
+/// text is returned untouched and handed to the RA parser as-is.
+std::string_view StripCountWrapper(std::string_view text) {
+  std::string_view t = Trim(text);
+  constexpr std::string_view kCount = "COUNT";
+  if (t.size() <= kCount.size()) return t;
+  for (size_t i = 0; i < kCount.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(t[i])) != kCount[i]) {
+      return t;
+    }
+  }
+  std::string_view rest = Trim(t.substr(kCount.size()));
+  if (rest.size() < 2 || rest.front() != '(' || rest.back() != ')') return t;
+  // The opening parenthesis must close at the very end, so e.g. a future
+  // "COUNT(a) op COUNT(b)" form is not mangled.
+  int depth = 0;
+  for (size_t i = 0; i < rest.size(); ++i) {
+    if (rest[i] == '(') ++depth;
+    if (rest[i] == ')' && --depth == 0 && i + 1 != rest.size()) return t;
+  }
+  if (depth != 0) return t;
+  return Trim(rest.substr(1, rest.size() - 2));
+}
+
+}  // namespace
+
+QueryBuilder Session::Query(std::string_view text) {
+  Result<ExprPtr> parsed = ParseQuery(StripCountWrapper(text));
+  if (!parsed.ok()) {
+    return QueryBuilder(this, nullptr, parsed.status(), options_.defaults,
+                        options_.threads);
+  }
+  return QueryBuilder(this, std::move(*parsed), Status::OK(),
+                      options_.defaults, options_.threads);
+}
+
+QueryBuilder Session::Query(ExprPtr expr) {
+  Status status = expr == nullptr
+                      ? Status::InvalidArgument("null query expression")
+                      : Status::OK();
+  return QueryBuilder(this, std::move(expr), std::move(status),
+                      options_.defaults, options_.threads);
+}
+
+ThreadPool* Session::EnsurePool(int threads) {
+  if (threads <= 1) return nullptr;
+  const int workers = threads - 1;
+  if (pool_ == nullptr || pool_->workers() != workers) {
+    pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  return pool_.get();
+}
+
+Result<QueryResult> QueryBuilder::Run() {
+  TCQ_RETURN_NOT_OK(parse_status_);
+  ExecutorOptions options = options_;
+  options.threads = threads_;
+  TCQ_RETURN_NOT_OK(options.Validate());
+  options.pool = session_->EnsurePool(threads_);
+  return RunTimeConstrainedAggregate(expr_, aggregate_, quota_s_,
+                                     session_->catalog(), options);
+}
+
+}  // namespace tcq

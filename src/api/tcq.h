@@ -1,0 +1,201 @@
+#ifndef TCQ_API_TCQ_H_
+#define TCQ_API_TCQ_H_
+
+/// Public façade of the library: a `Session` owning the catalog and the
+/// execution thread pool, and a fluent `QueryBuilder` for one-off
+/// time-constrained aggregate queries:
+///
+///   tcq::Session session;
+///   TCQ_RETURN_NOT_OK(session.Register(orders));
+///   auto result = session.Query("COUNT(SELECT[amount >= 100](orders))")
+///                     .WithQuota(2.0)
+///                     .WithThreads(8)
+///                     .WithConfidence(0.95)
+///                     .Run();
+///
+/// The free functions in engine/executor.h remain available for callers
+/// that manage their own Catalog and options.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "engine/executor.h"
+#include "parallel/thread_pool.h"
+#include "ra/expr.h"
+#include "storage/relation.h"
+#include "util/result.h"
+
+namespace tcq {
+
+class Session;
+
+/// Fluent configuration of one time-constrained aggregate query. Obtained
+/// from Session::Query; every `With*` returns *this for chaining and
+/// `Run()` executes. The builder starts from the session's default
+/// options, so per-query settings override session-wide ones.
+class QueryBuilder {
+ public:
+  /// Time quota in (simulated or wall-clock) seconds. Default 5.
+  QueryBuilder& WithQuota(double seconds) {
+    quota_s_ = seconds;
+    return *this;
+  }
+  /// Execution width, counting the calling thread; the session's shared
+  /// pool is (re)sized to serve it. Estimates are bit-identical for any
+  /// value at the same seed.
+  QueryBuilder& WithThreads(int threads) {
+    threads_ = threads;
+    return *this;
+  }
+  /// Confidence level of the reported interval, in (0, 1).
+  QueryBuilder& WithConfidence(double level) {
+    options_.confidence = level;
+    return *this;
+  }
+  QueryBuilder& WithSeed(uint64_t seed) {
+    options_.seed = seed;
+    return *this;
+  }
+  /// Overspend-risk margin d_β of the default One-at-a-Time strategy
+  /// (use WithStrategy for the other strategies' parameters).
+  QueryBuilder& WithRiskMargin(double d_beta) {
+    options_.strategy.one_at_a_time.d_beta = d_beta;
+    return *this;
+  }
+  QueryBuilder& WithStrategy(const StrategyConfig& strategy) {
+    options_.strategy = strategy;
+    return *this;
+  }
+  QueryBuilder& WithDeadline(DeadlineMode mode) {
+    options_.deadline_mode = mode;
+    return *this;
+  }
+  QueryBuilder& WithFulfillment(Fulfillment fulfillment) {
+    options_.fulfillment = fulfillment;
+    return *this;
+  }
+  /// §5.B hybrid: spend residual time on partial-fulfillment stages once
+  /// no full stage fits.
+  QueryBuilder& WithFinalPartialStages(bool on = true) {
+    options_.final_partial_stages = on;
+    return *this;
+  }
+  /// Error-constrained stopping (§3.2): stop early once the interval is
+  /// tight enough.
+  QueryBuilder& WithPrecision(const PrecisionStop& precision) {
+    options_.precision = precision;
+    return *this;
+  }
+  /// Run against real elapsed time instead of the simulator.
+  QueryBuilder& WithWallClock(bool on = true) {
+    options_.use_wall_clock = on;
+    return *this;
+  }
+  QueryBuilder& WithCostModel(const CostModel& model) {
+    options_.physical = model;
+    return *this;
+  }
+  QueryBuilder& WithMaxStages(int max_stages) {
+    options_.max_stages = max_stages;
+    return *this;
+  }
+  /// Escape hatch: arbitrary edits to the underlying ExecutorOptions.
+  QueryBuilder& With(const std::function<void(ExecutorOptions*)>& edit) {
+    edit(&options_);
+    return *this;
+  }
+
+  /// Aggregate selection; COUNT is the default.
+  QueryBuilder& Count() {
+    aggregate_ = AggregateSpec::Count();
+    return *this;
+  }
+  QueryBuilder& Sum(std::string column) {
+    aggregate_ = AggregateSpec::Sum(std::move(column));
+    return *this;
+  }
+  QueryBuilder& Avg(std::string column) {
+    aggregate_ = AggregateSpec::Avg(std::move(column));
+    return *this;
+  }
+
+  /// Executes the query against the session's catalog and pool.
+  Result<QueryResult> Run();
+
+ private:
+  friend class Session;
+  QueryBuilder(Session* session, ExprPtr expr, Status parse_status,
+               ExecutorOptions options, int threads)
+      : session_(session),
+        expr_(std::move(expr)),
+        parse_status_(std::move(parse_status)),
+        options_(std::move(options)),
+        threads_(threads) {}
+
+  Session* session_;
+  ExprPtr expr_;
+  Status parse_status_;  // non-OK when Query(text) failed to parse
+  ExecutorOptions options_;
+  AggregateSpec aggregate_;
+  double quota_s_ = 5.0;
+  int threads_;
+};
+
+/// Owns a Catalog and the worker pool queries execute on. Sessions are
+/// cheap to create; keep one alive across queries to reuse the pool and
+/// the registered relations. Not thread-safe: run one query at a time per
+/// session (one query already uses every configured worker).
+class Session {
+ public:
+  struct Options {
+    /// Default execution width of queries (QueryBuilder::WithThreads
+    /// overrides per query). 1 = serial.
+    int threads = 1;
+    /// Per-query option defaults (seed, strategy, cost model, ...).
+    ExecutorOptions defaults;
+  };
+
+  Session() = default;
+  explicit Session(Options options) : options_(std::move(options)) {}
+  explicit Session(Catalog catalog) : catalog_(std::move(catalog)) {}
+  Session(Catalog catalog, Options options)
+      : catalog_(std::move(catalog)), options_(std::move(options)) {}
+
+  /// Registers a relation under its own name; AlreadyExists on duplicates.
+  Status Register(RelationPtr relation) {
+    return catalog_.Register(std::move(relation));
+  }
+  /// Replaces the whole catalog (e.g. after LoadCatalog).
+  void ResetCatalog(Catalog catalog) { catalog_ = std::move(catalog); }
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Starts a query from the prototype's relational-algebra text (see
+  /// ra/parser.h for the grammar), optionally wrapped in COUNT(...):
+  /// "COUNT(SELECT[key < 2000](r1))" and "SELECT[key < 2000](r1)" are
+  /// equivalent. Parse errors surface from Run().
+  QueryBuilder Query(std::string_view text);
+  /// Starts a query from an expression tree.
+  QueryBuilder Query(ExprPtr expr);
+
+ private:
+  friend class QueryBuilder;
+
+  /// Returns the shared pool sized for `threads` execution width (null
+  /// for serial). The pool is created lazily and recreated only when a
+  /// query asks for a different width.
+  ThreadPool* EnsurePool(int threads);
+
+  Catalog catalog_;
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_API_TCQ_H_

@@ -26,9 +26,47 @@ std::string_view CostStepName(CostStep step) {
   return "unknown";
 }
 
+bool StepParallelizable(CostStep step) {
+  switch (step) {
+    case CostStep::kFetch:
+    case CostStep::kFilter:
+    case CostStep::kTempWrite:
+    case CostStep::kSort:
+    case CostStep::kMerge:
+    case CostStep::kOutput:
+      return true;
+    case CostStep::kSetup:
+    case CostStep::kNumSteps:
+      break;
+  }
+  return false;
+}
+
 AdaptiveCostModel::AdaptiveCostModel(const CostModel& physical,
                                      Options options)
-    : options_(options), physical_(physical) {}
+    : options_(options),
+      physical_(physical),
+      efficiency_(physical.parallel_efficiency) {}
+
+double AdaptiveCostModel::ParallelSpeedup(CostStep step) const {
+  if (physical_.workers <= 1 || !StepParallelizable(step)) return 1.0;
+  double s = 1.0 + efficiency_ * static_cast<double>(physical_.workers - 1);
+  return s >= 1.0 ? s : 1.0;
+}
+
+void AdaptiveCostModel::ObserveParallelism(double work_seconds,
+                                           double span_seconds) {
+  if (!options_.adaptive) return;
+  if (physical_.workers <= 1) return;
+  if (work_seconds <= 0.0 || span_seconds <= 0.0) return;
+  double speedup = work_seconds / span_seconds;
+  double observed =
+      (speedup - 1.0) / static_cast<double>(physical_.workers - 1);
+  if (observed < 0.0) observed = 0.0;
+  if (observed > 1.0) observed = 1.0;
+  efficiency_ =
+      (1.0 - options_.ewma) * efficiency_ + options_.ewma * observed;
+}
 
 double AdaptiveCostModel::Initial(CostStep step) const {
   const double scale = options_.initial_scale;
@@ -58,7 +96,7 @@ double AdaptiveCostModel::Initial(CostStep step) const {
 double AdaptiveCostModel::Coef(int node_id, CostStep step) const {
   auto it = coefs_.find({node_id, static_cast<int>(step)});
   if (it != coefs_.end()) return it->second;
-  return Initial(step);
+  return Initial(step) / ParallelSpeedup(step);
 }
 
 void AdaptiveCostModel::Observe(int node_id, CostStep step, double units,

@@ -26,6 +26,11 @@ enum class CostStep {
 
 std::string_view CostStepName(CostStep step);
 
+/// True for steps whose work the engine fans out across pool workers
+/// (block fetches per relation; filter/write/sort/merge/output per term,
+/// merge pair, or partition). Per-stage setup work stays serial.
+bool StepParallelizable(CostStep step);
+
 /// Node id used for coefficients not tied to one operator (block fetches,
 /// per-stage overhead), maintained by the engine.
 inline constexpr int kGlobalCostNode = -1;
@@ -61,19 +66,42 @@ class AdaptiveCostModel {
       : AdaptiveCostModel(physical, Options()) {}
 
   /// Current coefficient (seconds per basis unit) for a node's step.
+  ///
+  /// Parallelism-aware: while a (node, step) pair is still unobserved, the
+  /// physically derived initial value — which describes *serial* work — is
+  /// divided by the current parallel speedup for parallelizable steps, so
+  /// that Sample-Size-Determine plans stage fractions sized for what W
+  /// workers can actually evaluate instead of under-filling the quota.
+  /// Once observations arrive they are used as-is: in wall-clock mode the
+  /// measured step times are spans of the parallel execution, so fitted
+  /// coefficients absorb the realized parallelism automatically.
   double Coef(int node_id, CostStep step) const;
 
   /// Feeds one realized (units, seconds) observation; no-op when units are
   /// non-positive or the model is not adaptive.
   void Observe(int node_id, CostStep step, double units, double seconds);
 
+  /// Feeds one stage's realized parallel work (Σ task seconds) and span
+  /// (elapsed seconds of the parallel section): re-fits the efficiency
+  /// coefficient η of the speedup model S(W) = 1 + η·(W−1) by EWMA from
+  /// the observed speedup work/span. No-op with W ≤ 1 or degenerate
+  /// inputs.
+  void ObserveParallelism(double work_seconds, double span_seconds);
+
+  /// Predicted speedup of `step` under the current (W, η); 1 for serial
+  /// steps and for W = 1.
+  double ParallelSpeedup(CostStep step) const;
+
   bool adaptive() const { return options_.adaptive; }
+  int workers() const { return physical_.workers; }
+  double efficiency() const { return efficiency_; }
 
  private:
   double Initial(CostStep step) const;
 
   Options options_;
   CostModel physical_;
+  double efficiency_;
   std::map<std::pair<int, int>, double> coefs_;
 };
 

@@ -1,9 +1,12 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <functional>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "cost/predictor.h"
 #include "sampling/block_sampler.h"
@@ -32,6 +35,12 @@ std::unique_ptr<TimeControlStrategy> MakeStrategy(
 }
 
 namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 /// The current estimate of one term (cluster estimator, or guarded
 /// Goodman for projection roots).
@@ -81,6 +90,27 @@ CountEstimate EstimateTerm(const StagedTermEvaluator& ev) {
 
 }  // namespace
 
+Status ExecutorOptions::Validate() const {
+  if (!(epsilon_s > 0.0 && epsilon_s < 1.0)) {
+    return Status::InvalidArgument(
+        "epsilon_s must lie in (0, 1); got " + std::to_string(epsilon_s));
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument(
+        "confidence must lie in (0, 1); got " + std::to_string(confidence));
+  }
+  if (threads < 1) {
+    return Status::InvalidArgument(
+        "threads must be >= 1 (it counts the calling thread); got " +
+        std::to_string(threads));
+  }
+  if (max_stages < 1) {
+    return Status::InvalidArgument("max_stages must be >= 1; got " +
+                                   std::to_string(max_stages));
+  }
+  return Status::OK();
+}
+
 Result<QueryResult> RunTimeConstrainedCount(const ExprPtr& expr,
                                             double quota_s,
                                             const Catalog& catalog,
@@ -92,6 +122,7 @@ Result<QueryResult> RunTimeConstrainedCount(const ExprPtr& expr,
 Result<QueryResult> RunTimeConstrainedAggregate(
     const ExprPtr& expr, const AggregateSpec& aggregate, double quota_s,
     const Catalog& catalog, const ExecutorOptions& options) {
+  TCQ_RETURN_NOT_OK(options.Validate());
   if (quota_s <= 0.0) {
     return Status::InvalidArgument("time quota must be positive");
   }
@@ -120,7 +151,23 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     ledger.AttachNoise(&noise_rng, options.physical.stage_speed_cv,
                        options.physical.block_read_jitter);
   }
-  AdaptiveCostModel coefs(options.physical, options.cost);
+
+  // Execution pool: `threads` counts the calling thread, so threads = N
+  // creates N - 1 workers; an external pool (tcq::Session) overrides it.
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr && options.threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(options.threads - 1);
+    pool = owned_pool.get();
+  }
+  const int width = pool != nullptr ? pool->width() : 1;
+
+  // The cost model's worker count: virtual time always charges the serial
+  // machine's work (keeping simulated runs bit-identical at any thread
+  // count), so only wall-clock planning sees the real width.
+  CostModel physical = options.physical;
+  physical.workers = wall ? width : 1;
+  AdaptiveCostModel coefs(physical, options.cost);
   std::unique_ptr<TimeControlStrategy> strategy =
       MakeStrategy(options.strategy);
 
@@ -167,18 +214,26 @@ Result<QueryResult> RunTimeConstrainedAggregate(
   }
 
   // Build one staged evaluator per term; collect the relations involved.
+  // Each term charges a private clockless ledger so the evaluators can run
+  // on separate workers without racing on the shared clock or noise
+  // stream; the engine folds every term's charges into the virtual clock
+  // in term order after each stage's barrier.
   std::vector<std::unique_ptr<StagedTermEvaluator>> evaluators;
+  std::vector<std::unique_ptr<CostLedger>> term_ledgers;
   std::vector<int> signs;
   std::map<std::string, std::unique_ptr<BlockSampler>> samplers;
   for (const SignedTerm& term : terms) {
+    term_ledgers.push_back(std::make_unique<CostLedger>());
     TCQ_ASSIGN_OR_RETURN(
         auto ev, StagedTermEvaluator::Create(term.expr, catalog,
-                                             options.fulfillment, &ledger,
-                                             options.physical));
+                                             options.fulfillment,
+                                             term_ledgers.back().get(),
+                                             physical));
     if (value_col >= 0) {
       TCQ_RETURN_NOT_OK(ev->TrackValueColumn(value_col));
     }
     if (wall) ev->MeasureStepsWith(&clock);
+    ev->UseThreadPool(pool);
     std::vector<std::string> scans;
     CollectScans(term.expr, &scans);
     for (const std::string& name : scans) {
@@ -320,30 +375,114 @@ Result<QueryResult> RunTimeConstrainedAggregate(
                     clock.Now() - stage_start);
     }
 
+    // Realized work/span of this stage's fan-out sections (η re-fit).
+    ParallelStats stage_parallel;
+
+    // Parallel block draws: one task per relation, each drawing from its
+    // own deterministic substream derived from (seed, relation, stage).
+    // Ledger charges — which consume the per-block jitter noise — and
+    // coefficient observations happen post-barrier in relation-name
+    // order, so neither depends on the worker count.
     std::map<std::string, std::vector<const Block*>> stage_blocks;
     int64_t blocks_drawn = 0;
-    for (auto& [name, sampler] : samplers) {
-      int64_t d_new = std::min<int64_t>(
-          BlocksForFraction(plan.fraction, sampler->total_blocks()),
-          sampler->remaining_blocks());
-      double fetch_start = clock.Now();
-      auto blocks = sampler->Draw(d_new, &rng);
-      blocks_drawn += static_cast<int64_t>(blocks.size());
-      if (!wall) {
-        ledger.ChargeN(CostCategory::kBlockRead,
-                       static_cast<int64_t>(blocks.size()),
-                       options.physical.block_read_s);
+    {
+      struct DrawSlot {
+        std::string name;
+        BlockSampler* sampler = nullptr;
+        int64_t count = 0;
+        std::vector<const Block*> blocks;
+        double seconds = 0.0;
+      };
+      std::vector<DrawSlot> draws;
+      draws.reserve(samplers.size());
+      for (auto& [name, sampler] : samplers) {
+        DrawSlot slot;
+        slot.name = name;
+        slot.sampler = sampler.get();
+        slot.count = std::min<int64_t>(
+            BlocksForFraction(plan.fraction, sampler->total_blocks()),
+            sampler->remaining_blocks());
+        draws.push_back(std::move(slot));
       }
-      coefs.Observe(kGlobalCostNode, CostStep::kFetch,
-                    static_cast<double>(blocks.size()),
-                    wall ? clock.Now() - fetch_start
-                         : static_cast<double>(blocks.size()) *
-                               options.physical.block_read_s);
-      stage_blocks[name] = std::move(blocks);
+      const uint64_t seed = options.seed;
+      const uint64_t stage_idx = static_cast<uint64_t>(stage);
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(draws.size());
+      for (DrawSlot& slot : draws) {
+        DrawSlot* sp = &slot;
+        tasks.push_back([sp, seed, stage_idx] {
+          auto start = std::chrono::steady_clock::now();
+          sp->blocks = sp->sampler->DrawSubstream(sp->count, seed, stage_idx);
+          sp->seconds = SecondsSince(start);
+        });
+      }
+      auto section_start = std::chrono::steady_clock::now();
+      RunTasks(pool, &tasks);
+      stage_parallel.span_seconds += SecondsSince(section_start);
+      stage_parallel.tasks += static_cast<int>(tasks.size());
+      for (DrawSlot& slot : draws) {
+        stage_parallel.work_seconds += slot.seconds;
+        blocks_drawn += static_cast<int64_t>(slot.blocks.size());
+        if (!wall) {
+          ledger.ChargeN(CostCategory::kBlockRead,
+                         static_cast<int64_t>(slot.blocks.size()),
+                         options.physical.block_read_s);
+        }
+        coefs.Observe(kGlobalCostNode, CostStep::kFetch,
+                      static_cast<double>(slot.blocks.size()),
+                      wall ? slot.seconds
+                           : static_cast<double>(slot.blocks.size()) *
+                                 options.physical.block_read_s);
+        stage_blocks[slot.name] = std::move(slot.blocks);
+      }
     }
-    for (auto& ev : evaluators) {
-      TCQ_RETURN_NOT_OK(ev->ExecuteStageWithMode(stage_blocks, current_mode));
-      ObserveTermStage(*ev, &coefs);
+
+    // Parallel term evaluation: every inclusion–exclusion term runs as
+    // its own task (each term's merge pairs fan out further inside the
+    // evaluator). Term ledgers are synced to this stage's machine-speed
+    // factor up front; statuses, clock advancement, and coefficient
+    // re-fits reduce in term order after the barrier.
+    std::vector<double> term_prev_totals(evaluators.size(), 0.0);
+    for (size_t t = 0; t < evaluators.size(); ++t) {
+      term_ledgers[t]->SetStageFactor(ledger.current_stage_factor());
+      term_prev_totals[t] = term_ledgers[t]->GrandTotal();
+    }
+    {
+      std::vector<Status> statuses(evaluators.size());
+      std::vector<double> durs(evaluators.size(), 0.0);
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(evaluators.size());
+      for (size_t t = 0; t < evaluators.size(); ++t) {
+        StagedTermEvaluator* ev = evaluators[t].get();
+        Status* status = &statuses[t];
+        double* dur = &durs[t];
+        const auto* blocks = &stage_blocks;
+        const Fulfillment mode = current_mode;
+        tasks.push_back([ev, status, dur, blocks, mode] {
+          auto start = std::chrono::steady_clock::now();
+          *status = ev->ExecuteStageWithMode(*blocks, mode);
+          *dur = SecondsSince(start);
+        });
+      }
+      auto section_start = std::chrono::steady_clock::now();
+      RunTasks(pool, &tasks);
+      stage_parallel.span_seconds += SecondsSince(section_start);
+      stage_parallel.tasks += static_cast<int>(tasks.size());
+      for (size_t t = 0; t < evaluators.size(); ++t) {
+        TCQ_RETURN_NOT_OK(statuses[t]);
+        stage_parallel.work_seconds += durs[t];
+      }
+    }
+    for (size_t t = 0; t < evaluators.size(); ++t) {
+      double delta = term_ledgers[t]->GrandTotal() - term_prev_totals[t];
+      if (!wall && delta > 0.0) virtual_clock.Advance(delta);
+      ObserveTermStage(*evaluators[t], &coefs);
+    }
+    if (wall) {
+      // Re-fit the parallel-efficiency coefficient η from the realized
+      // speedup of this stage's fan-out sections.
+      coefs.ObserveParallelism(stage_parallel.work_seconds,
+                               stage_parallel.span_seconds);
     }
     double stage_end = clock.Now();
     double actual = stage_end - stage_start;

@@ -8,6 +8,7 @@
 #include "cost/adaptive_model.h"
 #include "estimator/count_estimator.h"
 #include "exec/staged.h"
+#include "parallel/thread_pool.h"
 #include "ra/expr.h"
 #include "sim/cost_model.h"
 #include "storage/relation.h"
@@ -59,6 +60,23 @@ struct ExecutorOptions {
   /// initial coefficients (re-fitted from real measurements after
   /// stage 1). Sampling stays reproducible; timing does not.
   bool use_wall_clock = false;
+  /// Execution width of the stage loop, counting the calling thread: the
+  /// per-relation block draws, the inclusion–exclusion term evaluators,
+  /// and the merge-pair partitions inside each evaluator fan out across
+  /// `threads - 1` pool workers plus the caller (see DESIGN.md "Threading
+  /// model"). Estimates are bit-identical for any value at the same seed;
+  /// in wall-clock mode the cost model additionally plans stage fractions
+  /// sized for the parallel throughput.
+  int threads = 1;
+  /// Shared pool to run on instead of creating a per-run one (not owned;
+  /// e.g. tcq::Session's). When set it defines the execution width and
+  /// `threads` is ignored.
+  ThreadPool* pool = nullptr;
+
+  /// Rejects nonsense configurations: epsilon_s or confidence outside
+  /// (0, 1), threads < 1, max_stages < 1. The Run* entry points call this
+  /// before touching any data.
+  Status Validate() const;
 };
 
 /// What happened during one stage (Figure 3.1's while-loop body).

@@ -81,23 +81,28 @@ void ChargeTempWrite(const Schema& schema, int64_t num_tuples,
   }
 }
 
-void SortRun(std::vector<Tuple>* tuples, const std::vector<int>& key,
-             CostLedger* ledger, const CostModel& model,
-             StepMetrics* metrics) {
-  int64_t comparisons = 0;
+void SortRunRange(std::vector<Tuple>* tuples, const std::vector<int>& key,
+                  int64_t* comparisons) {
   if (key.empty()) {
     std::sort(tuples->begin(), tuples->end(),
-              [&comparisons](const Tuple& a, const Tuple& b) {
-                ++comparisons;
+              [comparisons](const Tuple& a, const Tuple& b) {
+                ++*comparisons;
                 return CompareTuples(a, b) < 0;
               });
   } else {
     std::sort(tuples->begin(), tuples->end(),
-              [&comparisons, &key](const Tuple& a, const Tuple& b) {
-                ++comparisons;
+              [comparisons, &key](const Tuple& a, const Tuple& b) {
+                ++*comparisons;
                 return CompareTuplesOnKey(a, b, key) < 0;
               });
   }
+}
+
+void SortRun(std::vector<Tuple>* tuples, const std::vector<int>& key,
+             CostLedger* ledger, const CostModel& model,
+             StepMetrics* metrics) {
+  int64_t comparisons = 0;
+  SortRunRange(tuples, key, &comparisons);
   ChargeScope charge(ledger, metrics);
   charge.ChargeN(CostCategory::kSortCompare, comparisons,
                  model.sort_compare_s);
@@ -108,17 +113,13 @@ void SortRun(std::vector<Tuple>* tuples, const std::vector<int>& key,
   }
 }
 
-std::vector<Tuple> MergeIntersect(const std::vector<Tuple>& left,
-                                  const std::vector<Tuple>& right,
-                                  const Schema& schema, CostLedger* ledger,
-                                  const CostModel& model,
-                                  OpMetrics* metrics) {
-  StepMetrics* process = metrics != nullptr ? &metrics->process : nullptr;
+std::vector<Tuple> MergeIntersectRange(std::span<const Tuple> left,
+                                       std::span<const Tuple> right,
+                                       int64_t* comparisons) {
   std::vector<Tuple> out;
-  int64_t comparisons = 0;
   size_t i = 0, j = 0;
   while (i < left.size() && j < right.size()) {
-    ++comparisons;
+    ++*comparisons;
     int c = CompareTuples(left[i], right[j]);
     if (c < 0) {
       ++i;
@@ -128,13 +129,13 @@ std::vector<Tuple> MergeIntersect(const std::vector<Tuple>& left,
       // Equal group: emit one output point per (left, right) pair.
       size_t i_end = i + 1;
       while (i_end < left.size()) {
-        ++comparisons;
+        ++*comparisons;
         if (CompareTuples(left[i_end], left[i]) != 0) break;
         ++i_end;
       }
       size_t j_end = j + 1;
       while (j_end < right.size()) {
-        ++comparisons;
+        ++*comparisons;
         if (CompareTuples(right[j_end], right[j]) != 0) break;
         ++j_end;
       }
@@ -148,6 +149,122 @@ std::vector<Tuple> MergeIntersect(const std::vector<Tuple>& left,
       j = j_end;
     }
   }
+  return out;
+}
+
+std::vector<Tuple> MergeJoinRange(std::span<const Tuple> left,
+                                  const std::vector<int>& left_key,
+                                  std::span<const Tuple> right,
+                                  const std::vector<int>& right_key,
+                                  int64_t* comparisons) {
+  assert(left_key.size() == right_key.size());
+  std::vector<Tuple> out;
+  auto cmp_lr = [&](const Tuple& a, const Tuple& b) {
+    ++*comparisons;
+    for (size_t k = 0; k < left_key.size(); ++k) {
+      int c = CompareValues(a[static_cast<size_t>(left_key[k])],
+                            b[static_cast<size_t>(right_key[k])]);
+      if (c != 0) return c;
+    }
+    return 0;
+  };
+  size_t i = 0, j = 0;
+  while (i < left.size() && j < right.size()) {
+    int c = cmp_lr(left[i], right[j]);
+    if (c < 0) {
+      ++i;
+    } else if (c > 0) {
+      ++j;
+    } else {
+      size_t i_end = i + 1;
+      while (i_end < left.size()) {
+        ++*comparisons;
+        if (CompareTuplesOnKey(left[i_end], left[i], left_key) != 0) break;
+        ++i_end;
+      }
+      size_t j_end = j + 1;
+      while (j_end < right.size()) {
+        ++*comparisons;
+        if (CompareTuplesOnKey(right[j_end], right[j], right_key) != 0) break;
+        ++j_end;
+      }
+      for (size_t a = i; a < i_end; ++a) {
+        for (size_t b = j; b < j_end; ++b) {
+          Tuple joined = left[a];
+          joined.insert(joined.end(), right[b].begin(), right[b].end());
+          out.push_back(std::move(joined));
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> PartitionSortedRun(const std::vector<Tuple>& run,
+                                       const std::vector<int>& key,
+                                       size_t max_parts, size_t min_chunk) {
+  const size_t n = run.size();
+  if (min_chunk == 0) min_chunk = 1;
+  size_t parts = min_chunk > 0 ? n / min_chunk : n;
+  if (parts > max_parts) parts = max_parts;
+  if (parts < 1) parts = 1;
+  std::vector<size_t> bounds;
+  bounds.push_back(0);
+  auto same_group = [&](const Tuple& a, const Tuple& b) {
+    return key.empty() ? CompareTuples(a, b) == 0
+                       : CompareTuplesOnKey(a, b, key) == 0;
+  };
+  for (size_t p = 1; p < parts; ++p) {
+    size_t target = p * n / parts;
+    // Advance to the start of the next key group so equal keys stay in
+    // one chunk.
+    while (target < n && target > 0 &&
+           same_group(run[target - 1], run[target])) {
+      ++target;
+    }
+    if (target > bounds.back() && target < n) bounds.push_back(target);
+  }
+  bounds.push_back(n);
+  return bounds;
+}
+
+size_t LowerBoundCrossKey(std::span<const Tuple> run,
+                          const std::vector<int>& run_key, const Tuple& probe,
+                          const std::vector<int>& probe_key) {
+  auto cmp = [&](const Tuple& elem) {
+    if (run_key.empty()) return CompareTuples(elem, probe);
+    int c = 0;
+    for (size_t k = 0; k < run_key.size(); ++k) {
+      c = CompareValues(elem[static_cast<size_t>(run_key[k])],
+                        probe[static_cast<size_t>(probe_key[k])]);
+      if (c != 0) break;
+    }
+    return c;
+  };
+  size_t lo = 0, hi = run.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (cmp(run[mid]) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<Tuple> MergeIntersect(const std::vector<Tuple>& left,
+                                  const std::vector<Tuple>& right,
+                                  const Schema& schema, CostLedger* ledger,
+                                  const CostModel& model,
+                                  OpMetrics* metrics) {
+  StepMetrics* process = metrics != nullptr ? &metrics->process : nullptr;
+  int64_t comparisons = 0;
+  std::vector<Tuple> out = MergeIntersectRange(
+      std::span<const Tuple>(left), std::span<const Tuple>(right),
+      &comparisons);
   ChargeScope charge(ledger, process);
   charge.ChargeN(CostCategory::kMergeCompare, comparisons,
                  model.merge_compare_s);
@@ -171,48 +288,10 @@ std::vector<Tuple> MergeJoin(const std::vector<Tuple>& left,
   assert(left_key.size() == right_key.size());
   StepMetrics* process = metrics != nullptr ? &metrics->process : nullptr;
   Schema out_schema = left_schema.ConcatForJoin(right_schema);
-  std::vector<Tuple> out;
   int64_t comparisons = 0;
-  auto cmp_lr = [&](const Tuple& a, const Tuple& b) {
-    ++comparisons;
-    for (size_t k = 0; k < left_key.size(); ++k) {
-      int c = CompareValues(a[static_cast<size_t>(left_key[k])],
-                            b[static_cast<size_t>(right_key[k])]);
-      if (c != 0) return c;
-    }
-    return 0;
-  };
-  size_t i = 0, j = 0;
-  while (i < left.size() && j < right.size()) {
-    int c = cmp_lr(left[i], right[j]);
-    if (c < 0) {
-      ++i;
-    } else if (c > 0) {
-      ++j;
-    } else {
-      size_t i_end = i + 1;
-      while (i_end < left.size()) {
-        ++comparisons;
-        if (CompareTuplesOnKey(left[i_end], left[i], left_key) != 0) break;
-        ++i_end;
-      }
-      size_t j_end = j + 1;
-      while (j_end < right.size()) {
-        ++comparisons;
-        if (CompareTuplesOnKey(right[j_end], right[j], right_key) != 0) break;
-        ++j_end;
-      }
-      for (size_t a = i; a < i_end; ++a) {
-        for (size_t b = j; b < j_end; ++b) {
-          Tuple joined = left[a];
-          joined.insert(joined.end(), right[b].begin(), right[b].end());
-          out.push_back(std::move(joined));
-        }
-      }
-      i = i_end;
-      j = j_end;
-    }
-  }
+  std::vector<Tuple> out =
+      MergeJoinRange(std::span<const Tuple>(left), left_key,
+                     std::span<const Tuple>(right), right_key, &comparisons);
   ChargeScope charge(ledger, process);
   charge.ChargeN(CostCategory::kMergeCompare, comparisons,
                  model.merge_compare_s);

@@ -2,6 +2,7 @@
 #define TCQ_EXEC_OPERATORS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "exec/tuple_set.h"
@@ -54,6 +55,56 @@ void ChargeTempWrite(const Schema& schema, int64_t num_tuples,
 void SortRun(std::vector<Tuple>* tuples, const std::vector<int>& key,
              CostLedger* ledger, const CostModel& model,
              StepMetrics* metrics);
+
+/// ---- Merge kernels ------------------------------------------------------
+///
+/// The raw sorted-run merge logic, exposed over index ranges so the staged
+/// evaluator can partition one merge across pool workers: a left run is
+/// split at key-group boundaries (PartitionSortedRun), each chunk merges
+/// against its right subrange (LowerBoundCrossKey) on its own task, and
+/// the chunk outputs concatenated in chunk order equal the serial merge's
+/// output exactly. The kernels do no cost accounting — they only count
+/// comparisons; callers charge ledgers/metrics from the counts afterwards,
+/// in a fixed order, so results and charges are identical for any worker
+/// count.
+
+/// Sort kernel: sorts `*tuples` in place on `key` (all columns when
+/// empty), appending the comparison count to `*comparisons` (must be
+/// non-null). No cost accounting.
+void SortRunRange(std::vector<Tuple>* tuples, const std::vector<int>& key,
+                  int64_t* comparisons);
+
+/// Merge-join kernel over sorted ranges. Appends the comparison count to
+/// `*comparisons` (must be non-null).
+std::vector<Tuple> MergeJoinRange(std::span<const Tuple> left,
+                                  const std::vector<int>& left_key,
+                                  std::span<const Tuple> right,
+                                  const std::vector<int>& right_key,
+                                  int64_t* comparisons);
+
+/// Merge-intersect kernel over ranges sorted on all columns. Appends the
+/// comparison count to `*comparisons` (must be non-null).
+std::vector<Tuple> MergeIntersectRange(std::span<const Tuple> left,
+                                       std::span<const Tuple> right,
+                                       int64_t* comparisons);
+
+/// Splits a run sorted on `key` (all columns when empty) into at most
+/// `max_parts` contiguous chunks of roughly equal size, each at least
+/// `min_chunk` tuples, with every boundary on a key-group start (equal-key
+/// tuples never straddle chunks). Returns the boundary indices, starting
+/// with 0 and ending with run.size(); size() - 1 is the chunk count.
+/// Depends only on the data — not on the worker count — so a partitioned
+/// evaluation is bit-identical at any parallelism.
+std::vector<size_t> PartitionSortedRun(const std::vector<Tuple>& run,
+                                       const std::vector<int>& key,
+                                       size_t max_parts, size_t min_chunk);
+
+/// First index in `run` (sorted on `run_key`) whose key compares >= the
+/// probe's key (probe read through `probe_key`). Empty keys compare whole
+/// tuples. Binary search; charges nothing.
+size_t LowerBoundCrossKey(std::span<const Tuple> run,
+                          const std::vector<int>& run_key, const Tuple& probe,
+                          const std::vector<int>& probe_key);
 
 /// Merge-intersects two runs sorted on all columns. Each matching group
 /// contributes (left multiplicity × right multiplicity) output tuples —

@@ -1,8 +1,12 @@
 #include "exec/staged.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <functional>
 #include <set>
+#include <span>
+#include <utility>
 
 namespace tcq {
 
@@ -13,6 +17,20 @@ namespace {
 double SortUnits(double n) {
   if (n <= 0) return 0.0;
   return n * std::log2(n + 2.0);
+}
+
+/// Merge-chunk granularity: a sorted left run is split into at most
+/// kMaxMergeChunks pieces of at least kMinMergeChunk tuples each. Both are
+/// constants (never derived from the worker count), so the task list — and
+/// with it every charge — is identical at any parallelism. Small runs stay
+/// one chunk, preserving the exact serial merge arithmetic.
+constexpr size_t kMinMergeChunk = 2048;
+constexpr size_t kMaxMergeChunks = 64;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 }  // namespace
@@ -141,6 +159,7 @@ Status StagedTermEvaluator::ExecuteStageWithMode(
     return Status::InvalidArgument(
         "a full-fulfillment stage cannot follow a partial one");
   }
+  stage_parallel_ = ParallelStats{};
   // Previous per-scan cumulative block counts, for coverage accounting.
   std::vector<const StagedNode*> scan_nodes;
   CollectScanNodes(root_.get(), &scan_nodes);
@@ -385,37 +404,171 @@ Status StagedTermEvaluator::ExecuteNode(
       double t1 = now();
       rec.sort_units = SortUnits(static_cast<double>(new_l.size())) +
                        SortUnits(static_cast<double>(new_r.size()));
-      SortRun(&new_l, is_join ? node->lkey : std::vector<int>{}, ledger_,
-              model_, &rec.sort);
-      SortRun(&new_r, is_join ? node->rkey : std::vector<int>{}, ledger_,
-              model_, &rec.sort);
+      const std::vector<int> lkey =
+          is_join ? node->lkey : std::vector<int>{};
+      const std::vector<int> rkey =
+          is_join ? node->rkey : std::vector<int>{};
+      // Runs the prepared task batch on the pool (inline when none),
+      // recording the section's span and the tasks' summed durations for
+      // the parallel-efficiency fit. Charges never happen inside tasks.
+      auto run_section = [&](std::vector<std::function<void()>>* tasks,
+                             const std::vector<double>* durations) {
+        auto start = std::chrono::steady_clock::now();
+        RunTasks(pool_, tasks);
+        stage_parallel_.span_seconds += SecondsSince(start);
+        for (double d : *durations) stage_parallel_.work_seconds += d;
+        stage_parallel_.tasks += static_cast<int>(tasks->size());
+      };
+      // Steps 1–2 parallel part: the two new runs sort on their own tasks;
+      // the realized comparison counts are charged post-barrier in fixed
+      // (left, right) order, mirroring the serial SortRun sequence.
+      {
+        int64_t sort_comp[2] = {0, 0};
+        std::vector<double> durs(2, 0.0);
+        std::vector<std::function<void()>> tasks;
+        tasks.push_back([&new_l, &lkey, &sort_comp, &durs] {
+          auto start = std::chrono::steady_clock::now();
+          SortRunRange(&new_l, lkey, &sort_comp[0]);
+          durs[0] = SecondsSince(start);
+        });
+        tasks.push_back([&new_r, &rkey, &sort_comp, &durs] {
+          auto start = std::chrono::steady_clock::now();
+          SortRunRange(&new_r, rkey, &sort_comp[1]);
+          durs[1] = SecondsSince(start);
+        });
+        run_section(&tasks, &durs);
+        for (int k = 0; k < 2; ++k) {
+          if (ledger_ != nullptr) {
+            ledger_->ChargeN(CostCategory::kSortCompare, sort_comp[k],
+                             model_.sort_compare_s);
+          }
+          rec.sort.seconds +=
+              model_.sort_compare_s * static_cast<double>(sort_comp[k]);
+          rec.sort.comparisons += sort_comp[k];
+        }
+        rec.sort.in_tuples +=
+            static_cast<int64_t>(new_l.size() + new_r.size());
+        rec.sort.out_tuples +=
+            static_cast<int64_t>(new_l.size() + new_r.size());
+      }
       double t2 = now();
       node->sorted_left.push_back(std::move(new_l));
       node->sorted_right.push_back(std::move(new_r));
 
       // Step 3: merge run pairs. Full fulfillment: every pair whose newest
-      // run is this stage (Figure 4.5). Partial: new×new only.
+      // run is this stage (Figure 4.5). Partial: new×new only. Each pair's
+      // left run is chunked at key-group boundaries and every (pair, chunk)
+      // merges on its own task; chunk outputs concatenated in task order
+      // equal the serial pair-by-pair merge exactly.
+      std::vector<std::pair<size_t, size_t>> pairs;
+      if (mode == Fulfillment::kFull) {
+        for (size_t j = 0; j <= s; ++j) pairs.emplace_back(s, j);
+        for (size_t i = 0; i < s; ++i) pairs.emplace_back(i, s);
+      } else {
+        pairs.emplace_back(s, s);
+      }
+      struct MergeChunk {
+        size_t pair = 0;  // index into `pairs`
+        size_t lbeg = 0, lend = 0, rbeg = 0, rend = 0;
+        std::vector<Tuple> out;
+        int64_t comparisons = 0;
+        double seconds = 0.0;
+      };
+      std::vector<MergeChunk> chunks;
+      for (size_t p = 0; p < pairs.size(); ++p) {
+        const std::vector<Tuple>& lrun = node->sorted_left[pairs[p].first];
+        const std::vector<Tuple>& rrun =
+            node->sorted_right[pairs[p].second];
+        std::vector<size_t> bounds = PartitionSortedRun(
+            lrun, lkey, kMaxMergeChunks, kMinMergeChunk);
+        for (size_t c = 0; c + 1 < bounds.size(); ++c) {
+          MergeChunk chunk;
+          chunk.pair = p;
+          chunk.lbeg = bounds[c];
+          chunk.lend = bounds[c + 1];
+          // First chunk scans the right run from the top and the last to
+          // its end, so a single-chunk pair reproduces the serial merge's
+          // comparison count exactly; interior boundaries are located by
+          // (uncharged) binary search.
+          chunk.rbeg = c == 0 ? 0
+                              : LowerBoundCrossKey(rrun, rkey,
+                                                   lrun[bounds[c]], lkey);
+          chunk.rend = c + 2 == bounds.size()
+                           ? rrun.size()
+                           : LowerBoundCrossKey(rrun, rkey,
+                                                lrun[bounds[c + 1]], lkey);
+          chunks.push_back(std::move(chunk));
+        }
+      }
+      {
+        std::vector<double> durs(chunks.size(), 0.0);
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(chunks.size());
+        for (size_t t = 0; t < chunks.size(); ++t) {
+          MergeChunk* chunk = &chunks[t];
+          const std::vector<Tuple>& lrun =
+              node->sorted_left[pairs[chunk->pair].first];
+          const std::vector<Tuple>& rrun =
+              node->sorted_right[pairs[chunk->pair].second];
+          std::span<const Tuple> lspan(lrun.data() + chunk->lbeg,
+                                       chunk->lend - chunk->lbeg);
+          std::span<const Tuple> rspan(rrun.data() + chunk->rbeg,
+                                       chunk->rend - chunk->rbeg);
+          double* dur = &durs[t];
+          tasks.push_back([chunk, lspan, rspan, is_join, &lkey, &rkey,
+                           dur] {
+            auto start = std::chrono::steady_clock::now();
+            chunk->out =
+                is_join ? MergeJoinRange(lspan, lkey, rspan, rkey,
+                                         &chunk->comparisons)
+                        : MergeIntersectRange(lspan, rspan,
+                                              &chunk->comparisons);
+            *dur = SecondsSince(start);
+          });
+        }
+        run_section(&tasks, &durs);
+      }
+      // Fixed-order reduction: per pair, sum the chunk counts and charge
+      // merge comparisons + output writes exactly as the serial
+      // MergeJoin/MergeIntersect calls did (pages from the pair's total
+      // output, so the chunk count never changes the arithmetic).
       std::vector<Tuple> out;
       OpMetrics om;
-      auto merge_pair = [&](size_t i, size_t j) {
-        std::vector<Tuple> part;
-        if (is_join) {
-          part = MergeJoin(node->sorted_left[i], node->lkey,
-                           node->left->out_schema, node->sorted_right[j],
-                           node->rkey, node->right->out_schema, ledger_,
-                           model_, &om);
-        } else {
-          part = MergeIntersect(node->sorted_left[i], node->sorted_right[j],
-                                node->out_schema, ledger_, model_, &om);
+      size_t ci = 0;
+      for (size_t p = 0; p < pairs.size(); ++p) {
+        int64_t comparisons = 0;
+        int64_t out_tuples = 0;
+        for (; ci < chunks.size() && chunks[ci].pair == p; ++ci) {
+          comparisons += chunks[ci].comparisons;
+          out_tuples += static_cast<int64_t>(chunks[ci].out.size());
+          out.insert(out.end(),
+                     std::make_move_iterator(chunks[ci].out.begin()),
+                     std::make_move_iterator(chunks[ci].out.end()));
         }
-        out.insert(out.end(), std::make_move_iterator(part.begin()),
-                   std::make_move_iterator(part.end()));
-      };
-      if (mode == Fulfillment::kFull) {
-        for (size_t j = 0; j <= s; ++j) merge_pair(s, j);
-        for (size_t i = 0; i < s; ++i) merge_pair(i, s);
-      } else {
-        merge_pair(s, s);
+        const std::vector<Tuple>& lrun = node->sorted_left[pairs[p].first];
+        const std::vector<Tuple>& rrun =
+            node->sorted_right[pairs[p].second];
+        if (ledger_ != nullptr) {
+          ledger_->ChargeN(CostCategory::kMergeCompare, comparisons,
+                           model_.merge_compare_s);
+        }
+        om.process.seconds +=
+            model_.merge_compare_s * static_cast<double>(comparisons);
+        om.process.in_tuples +=
+            static_cast<int64_t>(lrun.size() + rrun.size());
+        om.process.comparisons += comparisons;
+        int64_t pages = PagesFor(node->out_schema, out_tuples);
+        if (ledger_ != nullptr) {
+          ledger_->ChargeN(CostCategory::kTupleMove, out_tuples,
+                           model_.tuple_move_s);
+          ledger_->ChargeN(CostCategory::kBlockWrite, pages,
+                           model_.block_write_s);
+        }
+        om.output.seconds +=
+            model_.tuple_move_s * static_cast<double>(out_tuples) +
+            model_.block_write_s * static_cast<double>(pages);
+        om.output.out_tuples += out_tuples;
+        om.output.out_pages += pages;
       }
 
       if (mode == Fulfillment::kFull) {

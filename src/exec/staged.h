@@ -8,6 +8,7 @@
 
 #include "exec/operators.h"
 #include "exec/tuple_set.h"
+#include "parallel/thread_pool.h"
 #include "ra/expr.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
@@ -27,6 +28,22 @@ enum class Fulfillment {
   /// Stage s evaluates only new×new. Cheaper per stage; covers fewer
   /// points ([HoOT 88a]'s partial fulfillment).
   kPartial,
+};
+
+/// Realized work/span of the parallel sections of one stage: `work` is the
+/// sum of per-task durations, `span` the elapsed time of the fan-out
+/// sections. work/span is the realized speedup the engine feeds to
+/// AdaptiveCostModel::ObserveParallelism in wall-clock mode.
+struct ParallelStats {
+  double work_seconds = 0.0;
+  double span_seconds = 0.0;
+  int tasks = 0;
+
+  void Add(const ParallelStats& other) {
+    work_seconds += other.work_seconds;
+    span_seconds += other.span_seconds;
+    tasks += other.tasks;
+  }
 };
 
 /// Realized per-stage execution record of one operator node.
@@ -103,6 +120,19 @@ class StagedTermEvaluator {
   /// charges. Pass the same clock the engine's deadline uses.
   void MeasureStepsWith(const Clock* clock) { timing_clock_ = clock; }
 
+  /// Fans the per-stage run sorts and merge-pair partitions out across
+  /// `pool` workers (null or 0-worker pool = inline execution). The task
+  /// decomposition depends only on the data — chunks split at key-group
+  /// boundaries — and all cost charges happen post-barrier in a fixed
+  /// order, so results and simulated charges are bit-identical for any
+  /// pool width. `pool` is not owned and must outlive this evaluator.
+  void UseThreadPool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Realized work/span of the last executed stage's parallel sections.
+  const ParallelStats& last_stage_parallelism() const {
+    return stage_parallel_;
+  }
+
   /// Runs one stage over the newly drawn blocks. The map must contain an
   /// entry for every relation scanned by this term (value = pointers to
   /// the new blocks; may be empty).
@@ -178,6 +208,8 @@ class StagedTermEvaluator {
   Fulfillment fulfillment_;
   CostLedger* ledger_;
   const Clock* timing_clock_ = nullptr;
+  ThreadPool* pool_ = nullptr;
+  ParallelStats stage_parallel_;
   CostModel model_;
   std::unique_ptr<StagedNode> root_;
   int num_stages_ = 0;

@@ -1,0 +1,102 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace tcq {
+
+/// One RunAll invocation: a task list with an atomic claim cursor and a
+/// completion latch. Tasks are claimed by index; a batch is drained when
+/// every index is claimed and done when every claimed task returned.
+struct ThreadPool::Batch {
+  std::vector<std::function<void()>>* tasks = nullptr;
+  size_t total = 0;
+  std::atomic<size_t> next{0};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t finished = 0;
+};
+
+ThreadPool::ThreadPool(int workers) {
+  threads_.reserve(static_cast<size_t>(std::max(0, workers)));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::ExecuteFrom(const std::shared_ptr<Batch>& batch) {
+  for (;;) {
+    size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->total) return;
+    (*batch->tasks)[i]();
+    std::lock_guard<std::mutex> lock(batch->mu);
+    if (++batch->finished == batch->total) batch->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      if (stop_) return;
+      // Drop drained batches; claim the first one with work left.
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        if ((*it)->next.load(std::memory_order_relaxed) >= (*it)->total) {
+          it = pending_.erase(it);
+        } else {
+          batch = *it;
+          break;
+        }
+      }
+    }
+    if (batch != nullptr) ExecuteFrom(batch);
+  }
+}
+
+void ThreadPool::RunAll(std::vector<std::function<void()>>* tasks) {
+  if (tasks == nullptr || tasks->empty()) return;
+  if (threads_.empty() || tasks->size() == 1) {
+    for (auto& task : *tasks) task();
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->tasks = tasks;
+  batch->total = tasks->size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(batch);
+  }
+  work_cv_.notify_all();
+  ExecuteFrom(batch);  // the caller helps until every task is claimed
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done_cv.wait(lock,
+                      [&batch] { return batch->finished == batch->total; });
+}
+
+void RunTasks(ThreadPool* pool, std::vector<std::function<void()>>* tasks) {
+  if (tasks == nullptr) return;
+  if (pool == nullptr) {
+    for (auto& task : *tasks) task();
+    return;
+  }
+  pool->RunAll(tasks);
+}
+
+}  // namespace tcq

@@ -1,0 +1,69 @@
+#ifndef TCQ_PARALLEL_THREAD_POOL_H_
+#define TCQ_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tcq {
+
+/// Fixed-size pool of worker threads executing batches of independent
+/// tasks. The engine uses it to fan per-stage work out across cores:
+/// per-relation block draws, inclusion–exclusion terms, and the
+/// old×new / new×new merge-pair partitions of a full-fulfillment stage.
+///
+/// Design notes:
+///  - `RunAll` blocks until every task of the batch has finished, and the
+///    *calling* thread participates in execution ("helping"). Nested
+///    RunAll calls from inside a task therefore cannot deadlock: a thread
+///    only blocks once every task of its batch is claimed, and every
+///    claimed task is being executed by some thread.
+///  - Determinism is the caller's contract: tasks write to disjoint,
+///    pre-allocated result slots, and reductions happen after RunAll
+///    returns, in a fixed order. Under that contract results are
+///    independent of the worker count (see DESIGN.md, "Threading model").
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 is allowed (RunAll then runs inline).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+  /// Logical parallelism of a RunAll call: the workers plus the helping
+  /// caller.
+  int width() const { return workers() + 1; }
+
+  /// Runs every task (in unspecified order, possibly concurrently) and
+  /// returns once all have finished. `tasks` must outlive the call. Tasks
+  /// may themselves call RunAll on the same pool.
+  void RunAll(std::vector<std::function<void()>>* tasks);
+
+  /// The machine's hardware concurrency (≥ 1).
+  static int HardwareThreads();
+
+ private:
+  struct Batch;
+
+  void WorkerLoop();
+  static void ExecuteFrom(const std::shared_ptr<Batch>& batch);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::vector<std::shared_ptr<Batch>> pending_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs the batch on `pool`, or inline in index order when `pool` is null
+/// or the batch is trivial. Call sites use this so the serial (threads=1)
+/// and parallel paths share one shape: fill slots, then reduce in order.
+void RunTasks(ThreadPool* pool, std::vector<std::function<void()>>* tasks);
+
+}  // namespace tcq
+
+#endif  // TCQ_PARALLEL_THREAD_POOL_H_

@@ -25,4 +25,11 @@ std::vector<const Block*> BlockSampler::Draw(int64_t count, Rng* rng) {
   return out;
 }
 
+std::vector<const Block*> BlockSampler::DrawSubstream(int64_t count,
+                                                      uint64_t seed,
+                                                      uint64_t stage) {
+  Rng rng = Rng::Substream(seed, rel_->name(), stage);
+  return Draw(count, &rng);
+}
+
 }  // namespace tcq

@@ -31,6 +31,15 @@ class BlockSampler {
   /// relation's lifetime.
   std::vector<const Block*> Draw(int64_t count, Rng* rng);
 
+  /// Draw from the deterministic per-relation substream for stage `stage`
+  /// of a run seeded with `seed`: the randomness comes from
+  /// Rng::Substream(seed, relation name, stage), so the blocks a stage
+  /// draws depend only on (seed, relation, stage, draws so far) — never on
+  /// other relations or on which thread performs the draw. This is the
+  /// engine's sampling primitive in both the serial and parallel paths.
+  std::vector<const Block*> DrawSubstream(int64_t count, uint64_t seed,
+                                          uint64_t stage);
+
  private:
   RelationPtr rel_;
   std::vector<uint32_t> remaining_;

@@ -43,6 +43,18 @@ struct CostModel {
   double stage_speed_cv = 0.10;
   double block_read_jitter = 0.5;
 
+  /// Execution parallelism of the machine the cost formulas describe: the
+  /// worker count W available to one stage, and the fraction of linear
+  /// scaling a parallel step realizes (the efficiency coefficient η of the
+  /// speedup model S = 1 + η·(W−1); see DESIGN.md "Threading model").
+  /// W = 1 means the classic serial machine — the paper's setting and the
+  /// simulator's, whose virtual time always charges serial work. The
+  /// engine overrides `workers` with its thread count in wall-clock mode;
+  /// η is only the starting point and is re-fitted by AdaptiveCostModel
+  /// from measured per-stage work/span times.
+  int workers = 1;
+  double parallel_efficiency = 0.6;
+
   /// The calibration described above.
   static CostModel Sun360() { return CostModel{}; }
 

@@ -89,6 +89,13 @@ class CostLedger {
   /// realized step times consistent with the clock.
   double current_stage_factor() const { return stage_factor_; }
 
+  /// Injects an externally drawn stage factor. Used by the engine's
+  /// per-term stage ledgers, which must charge under the same machine
+  /// speed as the main ledger but own no noise stream of their own (each
+  /// term evaluator charges a private ledger so terms can execute in
+  /// parallel; the engine merges totals in term order afterwards).
+  void SetStageFactor(double factor) { stage_factor_ = factor; }
+
   double Total(CostCategory category) const {
     return totals_[static_cast<size_t>(category)];
   }

@@ -20,6 +20,22 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t SubstreamSeed(uint64_t seed, std::string_view tag, uint64_t index) {
+  // FNV-1a over the tag bytes folds the name into the state; SplitMix64
+  // steps interleave the base seed and the index so that nearby
+  // (seed, index) pairs land far apart.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : tag) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  uint64_t x = seed;
+  uint64_t mixed = SplitMix64(x) ^ h;
+  x = mixed + index;
+  mixed = SplitMix64(x);
+  return mixed;
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : state_) s = SplitMix64(sm);

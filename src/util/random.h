@@ -3,10 +3,21 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 namespace tcq {
+
+/// Derives a well-mixed 64-bit seed for an independent substream from a
+/// base seed, a textual tag (e.g. a relation name), and an index (e.g. a
+/// stage number). The derivation is pure — it does not consume state from
+/// any generator — so substreams can be (re)created in any order, on any
+/// thread, and always yield the same stream. This is what makes the
+/// engine's parallel block sampling reproducible: the sample a relation
+/// draws at stage i depends only on (seed, relation, i), never on which
+/// worker drew it or what other relations did.
+uint64_t SubstreamSeed(uint64_t seed, std::string_view tag, uint64_t index);
 
 /// Deterministic pseudo-random generator (xoshiro256**), seeded via
 /// SplitMix64 so that any 64-bit seed yields a well-mixed state.
@@ -51,6 +62,12 @@ class Rng {
   /// Derives an independent child generator; useful for giving each
   /// experiment repetition its own stream.
   Rng Fork();
+
+  /// Generator over the substream identified by (seed, tag, index); see
+  /// SubstreamSeed.
+  static Rng Substream(uint64_t seed, std::string_view tag, uint64_t index) {
+    return Rng(SubstreamSeed(seed, tag, index));
+  }
 
  private:
   uint64_t state_[4];

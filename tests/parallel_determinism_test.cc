@@ -1,0 +1,124 @@
+// The threading contract of DESIGN.md: at the same seed, a simulated run
+// is bit-identical for ANY thread count — substream-seeded sampling, a
+// data-dependent task decomposition, and fixed-order post-barrier
+// reductions make the worker count unobservable to the estimates.
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "ra/expr.h"
+#include "workload/generators.h"
+
+namespace tcq {
+namespace {
+
+ExecutorOptions BaseOptions(int threads) {
+  ExecutorOptions options;
+  options.strategy.one_at_a_time.d_beta = 24.0;
+  options.seed = 42;
+  options.threads = threads;
+  return options;
+}
+
+QueryResult MustRun(const ExprPtr& query, const Catalog& catalog,
+                    double quota_s, const ExecutorOptions& options) {
+  auto r = RunTimeConstrainedCount(query, quota_s, catalog, options);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+void ExpectBitIdentical(const QueryResult& serial,
+                        const QueryResult& parallel) {
+  EXPECT_EQ(serial.estimate, parallel.estimate);
+  EXPECT_EQ(serial.variance, parallel.variance);
+  EXPECT_EQ(serial.ci.lo, parallel.ci.lo);
+  EXPECT_EQ(serial.ci.hi, parallel.ci.hi);
+  EXPECT_EQ(serial.blocks_sampled, parallel.blocks_sampled);
+  EXPECT_EQ(serial.stages_run, parallel.stages_run);
+  EXPECT_EQ(serial.stages_counted, parallel.stages_counted);
+  EXPECT_EQ(serial.elapsed_seconds, parallel.elapsed_seconds);
+  ASSERT_EQ(serial.stages.size(), parallel.stages.size());
+  for (size_t i = 0; i < serial.stages.size(); ++i) {
+    EXPECT_EQ(serial.stages[i].planned_fraction,
+              parallel.stages[i].planned_fraction);
+    EXPECT_EQ(serial.stages[i].blocks_drawn, parallel.stages[i].blocks_drawn);
+    EXPECT_EQ(serial.stages[i].predicted_seconds,
+              parallel.stages[i].predicted_seconds);
+    EXPECT_EQ(serial.stages[i].actual_seconds,
+              parallel.stages[i].actual_seconds);
+    EXPECT_EQ(serial.stages[i].estimate_after,
+              parallel.stages[i].estimate_after);
+    EXPECT_EQ(serial.stages[i].variance_after,
+              parallel.stages[i].variance_after);
+  }
+}
+
+TEST(ParallelDeterminismTest, SelectionQuery) {
+  auto workload = MakeSelectionWorkload(2000, /*seed=*/2024);
+  ASSERT_TRUE(workload.ok());
+  QueryResult serial = MustRun(workload->query, workload->catalog, 5.0,
+                               BaseOptions(/*threads=*/1));
+  QueryResult parallel = MustRun(workload->query, workload->catalog, 5.0,
+                                 BaseOptions(/*threads=*/4));
+  ASSERT_GT(serial.stages_counted, 0);
+  ExpectBitIdentical(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, JoinQuery) {
+  auto workload = MakeJoinWorkload(70000, /*seed=*/777);
+  ASSERT_TRUE(workload.ok());
+  ExecutorOptions serial_opts = BaseOptions(1);
+  serial_opts.selectivity.initial_join = 0.1;
+  ExecutorOptions parallel_opts = BaseOptions(4);
+  parallel_opts.selectivity.initial_join = 0.1;
+  QueryResult serial =
+      MustRun(workload->query, workload->catalog, 2.5, serial_opts);
+  QueryResult parallel =
+      MustRun(workload->query, workload->catalog, 2.5, parallel_opts);
+  ASSERT_GT(serial.stages_counted, 0);
+  ExpectBitIdentical(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, UnionWithInclusionExclusion) {
+  // COUNT(σ(r1) ∪ σ(r2)) expands into three sampled terms
+  // (+σr1, +σr2, −σr1∩σr2), so the term-level fan-out is exercised.
+  auto workload = MakeIntersectionWorkload(5000, /*seed=*/12);
+  ASSERT_TRUE(workload.ok());
+  ExprPtr query = Union(
+      Select(Scan("r1"), CmpLiteral("key", CompareOp::kLt, 6000)),
+      Select(Scan("r2"), CmpLiteral("key", CompareOp::kLt, 8000)));
+  QueryResult serial =
+      MustRun(query, workload->catalog, 8.0, BaseOptions(/*threads=*/1));
+  QueryResult parallel =
+      MustRun(query, workload->catalog, 8.0, BaseOptions(/*threads=*/4));
+  ASSERT_GT(serial.stages_counted, 0);
+  ExpectBitIdentical(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, WidthsTwoAndEightMatchToo) {
+  auto workload = MakeIntersectionWorkload(5000, /*seed=*/31);
+  ASSERT_TRUE(workload.ok());
+  QueryResult w2 = MustRun(workload->query, workload->catalog, 4.0,
+                           BaseOptions(/*threads=*/2));
+  QueryResult w8 = MustRun(workload->query, workload->catalog, 4.0,
+                           BaseOptions(/*threads=*/8));
+  ASSERT_GT(w2.stages_counted, 0);
+  ExpectBitIdentical(w2, w8);
+}
+
+TEST(ParallelDeterminismTest, FinalPartialStagesStayDeterministic) {
+  auto workload = MakeIntersectionWorkload(5000, /*seed=*/9);
+  ASSERT_TRUE(workload.ok());
+  ExecutorOptions serial_opts = BaseOptions(1);
+  serial_opts.final_partial_stages = true;
+  ExecutorOptions parallel_opts = BaseOptions(4);
+  parallel_opts.final_partial_stages = true;
+  QueryResult serial =
+      MustRun(workload->query, workload->catalog, 3.0, serial_opts);
+  QueryResult parallel =
+      MustRun(workload->query, workload->catalog, 3.0, parallel_opts);
+  ExpectBitIdentical(serial, parallel);
+}
+
+}  // namespace
+}  // namespace tcq

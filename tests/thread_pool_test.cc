@@ -1,0 +1,84 @@
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+namespace tcq {
+namespace {
+
+std::vector<std::function<void()>> CountingTasks(int n,
+                                                 std::atomic<int>* counter) {
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    tasks.push_back([counter] { counter->fetch_add(1); });
+  }
+  return tasks;
+}
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.workers(), 3);
+  EXPECT_EQ(pool.width(), 4);
+  std::atomic<int> counter{0};
+  auto tasks = CountingTasks(100, &counter);
+  pool.RunAll(&tasks);
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0);
+  EXPECT_EQ(pool.width(), 1);
+  std::atomic<int> counter{0};
+  auto tasks = CountingTasks(17, &counter);
+  pool.RunAll(&tasks);
+  EXPECT_EQ(counter.load(), 17);
+}
+
+TEST(ThreadPoolTest, NullPoolHelperRunsInline) {
+  std::atomic<int> counter{0};
+  auto tasks = CountingTasks(9, &counter);
+  RunTasks(nullptr, &tasks);
+  EXPECT_EQ(counter.load(), 9);
+}
+
+TEST(ThreadPoolTest, EmptyBatchIsNoOp) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  pool.RunAll(&tasks);  // must not hang
+}
+
+TEST(ThreadPoolTest, SequentialBatchesReuseWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 20; ++round) {
+    auto tasks = CountingTasks(8, &counter);
+    pool.RunAll(&tasks);
+  }
+  EXPECT_EQ(counter.load(), 160);
+}
+
+TEST(ThreadPoolTest, NestedRunAllDoesNotDeadlock) {
+  ThreadPool pool(3);
+  std::atomic<int> inner_count{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 8; ++i) {
+    outer.push_back([&pool, &inner_count] {
+      auto inner = CountingTasks(16, &inner_count);
+      pool.RunAll(&inner);
+    });
+  }
+  pool.RunAll(&outer);
+  EXPECT_EQ(inner_count.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+}  // namespace
+}  // namespace tcq
