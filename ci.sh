@@ -1,41 +1,146 @@
 #!/usr/bin/env bash
-# CI entry point: build and test the Release configuration, then rebuild
-# the whole tree under ThreadSanitizer and re-run the suite so data races
-# in the parallel stage loop are caught, not just logic bugs.
+# CI entry point. Runs the correctness-tooling stages in order and prints
+# a summary table; the script exits non-zero iff any stage FAILs.
 #
-#   ./ci.sh              # Release + TSan
-#   ./ci.sh --release    # Release only
-#   ./ci.sh --tsan       # TSan only
+#   ./ci.sh                      # every stage
+#   ./ci.sh lint release         # just those stages, in that order
+#   ./ci.sh --release            # legacy spelling of "release"
+#   ./ci.sh --tsan               # legacy spelling of "tsan"
+#
+# Stages:
+#   lint          tools/tcq_lint.py over the tree + its self-test
+#   format-check  clang-format --dry-run -Werror (SKIP if tool absent)
+#   tidy          clang-tidy with the checked-in .clang-tidy
+#                 (SKIP if tool absent)
+#   release       Release build (-Wall -Wextra -Werror) + full ctest
+#   tsan          ThreadSanitizer build + ctest (contracts armed)
+#   asan          AddressSanitizer build + ctest (contracts armed)
+#   ubsan         UndefinedBehaviorSanitizer build + ctest (contracts armed)
+#
+# Every sanitizer configuration compiles with TCQ_ENABLE_DCHECKS (see
+# CMakeLists.txt), so TCQ_DCHECK / TCQ_CHECK_INVARIANT contracts execute
+# under the sanitizers rather than compiling away with NDEBUG.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-run_release=1
-run_tsan=1
-case "${1:-}" in
-  --release) run_tsan=0 ;;
-  --tsan) run_release=0 ;;
-  "") ;;
-  *) echo "usage: $0 [--release|--tsan]" >&2; exit 2 ;;
-esac
-
 jobs="$(nproc 2>/dev/null || echo 2)"
+ALL_STAGES=(lint format-check tidy release tsan asan ubsan)
 
-if [[ "$run_release" == 1 ]]; then
-  echo "=== Release build ==="
-  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build build -j "$jobs"
-  (cd build && ctest --output-on-failure -j "$jobs")
-fi
+usage() {
+  echo "usage: $0 [stage...]   stages: ${ALL_STAGES[*]}" >&2
+  exit 2
+}
 
-if [[ "$run_tsan" == 1 ]]; then
-  echo "=== ThreadSanitizer build ==="
-  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-        -DTCQ_SANITIZE=thread
-  cmake --build build-tsan -j "$jobs"
+# --- stage implementations -------------------------------------------------
+# Each stage_* function runs with `set -e` suspended by the caller and
+# returns 0 (PASS), 1 (FAIL), or 77 (SKIP: required tool missing).
+
+cxx_sources() {
+  git ls-files -- '*.cc' '*.h' 2>/dev/null \
+    || find src bench tests examples tools -name '*.cc' -o -name '*.h'
+}
+
+stage_lint() {
+  python3 tools/tcq_lint.py --root . && python3 tools/tcq_lint_test.py
+}
+
+stage_format_check() {
+  command -v clang-format >/dev/null 2>&1 || return 77
+  # shellcheck disable=SC2046
+  clang-format --dry-run -Werror $(cxx_sources)
+}
+
+stage_tidy() {
+  command -v clang-tidy >/dev/null 2>&1 || return 77
+  cmake -B build-tidy -S . -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON &&
+    git ls-files -- 'src/*.cc' 'bench/*.cc' 'examples/*.cc' |
+      xargs -r clang-tidy -p build-tidy --quiet
+}
+
+build_and_test() { # <build-dir> <extra cmake args...>
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@" &&
+    cmake --build "$dir" -j "$jobs" &&
+    (cd "$dir" && ctest --output-on-failure -j "$jobs")
+}
+
+stage_release() {
+  build_and_test build -DCMAKE_BUILD_TYPE=Release
+}
+
+stage_tsan() {
   # TSan aborts the process on the first race (halt_on_error), so a green
   # ctest run doubles as a no-race assertion.
-  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" \
-       ctest --output-on-failure -j "$jobs")
-fi
+  TSAN_OPTIONS="halt_on_error=1" \
+    build_and_test build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTCQ_SANITIZE=thread
+}
 
-echo "ci.sh: all requested configurations passed"
+stage_asan() {
+  build_and_test build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTCQ_SANITIZE=address
+}
+
+stage_ubsan() {
+  # -fno-sanitize-recover=undefined (set in CMakeLists.txt) turns any UB
+  # report into a hard failure.
+  build_and_test build-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTCQ_SANITIZE=undefined
+}
+
+# --- stage selection -------------------------------------------------------
+
+stages=()
+for arg in "$@"; do
+  case "$arg" in
+    --release) stages+=(release) ;;
+    --tsan) stages+=(tsan) ;;
+    -h | --help) usage ;;
+    *)
+      ok=0
+      for s in "${ALL_STAGES[@]}"; do
+        [[ "$arg" == "$s" ]] && ok=1
+      done
+      [[ "$ok" == 1 ]] || { echo "ci.sh: unknown stage '$arg'" >&2; usage; }
+      stages+=("$arg")
+      ;;
+  esac
+done
+[[ ${#stages[@]} -gt 0 ]] || stages=("${ALL_STAGES[@]}")
+
+# --- runner ----------------------------------------------------------------
+
+declare -A result
+failed=0
+for stage in "${stages[@]}"; do
+  echo
+  echo "=== stage: $stage ==="
+  fn="stage_${stage//-/_}"
+  rc=0
+  "$fn" || rc=$?
+  case "$rc" in
+    0) result[$stage]=PASS ;;
+    77)
+      result[$stage]=SKIP
+      echo "ci.sh: $stage skipped (required tool not installed)"
+      ;;
+    *)
+      result[$stage]=FAIL
+      failed=1
+      ;;
+  esac
+done
+
+echo
+echo "=== ci.sh summary ==="
+for stage in "${stages[@]}"; do
+  printf '  %-14s %s\n' "$stage" "${result[$stage]}"
+done
+
+if [[ "$failed" != 0 ]]; then
+  echo "ci.sh: FAILED"
+  exit 1
+fi
+echo "ci.sh: all requested stages passed or were skipped"

@@ -124,7 +124,7 @@ class QueryBuilder {
   }
 
   /// Executes the query against the session's catalog and pool.
-  Result<QueryResult> Run();
+  [[nodiscard]] Result<QueryResult> Run();
 
  private:
   friend class Session;
@@ -166,7 +166,7 @@ class Session {
       : catalog_(std::move(catalog)), options_(std::move(options)) {}
 
   /// Registers a relation under its own name; AlreadyExists on duplicates.
-  Status Register(RelationPtr relation) {
+  [[nodiscard]] Status Register(RelationPtr relation) {
     return catalog_.Register(std::move(relation));
   }
   /// Replaces the whole catalog (e.g. after LoadCatalog).

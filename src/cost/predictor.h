@@ -36,14 +36,14 @@ struct TermStagePrediction {
 ///    sel⁺ × (new points), plus setup;
 ///  - Project: temp-write + sort of the new run, merge with the cumulative
 ///    sorted sample, dedup scan, output of the distinct groups.
-Result<TermStagePrediction> PredictTermStageCost(
+[[nodiscard]] Result<TermStagePrediction> PredictTermStageCost(
     const StagedTermEvaluator& term, double f,
     const std::map<int, double>& sel_plus, const AdaptiveCostModel& coefs);
 
 /// Same, with an explicit fulfillment mode for the candidate stage
 /// (hybrid planning: price a final partial stage while the evaluator's
 /// default is full fulfillment).
-Result<TermStagePrediction> PredictTermStageCost(
+[[nodiscard]] Result<TermStagePrediction> PredictTermStageCost(
     const StagedTermEvaluator& term, double f,
     const std::map<int, double>& sel_plus, const AdaptiveCostModel& coefs,
     Fulfillment mode);

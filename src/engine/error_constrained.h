@@ -51,7 +51,7 @@ struct ErrorConstrainedResult {
 ///   (m_needed ≈ m · Var_now / Var_target, growth-capped).
 /// Deterministic in `options.seed`; spends simulated time through the
 /// same cost-charged substrate as the time-constrained engine.
-Result<ErrorConstrainedResult> RunErrorConstrainedCount(
+[[nodiscard]] Result<ErrorConstrainedResult> RunErrorConstrainedCount(
     const ExprPtr& expr, const Catalog& catalog,
     const ErrorConstrainedOptions& options);
 

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "cost/predictor.h"
+#include "util/check.h"
 #include "sampling/block_sampler.h"
 #include "estimator/combined.h"
 #include "estimator/sum_estimator.h"
@@ -85,6 +86,8 @@ CountEstimate EstimateTerm(const StagedTermEvaluator& ev) {
                                            child.cum_points);
     e.variance = share_var + distinct_share * distinct_share * pop_var;
   }
+  TCQ_CHECK_INVARIANT(e.variance >= 0.0,
+                      "projection term variance went negative");
   return e;
 }
 
@@ -359,6 +362,11 @@ Result<QueryResult> RunTimeConstrainedAggregate(
       result.stopped_no_affordable_stage = true;
       break;
     }
+    // Strategies must hand back a usable sampling fraction: (0, 1] and
+    // no larger than what is left to draw (paper §3.1 selectivity
+    // revision assumes stages sample fresh blocks).
+    TCQ_CHECK_INVARIANT(plan.fraction > 0.0 && plan.fraction <= 1.0,
+                        "stage plan fraction outside (0, 1]");
 
     // ---- Execute the stage. ----
     double stage_start = clock.Now();
@@ -567,6 +575,11 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     ++result.stages_counted;
     result.blocks_sampled += blocks_drawn;
     counted_elapsed = deadline.Elapsed(clock);
+    // In simulation the clock advances only by ledger charges, so a
+    // stage that passed the within-quota check cannot have pushed the
+    // ledger past the quota (the paper's hard-constraint promise).
+    TCQ_CHECK_INVARIANT(wall || counted_elapsed <= quota_s,
+                        "ledger exceeded the time quota in a counted stage");
 
     if (ShouldStopForPrecision(options.precision, combined,
                                previous_estimate)) {

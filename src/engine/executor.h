@@ -76,7 +76,7 @@ struct ExecutorOptions {
   /// Rejects nonsense configurations: epsilon_s or confidence outside
   /// (0, 1), threads < 1, max_stages < 1. The Run* entry points call this
   /// before touching any data.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// What happened during one stage (Figure 3.1's while-loop body).
@@ -139,7 +139,7 @@ struct AggregateSpec {
 /// simulated seconds. AVG is estimated as the ratio of the SUM and COUNT
 /// estimates, with a first-order (delta-method) variance that neglects
 /// their covariance.
-Result<QueryResult> RunTimeConstrainedAggregate(
+[[nodiscard]] Result<QueryResult> RunTimeConstrainedAggregate(
     const ExprPtr& expr, const AggregateSpec& aggregate, double quota_s,
     const Catalog& catalog, const ExecutorOptions& options);
 
@@ -155,7 +155,7 @@ Result<QueryResult> RunTimeConstrainedAggregate(
 ///
 /// Deterministic: all timing flows through a fresh VirtualClock and all
 /// randomness through Rng(options.seed).
-Result<QueryResult> RunTimeConstrainedCount(const ExprPtr& expr,
+[[nodiscard]] Result<QueryResult> RunTimeConstrainedCount(const ExprPtr& expr,
                                             double quota_s,
                                             const Catalog& catalog,
                                             const ExecutorOptions& options);

@@ -39,7 +39,7 @@ struct ExperimentRow {
 };
 
 /// Runs the experiment; deterministic in (config, base_seed).
-Result<ExperimentRow> RunExperiment(const ExperimentConfig& config);
+[[nodiscard]] Result<ExperimentRow> RunExperiment(const ExperimentConfig& config);
 
 /// Renders rows as the paper-style table (one line per d_beta).
 std::string FormatExperimentTable(const std::string& title,

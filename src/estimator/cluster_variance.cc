@@ -1,5 +1,6 @@
 #include "estimator/cluster_variance.h"
 
+#include "util/check.h"
 #include "util/stats.h"
 
 namespace tcq {
@@ -12,7 +13,13 @@ double ClusterVarianceEstimate(double total_blocks,
   for (int64_t y : block_hits) stat.Add(static_cast<double>(y));
   double fpc = 1.0 - b / total_blocks;
   if (fpc < 0.0) fpc = 0.0;
-  return total_blocks * total_blocks * fpc * stat.variance() / b;
+  double variance = total_blocks * total_blocks * fpc * stat.variance() / b;
+  // b >= 2, fpc >= 0 and Welford variance >= 0, so the cluster
+  // variance (paper §3.3) can never be negative; a violation means a
+  // corrupted per-block hit count reached the estimator.
+  TCQ_CHECK_INVARIANT(variance >= 0.0,
+                      "cluster variance estimate went negative");
+  return variance;
 }
 
 double SrsApproxVarianceEstimate(double total_points, double sampled_points,
@@ -30,7 +37,9 @@ double DesignEffect(double total_blocks, double total_points,
   for (int64_t y : block_hits) hits += y;
   double srs = SrsApproxVarianceEstimate(total_points, sampled_points, hits);
   if (srs <= 0.0) return 1.0;
-  return ClusterVarianceEstimate(total_blocks, block_hits) / srs;
+  double deff = ClusterVarianceEstimate(total_blocks, block_hits) / srs;
+  TCQ_CHECK_INVARIANT(deff >= 0.0, "design effect went negative");
+  return deff;
 }
 
 }  // namespace tcq

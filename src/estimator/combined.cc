@@ -1,15 +1,17 @@
 #include "estimator/combined.h"
 
-#include <cassert>
 #include <cmath>
 #include <cstdlib>
+
+#include "util/check.h"
 
 namespace tcq {
 
 CountEstimate CombineSignedEstimates(
     const std::vector<int>& signs,
     const std::vector<CountEstimate>& terms) {
-  assert(signs.size() == terms.size());
+  TCQ_CHECK(signs.size() == terms.size(),
+            "every inclusion-exclusion term needs a sign");
   CountEstimate out;
   double sigma_sum = 0.0;
   for (size_t i = 0; i < terms.size(); ++i) {
@@ -21,6 +23,8 @@ CountEstimate CombineSignedEstimates(
     out.total_points += terms[i].total_points;
   }
   out.variance = sigma_sum * sigma_sum;
+  TCQ_CHECK_INVARIANT(out.variance >= 0.0,
+                      "combined variance estimate went negative");
   return out;
 }
 

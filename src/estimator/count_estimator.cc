@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/check.h"
 #include "util/stats.h"
 
 namespace tcq {
@@ -52,6 +53,8 @@ CountEstimate ClusterCountEstimate(double total_space_blocks,
                                                       covered_points);
     }
   }
+  TCQ_CHECK_INVARIANT(e.variance >= 0.0 && e.value >= 0.0,
+                      "cluster COUNT estimate or variance went negative");
   return e;
 }
 
@@ -70,6 +73,8 @@ CountEstimate SrsCountEstimate(double total_points, double sampled_points,
     e.variance = SelectivityVarianceToCountVariance(sel, total_points,
                                                     sampled_points);
   }
+  TCQ_CHECK_INVARIANT(e.variance >= 0.0 && e.value >= 0.0,
+                      "SRS COUNT estimate or variance went negative");
   return e;
 }
 

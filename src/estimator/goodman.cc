@@ -4,6 +4,8 @@
 #include <limits>
 #include <map>
 
+#include "util/check.h"
+
 namespace tcq {
 
 namespace {
@@ -19,6 +21,7 @@ double LogChoose(double n, double k) {
 
 double Chao1Estimate(double population_size,
                      const std::vector<int64_t>& occupancies) {
+  TCQ_DCHECK(population_size >= 0.0, "negative population size");
   double d = static_cast<double>(occupancies.size());
   double f1 = 0.0, f2 = 0.0;
   for (int64_t c : occupancies) {
@@ -40,6 +43,7 @@ double GoodmanRawEstimate(double population_size,
   int64_t n = 0;
   std::map<int64_t, int64_t> f;  // occupancy -> class count
   for (int64_t c : occupancies) {
+    TCQ_DCHECK(c >= 1, "an observed class occurs at least once");
     n += c;
     ++f[c];
   }
@@ -68,8 +72,15 @@ double GoodmanEstimate(double population_size,
   const double n_distinct = static_cast<double>(occupancies.size());
   double est = GoodmanRawEstimate(population_size, occupancies);
   if (!std::isfinite(est) || est < n_distinct || est > population_size) {
-    return Chao1Estimate(population_size, occupancies);
+    est = Chao1Estimate(population_size, occupancies);
   }
+  // The guard above (and Chao1's clamp) promise a finite value inside
+  // [0, N]; callers scale this by population ratios, so an escape here
+  // would silently bias the distinct-count estimate (paper §3.1).
+  TCQ_CHECK_INVARIANT(
+      std::isfinite(est) && est >= 0.0 &&
+          est <= std::max(population_size, n_distinct),
+      "guarded Goodman estimate left [0, max(N, d)]");
   return est;
 }
 

@@ -1,5 +1,7 @@
 #include "estimator/sum_estimator.h"
 
+#include "util/check.h"
+
 namespace tcq {
 
 CountEstimate ClusterSumEstimate(double total_space_blocks,
@@ -19,6 +21,8 @@ CountEstimate ClusterSumEstimate(double total_space_blocks,
     double s2 = value_sq_sum / m - mean * mean;
     if (s2 < 0.0) s2 = 0.0;
     e.variance = n * n * (1.0 - m / n) * s2 / m;
+    TCQ_CHECK_INVARIANT(e.variance >= 0.0,
+                        "cluster SUM variance went negative");
   }
   return e;
 }

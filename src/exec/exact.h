@@ -17,17 +17,17 @@ namespace tcq {
 /// This is the ground-truth evaluator: tests and benches compare the
 /// sampling estimator against `ExactCount`. It deliberately performs no
 /// cost accounting.
-Result<TupleSet> EvaluateExact(const ExprPtr& expr, const Catalog& catalog);
+[[nodiscard]] Result<TupleSet> EvaluateExact(const ExprPtr& expr, const Catalog& catalog);
 
 /// COUNT(E) under the same semantics.
-Result<int64_t> ExactCount(const ExprPtr& expr, const Catalog& catalog);
+[[nodiscard]] Result<int64_t> ExactCount(const ExprPtr& expr, const Catalog& catalog);
 
 /// SUM(E.column) over the exact output (column must be numeric).
-Result<double> ExactSum(const ExprPtr& expr, const std::string& column,
+[[nodiscard]] Result<double> ExactSum(const ExprPtr& expr, const std::string& column,
                         const Catalog& catalog);
 
 /// AVG(E.column) over the exact output; InvalidArgument when empty.
-Result<double> ExactAvg(const ExprPtr& expr, const std::string& column,
+[[nodiscard]] Result<double> ExactAvg(const ExprPtr& expr, const std::string& column,
                         const Catalog& catalog);
 
 }  // namespace tcq

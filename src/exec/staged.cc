@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+
+#include "util/check.h"
 #include <cmath>
 #include <functional>
 #include <set>
@@ -185,8 +187,16 @@ Status StagedTermEvaluator::ExecuteStageWithMode(
     new_product *= static_cast<double>(added);
   }
   if (mode == Fulfillment::kFull) {
+    // Cumulative per-scan block counts only grow, so the covered
+    // product can never shrink; negative growth would mean the
+    // coverage accounting (and with it every estimate scale factor)
+    // ran backwards.
+    TCQ_CHECK_INVARIANT(cum_product >= prev_product,
+                        "space-block coverage decreased in a full stage");
     covered_space_blocks_ += cum_product - prev_product;
   } else {
+    TCQ_CHECK_INVARIANT(new_product >= 0.0,
+                        "negative new-block product in a partial stage");
     covered_space_blocks_ += new_product;
     ran_partial_stage_ = true;
   }
@@ -570,6 +580,13 @@ Status StagedTermEvaluator::ExecuteNode(
         om.output.out_tuples += out_tuples;
         om.output.out_pages += pages;
       }
+      // The reduction cursor only moves forward and must end past the
+      // last chunk: chunks are generated in pair order, and charging
+      // them in any other order would break the bit-identical
+      // any-thread-count guarantee (DESIGN.md, "Threading model").
+      TCQ_CHECK_INVARIANT(ci == chunks.size(),
+                          "merge-chunk reduction left chunks unconsumed "
+                          "or out of pair order");
 
       if (mode == Fulfillment::kFull) {
         rec.new_points = node->left->cum_points * node->right->cum_points -

@@ -111,7 +111,7 @@ struct StagedNode {
 /// root operator, and no relation may appear in two scans of one term.
 class StagedTermEvaluator {
  public:
-  static Result<std::unique_ptr<StagedTermEvaluator>> Create(
+  [[nodiscard]] static Result<std::unique_ptr<StagedTermEvaluator>> Create(
       ExprPtr term, const Catalog& catalog, Fulfillment fulfillment,
       CostLedger* ledger, const CostModel& model);
 
@@ -136,7 +136,7 @@ class StagedTermEvaluator {
   /// Runs one stage over the newly drawn blocks. The map must contain an
   /// entry for every relation scanned by this term (value = pointers to
   /// the new blocks; may be empty).
-  Status ExecuteStage(
+  [[nodiscard]] Status ExecuteStage(
       const std::map<std::string, std::vector<const Block*>>& new_blocks);
 
   /// Runs one stage with an explicit per-stage fulfillment mode (the
@@ -144,7 +144,7 @@ class StagedTermEvaluator {
   /// residual time). Once a partial stage has run, a later full stage is
   /// rejected — its all-pairs merges would assume prior pairs that the
   /// partial stage never evaluated, corrupting the coverage accounting.
-  Status ExecuteStageWithMode(
+  [[nodiscard]] Status ExecuteStageWithMode(
       const std::map<std::string, std::vector<const Block*>>& new_blocks,
       Fulfillment mode);
 
@@ -178,7 +178,7 @@ class StagedTermEvaluator {
   /// output column at `index` (position in the root output schema) is
   /// accumulated over every sampled output tuple. Not supported for
   /// projection roots (distinct-group sums need different machinery).
-  Status TrackValueColumn(int index);
+  [[nodiscard]] Status TrackValueColumn(int index);
   /// Σ v over sampled output tuples (0-valued points contribute nothing).
   double cum_value_sum() const { return value_sum_; }
   /// Σ v² over sampled output tuples.
@@ -193,10 +193,10 @@ class StagedTermEvaluator {
         ledger_(ledger),
         model_(model) {}
 
-  static Result<std::unique_ptr<StagedNode>> BuildNode(
+  [[nodiscard]] static Result<std::unique_ptr<StagedNode>> BuildNode(
       const ExprPtr& expr, const Catalog& catalog, bool is_root, int* next_id);
 
-  Status ExecuteNode(
+  [[nodiscard]] Status ExecuteNode(
       StagedNode* node,
       const std::map<std::string, std::vector<const Block*>>& new_blocks,
       Fulfillment mode);

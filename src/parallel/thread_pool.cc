@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/check.h"
+
 namespace tcq {
 
 /// One RunAll invocation: a task list with an atomic claim cursor and a
@@ -45,7 +47,13 @@ void ThreadPool::ExecuteFrom(const std::shared_ptr<Batch>& batch) {
     if (i >= batch->total) return;
     (*batch->tasks)[i]();
     std::lock_guard<std::mutex> lock(batch->mu);
-    if (++batch->finished == batch->total) batch->done_cv.notify_all();
+    ++batch->finished;
+    // Each index is claimed exactly once (fetch_add), so completions
+    // can never outnumber tasks; more means a task ran twice and the
+    // disjoint-slot determinism contract is void.
+    TCQ_CHECK_INVARIANT(batch->finished <= batch->total,
+                        "thread-pool batch finished more tasks than it has");
+    if (batch->finished == batch->total) batch->done_cv.notify_all();
   }
 }
 
@@ -88,6 +96,9 @@ void ThreadPool::RunAll(std::vector<std::function<void()>>* tasks) {
   std::unique_lock<std::mutex> lock(batch->mu);
   batch->done_cv.wait(lock,
                       [&batch] { return batch->finished == batch->total; });
+  TCQ_CHECK_INVARIANT(
+      batch->next.load(std::memory_order_relaxed) >= batch->total,
+      "RunAll returned with unclaimed tasks");
 }
 
 void RunTasks(ThreadPool* pool, std::vector<std::function<void()>>* tasks) {

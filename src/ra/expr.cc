@@ -22,6 +22,15 @@ std::string_view ExprKindName(ExprKind kind) {
   return "?";
 }
 
+std::string Expr::BinaryToString(std::string_view op) const {
+  std::string out = "(";
+  out += left->ToString();
+  out += op;
+  out += right->ToString();
+  out += ")";
+  return out;
+}
+
 std::string Expr::ToString() const {
   switch (kind) {
     case ExprKind::kScan:
@@ -47,11 +56,11 @@ std::string Expr::ToString() const {
              right->ToString() + ")";
     }
     case ExprKind::kIntersect:
-      return "(" + left->ToString() + " ∩ " + right->ToString() + ")";
+      return BinaryToString(" ∩ ");
     case ExprKind::kUnion:
-      return "(" + left->ToString() + " ∪ " + right->ToString() + ")";
+      return BinaryToString(" ∪ ");
     case ExprKind::kDifference:
-      return "(" + left->ToString() + " − " + right->ToString() + ")";
+      return BinaryToString(" − ");
   }
   return "?";
 }

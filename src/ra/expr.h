@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -47,6 +48,11 @@ struct Expr {
   ExprPtr right;  // binary ops
 
   std::string ToString() const;
+
+ private:
+  // Accumulator-style "(left <op> right)"; the equivalent operator+ chain
+  // trips GCC 12's -Wrestrict false positive (PR 105329) at -O2.
+  std::string BinaryToString(std::string_view op) const;
 };
 
 ExprPtr Scan(std::string relation);
@@ -61,7 +67,7 @@ ExprPtr Difference(ExprPtr left, ExprPtr right);
 /// Computes the output schema of `expr` against `catalog`, validating
 /// column references, predicate types, join-key types, and set-operation
 /// compatibility along the way.
-Result<Schema> InferSchema(const ExprPtr& expr, const Catalog& catalog);
+[[nodiscard]] Result<Schema> InferSchema(const ExprPtr& expr, const Catalog& catalog);
 
 /// Appends the names of base relations scanned by `expr`, left-to-right,
 /// one entry per Scan node (duplicates preserved).

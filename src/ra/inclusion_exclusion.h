@@ -30,11 +30,11 @@ struct SignedTerm {
 ///
 /// Structurally identical terms are merged (signs summed) and zero-sign
 /// terms dropped, so the returned signs may have magnitude > 1.
-Result<std::vector<SignedTerm>> ExpandCount(const ExprPtr& expr);
+[[nodiscard]] Result<std::vector<SignedTerm>> ExpandCount(const ExprPtr& expr);
 
 /// Pulls all Union/Difference nodes above Select/Join/Intersect/Project.
 /// Exposed for testing; `ExpandCount` calls it internally.
-Result<ExprPtr> PullUpSetOps(const ExprPtr& expr);
+[[nodiscard]] Result<ExprPtr> PullUpSetOps(const ExprPtr& expr);
 
 }  // namespace tcq
 

@@ -35,7 +35,7 @@ namespace tcq {
 ///   JOIN[key = key](r1, r2)
 ///   PROJECT[region](SELECT[amount >= 100 AND region != 'EU'](orders))
 ///   (r1 UNION r2) MINUS r3
-Result<ExprPtr> ParseQuery(std::string_view text);
+[[nodiscard]] Result<ExprPtr> ParseQuery(std::string_view text);
 
 }  // namespace tcq
 

@@ -40,6 +40,15 @@ bool ApplyOp(CompareOp op, int cmp) {
 }
 }  // namespace
 
+std::string Predicate::BinaryToString(std::string_view op) const {
+  std::string out = "(";
+  out += left->ToString();
+  out += op;
+  out += right->ToString();
+  out += ")";
+  return out;
+}
+
 std::string Predicate::ToString() const {
   switch (kind) {
     case Kind::kCompareLiteral:
@@ -49,9 +58,9 @@ std::string Predicate::ToString() const {
       return column + " " + std::string(CompareOpSymbol(op)) + " " +
              rhs_column;
     case Kind::kAnd:
-      return "(" + left->ToString() + " AND " + right->ToString() + ")";
+      return BinaryToString(" AND ");
     case Kind::kOr:
-      return "(" + left->ToString() + " OR " + right->ToString() + ")";
+      return BinaryToString(" OR ");
     case Kind::kNot:
       return "NOT (" + left->ToString() + ")";
   }

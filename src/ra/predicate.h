@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "storage/schema.h"
@@ -37,6 +38,11 @@ struct Predicate {
   PredicatePtr right;
 
   std::string ToString() const;
+
+ private:
+  // Accumulator-style "(left <op> right)"; the equivalent operator+ chain
+  // trips GCC 12's -Wrestrict false positive (PR 105329) at -O2.
+  std::string BinaryToString(std::string_view op) const;
 };
 
 /// Structural equality of predicate trees.
@@ -54,7 +60,7 @@ PredicatePtr Not(PredicatePtr p);
 /// positions, type-checked once, then evaluated per tuple with no lookups.
 class BoundPredicate {
  public:
-  static Result<BoundPredicate> Bind(const PredicatePtr& predicate,
+  [[nodiscard]] static Result<BoundPredicate> Bind(const PredicatePtr& predicate,
                                      const Schema& schema);
 
   /// Evaluates the formula on `tuple` (which must match the bound schema).
@@ -76,7 +82,7 @@ class BoundPredicate {
   };
 
   bool EvalNode(int node, const Tuple& tuple) const;
-  Status Build(const Predicate& p, const Schema& schema, int* out_index);
+  [[nodiscard]] Status Build(const Predicate& p, const Schema& schema, int* out_index);
 
   std::vector<Node> nodes_;
   int num_comparisons_ = 0;

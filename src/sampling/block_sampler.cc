@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace tcq {
 
 BlockSampler::BlockSampler(RelationPtr rel) : rel_(std::move(rel)) {
@@ -12,6 +14,8 @@ BlockSampler::BlockSampler(RelationPtr rel) : rel_(std::move(rel)) {
 }
 
 std::vector<const Block*> BlockSampler::Draw(int64_t count, Rng* rng) {
+  TCQ_DCHECK(rng != nullptr, "Draw needs a generator");
+  TCQ_DCHECK(count >= 0, "negative block count requested");
   int64_t k = std::min<int64_t>(count, remaining_blocks());
   std::vector<const Block*> out;
   out.reserve(static_cast<size_t>(k));
@@ -22,6 +26,10 @@ std::vector<const Block*> BlockSampler::Draw(int64_t count, Rng* rng) {
     out.push_back(&rel_->block(remaining_.back()));
     remaining_.pop_back();
   }
+  // Sampling without replacement: the pool only shrinks, and exactly
+  // by the number of blocks handed out.
+  TCQ_CHECK_INVARIANT(static_cast<int64_t>(out.size()) == k,
+                      "drawn block count disagrees with request");
   return out;
 }
 

@@ -3,6 +3,8 @@
 
 #include <chrono>
 
+#include "util/check.h"
+
 namespace tcq {
 
 /// Source of the "clock time" the paper's algorithm reads (Figure 3.1
@@ -25,7 +27,13 @@ class VirtualClock : public Clock {
   double Now() const override { return now_; }
 
   /// Advances simulated time; `seconds` must be >= 0.
-  void Advance(double seconds) { now_ += seconds; }
+  void Advance(double seconds) {
+    // Simulated time is the sum of non-negative charges; going
+    // backwards would let a stage "refund" quota (paper Figure 3.1).
+    TCQ_CHECK_INVARIANT(seconds >= 0.0,
+                        "virtual clock asked to move backwards");
+    now_ += seconds;
+  }
 
  private:
   double now_ = 0.0;

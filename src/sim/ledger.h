@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "sim/clock.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace tcq {
@@ -62,6 +63,9 @@ class CostLedger {
   }
 
   void Charge(CostCategory category, double seconds) {
+    TCQ_DCHECK(category < CostCategory::kNumCategories,
+               "charge against the category sentinel");
+    TCQ_DCHECK(seconds >= 0.0, "negative cost charge");
     double charged = seconds * FactorFor(category);
     totals_[static_cast<size_t>(category)] += charged;
     counts_[static_cast<size_t>(category)] += 1;
@@ -71,6 +75,7 @@ class CostLedger {
   /// Charges `count` occurrences of a per-unit cost in one call. Block
   /// reads draw per-unit jitter; other categories share the stage factor.
   void ChargeN(CostCategory category, int64_t count, double unit_seconds) {
+    TCQ_DCHECK(unit_seconds >= 0.0, "negative unit cost");
     if (count <= 0) return;
     if (category == CostCategory::kBlockRead && noise_rng_ != nullptr &&
         block_read_jitter_ > 0.0) {

@@ -19,37 +19,37 @@ namespace tcq {
 
 /// Appends the encoded tuple (schema.TupleBytes() bytes) to `out`.
 /// The tuple must validate against the schema.
-Status EncodeTuple(const Tuple& tuple, const Schema& schema,
+[[nodiscard]] Status EncodeTuple(const Tuple& tuple, const Schema& schema,
                    std::vector<uint8_t>* out);
 
 /// Decodes one tuple from `bytes` (which must hold at least
 /// schema.TupleBytes() bytes at `offset`).
-Result<Tuple> DecodeTuple(const std::vector<uint8_t>& bytes, size_t offset,
+[[nodiscard]] Result<Tuple> DecodeTuple(const std::vector<uint8_t>& bytes, size_t offset,
                           const Schema& schema);
 
 /// Encodes a block's tuples into exactly `block_bytes` bytes (unused tail
 /// zero-padded). Fails if the tuples exceed the block capacity.
-Result<std::vector<uint8_t>> EncodePage(const Block& block,
+[[nodiscard]] Result<std::vector<uint8_t>> EncodePage(const Block& block,
                                         const Schema& schema,
                                         int block_bytes);
 
 /// Decodes `count` tuples from a page buffer.
-Result<Block> DecodePage(const std::vector<uint8_t>& page, int count,
+[[nodiscard]] Result<Block> DecodePage(const std::vector<uint8_t>& page, int count,
                          const Schema& schema);
 
 /// Serializes a whole relation to a single file (magic "TCQF", version,
 /// name, schema, geometry, per-page tuple counts, then the raw pages).
-Status SaveRelation(const Relation& relation, const std::string& path);
+[[nodiscard]] Status SaveRelation(const Relation& relation, const std::string& path);
 
 /// Loads a relation previously written by SaveRelation.
-Result<Relation> LoadRelation(const std::string& path);
+[[nodiscard]] Result<Relation> LoadRelation(const std::string& path);
 
 /// Saves every relation of the catalog into `directory` (one
 /// "<name>.tcq" file each; the directory must exist).
-Status SaveCatalog(const Catalog& catalog, const std::string& directory);
+[[nodiscard]] Status SaveCatalog(const Catalog& catalog, const std::string& directory);
 
 /// Loads every "*.tcq" file in `directory` into a fresh catalog.
-Result<Catalog> LoadCatalog(const std::string& directory);
+[[nodiscard]] Result<Catalog> LoadCatalog(const std::string& directory);
 
 }  // namespace tcq
 

@@ -32,7 +32,7 @@ struct Block {
 class Relation {
  public:
   /// Creates an empty relation. `block_bytes` must be at least one tuple.
-  static Result<Relation> Create(std::string name, Schema schema,
+  [[nodiscard]] static Result<Relation> Create(std::string name, Schema schema,
                                  int block_bytes = kDefaultBlockBytes);
 
   const std::string& name() const { return name_; }
@@ -46,7 +46,7 @@ class Relation {
 
   /// Appends a tuple (validated against the schema), packing blocks to the
   /// blocking factor.
-  Status Append(Tuple tuple);
+  [[nodiscard]] Status Append(Tuple tuple);
 
   /// Unchecked append for bulk loading by trusted generators.
   void AppendUnchecked(Tuple tuple);
@@ -78,10 +78,10 @@ using RelationPtr = std::shared_ptr<const Relation>;
 class Catalog {
  public:
   /// Registers a relation under its own name; AlreadyExists on duplicates.
-  Status Register(RelationPtr relation);
+  [[nodiscard]] Status Register(RelationPtr relation);
 
   /// Looks a relation up by name.
-  Result<RelationPtr> Find(const std::string& name) const;
+  [[nodiscard]] Result<RelationPtr> Find(const std::string& name) const;
 
   std::vector<std::string> Names() const;
 

@@ -77,7 +77,11 @@ std::string Schema::ToString() const {
     out += ":";
     out += DataTypeName(columns_[i].type);
     if (columns_[i].type == DataType::kString) {
-      out += "[" + std::to_string(columns_[i].width) + "]";
+      // Appended piecewise: the operator+ chain form trips GCC 12's
+      // -Wrestrict false positive (PR 105329) at -O2.
+      out += "[";
+      out += std::to_string(columns_[i].width);
+      out += "]";
     }
   }
   out += ")";

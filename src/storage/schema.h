@@ -39,7 +39,7 @@ class Schema {
   int TupleBytes() const;
 
   /// Index of the named column, or NotFound.
-  Result<int> IndexOf(const std::string& name) const;
+  [[nodiscard]] Result<int> IndexOf(const std::string& name) const;
 
   /// True when the two schemas are union/intersect-compatible: same column
   /// count, types, and widths (names may differ).
@@ -54,7 +54,7 @@ class Schema {
 
   /// Validates that `tuple` matches this schema (arity, value types, string
   /// widths).
-  Status ValidateTuple(const Tuple& tuple) const;
+  [[nodiscard]] Status ValidateTuple(const Tuple& tuple) const;
 
   std::string ToString() const;
 

@@ -29,7 +29,7 @@ struct SampleSizeResult {
 /// bracket is narrower than a block, returning the largest *feasible*
 /// fraction seen (cost ≤ time_left). Returns fraction 0 when qcost(f_min_step)
 /// already exceeds the budget.
-Result<SampleSizeResult> SampleSizeDetermine(const QCostFn& qcost,
+[[nodiscard]] Result<SampleSizeResult> SampleSizeDetermine(const QCostFn& qcost,
                                              double time_left,
                                              double epsilon, double f_max,
                                              double f_min_step);

@@ -43,7 +43,7 @@ struct StagePlan {
 class TimeControlStrategy {
  public:
   virtual ~TimeControlStrategy() = default;
-  virtual Result<StagePlan> PlanStage(const StagePlanContext& context) = 0;
+  [[nodiscard]] virtual Result<StagePlan> PlanStage(const StagePlanContext& context) = 0;
   /// Feedback after the stage ran (used by the heuristic strategy).
   virtual void OnStageOutcome(double predicted_seconds,
                               double actual_seconds, bool overspent) {
@@ -70,7 +70,7 @@ class OneAtATimeStrategy : public TimeControlStrategy {
   explicit OneAtATimeStrategy(Options options) : options_(options) {}
   OneAtATimeStrategy() : OneAtATimeStrategy(Options()) {}
 
-  Result<StagePlan> PlanStage(const StagePlanContext& context) override;
+  [[nodiscard]] Result<StagePlan> PlanStage(const StagePlanContext& context) override;
   std::string_view name() const override { return "one-at-a-time"; }
 
  private:
@@ -89,7 +89,7 @@ class SingleIntervalStrategy : public TimeControlStrategy {
   explicit SingleIntervalStrategy(Options options) : options_(options) {}
   SingleIntervalStrategy() : SingleIntervalStrategy(Options()) {}
 
-  Result<StagePlan> PlanStage(const StagePlanContext& context) override;
+  [[nodiscard]] Result<StagePlan> PlanStage(const StagePlanContext& context) override;
   std::string_view name() const override { return "single-interval"; }
 
  private:
@@ -112,7 +112,7 @@ class HeuristicStrategy : public TimeControlStrategy {
   explicit HeuristicStrategy(Options options) : options_(options) {}
   HeuristicStrategy() : HeuristicStrategy(Options()) {}
 
-  Result<StagePlan> PlanStage(const StagePlanContext& context) override;
+  [[nodiscard]] Result<StagePlan> PlanStage(const StagePlanContext& context) override;
   void OnStageOutcome(double predicted_seconds, double actual_seconds,
                       bool overspent) override;
   std::string_view name() const override { return "heuristic"; }

@@ -1,0 +1,18 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tcq::internal {
+
+void CheckFailed(const char* kind, const char* file, int line,
+                 const char* condition, const char* message) {
+  // stderr, not stdout: bench harnesses parse stdout as JSON, and the
+  // stdout-in-lib lint rule applies to this file too.
+  std::fprintf(stderr, "%s failed at %s:%d: %s — %s\n", kind, file, line,
+               condition, message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tcq::internal

@@ -1,0 +1,76 @@
+#ifndef TCQ_UTIL_CHECK_H_
+#define TCQ_UTIL_CHECK_H_
+
+/// Debug-contract macros for the estimator/parallel invariants.
+///
+/// The engine's statistical guarantees rest on runtime conditions that the
+/// type system cannot express: sample fractions lie in (0, 1], variance
+/// estimates are non-negative, parallel reductions consume their slots in
+/// fixed index order, the cost ledger never charges negative work. These
+/// macros make those contracts executable, so the sanitizer matrix
+/// (ci.sh: TSan/ASan/UBSan) runs the whole test suite *with the contracts
+/// armed* — a race or UB that perturbs an estimate trips an invariant even
+/// when it doesn't crash.
+///
+/// Three levels:
+///   TCQ_CHECK(cond, msg)            always on, all build types. For cheap
+///                                   conditions guarding memory safety.
+///   TCQ_DCHECK(cond, msg)           armed when TCQ_DCHECK_ENABLED (Debug
+///                                   builds, and every TCQ_SANITIZE build
+///                                   via -DTCQ_ENABLE_DCHECKS). Compiled to
+///                                   a no-op that still typechecks `cond`
+///                                   otherwise.
+///   TCQ_CHECK_INVARIANT(cond, msg)  same arming as TCQ_DCHECK, but tagged
+///                                   INVARIANT in the failure report; use
+///                                   for the paper-level contracts listed
+///                                   in DESIGN.md ("Invariants & static
+///                                   analysis").
+///
+/// Failure aborts the process after printing "kind file:line: condition —
+/// message" to stderr (library code must not touch stdout; see
+/// tools/tcq_lint.py rule stdout-in-lib). Messages should say which
+/// guarantee died, not restate the condition.
+
+#if !defined(TCQ_DCHECK_ENABLED)
+#if defined(TCQ_ENABLE_DCHECKS) || !defined(NDEBUG)
+#define TCQ_DCHECK_ENABLED 1
+#else
+#define TCQ_DCHECK_ENABLED 0
+#endif
+#endif
+
+namespace tcq::internal {
+
+/// Prints the failure report to stderr and aborts. Out of line so the
+/// macro expansion stays one branch + one call.
+[[noreturn]] void CheckFailed(const char* kind, const char* file, int line,
+                              const char* condition, const char* message);
+
+}  // namespace tcq::internal
+
+#define TCQ_CHECK_IMPL_(kind, cond, msg)                                \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::tcq::internal::CheckFailed(kind, __FILE__, __LINE__, #cond,     \
+                                   msg);                                \
+    }                                                                   \
+  } while (false)
+
+/// Typechecks `cond` without evaluating it (unevaluated operand), so a
+/// disarmed contract cannot hide a compile error or change behavior.
+#define TCQ_CHECK_NOOP_(cond)                    \
+  do {                                           \
+    (void)sizeof(static_cast<bool>(cond) ? 1 : 0); \
+  } while (false)
+
+#define TCQ_CHECK(cond, msg) TCQ_CHECK_IMPL_("CHECK", cond, msg)
+
+#if TCQ_DCHECK_ENABLED
+#define TCQ_DCHECK(cond, msg) TCQ_CHECK_IMPL_("DCHECK", cond, msg)
+#define TCQ_CHECK_INVARIANT(cond, msg) TCQ_CHECK_IMPL_("INVARIANT", cond, msg)
+#else
+#define TCQ_DCHECK(cond, msg) TCQ_CHECK_NOOP_(cond)
+#define TCQ_CHECK_INVARIANT(cond, msg) TCQ_CHECK_NOOP_(cond)
+#endif
+
+#endif  // TCQ_UTIL_CHECK_H_

@@ -1,6 +1,7 @@
 #include "util/random.h"
 
-#include <cassert>
+#include "util/check.h"
+
 #include <cmath>
 #include <numbers>
 
@@ -54,7 +55,7 @@ uint64_t Rng::Next() {
 }
 
 uint64_t Rng::Uniform(uint64_t bound) {
-  assert(bound > 0);
+  TCQ_DCHECK(bound > 0, "Uniform(0) has no valid value");
   // Lemire's nearly-divisionless method.
   uint64_t x = Next();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -71,7 +72,7 @@ uint64_t Rng::Uniform(uint64_t bound) {
 }
 
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  TCQ_DCHECK(lo <= hi, "empty UniformInt range");
   uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
   // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
   uint64_t draw = (span == 0) ? Next() : Uniform(span);
@@ -93,7 +94,7 @@ double Rng::Gaussian() {
 }
 
 std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
-  assert(k <= n);
+  TCQ_CHECK(k <= n, "cannot draw more blocks than the relation has");
   // Partial Fisher-Yates over a dense index array. The relations sampled in
   // this library have at most a few thousand blocks, so O(n) space is fine.
   std::vector<uint32_t> indices(n);

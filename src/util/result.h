@@ -1,10 +1,10 @@
 #ifndef TCQ_UTIL_RESULT_H_
 #define TCQ_UTIL_RESULT_H_
 
-#include <cassert>
 #include <utility>
 #include <variant>
 
+#include "util/check.h"
 #include "util/status.h"
 
 namespace tcq {
@@ -23,28 +23,29 @@ class Result {
   /// Constructs from a non-OK status (implicit, to allow
   /// `return Status::...;`). Passing an OK status is a programming error.
   Result(Status status) : rep_(std::move(status)) {  // NOLINT
-    assert(!std::get<Status>(rep_).ok());
+    TCQ_DCHECK(!std::get<Status>(rep_).ok(),
+               "Result built from an OK status carries no value");
   }
 
   bool ok() const { return std::holds_alternative<T>(rep_); }
 
   /// Returns the status: OK when a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(rep_);
   }
 
   /// Accessors; must only be called when `ok()`.
   const T& value() const& {
-    assert(ok());
+    TCQ_DCHECK(ok(), "value() on an error Result");
     return std::get<T>(rep_);
   }
   T& value() & {
-    assert(ok());
+    TCQ_DCHECK(ok(), "value() on an error Result");
     return std::get<T>(rep_);
   }
   T&& value() && {
-    assert(ok());
+    TCQ_DCHECK(ok(), "value() on an error Result");
     return std::get<T>(std::move(rep_));
   }
 

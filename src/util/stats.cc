@@ -1,7 +1,8 @@
 #include "util/stats.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace tcq {
 
@@ -21,6 +22,10 @@ void RunningStat::Add(double x) {
 
 double RunningStat::variance() const {
   if (count_ < 2) return 0.0;
+  // Welford's M2 is a sum of squares; a negative value means the
+  // accumulator state was corrupted (e.g. by a data race).
+  TCQ_CHECK_INVARIANT(m2_ >= 0.0,
+                      "variance accumulator went negative");
   return m2_ / static_cast<double>(count_ - 1);
 }
 
@@ -29,7 +34,7 @@ double RunningStat::stddev() const { return std::sqrt(variance()); }
 double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
 
 double NormalQuantile(double p) {
-  assert(p > 0.0 && p < 1.0);
+  TCQ_DCHECK(p > 0.0 && p < 1.0, "quantile level outside (0, 1)");
   // Peter Acklam's rational approximation.
   static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
                              -2.759285104469687e+02, 1.383577518672690e+02,
@@ -78,14 +83,14 @@ double SrsProportionVariance(double proportion, double population,
 }
 
 double ZeroHitUpperBound(int64_t m, double beta) {
-  assert(m >= 1);
-  assert(beta > 0.0 && beta < 1.0);
+  TCQ_DCHECK(m >= 1, "zero-hit bound needs at least one draw");
+  TCQ_DCHECK(beta > 0.0 && beta < 1.0, "beta outside (0, 1)");
   return 1.0 - std::pow(beta, 1.0 / static_cast<double>(m));
 }
 
 double SampleCovariance(const std::vector<double>& xs,
                         const std::vector<double>& ys) {
-  assert(xs.size() == ys.size());
+  TCQ_CHECK(xs.size() == ys.size(), "covariance series length mismatch");
   size_t n = xs.size();
   if (n < 2) return 0.0;
   double mx = 0.0, my = 0.0;

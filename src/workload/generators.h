@@ -36,7 +36,7 @@ struct Workload {
 /// of blocks — block-correlated data under which the realized cluster-
 /// sample variance exceeds the SRS approximation of §3.3, the regime the
 /// paper credits for its unusually large d_β values.
-Result<Workload> MakeSelectionWorkload(int64_t output_tuples, uint64_t seed,
+[[nodiscard]] Result<Workload> MakeSelectionWorkload(int64_t output_tuples, uint64_t seed,
                                        int64_t num_tuples = kPaperTuples,
                                        int tuple_bytes = kPaperTupleBytes,
                                        double clustering = 0.0);
@@ -45,7 +45,7 @@ Result<Workload> MakeSelectionWorkload(int64_t output_tuples, uint64_t seed,
 /// `output_tuples` identical tuples (the paper reports 1,000 / 5,000 /
 /// 10,000-output variants); the query is COUNT(r1 ∩ r2). Both relations
 /// are independently shuffled.
-Result<Workload> MakeIntersectionWorkload(int64_t output_tuples,
+[[nodiscard]] Result<Workload> MakeIntersectionWorkload(int64_t output_tuples,
                                           uint64_t seed,
                                           int64_t num_tuples = kPaperTuples,
                                           int tuple_bytes = kPaperTupleBytes);
@@ -55,7 +55,7 @@ Result<Workload> MakeIntersectionWorkload(int64_t output_tuples,
 /// values; output_tuples/right_per_key left tuples carry matching keys,
 /// so COUNT(r1 ⋈ r2) = output_tuples exactly (the paper's 70,000-output,
 /// 7·10⁻⁴-selectivity setup with one join attribute).
-Result<Workload> MakeJoinWorkload(int64_t output_tuples, uint64_t seed,
+[[nodiscard]] Result<Workload> MakeJoinWorkload(int64_t output_tuples, uint64_t seed,
                                   int64_t num_tuples = kPaperTuples,
                                   int tuple_bytes = kPaperTupleBytes,
                                   int64_t right_per_key = 10);

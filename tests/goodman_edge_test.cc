@@ -1,0 +1,130 @@
+// Edge cases of the Goodman/Chao distinct-count path and the cluster
+// variance estimator: empty samples, all-singleton occupancies (f2 = 0),
+// census-sized samples, and the b−1 cluster denominator at b = 1.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "estimator/cluster_variance.h"
+#include "estimator/goodman.h"
+
+namespace tcq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Empty sample.
+// ---------------------------------------------------------------------------
+
+TEST(GoodmanEdgeTest, EmptySampleEstimatesZero) {
+  EXPECT_DOUBLE_EQ(GoodmanEstimate(1000.0, {}), 0.0);
+  EXPECT_DOUBLE_EQ(GoodmanRawEstimate(1000.0, {}), 0.0);
+}
+
+TEST(GoodmanEdgeTest, EmptySampleEmptyPopulation) {
+  EXPECT_DOUBLE_EQ(GoodmanEstimate(0.0, {}), 0.0);
+}
+
+TEST(GoodmanEdgeTest, Chao1EmptySampleClampsToZero) {
+  // d = 0, f1 = f2 = 0: the lower bound is the observed distinct count.
+  EXPECT_DOUBLE_EQ(Chao1Estimate(1000.0, {}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// All-singleton occupancies: f1 = d, f2 = 0 — the raw alternating series is
+// at its most unstable and Chao1 must take its f2 = 0 branch.
+// ---------------------------------------------------------------------------
+
+TEST(GoodmanEdgeTest, AllSingletonsChaoUsesF2ZeroBranch) {
+  // d = 4 singletons, no doubletons: Chao1 = d + f1(f1-1)/2 = 4 + 6 = 10.
+  EXPECT_DOUBLE_EQ(Chao1Estimate(1000.0, {1, 1, 1, 1}), 10.0);
+}
+
+TEST(GoodmanEdgeTest, AllSingletonsChaoClampedToPopulation) {
+  // The f2 = 0 extrapolation (4 + 6 = 10) exceeds N = 7: clamp to N.
+  EXPECT_DOUBLE_EQ(Chao1Estimate(7.0, {1, 1, 1, 1}), 7.0);
+}
+
+TEST(GoodmanEdgeTest, AllSingletonsGuardedStaysInRange) {
+  // Tiny sampling fraction with every class seen once: whatever path the
+  // guarded estimator takes, the result lies in [d, N].
+  std::vector<int64_t> singletons(25, 1);
+  double est = GoodmanEstimate(1.0e6, singletons);
+  EXPECT_TRUE(std::isfinite(est));
+  EXPECT_GE(est, 25.0);
+  EXPECT_LE(est, 1.0e6);
+}
+
+TEST(GoodmanEdgeTest, SingleSingletonUsesLinearRawSeries) {
+  // One class seen once: the raw series has a single i = 1 term,
+  // D̂ = 1 + C(N−n, 1)/C(n, 1) = 1 + (N−1)/1 = N (lgamma evaluation, so
+  // exact up to rounding). The raw value sits exactly on the guard's
+  // upper boundary; one ulp of lgamma rounding decides whether the guard
+  // keeps it or falls back to Chao1 (= d here), so the guarded value is
+  // only pinned to [d, N].
+  EXPECT_NEAR(GoodmanRawEstimate(10.0, {1}), 10.0, 1e-9);
+  double guarded = GoodmanEstimate(10.0, {1});
+  EXPECT_GE(guarded, 1.0);
+  EXPECT_LE(guarded, 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// Census and over-sampled inputs.
+// ---------------------------------------------------------------------------
+
+TEST(GoodmanEdgeTest, CensusReturnsObservedDistinct) {
+  // n = N = 6: the sample is the population; D̂ = d exactly.
+  EXPECT_DOUBLE_EQ(GoodmanRawEstimate(6.0, {3, 2, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(GoodmanEstimate(6.0, {3, 2, 1}), 3.0);
+}
+
+TEST(GoodmanEdgeTest, GuardedNeverExceedsPopulation) {
+  // Adversarial occupancy mixes; the guarded value must stay in [d, N].
+  const std::vector<std::vector<int64_t>> cases = {
+      {1, 1, 1, 1, 1, 1, 1, 1},
+      {2, 1, 1},
+      {5, 1},
+      {1},
+      {7, 7, 7},
+  };
+  for (const auto& occ : cases) {
+    double d = static_cast<double>(occ.size());
+    for (double n : {50.0, 1000.0, 1.0e8}) {
+      double est = GoodmanEstimate(n, occ);
+      EXPECT_TRUE(std::isfinite(est));
+      EXPECT_GE(est, d);
+      EXPECT_LE(est, n);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster variance: the sample variance divides by b−1, so b = 1 (a
+// single-block sample) must short-circuit to 0 rather than divide by zero.
+// ---------------------------------------------------------------------------
+
+TEST(ClusterVarianceEdgeTest, SingleBlockSampleIsZero) {
+  EXPECT_DOUBLE_EQ(ClusterVarianceEstimate(100.0, {17}), 0.0);
+}
+
+TEST(ClusterVarianceEdgeTest, TwoBlocksUseDenominatorOne) {
+  // b = 2, y = {0, 4}: s² = ((−2)² + 2²)/(b−1) = 8.
+  // Var = B²·(1 − b/B)·s²/b = 100·0.8·8/2 = 320.
+  EXPECT_NEAR(ClusterVarianceEstimate(10.0, {0, 4}), 320.0, 1e-9);
+}
+
+TEST(ClusterVarianceEdgeTest, EmptyAndZeroTotalSafe) {
+  EXPECT_DOUBLE_EQ(ClusterVarianceEstimate(0.0, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(ClusterVarianceEstimate(-5.0, {1, 2}), 0.0);
+}
+
+TEST(ClusterVarianceEdgeTest, DesignEffectDegeneratesToOne) {
+  // A single block gives no between-block information: the SRS
+  // approximation with zero hits also degenerates, deff falls back to 1.
+  EXPECT_DOUBLE_EQ(DesignEffect(100.0, 1000.0, 10.0, {0}), 1.0);
+}
+
+}  // namespace
+}  // namespace tcq

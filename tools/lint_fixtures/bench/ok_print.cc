@@ -1,0 +1,7 @@
+// Clean: stdout-in-lib applies to src/ only; bench harnesses print JSON.
+#include <cstdio>
+
+int main() {
+  printf("{\"rows\": []}\n");
+  return 0;
+}

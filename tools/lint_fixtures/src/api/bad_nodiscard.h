@@ -1,0 +1,20 @@
+// Violates nodiscard-status: Status/Result-returning declarations without
+// [[nodiscard]].
+#ifndef TCQ_FIXTURE_BAD_NODISCARD_H_
+#define TCQ_FIXTURE_BAD_NODISCARD_H_
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tcq {
+
+class BadApi {
+ public:
+  Status Open(const char* path);          // flagged
+  static Result<int> Parse(int token);    // flagged
+  virtual Result<double> Estimate() = 0;  // flagged
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_FIXTURE_BAD_NODISCARD_H_

@@ -1,0 +1,31 @@
+// Clean: annotated declarations, fields, and callable aliases must not be
+// flagged by nodiscard-status.
+#ifndef TCQ_FIXTURE_OK_NODISCARD_H_
+#define TCQ_FIXTURE_OK_NODISCARD_H_
+
+#include <functional>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tcq {
+
+class OkApi {
+ public:
+  [[nodiscard]] Status Open(const char* path);
+  [[nodiscard]] static Result<int> Parse(int token);
+  // Annotation on the preceding line is accepted too.
+  [[nodiscard]]
+  Result<double> Estimate();
+
+ private:
+  Status last_status_;                          // field, not a declaration
+  std::function<Result<double>(double)> qcost;  // callable alias, ditto
+};
+
+// Mentions of Status in comments or strings are ignored:
+// "Status Broken();" never trips the rule.
+
+}  // namespace tcq
+
+#endif  // TCQ_FIXTURE_OK_NODISCARD_H_

@@ -1,0 +1,14 @@
+// Violates wall-clock: non-monotonic time reads outside src/timectrl/.
+#include <chrono>
+#include <ctime>
+
+namespace tcq {
+
+double ReadWallClock() {
+  auto t = std::chrono::system_clock::now();  // flagged
+  std::time_t raw = time(nullptr);            // flagged
+  return static_cast<double>(raw) +
+         std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace tcq

@@ -1,0 +1,12 @@
+// Violates stdout-in-lib: library code writing to stdout.
+#include <cstdio>
+#include <iostream>
+
+namespace tcq {
+
+void ReportBad(double estimate) {
+  std::cout << "estimate = " << estimate << "\n";  // flagged
+  printf("estimate = %f\n", estimate);             // flagged
+}
+
+}  // namespace tcq

@@ -1,0 +1,11 @@
+// Violates unseeded-rng via the C library generator.
+#include <cstdlib>
+
+namespace tcq {
+
+int DrawBadC() {
+  srand(7);            // flagged
+  return rand() % 10;  // flagged
+}
+
+}  // namespace tcq

@@ -1,0 +1,12 @@
+// Violates unseeded-rng: std library generators outside src/util/random.*.
+#include <random>
+
+namespace tcq {
+
+int DrawBad() {
+  std::mt19937 gen(42);                       // flagged even when seeded
+  std::random_device rd;                      // flagged
+  return static_cast<int>(gen() + rd());
+}
+
+}  // namespace tcq

@@ -1,0 +1,11 @@
+// Violates thread-outside-parallel: raw threads outside src/parallel/.
+#include <thread>
+
+namespace tcq {
+
+void SpawnBad() {
+  std::thread worker([] {});  // flagged
+  worker.detach();            // flagged
+}
+
+}  // namespace tcq

@@ -1,0 +1,12 @@
+// Clean: a justified suppression silences one line for one rule.
+#include <random>
+
+namespace tcq {
+
+int DrawSuppressed() {
+  // Fixture exercising the line-level allow escape hatch.
+  std::mt19937 gen(42);  // tcq-lint: allow(unseeded-rng)
+  return static_cast<int>(gen());
+}
+
+}  // namespace tcq

@@ -1,0 +1,11 @@
+// Clean: src/parallel/ owns raw threads.
+#include <thread>
+
+namespace tcq {
+
+void SpawnOk() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace tcq

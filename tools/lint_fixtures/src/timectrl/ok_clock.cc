@@ -1,0 +1,11 @@
+// Clean: src/timectrl/ owns wall-clock access.
+#include <chrono>
+
+namespace tcq {
+
+double NowSeconds() {
+  auto t = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace tcq

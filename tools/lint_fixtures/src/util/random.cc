@@ -1,0 +1,12 @@
+// Clean: std generators are allowed inside src/util/random.* (this is the
+// one place the project-wide RNG wrapper may touch them).
+#include <random>
+
+namespace tcq {
+
+unsigned SeedScramble(unsigned seed) {
+  std::mt19937 gen(seed);
+  return static_cast<unsigned>(gen());
+}
+
+}  // namespace tcq

@@ -1,0 +1,323 @@
+#!/usr/bin/env python3
+"""tcq_lint: project-specific invariant lint for the TCQ codebase.
+
+The estimator's statistical guarantees (unbiasedness, the adaptive cost
+model's overspend-risk bound, bit-identical parallel reduction) rest on
+low-level source invariants that generic tools cannot see. This pass
+enforces them statically:
+
+  unseeded-rng       All randomness flows through tcq::Rng (src/util/random.*).
+                     std::mt19937 / std::random_device / rand() / srand()
+                     anywhere else silently breaks seed-reproducibility of
+                     every experiment.
+  wall-clock         Time is budgeted, not observed: only src/timectrl/ and
+                     the simulation clock may talk to a clock at all, and
+                     nothing outside src/timectrl/ may read *wall-clock*
+                     (non-monotonic) time. std::chrono::system_clock,
+                     time(), gettimeofday(), clock() elsewhere make the
+                     hard-deadline accounting unfalsifiable.
+  stdout-in-lib      Library code under src/ must not write to stdout
+                     (std::cout, printf, puts). Reporting belongs to
+                     examples/, bench/, and callers; stray prints corrupt
+                     the JSON emitted by the bench harness.
+  nodiscard-status   Every function declared in a src/ header that returns
+                     tcq::Status or tcq::Result<T> must carry
+                     [[nodiscard]]. The library has no exceptions; a
+                     dropped Status is a swallowed error.
+  thread-outside-parallel
+                     std::thread / std::jthread / std::async / .detach()
+                     outside src/parallel/. All concurrency goes through
+                     ThreadPool so the fixed-order reduction contract (and
+                     the TSan story) covers it.
+
+Usage:
+  tools/tcq_lint.py [--root DIR] [--list-rules] [PATHS...]
+
+With no PATHS, scans src/ bench/ examples/ tests/ under --root (default:
+repository root, i.e. the parent of this script's directory).
+
+Suppressions (use sparingly, justify in a comment):
+  // tcq-lint: allow(rule-name)         -- suppress on this line
+  // tcq-lint: disable-file(rule-name)  -- suppress in the whole file
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+CXX_EXTENSIONS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
+DEFAULT_SCAN_DIRS = ("src", "bench", "examples", "tests")
+
+ALLOW_RE = re.compile(r"//\s*tcq-lint:\s*allow\(([\w-]+(?:\s*,\s*[\w-]+)*)\)")
+DISABLE_FILE_RE = re.compile(
+    r"//\s*tcq-lint:\s*disable-file\(([\w-]+(?:\s*,\s*[\w-]+)*)\)")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _strip_comments_and_strings(line: str) -> str:
+    """Blanks out string/char literals and // comments so token rules do
+    not fire on prose. Crude (no multi-line /* */ tracking) but the
+    codebase uses // comments throughout."""
+    out = []
+    i, n = 0, len(line)
+    in_str = None  # quote char when inside a literal
+    while i < n:
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                out.append("  ")
+                continue
+            if c == in_str:
+                in_str = None
+            out.append(" ")
+            i += 1
+            continue
+        if c in ('"', "'"):
+            in_str = c
+            out.append(" ")
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # rest of line is a comment
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def _norm(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+# ---------------------------------------------------------------------------
+# Rule implementations. Each takes (relpath, lines, code_lines) where
+# code_lines has comments/strings blanked, and yields (line_no, message).
+# ---------------------------------------------------------------------------
+
+RNG_TOKENS = re.compile(
+    r"std::mt19937|std::minstd_rand|std::default_random_engine"
+    r"|std::random_device|\bsrand\s*\(|(?<![\w:.>])rand\s*\(")
+
+
+def rule_unseeded_rng(relpath, lines, code_lines):
+    if _norm(relpath).startswith("src/util/random"):
+        return
+    for no, code in enumerate(code_lines, 1):
+        m = RNG_TOKENS.search(code)
+        if m:
+            yield no, (f"'{m.group(0).strip()}' — all randomness must flow "
+                       "through tcq::Rng (src/util/random.h) so runs are "
+                       "reproducible from a single seed")
+
+
+WALL_CLOCK_TOKENS = re.compile(
+    r"std::chrono::system_clock|\bgettimeofday\s*\(|\blocaltime\s*\("
+    r"|\bgmtime\s*\(|(?<![\w:.>])time\s*\(|(?<![\w:.>])clock\s*\(")
+
+
+def rule_wall_clock(relpath, lines, code_lines):
+    p = _norm(relpath)
+    if not p.startswith("src/") or p.startswith("src/timectrl/"):
+        return
+    for no, code in enumerate(code_lines, 1):
+        m = WALL_CLOCK_TOKENS.search(code)
+        if m:
+            yield no, (f"'{m.group(0).strip()}' — wall-clock reads outside "
+                       "src/timectrl/ break the hard-deadline accounting; "
+                       "use the ledger/VirtualClock or a monotonic clock "
+                       "owned by timectrl")
+
+
+STDOUT_TOKENS = re.compile(
+    r"std::cout|(?<![\w:])\bprintf\s*\(|(?<![\w:])\bputs\s*\(|\bfprintf\s*\(\s*stdout")
+
+
+def rule_stdout_in_lib(relpath, lines, code_lines):
+    if not _norm(relpath).startswith("src/"):
+        return
+    for no, code in enumerate(code_lines, 1):
+        m = STDOUT_TOKENS.search(code)
+        if m:
+            yield no, (f"'{m.group(0).strip()}' — library code must not "
+                       "write to stdout; return strings/Status and let "
+                       "examples/bench do the printing")
+
+
+THREAD_TOKENS = re.compile(
+    r"std::thread\b|std::jthread\b|std::async\b|\.detach\s*\(")
+
+
+def rule_thread_outside_parallel(relpath, lines, code_lines):
+    p = _norm(relpath)
+    if p.startswith("src/parallel/"):
+        return
+    for no, code in enumerate(code_lines, 1):
+        m = THREAD_TOKENS.search(code)
+        if m:
+            yield no, (f"'{m.group(0).strip()}' — raw threads outside "
+                       "src/parallel/ escape the ThreadPool's fixed-order "
+                       "reduction and shutdown contracts; use "
+                       "tcq::ThreadPool / RunTasks")
+
+
+# A declaration line returning Status or Result<...>. Anchored at the start
+# of the declaration so fields (`Status parse_status_;`) and callable-type
+# aliases (`std::function<Result<double>(double)>`) do not match.
+NODISCARD_DECL_RE = re.compile(
+    r"^\s*(?:(?:static|virtual|friend|inline|constexpr|explicit)\s+)*"
+    r"(Status|Result<[^;={}]*>)\s+([A-Za-z_]\w*)\s*\(")
+
+
+def rule_nodiscard_status(relpath, lines, code_lines):
+    p = _norm(relpath)
+    if not p.startswith("src/") or not p.endswith((".h", ".hpp")):
+        return
+    for no, code in enumerate(code_lines, 1):
+        m = NODISCARD_DECL_RE.match(code)
+        if not m:
+            continue
+        # Skip local variable declarations that merely look like calls:
+        # constructor-style init `Status s(expr);` has no parameter list with
+        # types; a heuristic is not worth it — headers in this codebase only
+        # contain declarations at class/namespace scope. Accept annotation on
+        # the same line or the immediately preceding non-blank line.
+        head = code[:m.start(1)]
+        if "[[nodiscard]]" in head:
+            continue
+        prev = ""
+        for back in range(no - 2, max(-1, no - 4), -1):
+            stripped = lines[back].strip() if back >= 0 else ""
+            if stripped:
+                prev = stripped
+                break
+        if "[[nodiscard]]" in prev:
+            continue
+        yield no, (f"'{m.group(2)}' returns {m.group(1).split('<')[0]} but is "
+                   "not [[nodiscard]]; a dropped Status is a swallowed error "
+                   "in an exception-free library")
+
+
+RULES = {
+    "unseeded-rng": rule_unseeded_rng,
+    "wall-clock": rule_wall_clock,
+    "stdout-in-lib": rule_stdout_in_lib,
+    "nodiscard-status": rule_nodiscard_status,
+    "thread-outside-parallel": rule_thread_outside_parallel,
+}
+
+
+def lint_file(root: str, relpath: str) -> list[Finding]:
+    try:
+        with open(os.path.join(root, relpath), encoding="utf-8",
+                  errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [Finding(relpath, 0, "io-error", str(e))]
+
+    lines = text.splitlines()
+    code_lines = [_strip_comments_and_strings(l) for l in lines]
+
+    disabled = set()
+    for line in lines[:20]:
+        m = DISABLE_FILE_RE.search(line)
+        if m:
+            disabled.update(r.strip() for r in m.group(1).split(","))
+
+    line_allows: dict[int, set] = {}
+    for no, line in enumerate(lines, 1):
+        m = ALLOW_RE.search(line)
+        if m:
+            line_allows[no] = {r.strip() for r in m.group(1).split(",")}
+
+    findings = []
+    for name, rule in RULES.items():
+        if name in disabled:
+            continue
+        for no, message in rule(relpath, lines, code_lines):
+            if name in line_allows.get(no, ()):
+                continue
+            findings.append(Finding(relpath, no, name, message))
+    return findings
+
+
+def collect_files(root: str, paths: list[str]) -> list[str]:
+    rels = []
+    if not paths:
+        paths = [d for d in DEFAULT_SCAN_DIRS
+                 if os.path.isdir(os.path.join(root, d))]
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(full):
+            rels.append(os.path.relpath(full, root))
+            continue
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in ("build", ".git")
+                                 and not d.startswith("build-"))
+            for fn in sorted(filenames):
+                if fn.endswith(CXX_EXTENSIONS):
+                    rels.append(
+                        os.path.relpath(os.path.join(dirpath, fn), root))
+    return rels
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0],
+                                 prog="tcq_lint.py")
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories (default: src bench examples "
+                         "tests under --root)")
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: parent of tools/)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print rule names and exit")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for name in RULES:
+            print(name)
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    files = collect_files(root, args.paths)
+    if not files:
+        print("tcq_lint: no input files", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for rel in files:
+        findings.extend(lint_file(root, rel))
+
+    for f in findings:
+        print(f)
+    if findings:
+        by_rule: dict[str, int] = {}
+        for f in findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        summary = ", ".join(f"{k}: {v}" for k, v in sorted(by_rule.items()))
+        print(f"tcq_lint: {len(findings)} finding(s) in {len(files)} files "
+              f"({summary})", file=sys.stderr)
+        return 1
+    print(f"tcq_lint: OK ({len(files)} files, {len(RULES)} rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
