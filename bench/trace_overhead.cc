@@ -1,0 +1,144 @@
+// Disabled-tracing overhead gate: a query run carrying a *disabled*
+// Tracer must cost within 2% of a run with no ObsHandle at all. The
+// instrumentation contract (DESIGN.md §7) is one branch per site on the
+// disabled path — this bench is the enforcement. (Attaching a Metrics
+// registry or an enabled tracer is active observability and is allowed
+// to cost more; it is not gated here.)
+//
+//   ./build/bench/trace_overhead [--reps N] [--seed S]
+//
+// Prints one JSON object; exits 1 when the overhead bound is violated.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstdio>
+#include <vector>
+
+#include "api/tcq.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "paper_table_common.h"
+
+namespace tcq::bench {
+namespace {
+
+constexpr double kMaxOverheadPct = 2.0;
+
+// Minimum over many samples: scheduler preemption and frequency scaling
+// only ever ADD time, so the minimum is the noise-robust estimate of the
+// true cost — the right statistic for a tight (2%) relative bound.
+double MinSeconds(const std::vector<double>& samples) {
+  return *std::min_element(samples.begin(), samples.end());
+}
+
+struct OverheadResult {
+  double plain_s = 0.0;
+  double obs_s = 0.0;
+  double overhead_pct = 0.0;
+  double checksum = 0.0;
+};
+
+/// One full interleaved measurement of plain vs disabled-tracer runs.
+OverheadResult MeasureOverhead(const Workload& workload,
+                               const ExecutorOptions& options,
+                               Tracer* disabled_tracer, int reps,
+                               int runs_per_sample) {
+  OverheadResult out;
+  std::vector<double> plain_s;
+  std::vector<double> obs_s;
+  for (int rep = 0; rep < reps + 1; ++rep) {
+    for (int with_obs : {0, 1}) {
+      ExecutorOptions run_options = options;
+      if (with_obs != 0) {
+        run_options.obs.tracer = disabled_tracer;
+      }
+      auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < runs_per_sample; ++i) {
+        auto r = RunTimeConstrainedCount(workload.query, workload.catalog,
+                                         run_options);
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+          std::exit(1);
+        }
+        out.checksum += r->estimate;
+      }
+      auto t1 = std::chrono::steady_clock::now();
+      if (rep == 0) continue;  // warmup pair
+      double seconds = std::chrono::duration<double>(t1 - t0).count();
+      (with_obs != 0 ? obs_s : plain_s).push_back(seconds);
+    }
+  }
+  out.plain_s = MinSeconds(plain_s);
+  out.obs_s = MinSeconds(obs_s);
+  out.overhead_pct = out.plain_s > 0.0
+                         ? (out.obs_s - out.plain_s) / out.plain_s * 100.0
+                         : 0.0;
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  int reps = args.repetitions == 200 ? 40 : args.repetitions;
+  if (reps < 5) reps = 5;
+  constexpr int kRunsPerSample = 3;  // amortizes per-run timing jitter
+  // The bound gates REPRODUCIBLE regressions: machine jitter on a shared
+  // runner can exceed 2% on any single trial even for identical code, so
+  // a violation must show up in every one of kMaxAttempts trials to fail.
+  constexpr int kMaxAttempts = 3;
+
+  // Large enough that one simulated run takes a few milliseconds of real
+  // work — per-sample timing noise then sits near the 2% bound instead of
+  // dwarfing it.
+  auto workload = MakeIntersectionWorkload(50000, /*seed=*/args.seed,
+                                           /*num_tuples=*/100000);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+
+  ExecutorOptions options;
+  // 10× the paper geometry needs ~10× the paper quota for a multi-stage
+  // run that exercises every instrumentation site.
+  options.quota_s = 60.0;
+  options.strategy.one_at_a_time.d_beta = 12.0;
+  options.seed = args.seed;
+
+  TraceOptions disabled_trace;
+  disabled_trace.enabled = false;
+  Tracer disabled_tracer(disabled_trace);
+
+  OverheadResult best;
+  int attempts = 0;
+  for (; attempts < kMaxAttempts; ++attempts) {
+    OverheadResult trial = MeasureOverhead(*workload, options,
+                                           &disabled_tracer, reps,
+                                           kRunsPerSample);
+    if (attempts == 0 || trial.overhead_pct < best.overhead_pct) best = trial;
+    if (best.overhead_pct < kMaxOverheadPct) {
+      ++attempts;
+      break;
+    }
+  }
+  bool ok = best.overhead_pct < kMaxOverheadPct;
+  std::printf(
+      "{\"bench\": \"trace_overhead\", \"reps\": %d, \"attempts\": %d, "
+      "\"plain_min_s\": %.6f, \"disabled_trace_min_s\": %.6f, "
+      "\"overhead_pct\": %.3f, \"bound_pct\": %.1f, \"ok\": %s, "
+      "\"checksum\": %.1f}\n",
+      reps, attempts, best.plain_s, best.obs_s, best.overhead_pct,
+      kMaxOverheadPct, ok ? "true" : "false", best.checksum);
+  if (!ok) {
+    std::fprintf(stderr,
+                 "trace_overhead: disabled-tracing overhead %.3f%% exceeds "
+                 "the %.1f%% bound in every one of %d trials\n",
+                 best.overhead_pct, kMaxOverheadPct, attempts);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcq::bench
+
+int main(int argc, char** argv) { return tcq::bench::Main(argc, argv); }

@@ -13,6 +13,9 @@
 #   tidy          clang-tidy with the checked-in .clang-tidy
 #                 (SKIP if tool absent)
 #   release       Release build (-Wall -Wextra -Werror) + full ctest
+#   trace-smoke   traced quickstart run; validates + archives the Chrome
+#                 trace JSON at build/artifacts/trace_smoke.json, then
+#                 gates disabled-tracing overhead via bench/trace_overhead
 #   tsan          ThreadSanitizer build + ctest (contracts armed)
 #   asan          AddressSanitizer build + ctest (contracts armed)
 #   ubsan         UndefinedBehaviorSanitizer build + ctest (contracts armed)
@@ -24,7 +27,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs="$(nproc 2>/dev/null || echo 2)"
-ALL_STAGES=(lint format-check tidy release tsan asan ubsan)
+ALL_STAGES=(lint format-check tidy release trace-smoke tsan asan ubsan)
 
 usage() {
   echo "usage: $0 [stage...]   stages: ${ALL_STAGES[*]}" >&2
@@ -68,6 +71,26 @@ build_and_test() { # <build-dir> <extra cmake args...>
 
 stage_release() {
   build_and_test build -DCMAKE_BUILD_TYPE=Release
+}
+
+stage_trace_smoke() {
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release &&
+    cmake --build build -j "$jobs" --target quickstart trace_overhead &&
+    mkdir -p build/artifacts &&
+    ./build/examples/quickstart --trace build/artifacts/trace_smoke.json \
+      >/dev/null &&
+    python3 - <<'EOF' &&
+import json
+with open("build/artifacts/trace_smoke.json") as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace archived but traceEvents is empty"
+phases = {e["ph"] for e in events}
+assert "X" in phases, "no complete spans in the smoke trace"
+print(f"trace-smoke: {len(events)} events archived at "
+      "build/artifacts/trace_smoke.json")
+EOF
+    ./build/bench/trace_overhead
 }
 
 stage_tsan() {

@@ -2,7 +2,8 @@
 // the same aggregate query answered under increasing time quotas, showing
 // the estimate converging and the confidence interval narrowing as the
 // system is given more time; then the §3.2 error-constrained mode, where
-// the system stops *early* once the requested precision is reached.
+// the system stops *early* once the requested precision is reached —
+// streamed live, stage by stage, through a ProgressObserver.
 //
 //   ./build/examples/interactive_analyst
 
@@ -10,7 +11,33 @@
 
 #include "api/tcq.h"
 #include "exec/exact.h"
+#include "obs/report.h"
 #include "workload/generators.h"
+
+namespace {
+
+// Streams each stage as the engine finishes it — what an interactive
+// front-end would render as a live progress ticker.
+class StageTicker : public tcq::ProgressObserver {
+ public:
+  void OnQueryBegin(double quota_s, int num_terms) override {
+    std::printf("  [live] query started: %.0f s quota, %d sampled term%s\n",
+                quota_s, num_terms, num_terms == 1 ? "" : "s");
+  }
+  void OnStage(const tcq::StageReport& report) override {
+    std::printf(
+        "  [live] stage %d: estimate %8.0f after %5.1f s (%lld blocks)\n",
+        report.index, report.estimate_after, report.cumulative_spend_s,
+        static_cast<long long>(report.blocks_drawn));
+  }
+  void OnQueryEnd(double estimate, double /*variance*/,
+                  bool overspent) override {
+    std::printf("  [live] done: estimate %.0f%s\n", estimate,
+                overspent ? " (last stage overspent)" : "");
+  }
+};
+
+}  // namespace
 
 int main() {
   using namespace tcq;
@@ -47,8 +74,12 @@ int main() {
       "drops under 15%% --\n");
   PrecisionStop precision;
   precision.rel_halfwidth = 0.15;
-  auto r =
-      session.Query(query).WithQuota(600.0).WithPrecision(precision).Run();
+  StageTicker ticker;
+  auto r = session.Query(query)
+               .WithQuota(600.0)
+               .WithPrecision(precision)
+               .WithObserver(ticker)
+               .Run();
   if (!r.ok()) return 1;
   std::printf(
       "  stopped %s after %.1f s of the 600 s quota: estimate %.0f, "

@@ -6,6 +6,7 @@
 //   \quota <seconds>     set the time quota        (default 5.0)
 //   \dbeta <value>       set the risk margin d_β   (default 24)
 //   \exact               also compute the exact answer for comparison
+//   \explain <query>     EXPLAIN: print the planned stages without running
 //   \save <dir>          persist the catalog (one .tcq file per relation)
 //   \load <dir>          replace the catalog from .tcq files
 //   \help                this text
@@ -62,6 +63,19 @@ void RunQuery(const std::string& text, Session* session, double quota_s,
   }
 }
 
+void ExplainQuery(const std::string& text, Session* session, double quota_s,
+                  double d_beta) {
+  auto plan = session->Query(text)
+                  .WithQuota(quota_s)
+                  .WithRiskMargin(d_beta)
+                  .Explain();
+  if (!plan.ok()) {
+    std::printf("  error: %s\n", plan.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", plan->ToString().c_str());
+}
+
 }  // namespace
 
 int main() {
@@ -81,6 +95,7 @@ int main() {
 
   std::istringstream demo(
       "SELECT[key < 2000](r1)\n"
+      "\\explain r1 INTERSECT r2\n"
       "\\exact\n"
       "JOIN[key = key](r1, r2)\n"
       "r1 INTERSECT r2\n"
@@ -114,6 +129,15 @@ int main() {
       } else if (name == "dbeta") {
         cmd >> d_beta;
         std::printf("  d_beta = %.0f\n", d_beta);
+      } else if (name == "explain") {
+        std::string rest;
+        std::getline(cmd, rest);
+        size_t q = rest.find_first_not_of(" \t");
+        if (q == std::string::npos) {
+          std::printf("  usage: \\explain <query>\n");
+        } else {
+          ExplainQuery(rest.substr(q), &session, quota_s, d_beta);
+        }
       } else if (name == "exact") {
         with_exact = !with_exact;
         std::printf("  exact comparison %s\n", with_exact ? "on" : "off");
@@ -136,7 +160,8 @@ int main() {
         }
       } else if (name == "help") {
         std::printf(
-            "  \\quota <s>, \\dbeta <v>, \\exact, \\save <dir>, "
+            "  \\quota <s>, \\dbeta <v>, \\exact, \\explain <query>, "
+            "\\save <dir>, "
             "\\load <dir>, \\quit; otherwise type "
             "an RA query\n  (SELECT[pred](e), PROJECT[cols](e), "
             "JOIN[a=b](e,e), UNION/INTERSECT/MINUS)\n");

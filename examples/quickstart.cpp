@@ -1,17 +1,27 @@
 // Quickstart: build a relation, ask for COUNT(σ(r1)) under a 5-second
 // time quota, and inspect the estimate, its confidence interval, and the
-// stage-by-stage trace.
+// stage-by-stage reports.
 //
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart [--trace PATH]
+//
+// With --trace, the run records a Chrome trace_event JSON to PATH — open
+// it in chrome://tracing or https://ui.perfetto.dev to see the per-stage
+// plan/draw/evaluate spans on a timeline (README "Tracing a query").
 
 #include <cstdio>
+#include <cstring>
 
 #include "api/tcq.h"
 #include "exec/exact.h"
 #include "workload/generators.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tcq;
+
+  const char* trace_path = nullptr;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  }
 
   // 1. A synthetic relation: 10,000 tuples of 200 bytes -> 2,000 disk
   //    blocks of 1 KiB, the paper's experimental geometry. `key` is a
@@ -33,11 +43,16 @@ int main() {
   // 3. A session owns the catalog (and the worker pool, if any); evaluate
   //    the query with a hard 5-second quota via the fluent builder.
   Session session(std::move(workload->catalog));
-  auto result = session.Query(query)
-                    .WithQuota(5.0)
-                    .WithRiskMargin(24.0)  // overspend-risk margin d_β
-                    .WithSeed(7)
-                    .Run();
+  QueryBuilder builder = session.Query(query)
+                             .WithQuota(5.0)
+                             .WithRiskMargin(24.0)  // overspend margin d_β
+                             .WithSeed(7);
+  if (trace_path != nullptr) {
+    TraceOptions trace;
+    trace.export_path = trace_path;
+    builder.WithTrace(trace);
+  }
+  auto result = builder.Run();
   if (!result.ok()) {
     std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
     return 1;
@@ -55,11 +70,15 @@ int main() {
               result->elapsed_seconds, 5.0, 100.0 * result->utilization,
               result->overspent ? ", overspent last stage" : "");
   std::printf("\n  stage  fraction  blocks  predicted  actual   estimate\n");
-  for (const StageTrace& s : result->stages) {
+  for (const StageReport& s : result->stages()) {
     std::printf("  %5d  %8.4f  %6lld  %8.2fs  %6.2fs  %9.1f%s\n", s.index,
                 s.planned_fraction, static_cast<long long>(s.blocks_drawn),
                 s.predicted_seconds, s.actual_seconds, s.estimate_after,
                 s.within_quota ? "" : "   <- aborted (hard deadline)");
+  }
+  if (trace_path != nullptr) {
+    std::printf("\ntrace written to %s (open in chrome://tracing)\n",
+                trace_path);
   }
   return 0;
 }

@@ -63,10 +63,18 @@ QueryBuilder Session::Query(ExprPtr expr) {
                       options_.defaults, options_.threads);
 }
 
+Result<ExplainResult> Session::Explain(std::string_view text) {
+  return Query(text).Explain();
+}
+
 ThreadPool* Session::EnsurePool(int threads) {
   if (threads <= 1) return nullptr;
   const int workers = threads - 1;
-  if (pool_ == nullptr || pool_->workers() != workers) {
+  // High-water sizing: only grow. A narrower query reuses the wide pool —
+  // the engine caps its batches at min(threads, pool width) — so
+  // alternating 8- and 2-thread queries no longer tear the pool down and
+  // respawn workers on every switch.
+  if (pool_ == nullptr || pool_->workers() < workers) {
     pool_ = std::make_unique<ThreadPool>(workers);
   }
   return pool_.get();
@@ -78,8 +86,29 @@ Result<QueryResult> QueryBuilder::Run() {
   options.threads = threads_;
   TCQ_RETURN_NOT_OK(options.Validate());
   options.pool = session_->EnsurePool(threads_);
-  return RunTimeConstrainedAggregate(expr_, aggregate_, quota_s_,
-                                     session_->catalog(), options);
+  if (options.obs.metrics != nullptr) {
+    options.obs.metrics->gauge("session.pool_workers")
+        ->Set(session_->pool_workers());
+  }
+  Result<QueryResult> result = RunTimeConstrainedAggregate(
+      expr_, aggregate_, session_->catalog(), options);
+  if (result.ok() && owned_tracer_ != nullptr &&
+      !owned_tracer_->options().export_path.empty()) {
+    TCQ_RETURN_NOT_OK(
+        owned_tracer_->ExportToFile(owned_tracer_->options().export_path));
+  }
+  return result;
+}
+
+Result<ExplainResult> QueryBuilder::Explain() {
+  TCQ_RETURN_NOT_OK(parse_status_);
+  ExecutorOptions options = options_;
+  options.threads = threads_;
+  TCQ_RETURN_NOT_OK(options.Validate());
+  // Planning only: no pool, no samples, no side effects.
+  options.pool = nullptr;
+  return ExplainTimeConstrainedAggregate(expr_, aggregate_,
+                                         session_->catalog(), options);
 }
 
 }  // namespace tcq

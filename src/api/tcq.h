@@ -24,6 +24,7 @@
 #include <utility>
 
 #include "engine/executor.h"
+#include "obs/obs.h"
 #include "parallel/thread_pool.h"
 #include "ra/expr.h"
 #include "storage/relation.h"
@@ -39,9 +40,11 @@ class Session;
 /// options, so per-query settings override session-wide ones.
 class QueryBuilder {
  public:
-  /// Time quota in (simulated or wall-clock) seconds. Default 5.
+  /// Time quota in (simulated or wall-clock) seconds. Default 5. Stored
+  /// in ExecutorOptions::quota_s, so observers, EXPLAIN and With() edits
+  /// all see the same value.
   QueryBuilder& WithQuota(double seconds) {
-    quota_s_ = seconds;
+    options_.quota_s = seconds;
     return *this;
   }
   /// Execution width, counting the calling thread; the session's shared
@@ -103,7 +106,56 @@ class QueryBuilder {
     options_.max_stages = max_stages;
     return *this;
   }
-  /// Escape hatch: arbitrary edits to the underlying ExecutorOptions.
+  /// Sample-Size-Determine's tolerance ε (Figure 3.4), in (0, 1).
+  QueryBuilder& WithEpsilon(double epsilon_s) {
+    options_.epsilon_s = epsilon_s;
+    return *this;
+  }
+  /// Stage-1 selectivity defaults and revision knobs (Figure 3.3 / §3.4).
+  QueryBuilder& WithSelectivity(const SelectivityOptions& selectivity) {
+    options_.selectivity = selectivity;
+    return *this;
+  }
+  /// Adaptive cost-coefficient fitting knobs.
+  QueryBuilder& WithAdaptiveCost(const AdaptiveCostModel::Options& cost) {
+    options_.cost = cost;
+    return *this;
+  }
+
+  /// Enables tracing with a builder-owned tracer: the run records spans,
+  /// instants and counter tracks; when `trace.export_path` is non-empty
+  /// the Chrome trace_event JSON (chrome://tracing, Perfetto) is written
+  /// there after Run(). Access the tracer afterwards via `tracer()`.
+  QueryBuilder& WithTrace(TraceOptions trace) {
+    owned_tracer_ = std::make_shared<Tracer>(std::move(trace));
+    options_.obs.tracer = owned_tracer_.get();
+    return *this;
+  }
+  /// Records into a caller-owned tracer instead (must outlive Run()).
+  QueryBuilder& WithTracer(Tracer* tracer) {
+    owned_tracer_.reset();
+    options_.obs.tracer = tracer;
+    return *this;
+  }
+  /// Publishes counters/gauges/histograms into a caller-owned registry
+  /// (must outlive Run()). See src/obs/metrics.h for the determinism
+  /// contract: the counter and histogram sections are bit-identical
+  /// across thread counts at a fixed seed.
+  QueryBuilder& WithMetrics(Metrics* metrics) {
+    options_.obs.metrics = metrics;
+    return *this;
+  }
+  /// Streams per-stage StageReports to `observer` while the query runs
+  /// (called synchronously from the engine's serial sections; must
+  /// outlive Run()).
+  QueryBuilder& WithObserver(ProgressObserver& observer) {
+    options_.obs.observer = &observer;
+    return *this;
+  }
+
+  /// Deprecated escape hatch for options without a typed setter yet;
+  /// prefer the With* setters above. Arbitrary edits to the underlying
+  /// ExecutorOptions (including quota_s, which WithQuota also sets).
   QueryBuilder& With(const std::function<void(ExecutorOptions*)>& edit) {
     edit(&options_);
     return *this;
@@ -123,8 +175,18 @@ class QueryBuilder {
     return *this;
   }
 
-  /// Executes the query against the session's catalog and pool.
+  /// Executes the query against the session's catalog and pool. With a
+  /// WithTrace export path, the Chrome trace JSON is written on success.
   [[nodiscard]] Result<QueryResult> Run();
+
+  /// Runs the planner without drawing a single sample: the stages the
+  /// time-control strategy would schedule from its stage-0 priors (see
+  /// ExplainTimeConstrainedAggregate for the exact semantics).
+  [[nodiscard]] Result<ExplainResult> Explain();
+
+  /// The builder-owned tracer from WithTrace (null otherwise); read
+  /// `tracer()->ExportChromeJson()` after Run() for the in-memory trace.
+  Tracer* tracer() const { return owned_tracer_.get(); }
 
  private:
   friend class Session;
@@ -141,7 +203,7 @@ class QueryBuilder {
   Status parse_status_;  // non-OK when Query(text) failed to parse
   ExecutorOptions options_;
   AggregateSpec aggregate_;
-  double quota_s_ = 5.0;
+  std::shared_ptr<Tracer> owned_tracer_;  // WithTrace; shared with copies
   int threads_;
 };
 
@@ -178,17 +240,32 @@ class Session {
   /// Starts a query from the prototype's relational-algebra text (see
   /// ra/parser.h for the grammar), optionally wrapped in COUNT(...):
   /// "COUNT(SELECT[key < 2000](r1))" and "SELECT[key < 2000](r1)" are
-  /// equivalent. Parse errors surface from Run().
+  /// equivalent. Parse errors — with line/column diagnostics — surface
+  /// from Run() / Explain().
   QueryBuilder Query(std::string_view text);
   /// Starts a query from an expression tree.
   QueryBuilder Query(ExprPtr expr);
 
+  /// Parses `text` and runs the planner without executing anything (no
+  /// sample drawn, no pool spun up): the session-default options' quota
+  /// and strategy produce the predicted stage schedule. Equivalent to
+  /// `Query(text).Explain()`.
+  [[nodiscard]] Result<ExplainResult> Explain(std::string_view text);
+
+  /// The shared pool's current worker count (0 = no pool yet). The pool
+  /// is kept at its high-water size: narrower queries reuse it with a
+  /// participant cap instead of forcing a rebuild.
+  int pool_workers() const {
+    return pool_ == nullptr ? 0 : pool_->workers();
+  }
+
  private:
   friend class QueryBuilder;
 
-  /// Returns the shared pool sized for `threads` execution width (null
-  /// for serial). The pool is created lazily and recreated only when a
-  /// query asks for a different width.
+  /// Returns the shared pool sized for at least `threads` execution width
+  /// (null for serial). The pool is created lazily, grows when a query
+  /// asks for more width, and never shrinks — narrower queries cap their
+  /// batch participation instead (high-water reuse).
   ThreadPool* EnsurePool(int threads);
 
   Catalog catalog_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <set>
@@ -94,6 +95,9 @@ CountEstimate EstimateTerm(const StagedTermEvaluator& ev) {
 }  // namespace
 
 Status ExecutorOptions::Validate() const {
+  if (!(quota_s > 0.0)) {
+    return Status::InvalidArgument("time quota must be positive");
+  }
   if (!(epsilon_s > 0.0 && epsilon_s < 1.0)) {
     return Status::InvalidArgument(
         "epsilon_s must lie in (0, 1); got " + std::to_string(epsilon_s));
@@ -115,6 +119,13 @@ Status ExecutorOptions::Validate() const {
 }
 
 Result<QueryResult> RunTimeConstrainedCount(const ExprPtr& expr,
+                                            const Catalog& catalog,
+                                            const ExecutorOptions& options) {
+  return RunTimeConstrainedAggregate(expr, AggregateSpec::Count(), catalog,
+                                     options);
+}
+
+Result<QueryResult> RunTimeConstrainedCount(const ExprPtr& expr,
                                             double quota_s,
                                             const Catalog& catalog,
                                             const ExecutorOptions& options) {
@@ -125,10 +136,17 @@ Result<QueryResult> RunTimeConstrainedCount(const ExprPtr& expr,
 Result<QueryResult> RunTimeConstrainedAggregate(
     const ExprPtr& expr, const AggregateSpec& aggregate, double quota_s,
     const Catalog& catalog, const ExecutorOptions& options) {
+  ExecutorOptions adjusted = options;
+  adjusted.quota_s = quota_s;
+  return RunTimeConstrainedAggregate(expr, aggregate, catalog, adjusted);
+}
+
+Result<QueryResult> RunTimeConstrainedAggregate(
+    const ExprPtr& expr, const AggregateSpec& aggregate,
+    const Catalog& catalog, const ExecutorOptions& options) {
   TCQ_RETURN_NOT_OK(options.Validate());
-  if (quota_s <= 0.0) {
-    return Status::InvalidArgument("time quota must be positive");
-  }
+  const double quota_s = options.quota_s;
+  const ObsHandle& obs = options.obs;
   // Validate the expression and expand it into intersect-only terms.
   TCQ_ASSIGN_OR_RETURN(Schema schema, InferSchema(expr, catalog));
   int value_col = -1;
@@ -147,6 +165,11 @@ Result<QueryResult> RunTimeConstrainedAggregate(
   WallClock wall_clock;
   const Clock& clock =
       wall ? static_cast<const Clock&>(wall_clock) : virtual_clock;
+  if (obs.tracer != nullptr && !wall) {
+    // Simulated runs stamp trace events with virtual time: the exported
+    // trace becomes a pure function of the seed (golden-schema test).
+    obs.tracer->UseClock(&virtual_clock);
+  }
   CostLedger ledger(wall ? nullptr : &virtual_clock);
   Rng rng(options.seed);
   Rng noise_rng = rng.Fork();
@@ -156,14 +179,30 @@ Result<QueryResult> RunTimeConstrainedAggregate(
   }
 
   // Execution pool: `threads` counts the calling thread, so threads = N
-  // creates N - 1 workers; an external pool (tcq::Session) overrides it.
+  // creates N - 1 workers. An external pool (tcq::Session) may be wider
+  // than this query asks for (high-water reuse): `threads` > 1 then caps
+  // the participating threads per batch, while `threads` = 1 keeps the
+  // historical meaning "use the pool's full width".
   ThreadPool* pool = options.pool;
   std::unique_ptr<ThreadPool> owned_pool;
   if (pool == nullptr && options.threads > 1) {
     owned_pool = std::make_unique<ThreadPool>(options.threads - 1);
     pool = owned_pool.get();
   }
-  const int width = pool != nullptr ? pool->width() : 1;
+  int max_width = 0;
+  if (options.pool != nullptr && options.threads > 1) {
+    max_width = std::min(options.threads, pool->width());
+  }
+  const int width =
+      pool == nullptr ? 1 : (max_width > 0 ? max_width : pool->width());
+  if (obs.metering()) {
+    obs.metrics->gauge("engine.quota_s")->Set(quota_s);
+    obs.metrics->gauge("pool.width")->Set(static_cast<double>(width));
+    if (pool != nullptr) {
+      obs.metrics->gauge("pool.workers")
+          ->Set(static_cast<double>(pool->workers()));
+    }
+  }
 
   // The cost model's worker count: virtual time always charges the serial
   // machine's work (keeping simulated runs bit-identical at any thread
@@ -203,16 +242,22 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     constant_signs.clear();
   }
   terms = std::move(sampled_terms);
+  if (obs.observer != nullptr) {
+    obs.observer->OnQueryBegin(quota_s, static_cast<int>(terms.size()));
+  }
   if (terms.empty()) {
     // Fully constant query (e.g. COUNT(r1)).
     CountEstimate combined =
-        CombineSignedEstimates(constant_signs, constant_estimates);
+        CombineSignedEstimates(constant_signs, constant_estimates, obs);
     QueryResult r;
     r.estimate = combined.value;
     r.variance = combined.variance;
     r.ci = NormalConfidenceInterval(combined, options.confidence);
     r.stages_counted = 0;
     r.utilization = 0.0;
+    if (obs.observer != nullptr) {
+      obs.observer->OnQueryEnd(r.estimate, r.variance, false);
+    }
     return r;
   }
 
@@ -236,13 +281,15 @@ Result<QueryResult> RunTimeConstrainedAggregate(
       TCQ_RETURN_NOT_OK(ev->TrackValueColumn(value_col));
     }
     if (wall) ev->MeasureStepsWith(&clock);
-    ev->UseThreadPool(pool);
+    ev->UseThreadPool(pool, max_width);
+    ev->SetObs(obs, static_cast<int>(evaluators.size()));
     std::vector<std::string> scans;
     CollectScans(term.expr, &scans);
     for (const std::string& name : scans) {
       if (samplers.count(name) == 0) {
         TCQ_ASSIGN_OR_RETURN(RelationPtr rel, catalog.Find(name));
         samplers[name] = std::make_unique<BlockSampler>(std::move(rel));
+        samplers[name]->SetMetrics(obs.metrics);
       }
     }
     evaluators.push_back(std::move(ev));
@@ -250,6 +297,10 @@ Result<QueryResult> RunTimeConstrainedAggregate(
   }
 
   const Deadline deadline = Deadline::StartingNow(clock, quota_s);
+
+  TraceSpan query_span(obs.tracer, "query", "engine");
+  query_span.Arg("terms", static_cast<double>(evaluators.size()));
+  query_span.Arg("quota_s", quota_s);
 
   QueryResult result;
   result.ci.level = options.confidence;
@@ -274,11 +325,15 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     }
     if (f_max <= 0.0) break;  // every relation fully sampled
 
+    TraceSpan stage_span(obs.tracer, "stage", "engine");
+    stage_span.Arg("index", static_cast<double>(stage));
+    stage_span.Arg("time_left_s", time_left);
+
     // Figure 3.3: revise per-operator selectivities from all samples.
     std::vector<std::map<int, double>> sel_prev;
     sel_prev.reserve(evaluators.size());
     for (const auto& ev : evaluators) {
-      sel_prev.push_back(ReviseSelectivities(*ev, options.selectivity));
+      sel_prev.push_back(ReviseSelectivities(*ev, options.selectivity, obs));
     }
 
     // Full-query cost formula: per-stage overhead + block fetches (priced
@@ -346,10 +401,17 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     context.f_max = f_max;
     context.f_min_step = min_step;
     context.epsilon = options.epsilon_s;
+    context.obs = obs;
     context.qcost = qcost;
     context.qcost_sigma = qcost_sigma;
 
-    TCQ_ASSIGN_OR_RETURN(StagePlan plan, strategy->PlanStage(context));
+    StagePlan plan;
+    {
+      TraceSpan plan_span(obs.tracer, "plan_stage", "engine");
+      TCQ_ASSIGN_OR_RETURN(plan, strategy->PlanStage(context));
+      plan_span.Arg("fraction", plan.fraction);
+      plan_span.Arg("predicted_s", plan.predicted_seconds);
+    }
     if (plan.fraction <= 0.0) {
       if (options.final_partial_stages &&
           current_mode == Fulfillment::kFull) {
@@ -394,6 +456,7 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     std::map<std::string, std::vector<const Block*>> stage_blocks;
     int64_t blocks_drawn = 0;
     {
+      TraceSpan draw_span(obs.tracer, "draw_blocks", "engine");
       struct DrawSlot {
         std::string name;
         BlockSampler* sampler = nullptr;
@@ -425,7 +488,7 @@ Result<QueryResult> RunTimeConstrainedAggregate(
         });
       }
       auto section_start = std::chrono::steady_clock::now();
-      RunTasks(pool, &tasks);
+      RunTasks(pool, &tasks, max_width);
       stage_parallel.span_seconds += SecondsSince(section_start);
       stage_parallel.tasks += static_cast<int>(tasks.size());
       for (DrawSlot& slot : draws) {
@@ -443,6 +506,7 @@ Result<QueryResult> RunTimeConstrainedAggregate(
                                  options.physical.block_read_s);
         stage_blocks[slot.name] = std::move(slot.blocks);
       }
+      draw_span.Arg("blocks", static_cast<double>(blocks_drawn));
     }
 
     // Parallel term evaluation: every inclusion–exclusion term runs as
@@ -456,6 +520,7 @@ Result<QueryResult> RunTimeConstrainedAggregate(
       term_prev_totals[t] = term_ledgers[t]->GrandTotal();
     }
     {
+      TraceSpan eval_span(obs.tracer, "eval_terms", "engine");
       std::vector<Status> statuses(evaluators.size());
       std::vector<double> durs(evaluators.size(), 0.0);
       std::vector<std::function<void()>> tasks;
@@ -473,18 +538,20 @@ Result<QueryResult> RunTimeConstrainedAggregate(
         });
       }
       auto section_start = std::chrono::steady_clock::now();
-      RunTasks(pool, &tasks);
+      RunTasks(pool, &tasks, max_width);
       stage_parallel.span_seconds += SecondsSince(section_start);
       stage_parallel.tasks += static_cast<int>(tasks.size());
       for (size_t t = 0; t < evaluators.size(); ++t) {
         TCQ_RETURN_NOT_OK(statuses[t]);
         stage_parallel.work_seconds += durs[t];
       }
-    }
-    for (size_t t = 0; t < evaluators.size(); ++t) {
-      double delta = term_ledgers[t]->GrandTotal() - term_prev_totals[t];
-      if (!wall && delta > 0.0) virtual_clock.Advance(delta);
-      ObserveTermStage(*evaluators[t], &coefs);
+      // The term ledgers fold into the virtual clock inside this span so
+      // its duration covers the stage's simulated evaluation cost.
+      for (size_t t = 0; t < evaluators.size(); ++t) {
+        double delta = term_ledgers[t]->GrandTotal() - term_prev_totals[t];
+        if (!wall && delta > 0.0) virtual_clock.Advance(delta);
+        ObserveTermStage(*evaluators[t], &coefs);
+      }
     }
     if (wall) {
       // Re-fit the parallel-efficiency coefficient η from the realized
@@ -509,7 +576,8 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     std::vector<int> all_signs = signs;
     all_signs.insert(all_signs.end(), constant_signs.begin(),
                      constant_signs.end());
-    CountEstimate combined = CombineSignedEstimates(all_signs, term_estimates);
+    CountEstimate combined =
+        CombineSignedEstimates(all_signs, term_estimates, obs);
     if (aggregate.kind != AggregateSpec::Kind::kCount) {
       std::vector<CountEstimate> sum_estimates;
       sum_estimates.reserve(evaluators.size());
@@ -539,19 +607,63 @@ Result<QueryResult> RunTimeConstrainedAggregate(
       }
     }
 
-    StageTrace trace;
-    trace.index = stage;
-    trace.time_left_before = time_left;
-    trace.planned_fraction = plan.fraction;
-    trace.d_beta_used = plan.d_beta_used;
-    trace.predicted_seconds = plan.predicted_seconds;
-    trace.actual_seconds = actual;
-    trace.blocks_drawn = blocks_drawn;
-    trace.within_quota = within;
-    trace.estimate_after = combined.value;
-    trace.variance_after = combined.variance;
-    result.stages.push_back(trace);
+    StageReport report;
+    report.index = stage;
+    report.time_left_before = time_left;
+    report.planned_fraction = plan.fraction;
+    report.d_beta_used = plan.d_beta_used;
+    report.predicted_seconds = plan.predicted_seconds;
+    report.actual_seconds = actual;
+    report.blocks_drawn = blocks_drawn;
+    report.within_quota = within;
+    report.estimate_after = combined.value;
+    report.variance_after = combined.variance;
+    report.quota_s = quota_s;
+    // In simulation the clock advances only inside the stage, so these
+    // spends telescope: Σ ledger_spend_s over all reports equals the
+    // query's elapsed_seconds (the acceptance identity).
+    report.ledger_spend_s = stage_end - stage_start;
+    report.cumulative_spend_s = deadline.Elapsed(clock);
+    report.work_seconds = stage_parallel.work_seconds;
+    report.span_seconds = stage_parallel.span_seconds;
+    report.parallel_tasks = stage_parallel.tasks;
+    for (size_t t = 0; t < evaluators.size(); ++t) {
+      for (const StagedNode* node : evaluators[t]->NodesPreOrder()) {
+        auto it = sel_prev[t].find(node->id);
+        if (it == sel_prev[t].end()) continue;
+        OperatorSelectivity sel;
+        sel.term = static_cast<int>(t);
+        sel.node = node->id;
+        sel.op = std::string(ExprKindName(node->kind));
+        sel.selectivity = it->second;
+        report.selectivities.push_back(std::move(sel));
+      }
+    }
+    result.stage_reports.push_back(report);
     ++result.stages_run;
+    if (obs.metering()) {
+      obs.metrics->counter("engine.stages_run")->Increment();
+      obs.metrics->counter("engine.blocks_drawn")->Add(blocks_drawn);
+      obs.metrics->gauge("engine.spend_s")->Set(report.cumulative_spend_s);
+      obs.metrics->gauge("engine.time_left_s")
+          ->Set(deadline.Remaining(clock));
+      for (const OperatorSelectivity& sel : report.selectivities) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "timectrl.sel.t%d.n%d", sel.term,
+                      sel.node);
+        obs.metrics->gauge(name)->Set(sel.selectivity);
+      }
+    }
+    if (obs.tracing()) {
+      obs.tracer->Counter("ledger_spend_s", report.cumulative_spend_s);
+      obs.tracer->Counter("estimate", combined.value);
+      obs.tracer->Counter("blocks_drawn",
+                          static_cast<double>(result.blocks_sampled +
+                                              blocks_drawn));
+    }
+    if (obs.observer != nullptr) {
+      obs.observer->OnStage(result.stage_reports.back());
+    }
 
     if (!within) {
       result.overspent = true;
@@ -596,7 +708,245 @@ Result<QueryResult> RunTimeConstrainedAggregate(
   result.elapsed_seconds = deadline.Elapsed(clock);
   result.utilization =
       quota_s > 0.0 ? std::min(1.0, counted_elapsed / quota_s) : 0.0;
+
+  if (obs.metering()) {
+    obs.metrics->gauge("engine.spend_s")->Set(result.elapsed_seconds);
+    obs.metrics->gauge("engine.utilization")->Set(result.utilization);
+    obs.metrics->gauge("engine.overspend_s")->Set(result.overspend_seconds);
+    // The shared ledger holds global charges (stage overhead, block
+    // reads); the per-term ledgers hold operator work. Export both, terms
+    // folded in term order (serial section — gauges stay deterministic).
+    ledger.ExportTo(obs.metrics, "ledger");
+    for (size_t c = 0; c < static_cast<size_t>(CostCategory::kNumCategories);
+         ++c) {
+      auto cat = static_cast<CostCategory>(c);
+      double total = 0.0;
+      double ops = 0.0;
+      for (const auto& term_ledger : term_ledgers) {
+        total += term_ledger->Total(cat);
+        ops += static_cast<double>(term_ledger->Count(cat));
+      }
+      const std::string base =
+          std::string("ledger.terms.") + std::string(CostCategoryName(cat));
+      obs.metrics->gauge(base + "_s")->Set(total);
+      obs.metrics->gauge(base + "_ops")->Set(ops);
+    }
+    if (pool != nullptr) {
+      // Scheduling-dependent: exported as gauges, never counters, so the
+      // deterministic metric sections stay bit-identical across widths.
+      obs.metrics->gauge("pool.batches")
+          ->Set(static_cast<double>(pool->batches_run()));
+      obs.metrics->gauge("pool.tasks_by_workers")
+          ->Set(static_cast<double>(pool->tasks_run_by_workers()));
+      obs.metrics->gauge("pool.tasks_by_callers")
+          ->Set(static_cast<double>(pool->tasks_run_by_callers()));
+    }
+  }
+  if (obs.observer != nullptr) {
+    obs.observer->OnQueryEnd(result.estimate, result.variance,
+                             result.overspent);
+  }
   return result;
+}
+
+std::string ExplainResult::ToString() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "time-constrained aggregate plan (strategy %s, quota %.3f s)\n",
+                strategy.c_str(), quota_s);
+  out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "terms: %d sampled, %d answered from the catalog; %lld blocks total\n",
+      num_sampled_terms, num_constant_terms,
+      static_cast<long long>(total_blocks));
+  out += line;
+  if (stages.empty()) {
+    out += "no sampling stage fits the quota\n";
+    return out;
+  }
+  out += "stage  time_left_s  fraction  d_beta  predicted_s   blocks\n";
+  for (const StagePrediction& s : stages) {
+    std::snprintf(line, sizeof(line),
+                  "%5d  %11.4f  %8.5f  %6.2f  %11.4f  %7lld\n", s.index,
+                  s.time_left_before, s.planned_fraction, s.d_beta_used,
+                  s.predicted_seconds, static_cast<long long>(s.blocks_planned));
+    out += line;
+  }
+  out += exhausts_samples
+             ? "plan exhausts every relation's blocks within the quota\n"
+             : "plan stops when no further stage fits the remaining time\n";
+  return out;
+}
+
+Result<ExplainResult> ExplainTimeConstrainedAggregate(
+    const ExprPtr& expr, const AggregateSpec& aggregate,
+    const Catalog& catalog, const ExecutorOptions& options) {
+  TCQ_RETURN_NOT_OK(options.Validate());
+  ExplainResult out;
+  out.quota_s = options.quota_s;
+  std::unique_ptr<TimeControlStrategy> strategy =
+      MakeStrategy(options.strategy);
+  out.strategy = std::string(strategy->name());
+
+  TCQ_ASSIGN_OR_RETURN(Schema schema, InferSchema(expr, catalog));
+  if (aggregate.kind != AggregateSpec::Kind::kCount) {
+    TCQ_ASSIGN_OR_RETURN(int value_col, schema.IndexOf(aggregate.column));
+    (void)value_col;
+  }
+  TCQ_ASSIGN_OR_RETURN(std::vector<SignedTerm> terms, ExpandCount(expr));
+  // Same constant/sampled split as the run path: bare scans are answered
+  // from the catalog for COUNT and never planned.
+  std::vector<SignedTerm> sampled_terms;
+  for (const SignedTerm& term : terms) {
+    if (term.expr->kind == ExprKind::kScan &&
+        aggregate.kind == AggregateSpec::Kind::kCount) {
+      ++out.num_constant_terms;
+    } else {
+      sampled_terms.push_back(term);
+    }
+  }
+  out.num_sampled_terms = static_cast<int>(sampled_terms.size());
+  if (sampled_terms.empty()) return out;
+
+  // Stage-0 evaluators: the planner's view before any sample is drawn.
+  // The cost model plans for the serial machine exactly like a simulated
+  // run; a private clockless ledger satisfies the evaluator's interface
+  // (nothing ever charges it — no stage executes).
+  CostModel physical = options.physical;
+  physical.workers = 1;
+  AdaptiveCostModel coefs(physical, options.cost);
+  CostLedger scratch_ledger;
+  std::vector<std::unique_ptr<StagedTermEvaluator>> evaluators;
+  std::map<std::string, int64_t> total_blocks;
+  for (const SignedTerm& term : sampled_terms) {
+    TCQ_ASSIGN_OR_RETURN(
+        auto ev, StagedTermEvaluator::Create(term.expr, catalog,
+                                             options.fulfillment,
+                                             &scratch_ledger, physical));
+    std::vector<std::string> scans;
+    CollectScans(term.expr, &scans);
+    for (const std::string& name : scans) {
+      if (total_blocks.count(name) == 0) {
+        TCQ_ASSIGN_OR_RETURN(RelationPtr rel, catalog.Find(name));
+        total_blocks[name] = rel->NumBlocks();
+        out.total_blocks += rel->NumBlocks();
+      }
+    }
+    evaluators.push_back(std::move(ev));
+  }
+  std::map<std::string, int64_t> remaining = total_blocks;
+
+  // The planning loop of the run path against hypothetical time/block
+  // state: each chosen stage charges its predicted cost to the budget and
+  // decrements the relations' remaining blocks. Selectivity revisions and
+  // coefficient re-fits need samples, so the stage-1 priors persist (the
+  // EXPLAIN vs. EXPLAIN ANALYZE gap, documented in the header).
+  double time_left = options.quota_s;
+  for (int stage = 0; stage < options.max_stages; ++stage) {
+    if (time_left <= 0.0) break;
+    double f_max = 0.0;
+    double min_step = 1.0;
+    for (const auto& [name, total] : total_blocks) {
+      if (total <= 0) continue;
+      f_max = std::max(f_max, static_cast<double>(remaining[name]) /
+                                  static_cast<double>(total));
+      min_step = std::min(min_step, 1.0 / static_cast<double>(total));
+    }
+    if (f_max <= 0.0) break;
+
+    std::vector<std::map<int, double>> sel_prev;
+    sel_prev.reserve(evaluators.size());
+    for (const auto& ev : evaluators) {
+      sel_prev.push_back(ReviseSelectivities(*ev, options.selectivity));
+    }
+    auto fetch_cost = [&](double f) {
+      double seconds = 0.0;
+      for (const auto& [name, total] : total_blocks) {
+        int64_t d_new = std::min<int64_t>(BlocksForFraction(f, total),
+                                          remaining[name]);
+        seconds += static_cast<double>(d_new) *
+                   coefs.Coef(kGlobalCostNode, CostStep::kFetch);
+      }
+      return seconds;
+    };
+    auto qcost = [&](double f, double d_beta) -> Result<double> {
+      double seconds = coefs.Coef(kGlobalCostNode, CostStep::kSetup) +
+                       fetch_cost(f);
+      for (size_t t = 0; t < evaluators.size(); ++t) {
+        std::map<int, double> sel_plus = ComputeSelPlus(
+            *evaluators[t], sel_prev[t], f, d_beta, options.fulfillment);
+        TCQ_ASSIGN_OR_RETURN(
+            TermStagePrediction p,
+            PredictTermStageCost(*evaluators[t], f, sel_plus, coefs,
+                                 options.fulfillment));
+        seconds += p.seconds;
+      }
+      return seconds;
+    };
+    auto qcost_sigma = [&](double f) -> Result<double> {
+      double sigma = 0.0;
+      for (size_t t = 0; t < evaluators.size(); ++t) {
+        std::map<int, NodePoints> points =
+            PredictNodePoints(*evaluators[t], f, options.fulfillment);
+        TCQ_ASSIGN_OR_RETURN(
+            TermStagePrediction base,
+            PredictTermStageCost(*evaluators[t], f, sel_prev[t], coefs,
+                                 options.fulfillment));
+        for (const auto& [id, sel] : sel_prev[t]) {
+          auto it = points.find(id);
+          if (it == points.end()) continue;
+          double sd = std::sqrt(SrsProportionVariance(
+              sel, it->second.remaining_points, it->second.new_points));
+          if (sd <= 0.0) continue;
+          std::map<int, double> bumped = sel_prev[t];
+          bumped[id] = std::min(1.0, sel + sd);
+          TCQ_ASSIGN_OR_RETURN(
+              TermStagePrediction hi,
+              PredictTermStageCost(*evaluators[t], f, bumped, coefs,
+                                   options.fulfillment));
+          sigma += std::max(0.0, hi.seconds - base.seconds);
+        }
+      }
+      return sigma;
+    };
+
+    StagePlanContext context;
+    context.next_stage = stage;
+    context.time_left = time_left;
+    context.quota = options.quota_s;
+    context.f_max = f_max;
+    context.f_min_step = min_step;
+    context.epsilon = options.epsilon_s;
+    context.obs = options.obs;
+    context.qcost = qcost;
+    context.qcost_sigma = qcost_sigma;
+    TCQ_ASSIGN_OR_RETURN(StagePlan plan, strategy->PlanStage(context));
+    if (plan.fraction <= 0.0) break;
+
+    StagePrediction prediction;
+    prediction.index = stage;
+    prediction.time_left_before = time_left;
+    prediction.planned_fraction = plan.fraction;
+    prediction.d_beta_used = plan.d_beta_used;
+    prediction.predicted_seconds = plan.predicted_seconds;
+    for (const auto& [name, total] : total_blocks) {
+      int64_t d_new = std::min<int64_t>(
+          BlocksForFraction(plan.fraction, total), remaining[name]);
+      remaining[name] -= d_new;
+      prediction.blocks_planned += d_new;
+    }
+    out.stages.push_back(prediction);
+    time_left -= plan.predicted_seconds;
+    if (prediction.blocks_planned <= 0) break;  // cannot progress further
+  }
+  out.exhausts_samples = true;
+  for (const auto& [name, left] : remaining) {
+    (void)name;
+    if (left > 0) out.exhausts_samples = false;
+  }
+  return out;
 }
 
 }  // namespace tcq

@@ -8,6 +8,7 @@
 #include "cost/adaptive_model.h"
 #include "estimator/count_estimator.h"
 #include "exec/staged.h"
+#include "obs/obs.h"
 #include "parallel/thread_pool.h"
 #include "ra/expr.h"
 #include "sim/cost_model.h"
@@ -34,6 +35,11 @@ std::unique_ptr<TimeControlStrategy> MakeStrategy(
 
 /// Options of a time-constrained COUNT(E) run.
 struct ExecutorOptions {
+  /// The query's time quota T in seconds (simulated unless
+  /// `use_wall_clock`): the hard constraint the paper's title promises.
+  /// Lives here — not as a separate entry-point argument — so observers,
+  /// EXPLAIN, and option edits all see one authoritative value.
+  double quota_s = 5.0;
   StrategyConfig strategy;
   Fulfillment fulfillment = Fulfillment::kFull;
   /// §5.B's suggestion: when no further *full*-fulfillment stage fits in
@@ -69,29 +75,26 @@ struct ExecutorOptions {
   /// sized for the parallel throughput.
   int threads = 1;
   /// Shared pool to run on instead of creating a per-run one (not owned;
-  /// e.g. tcq::Session's). When set it defines the execution width and
-  /// `threads` is ignored.
+  /// e.g. tcq::Session's). When set it defines the execution width cap
+  /// min(threads, pool width) when threads > 1, or the pool's full width
+  /// when threads is left at 1 — so a high-water pool can serve narrower
+  /// queries.
   ThreadPool* pool = nullptr;
+  /// Observability sinks (tracer, metrics, progress observer), all
+  /// optional and non-owning. The default-empty handle costs one pointer
+  /// check per instrumentation site; no virtual dispatch on hot paths.
+  ObsHandle obs;
 
-  /// Rejects nonsense configurations: epsilon_s or confidence outside
-  /// (0, 1), threads < 1, max_stages < 1. The Run* entry points call this
-  /// before touching any data.
+  /// Rejects nonsense configurations: quota_s <= 0, epsilon_s or
+  /// confidence outside (0, 1), threads < 1, max_stages < 1. The Run*
+  /// entry points call this before touching any data.
   [[nodiscard]] Status Validate() const;
 };
 
 /// What happened during one stage (Figure 3.1's while-loop body).
-struct StageTrace {
-  int index = 0;                    // 0-based
-  double time_left_before = 0.0;    // Ti
-  double planned_fraction = 0.0;    // fi
-  double d_beta_used = 0.0;
-  double predicted_seconds = 0.0;
-  double actual_seconds = 0.0;
-  int64_t blocks_drawn = 0;         // over all relations
-  bool within_quota = false;        // stage finished before the deadline
-  double estimate_after = 0.0;
-  double variance_after = 0.0;
-};
+/// `StageReport` (src/obs/report.h) is the record; the old `StageTrace`
+/// name stays as an alias for existing call sites.
+using StageTrace = StageReport;
 
 /// Result of a time-constrained COUNT(E) evaluation.
 struct QueryResult {
@@ -112,7 +115,12 @@ struct QueryResult {
   bool stopped_for_precision = false;
   /// Set when the run ended because no affordable stage remained.
   bool stopped_no_affordable_stage = false;
-  std::vector<StageTrace> stages;
+  /// Per-stage reports, aborted final stage included. In simulation the
+  /// reports' `ledger_spend_s` values telescope: their sum equals
+  /// `elapsed_seconds` (the virtual clock only advances inside stages).
+  std::vector<StageReport> stage_reports;
+
+  const std::vector<StageReport>& stages() const { return stage_reports; }
 };
 
 /// Which aggregate of the expression's output to estimate. The paper
@@ -135,16 +143,21 @@ struct AggregateSpec {
   }
 };
 
-/// Evaluates the estimator of an aggregate of `expr` within `quota_s`
-/// simulated seconds. AVG is estimated as the ratio of the SUM and COUNT
-/// estimates, with a first-order (delta-method) variance that neglects
-/// their covariance.
+/// Evaluates the estimator of an aggregate of `expr` within
+/// `options.quota_s` (simulated) seconds. AVG is estimated as the ratio
+/// of the SUM and COUNT estimates, with a first-order (delta-method)
+/// variance that neglects their covariance.
+[[nodiscard]] Result<QueryResult> RunTimeConstrainedAggregate(
+    const ExprPtr& expr, const AggregateSpec& aggregate,
+    const Catalog& catalog, const ExecutorOptions& options);
+
+/// Compatibility overload: `quota_s` overrides `options.quota_s`.
 [[nodiscard]] Result<QueryResult> RunTimeConstrainedAggregate(
     const ExprPtr& expr, const AggregateSpec& aggregate, double quota_s,
     const Catalog& catalog, const ExecutorOptions& options);
 
-/// Evaluates the estimator of COUNT(expr) within `quota_s` simulated
-/// seconds (Figure 3.1):
+/// Evaluates the estimator of COUNT(expr) within `options.quota_s`
+/// simulated seconds (Figure 3.1):
 ///
 ///   expand COUNT(E) by inclusion–exclusion; then repeat
 ///     revise selectivities → plan the stage (strategy + Sample-Size-
@@ -155,10 +168,53 @@ struct AggregateSpec {
 ///
 /// Deterministic: all timing flows through a fresh VirtualClock and all
 /// randomness through Rng(options.seed).
+[[nodiscard]] Result<QueryResult> RunTimeConstrainedCount(
+    const ExprPtr& expr, const Catalog& catalog,
+    const ExecutorOptions& options);
+
+/// Compatibility overload: `quota_s` overrides `options.quota_s`.
 [[nodiscard]] Result<QueryResult> RunTimeConstrainedCount(const ExprPtr& expr,
                                             double quota_s,
                                             const Catalog& catalog,
                                             const ExecutorOptions& options);
+
+/// One predicted stage of an EXPLAIN plan.
+struct StagePrediction {
+  int index = 0;
+  double time_left_before = 0.0;   // Ti the planner would see
+  double planned_fraction = 0.0;   // fi
+  double d_beta_used = 0.0;
+  double predicted_seconds = 0.0;  // QCOST at the chosen fraction
+  int64_t blocks_planned = 0;      // over all relations
+};
+
+/// The planner's view of a query before any sample is drawn.
+struct ExplainResult {
+  std::string strategy;       // time-control strategy name
+  double quota_s = 0.0;       // T
+  int num_sampled_terms = 0;  // inclusion–exclusion terms to sample
+  int num_constant_terms = 0;  // bare-scan terms answered from the catalog
+  int64_t total_blocks = 0;   // across all scanned relations
+  std::vector<StagePrediction> stages;
+  /// True when the predicted stages exhaust every relation's blocks
+  /// before the quota runs out.
+  bool exhausts_samples = false;
+
+  /// Multi-line human-readable plan (the `Session::Explain` output).
+  std::string ToString() const;
+};
+
+/// Runs the planning loop — inclusion–exclusion expansion, stage-1
+/// selectivity defaults, the time-control strategy and Sample-Size-
+/// Determine over the initial cost coefficients — WITHOUT drawing a
+/// single sample (EXPLAIN, not EXPLAIN ANALYZE). Predictions are the
+/// stage-0 view: block exhaustion is simulated stage over stage, but the
+/// selectivity revisions and cost-coefficient re-fits that a real run
+/// learns from its samples are not, so later stages' costs reflect the
+/// planner's priors. Deterministic and side-effect free.
+[[nodiscard]] Result<ExplainResult> ExplainTimeConstrainedAggregate(
+    const ExprPtr& expr, const AggregateSpec& aggregate,
+    const Catalog& catalog, const ExecutorOptions& options);
 
 }  // namespace tcq
 

@@ -28,4 +28,21 @@ CountEstimate CombineSignedEstimates(
   return out;
 }
 
+CountEstimate CombineSignedEstimates(const std::vector<int>& signs,
+                                     const std::vector<CountEstimate>& terms,
+                                     const ObsHandle& obs) {
+  CountEstimate out = CombineSignedEstimates(signs, terms);
+  if (obs.metering()) {
+    obs.metrics->counter("estimator.combines")->Increment();
+    obs.metrics->gauge("estimator.estimate")->Set(out.value);
+    obs.metrics->gauge("estimator.variance")->Set(out.variance);
+    obs.metrics->histogram("estimator.stage_variance")->Record(out.variance);
+  }
+  if (obs.tracing()) {
+    obs.tracer->Instant("combine_estimates", "estimator", "estimate",
+                        out.value);
+  }
+  return out;
+}
+
 }  // namespace tcq

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "estimator/count_estimator.h"
+#include "obs/obs.h"
 
 namespace tcq {
 
@@ -19,6 +20,15 @@ namespace tcq {
 /// approximations (§3.3).
 CountEstimate CombineSignedEstimates(const std::vector<int>& signs,
                                      const std::vector<CountEstimate>& terms);
+
+/// Same, additionally publishing the combination to `obs`: the
+/// `estimator.combines` counter, the `estimator.estimate` /
+/// `estimator.variance` gauges (last combined values), and the
+/// `estimator.stage_variance` histogram of V̂ per combination. Call from
+/// the engine's serial section only (gauge/histogram determinism).
+CountEstimate CombineSignedEstimates(const std::vector<int>& signs,
+                                     const std::vector<CountEstimate>& terms,
+                                     const ObsHandle& obs);
 
 }  // namespace tcq
 

@@ -154,6 +154,13 @@ Status StagedTermEvaluator::ExecuteStage(
   return ExecuteStageWithMode(new_blocks, fulfillment_);
 }
 
+void StagedTermEvaluator::SetObs(const ObsHandle& obs, int term_index) {
+  tracer_ = obs.tracer;
+  tuples_counter_ =
+      obs.metering() ? obs.metrics->counter("exec.tuples_scanned") : nullptr;
+  term_index_ = term_index;
+}
+
 Status StagedTermEvaluator::ExecuteStageWithMode(
     const std::map<std::string, std::vector<const Block*>>& new_blocks,
     Fulfillment mode) {
@@ -161,6 +168,9 @@ Status StagedTermEvaluator::ExecuteStageWithMode(
     return Status::InvalidArgument(
         "a full-fulfillment stage cannot follow a partial one");
   }
+  TraceSpan span(tracer_, "term_stage", "exec");
+  span.Arg("term", static_cast<double>(term_index_));
+  span.Arg("stage", static_cast<double>(num_stages_));
   stage_parallel_ = ParallelStats{};
   // Previous per-scan cumulative block counts, for coverage accounting.
   std::vector<const StagedNode*> scan_nodes;
@@ -201,6 +211,16 @@ Status StagedTermEvaluator::ExecuteStageWithMode(
     ran_partial_stage_ = true;
   }
   stage_scan_blocks_.push_back(std::move(counts));
+  if (tuples_counter_ != nullptr) {
+    // Tuples fetched from disk blocks this stage: the scans' newest stage
+    // records. Deterministic at a fixed seed, so the atomic adds keep the
+    // counter bit-identical across thread counts.
+    int64_t scanned = 0;
+    for (const StagedNode* scan : scan_nodes) {
+      if (!scan->stages.empty()) scanned += scan->stages.back().new_tuples;
+    }
+    if (scanned > 0) tuples_counter_->Add(scanned);
+  }
   if (value_col_ >= 0) {
     for (const Tuple& t : root_->stage_out.back()) {
       const Value& v = t[static_cast<size_t>(value_col_)];
@@ -424,7 +444,7 @@ Status StagedTermEvaluator::ExecuteNode(
       auto run_section = [&](std::vector<std::function<void()>>* tasks,
                              const std::vector<double>* durations) {
         auto start = std::chrono::steady_clock::now();
-        RunTasks(pool_, tasks);
+        RunTasks(pool_, tasks, pool_max_width_);
         stage_parallel_.span_seconds += SecondsSince(start);
         for (double d : *durations) stage_parallel_.work_seconds += d;
         stage_parallel_.tasks += static_cast<int>(tasks->size());

@@ -8,6 +8,7 @@
 
 #include "exec/operators.h"
 #include "exec/tuple_set.h"
+#include "obs/obs.h"
 #include "parallel/thread_pool.h"
 #include "ra/expr.h"
 #include "sim/clock.h"
@@ -126,12 +127,26 @@ class StagedTermEvaluator {
   /// boundaries — and all cost charges happen post-barrier in a fixed
   /// order, so results and simulated charges are bit-identical for any
   /// pool width. `pool` is not owned and must outlive this evaluator.
-  void UseThreadPool(ThreadPool* pool) { pool_ = pool; }
+  /// `max_width` > 0 caps the threads participating in this evaluator's
+  /// batches (counting the caller) — a query narrower than a shared
+  /// high-water pool passes its configured width here; 0 = uncapped.
+  void UseThreadPool(ThreadPool* pool, int max_width = 0) {
+    pool_ = pool;
+    pool_max_width_ = max_width;
+  }
 
   /// Realized work/span of the last executed stage's parallel sections.
   const ParallelStats& last_stage_parallelism() const {
     return stage_parallel_;
   }
+
+  /// Attaches observability sinks: each executed stage records a
+  /// `term_stage` trace span and adds its scans' fetched tuples to the
+  /// `exec.tuples_scanned` counter. ExecuteStage may run on a pool worker;
+  /// both sinks are safe there (lock-free trace buffers, atomic counter)
+  /// and the counter total is deterministic at a fixed seed because the
+  /// scanned tuples are. `term_index` labels this evaluator's spans.
+  void SetObs(const ObsHandle& obs, int term_index);
 
   /// Runs one stage over the newly drawn blocks. The map must contain an
   /// entry for every relation scanned by this term (value = pointers to
@@ -208,7 +223,11 @@ class StagedTermEvaluator {
   Fulfillment fulfillment_;
   CostLedger* ledger_;
   const Clock* timing_clock_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  Counter* tuples_counter_ = nullptr;
+  int term_index_ = 0;
   ThreadPool* pool_ = nullptr;
+  int pool_max_width_ = 0;
   ParallelStats stage_parallel_;
   CostModel model_;
   std::unique_ptr<StagedNode> root_;

@@ -1,0 +1,162 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tcq {
+
+namespace {
+
+void AppendNumber(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  for (const char* p = buf; *p != '\0'; ++p) {
+    if (*p == 'n' || *p == 'i') {  // nan / inf: not valid JSON literals
+      out->append("0");
+      return;
+    }
+  }
+  out->append(buf);
+}
+
+void AppendName(std::string* out, const std::string& name) {
+  out->push_back('"');
+  for (char c : name) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void Histogram::Record(double v) {
+  int idx = 0;
+  if (v > 0.0) {
+    int exp = 0;
+    std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+    idx = exp - 1 + kZeroExp;
+    if (idx < 0) idx = 0;
+    if (idx >= kBuckets) idx = kBuckets - 1;
+  }
+  buckets_[static_cast<size_t>(idx)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::BucketUpperBound(int i) {
+  return std::ldexp(1.0, i + 1 - kZeroExp);
+}
+
+Counter* Metrics::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Metrics::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Metrics::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string Metrics::CountersJsonLocked() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\n    ");
+    AppendName(&out, name);
+    out.push_back(':');
+    AppendNumber(&out, static_cast<double>(c->value()));
+  }
+  out.append(first ? "}" : "\n  }");
+  return out;
+}
+
+std::string Metrics::HistogramsJsonLocked() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\n    ");
+    AppendName(&out, name);
+    out.append(":{\"count\":");
+    AppendNumber(&out, static_cast<double>(h->count()));
+    out.append(",\"sum\":");
+    AppendNumber(&out, h->sum());
+    out.append(",\"buckets\":{");
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      int64_t n = h->bucket(i);
+      if (n == 0) continue;  // sparse: only occupied buckets
+      if (!first_bucket) out.push_back(',');
+      first_bucket = false;
+      out.push_back('"');
+      char bound[40];
+      std::snprintf(bound, sizeof(bound), "le_%.9g",
+                    Histogram::BucketUpperBound(i));
+      out.append(bound);
+      out.append("\":");
+      AppendNumber(&out, static_cast<double>(n));
+    }
+    out.append("}}");
+  }
+  out.append(first ? "}" : "\n  }");
+  return out;
+}
+
+std::string Metrics::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\":";
+  out.append(CountersJsonLocked());
+  out.append(",\n  \"gauges\":{");
+  bool first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\n    ");
+    AppendName(&out, name);
+    out.push_back(':');
+    AppendNumber(&out, g->value());
+  }
+  out.append(first ? "}" : "\n  }");
+  out.append(",\n  \"histograms\":");
+  out.append(HistogramsJsonLocked());
+  out.append("\n}\n");
+  return out;
+}
+
+std::string Metrics::DeterministicJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\":";
+  out.append(CountersJsonLocked());
+  out.append(",\n  \"histograms\":");
+  out.append(HistogramsJsonLocked());
+  out.append("\n}\n");
+  return out;
+}
+
+}  // namespace tcq

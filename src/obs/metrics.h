@@ -1,0 +1,116 @@
+#ifndef TCQ_OBS_METRICS_H_
+#define TCQ_OBS_METRICS_H_
+
+/// Metrics registry for the TCQ pipeline: counters, gauges and histograms
+/// keyed by dotted names ("engine.blocks_drawn", "timectrl.sel.t0.n1").
+///
+/// Determinism contract (relied on by the bit-identity test): counters are
+/// monotone integer accumulators and may be incremented from concurrent
+/// tasks — additive integer updates commute, so at a fixed seed the totals
+/// are identical for any thread count. Gauges and histograms carry doubles
+/// and must only be written from the engine's serial (post-barrier)
+/// sections; scheduling-dependent quantities (pool steal counts, queue
+/// depths) are exported as gauges, never counters, so the deterministic
+/// counter section stays bit-identical across widths.
+///
+/// Lookup (`counter()` / `gauge()` / `histogram()`) takes the registry
+/// mutex; instrumented components resolve their instruments once and keep
+/// the returned pointer, which stays valid for the registry's lifetime.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace tcq {
+
+/// Monotone integer accumulator; thread-safe, order-independent.
+class Counter {
+ public:
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Last-value instrument. Thread-safe to read; write from serial sections
+/// only when determinism of the exported value matters.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    // Serial-section use only (see header contract); the relaxed RMW loop
+    // is for safe publication, not for concurrent accumulation order.
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Power-of-two bucketed histogram of non-negative values. Bucket i counts
+/// values in [2^(i-kZeroExp), 2^(i+1-kZeroExp)); values below the first
+/// bound land in bucket 0, above the last in the final bucket.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr int kZeroExp = 32;  // bucket 0 starts at 2^-32
+
+  void Record(double v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t bucket(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i's value range.
+  static double BucketUpperBound(int i);
+
+ private:
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  /// Finds or creates the named instrument. The returned pointer stays
+  /// valid for the registry's lifetime.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Full registry as JSON: {"counters":{...},"gauges":{...},
+  /// "histograms":{...}}, names sorted, doubles printed round-trip.
+  std::string ToJson() const;
+  /// Only the deterministic sections (counters + histograms) — the
+  /// subset the bit-identity test compares across thread counts.
+  std::string DeterministicJson() const;
+
+ private:
+  std::string CountersJsonLocked() const;
+  std::string HistogramsJsonLocked() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_OBS_METRICS_H_

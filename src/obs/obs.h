@@ -1,0 +1,30 @@
+#ifndef TCQ_OBS_OBS_H_
+#define TCQ_OBS_OBS_H_
+
+/// ObsHandle: the bundle of observability sinks threaded through the
+/// pipeline (ExecutorOptions, StagePlanContext, samplers, evaluators).
+/// Plain non-owning pointers — the default-constructed handle means "no
+/// observability" and every instrumentation site reduces to a null check,
+/// with no virtual dispatch on the hot path. The pointed-to objects must
+/// outlive the query run.
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace tcq {
+
+struct ObsHandle {
+  Tracer* tracer = nullptr;
+  Metrics* metrics = nullptr;
+  ProgressObserver* observer = nullptr;
+
+  /// True when span/event recording would actually store something.
+  bool tracing() const { return tracer != nullptr && tracer->enabled(); }
+  /// True when metric updates have a sink.
+  bool metering() const { return metrics != nullptr; }
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_OBS_OBS_H_

@@ -1,0 +1,246 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace tcq {
+
+/// Events recorded by one thread. Appended only by the owning thread;
+/// read at export, which the caller synchronizes (post-barrier contract
+/// documented in trace.h).
+struct Tracer::ThreadBuffer {
+  std::thread::id owner;
+  uint32_t tid = 0;  // logical id: registration order, caller usually 0
+  std::vector<TraceEvent> events;
+  int64_t dropped = 0;
+};
+
+namespace {
+
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+/// Thread-local cache of the last tracer this thread recorded into. The
+/// id check (not just the pointer) guards against a new tracer reusing a
+/// destroyed tracer's address.
+struct TlsCache {
+  uint64_t tracer_id = 0;
+  void* buffer = nullptr;
+};
+thread_local TlsCache tls_cache;
+
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[64];
+  // %.17g round-trips doubles; trace timestamps/args stay exact.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // JSON has no NaN/Inf literals; clamp to null-safe 0.
+  for (const char* p = buf; *p != '\0'; ++p) {
+    if (*p == 'n' || *p == 'i') {  // nan / inf
+      out->append("0");
+      return;
+    }
+  }
+  out->append(buf);
+}
+
+void AppendJsonString(std::string* out, const char* s) {
+  out->push_back('"');
+  for (const char* p = s; *p != '\0'; ++p) {
+    char c = *p;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+/// Serializes one event as a trace_event object. Private to this module:
+/// all trace formatting lives in src/obs/ (lint: trace-format-outside-obs).
+void AppendTraceEventJson(std::string* out, const TraceEvent& e) {
+  out->append("{\"name\":");
+  AppendJsonString(out, e.name);
+  out->append(",\"cat\":");
+  AppendJsonString(out, e.cat);
+  out->append(",\"ph\":\"");
+  out->push_back(e.ph);
+  out->append("\",\"pid\":1,\"tid\":");
+  AppendJsonNumber(out, static_cast<double>(e.tid));
+  out->append(",\"ts\":");
+  AppendJsonNumber(out, e.ts_us);
+  if (e.ph == 'X') {
+    out->append(",\"dur\":");
+    AppendJsonNumber(out, e.dur_us);
+  }
+  if (e.num_args > 0) {
+    out->append(",\"args\":{");
+    for (int i = 0; i < e.num_args; ++i) {
+      if (i > 0) out->push_back(',');
+      AppendJsonString(out, e.arg_key[i]);
+      out->push_back(':');
+      AppendJsonNumber(out, e.arg_val[i]);
+    }
+    out->push_back('}');
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+Tracer::Tracer(TraceOptions options)
+    : options_(std::move(options)),
+      enabled_(options_.enabled),
+      id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      fallback_start_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+double Tracer::NowUs() const {
+  if (clock_ != nullptr) return clock_->Now() * 1e6;
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - fallback_start_)
+      .count();
+}
+
+Tracer::ThreadBuffer* Tracer::LocalBuffer() {
+  if (tls_cache.tracer_id == id_) {
+    return static_cast<ThreadBuffer*>(tls_cache.buffer);
+  }
+  // Slow path: first record from this thread into this tracer (or the
+  // thread interleaved another tracer since). Reuses the thread's
+  // existing buffer if one was registered earlier.
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::thread::id self = std::this_thread::get_id();
+  ThreadBuffer* buf = nullptr;
+  for (const auto& b : buffers_) {
+    if (b->owner == self) {
+      buf = b.get();
+      break;
+    }
+  }
+  if (buf == nullptr) {
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buf = buffers_.back().get();
+    buf->owner = self;
+    buf->tid = static_cast<uint32_t>(buffers_.size() - 1);
+  }
+  tls_cache.tracer_id = id_;
+  tls_cache.buffer = buf;
+  return buf;
+}
+
+void Tracer::Record(const TraceEvent& event) {
+  ThreadBuffer* buf = LocalBuffer();
+  if (buf->events.size() >= options_.max_events_per_thread) {
+    ++buf->dropped;
+    return;
+  }
+  buf->events.push_back(event);
+  buf->events.back().tid = buf->tid;
+}
+
+void Tracer::Complete(const char* name, const char* cat, double ts_us,
+                      double dur_us, int num_args, const char* k0, double v0,
+                      const char* k1, double v1) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.num_args = num_args;
+  e.arg_key[0] = k0;
+  e.arg_val[0] = v0;
+  e.arg_key[1] = k1;
+  e.arg_val[1] = v1;
+  Record(e);
+}
+
+void Tracer::Instant(const char* name, const char* cat, const char* k0,
+                     double v0) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.ts_us = NowUs();
+  if (k0 != nullptr) {
+    e.num_args = 1;
+    e.arg_key[0] = k0;
+    e.arg_val[0] = v0;
+  }
+  Record(e);
+}
+
+void Tracer::Counter(const char* name, double value) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = "counter";
+  e.ph = 'C';
+  e.ts_us = NowUs();
+  e.num_args = 1;
+  e.arg_key[0] = "value";
+  e.arg_val[0] = value;
+  Record(e);
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& b : buffers_) n += b->events.size();
+  return n;
+}
+
+int64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (const auto& b : buffers_) n += b->dropped;
+  return n;
+}
+
+std::string Tracer::ExportChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.append("{\"traceEvents\":[");
+  bool first = true;
+  // The buffers' tids fix each event's track; events within a buffer are
+  // already in that thread's recording order, so emitting buffer-by-buffer
+  // is deterministic for a deterministic recording.
+  for (const auto& b : buffers_) {
+    for (const TraceEvent& e : b->events) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.push_back('\n');
+      AppendTraceEventJson(&out, e);
+    }
+  }
+  out.append("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":");
+  AppendJsonString(&out, clock_ != nullptr ? "virtual" : "monotonic");
+  out.append("}}\n");
+  return out;
+}
+
+Status Tracer::ExportToFile(const std::string& path) const {
+  const std::string json = ExportChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace tcq

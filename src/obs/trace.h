@@ -1,0 +1,161 @@
+#ifndef TCQ_OBS_TRACE_H_
+#define TCQ_OBS_TRACE_H_
+
+/// Span/event tracing for the TCQ pipeline, exportable as Chrome
+/// `trace_event` JSON (load the file in chrome://tracing or Perfetto).
+///
+/// Design constraints (see DESIGN.md §7 "Observability"):
+///  - Near-zero cost when disabled: every instrumentation site guards on a
+///    plain `Tracer*` null/enabled check; no event is materialized, no
+///    clock is read, and no virtual call happens on the disabled path.
+///  - Lock-free recording on the hot path: each recording thread appends
+///    to its own buffer. A mutex is taken only the first time a thread
+///    records into a given tracer (buffer registration) and at export.
+///  - Deterministic timestamps in simulation: `UseClock` points the tracer
+///    at the engine's VirtualClock so a simulated run's trace is a pure
+///    function of the seed (the golden-schema test relies on this).
+///
+/// Export (`ExportChromeJson` / `ExportToFile`) must only be called when
+/// no span is in flight — i.e. after the engine's stage barriers, which is
+/// when the public API exports. The formatting itself is private to this
+/// module: the tcq_lint rule `trace-format-outside-obs` keeps every other
+/// library directory from assembling trace JSON by hand.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+#include "util/status.h"
+
+namespace tcq {
+
+/// Configuration of a query trace (QueryBuilder::WithTrace).
+struct TraceOptions {
+  /// Master switch; a disabled tracer records nothing and costs one
+  /// branch per instrumentation site.
+  bool enabled = true;
+  /// When non-empty, the public API writes the Chrome trace_event JSON
+  /// here after the query finishes.
+  std::string export_path;
+  /// Safety cap per recording thread; events beyond it are dropped (and
+  /// counted in `dropped_events`).
+  size_t max_events_per_thread = 1 << 20;
+};
+
+/// One recorded event. `name`/`cat`/argument keys must be string literals
+/// (or otherwise outlive the tracer): events store the pointers only, so
+/// recording never allocates for metadata.
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "";
+  char ph = 'X';  // 'X' complete, 'i' instant, 'C' counter
+  uint32_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int num_args = 0;
+  const char* arg_key[2] = {nullptr, nullptr};
+  double arg_val[2] = {0.0, 0.0};
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TraceOptions options = TraceOptions());
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  const TraceOptions& options() const { return options_; }
+
+  /// Timestamps come from `clock` (not owned; e.g. the engine's
+  /// VirtualClock, making simulated traces deterministic). Without a
+  /// clock, a monotonic timer anchored at construction is used. Call
+  /// before recording starts; the clock must outlive the tracer.
+  void UseClock(const Clock* clock) { clock_ = clock; }
+
+  /// Current timestamp in microseconds (virtual or monotonic).
+  double NowUs() const;
+
+  /// Records a completed span [ts_us, ts_us + dur_us).
+  void Complete(const char* name, const char* cat, double ts_us,
+                double dur_us, int num_args = 0,
+                const char* k0 = nullptr, double v0 = 0.0,
+                const char* k1 = nullptr, double v1 = 0.0);
+  /// Records an instant event at the current time.
+  void Instant(const char* name, const char* cat,
+               const char* k0 = nullptr, double v0 = 0.0);
+  /// Records a counter sample (rendered as a track in chrome://tracing).
+  void Counter(const char* name, double value);
+
+  /// Total events currently buffered across all threads; takes the
+  /// registration mutex — not for hot paths.
+  size_t event_count() const;
+  /// Events discarded because a thread hit `max_events_per_thread`.
+  int64_t dropped_events() const;
+
+  /// Serializes every buffered event as a Chrome trace_event JSON object
+  /// ({"traceEvents": [...], ...}). Only call when no recording is in
+  /// flight (after the engine's stage barriers).
+  std::string ExportChromeJson() const;
+  /// ExportChromeJson to a file.
+  [[nodiscard]] Status ExportToFile(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer;
+
+  ThreadBuffer* LocalBuffer();
+  void Record(const TraceEvent& event);
+
+  TraceOptions options_;
+  bool enabled_ = false;
+  uint64_t id_ = 0;  // process-unique, guards the thread-local cache
+  const Clock* clock_ = nullptr;
+  std::chrono::steady_clock::time_point fallback_start_;
+  mutable std::mutex mu_;  // buffer registration + export only
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: captures the start time at construction and records one
+/// complete event at destruction. A null/disabled tracer makes every
+/// operation (including construction) a no-op branch.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, const char* name, const char* cat)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        name_(name),
+        cat_(cat),
+        start_us_(tracer_ != nullptr ? tracer_->NowUs() : 0.0) {}
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->Complete(name_, cat_, start_us_, tracer_->NowUs() - start_us_,
+                        num_args_, key_[0], val_[0], key_[1], val_[1]);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches up to two numeric arguments shown in the trace viewer.
+  void Arg(const char* key, double value) {
+    if (tracer_ == nullptr || num_args_ >= 2) return;
+    key_[num_args_] = key;
+    val_[num_args_] = value;
+    ++num_args_;
+  }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* cat_;
+  double start_us_;
+  int num_args_ = 0;
+  const char* key_[2] = {nullptr, nullptr};
+  double val_[2] = {0.0, 0.0};
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_OBS_TRACE_H_

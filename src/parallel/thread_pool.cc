@@ -1,7 +1,6 @@
 #include "parallel/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 
 #include "util/check.h"
 
@@ -10,14 +9,37 @@ namespace tcq {
 /// One RunAll invocation: a task list with an atomic claim cursor and a
 /// completion latch. Tasks are claimed by index; a batch is drained when
 /// every index is claimed and done when every claimed task returned.
+/// `max_participants` > 0 caps how many threads may claim tasks; a thread
+/// joins by winning a slot on `participants` before it first claims.
 struct ThreadPool::Batch {
   std::vector<std::function<void()>>* tasks = nullptr;
   size_t total = 0;
   std::atomic<size_t> next{0};
+  int max_participants = 0;  // 0 = uncapped
+  std::atomic<int> participants{0};
 
   std::mutex mu;
   std::condition_variable done_cv;
   size_t finished = 0;
+
+  bool Drained() const {
+    return next.load(std::memory_order_relaxed) >= total;
+  }
+  /// Acquires a participant slot; fails when the cap is reached. A slot
+  /// is never released: a full batch is finished by its participants, so
+  /// fullness is monotone and full batches can be dropped from the
+  /// pending list without ever re-advertising them.
+  bool TryJoin() {
+    if (max_participants <= 0) return true;
+    int n = participants.fetch_add(1, std::memory_order_relaxed);
+    if (n < max_participants) return true;
+    participants.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  bool Full() const {
+    return max_participants > 0 &&
+           participants.load(std::memory_order_relaxed) >= max_participants;
+  }
 };
 
 ThreadPool::ThreadPool(int workers) {
@@ -41,11 +63,14 @@ int ThreadPool::HardwareThreads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
-void ThreadPool::ExecuteFrom(const std::shared_ptr<Batch>& batch) {
+void ThreadPool::ExecuteFrom(const std::shared_ptr<Batch>& batch,
+                             bool is_worker) {
+  std::atomic<int64_t>& tally = is_worker ? worker_tasks_ : caller_tasks_;
   for (;;) {
     size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch->total) return;
     (*batch->tasks)[i]();
+    tally.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(batch->mu);
     ++batch->finished;
     // Each index is claimed exactly once (fetch_add), so completions
@@ -64,9 +89,12 @@ void ThreadPool::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
       if (stop_) return;
-      // Drop drained batches; claim the first one with work left.
+      // Drop drained and participant-full batches (their participants
+      // finish them); join the first one with work and a free slot. A
+      // failed join races with another worker taking the last slot — the
+      // batch is then full and dropped, so the loop cannot busy-wait.
       for (auto it = pending_.begin(); it != pending_.end();) {
-        if ((*it)->next.load(std::memory_order_relaxed) >= (*it)->total) {
+        if ((*it)->Drained() || (*it)->Full() || !(*it)->TryJoin()) {
           it = pending_.erase(it);
         } else {
           batch = *it;
@@ -74,25 +102,33 @@ void ThreadPool::WorkerLoop() {
         }
       }
     }
-    if (batch != nullptr) ExecuteFrom(batch);
+    if (batch != nullptr) ExecuteFrom(batch, /*is_worker=*/true);
   }
 }
 
-void ThreadPool::RunAll(std::vector<std::function<void()>>* tasks) {
+void ThreadPool::RunAll(std::vector<std::function<void()>>* tasks,
+                        int max_width) {
   if (tasks == nullptr || tasks->empty()) return;
-  if (threads_.empty() || tasks->size() == 1) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  if (threads_.empty() || tasks->size() == 1 || max_width == 1) {
     for (auto& task : *tasks) task();
+    caller_tasks_.fetch_add(static_cast<int64_t>(tasks->size()),
+                            std::memory_order_relaxed);
     return;
   }
   auto batch = std::make_shared<Batch>();
   batch->tasks = tasks;
   batch->total = tasks->size();
+  batch->max_participants = std::max(0, max_width);
+  // The caller always participates; with a cap its slot is the first one
+  // (participants == 0 here, so the join cannot fail).
+  TCQ_CHECK_INVARIANT(batch->TryJoin(), "caller failed to join its own batch");
   {
     std::lock_guard<std::mutex> lock(mu_);
     pending_.push_back(batch);
   }
   work_cv_.notify_all();
-  ExecuteFrom(batch);  // the caller helps until every task is claimed
+  ExecuteFrom(batch, /*is_worker=*/false);  // help until every task is claimed
   std::unique_lock<std::mutex> lock(batch->mu);
   batch->done_cv.wait(lock,
                       [&batch] { return batch->finished == batch->total; });
@@ -101,13 +137,14 @@ void ThreadPool::RunAll(std::vector<std::function<void()>>* tasks) {
       "RunAll returned with unclaimed tasks");
 }
 
-void RunTasks(ThreadPool* pool, std::vector<std::function<void()>>* tasks) {
+void RunTasks(ThreadPool* pool, std::vector<std::function<void()>>* tasks,
+              int max_width) {
   if (tasks == nullptr) return;
   if (pool == nullptr) {
     for (auto& task : *tasks) task();
     return;
   }
-  pool->RunAll(tasks);
+  pool->RunAll(tasks, max_width);
 }
 
 }  // namespace tcq

@@ -1,7 +1,9 @@
 #ifndef TCQ_PARALLEL_THREAD_POOL_H_
 #define TCQ_PARALLEL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -41,7 +43,25 @@ class ThreadPool {
   /// Runs every task (in unspecified order, possibly concurrently) and
   /// returns once all have finished. `tasks` must outlive the call. Tasks
   /// may themselves call RunAll on the same pool.
-  void RunAll(std::vector<std::function<void()>>* tasks);
+  ///
+  /// `max_width` > 0 caps the number of threads that may execute tasks of
+  /// this batch, counting the helping caller — a query narrower than the
+  /// pool can reuse a wide (high-water) pool without gaining parallelism
+  /// beyond its configured width. 0 means no cap.
+  void RunAll(std::vector<std::function<void()>>* tasks, int max_width = 0);
+
+  /// Lifetime execution statistics (scheduling-dependent: how tasks split
+  /// between workers and helping callers varies run to run — export these
+  /// as metric gauges, never as deterministic counters).
+  int64_t batches_run() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  int64_t tasks_run_by_workers() const {
+    return worker_tasks_.load(std::memory_order_relaxed);
+  }
+  int64_t tasks_run_by_callers() const {
+    return caller_tasks_.load(std::memory_order_relaxed);
+  }
 
   /// The machine's hardware concurrency (≥ 1).
   static int HardwareThreads();
@@ -50,19 +70,24 @@ class ThreadPool {
   struct Batch;
 
   void WorkerLoop();
-  static void ExecuteFrom(const std::shared_ptr<Batch>& batch);
+  void ExecuteFrom(const std::shared_ptr<Batch>& batch, bool is_worker);
 
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::vector<std::shared_ptr<Batch>> pending_;
   bool stop_ = false;
   std::vector<std::thread> threads_;
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> worker_tasks_{0};
+  std::atomic<int64_t> caller_tasks_{0};
 };
 
 /// Runs the batch on `pool`, or inline in index order when `pool` is null
 /// or the batch is trivial. Call sites use this so the serial (threads=1)
 /// and parallel paths share one shape: fill slots, then reduce in order.
-void RunTasks(ThreadPool* pool, std::vector<std::function<void()>>* tasks);
+/// `max_width` is forwarded to ThreadPool::RunAll.
+void RunTasks(ThreadPool* pool, std::vector<std::function<void()>>* tasks,
+              int max_width = 0);
 
 }  // namespace tcq
 

@@ -28,6 +28,25 @@ struct Token {
   size_t offset = 0;
 };
 
+/// Parse diagnostic pointing at a byte offset, reported as the 1-based
+/// line/column a human sees in their editor.
+Status ParseErrorAt(std::string_view text, size_t offset,
+                    const std::string& what) {
+  size_t line = 1;
+  size_t column = 1;
+  for (size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return Status::InvalidArgument("parse error at line " +
+                                 std::to_string(line) + ", column " +
+                                 std::to_string(column) + ": " + what);
+}
+
 class Lexer {
  public:
   explicit Lexer(std::string_view text) : text_(text) {}
@@ -77,9 +96,7 @@ class Lexer {
             value += text_[pos_++];
           }
           if (pos_ >= text_.size()) {
-            return Status::InvalidArgument(
-                "unterminated string literal at offset " +
-                std::to_string(start));
+            return ParseErrorAt(text_, start, "unterminated string literal");
           }
           ++pos_;  // closing quote
           tokens.push_back({TokenKind::kString, value, start});
@@ -115,8 +132,7 @@ class Lexer {
             pos_ += 2;
             continue;
           }
-          return Status::InvalidArgument("stray '!' at offset " +
-                                         std::to_string(start));
+          return ParseErrorAt(text_, start, "stray '!'");
         case '<':
         case '>': {
           std::string op(1, c);
@@ -129,9 +145,8 @@ class Lexer {
           continue;
         }
         default:
-          return Status::InvalidArgument(
-              std::string("unexpected character '") + c + "' at offset " +
-              std::to_string(start));
+          return ParseErrorAt(
+              text_, start, std::string("unexpected character '") + c + "'");
       }
     }
     tokens.push_back({TokenKind::kEnd, "", text_.size()});
@@ -158,13 +173,13 @@ bool IsKeyword(const Token& t, const char* keyword) {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::string_view text, std::vector<Token> tokens)
+      : text_(text), tokens_(std::move(tokens)) {}
 
   Result<ExprPtr> Parse() {
     TCQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
     if (!AtEnd()) {
-      return Status::InvalidArgument("trailing input after query at offset " +
-                                     std::to_string(Peek().offset));
+      return ErrorHere("trailing input after query");
     }
     return e;
   }
@@ -174,11 +189,14 @@ class Parser {
   const Token& Advance() { return tokens_[pos_++]; }
   bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
 
+  /// Diagnostic anchored at the current token.
+  Status ErrorHere(const std::string& what) const {
+    return ParseErrorAt(text_, Peek().offset, what);
+  }
+
   Status Expect(TokenKind kind, const char* what) {
     if (Peek().kind != kind) {
-      return Status::InvalidArgument(std::string("expected ") + what +
-                                     " at offset " +
-                                     std::to_string(Peek().offset));
+      return ErrorHere(std::string("expected ") + what);
     }
     Advance();
     return Status::OK();
@@ -225,8 +243,7 @@ class Parser {
       std::vector<std::string> columns;
       do {
         if (Peek().kind != TokenKind::kIdent) {
-          return Status::InvalidArgument("expected column name at offset " +
-                                         std::to_string(Peek().offset));
+          return ErrorHere("expected column name");
         }
         columns.push_back(Advance().text);
       } while (Peek().kind == TokenKind::kComma && (Advance(), true));
@@ -242,20 +259,15 @@ class Parser {
       std::vector<std::pair<std::string, std::string>> keys;
       do {
         if (Peek().kind != TokenKind::kIdent) {
-          return Status::InvalidArgument(
-              "expected join column name at offset " +
-              std::to_string(Peek().offset));
+          return ErrorHere("expected join column name");
         }
         std::string lhs = Advance().text;
         if (Peek().kind != TokenKind::kOp || Peek().text != "=") {
-          return Status::InvalidArgument("expected '=' at offset " +
-                                         std::to_string(Peek().offset));
+          return ErrorHere("expected '='");
         }
         Advance();
         if (Peek().kind != TokenKind::kIdent) {
-          return Status::InvalidArgument(
-              "expected join column name at offset " +
-              std::to_string(Peek().offset));
+          return ErrorHere("expected join column name");
         }
         keys.emplace_back(std::move(lhs), Advance().text);
       } while (Peek().kind == TokenKind::kComma && (Advance(), true));
@@ -270,8 +282,7 @@ class Parser {
     if (t.kind == TokenKind::kIdent) {
       return Scan(Advance().text);
     }
-    return Status::InvalidArgument("expected a query term at offset " +
-                                   std::to_string(t.offset));
+    return ParseErrorAt(text_, t.offset, "expected a query term");
   }
 
   Result<PredicatePtr> ParsePredicate() {
@@ -308,14 +319,11 @@ class Parser {
     }
     // comparison: ident op rhs
     if (Peek().kind != TokenKind::kIdent) {
-      return Status::InvalidArgument("expected column name at offset " +
-                                     std::to_string(Peek().offset));
+      return ErrorHere("expected column name");
     }
     std::string column = Advance().text;
     if (Peek().kind != TokenKind::kOp) {
-      return Status::InvalidArgument(
-          "expected comparison operator at offset " +
-          std::to_string(Peek().offset));
+      return ErrorHere("expected comparison operator");
     }
     std::string op_text = Advance().text;
     CompareOp op;
@@ -332,7 +340,7 @@ class Parser {
     } else if (op_text == ">=") {
       op = CompareOp::kGe;
     } else {
-      return Status::InvalidArgument("unknown operator '" + op_text + "'");
+      return ErrorHere("unknown operator '" + op_text + "'");
     }
     const Token& rhs = Peek();
     switch (rhs.kind) {
@@ -355,12 +363,12 @@ class Parser {
         return CmpColumns(std::move(column), op, rhs.text);
       }
       default:
-        return Status::InvalidArgument(
-            "expected a literal or column after operator at offset " +
-            std::to_string(rhs.offset));
+        return ParseErrorAt(text_, rhs.offset,
+                            "expected a literal or column after operator");
     }
   }
 
+  std::string_view text_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
 };
@@ -370,7 +378,7 @@ class Parser {
 Result<ExprPtr> ParseQuery(std::string_view text) {
   Lexer lexer(text);
   TCQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(std::move(tokens));
+  Parser parser(text, std::move(tokens));
   return parser.Parse();
 }
 

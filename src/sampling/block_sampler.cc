@@ -30,6 +30,7 @@ std::vector<const Block*> BlockSampler::Draw(int64_t count, Rng* rng) {
   // by the number of blocks handed out.
   TCQ_CHECK_INVARIANT(static_cast<int64_t>(out.size()) == k,
                       "drawn block count disagrees with request");
+  if (blocks_counter_ != nullptr && k > 0) blocks_counter_->Add(k);
   return out;
 }
 

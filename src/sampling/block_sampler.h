@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/relation.h"
 #include "util/random.h"
 
@@ -26,6 +27,16 @@ class BlockSampler {
     return total_blocks() - remaining_blocks();
   }
 
+  /// Publishes draw activity to `metrics` (may be null to detach): every
+  /// drawn block increments the `sampling.blocks_drawn` counter. The
+  /// counter is atomic and the increments commute, so draws may happen
+  /// from parallel tasks without affecting the exported total.
+  void SetMetrics(Metrics* metrics) {
+    blocks_counter_ =
+        metrics != nullptr ? metrics->counter("sampling.blocks_drawn")
+                           : nullptr;
+  }
+
   /// Draws up to `count` random blocks without replacement (fewer when
   /// the relation is nearly exhausted). Pointers stay valid for the
   /// relation's lifetime.
@@ -43,6 +54,7 @@ class BlockSampler {
  private:
   RelationPtr rel_;
   std::vector<uint32_t> remaining_;
+  Counter* blocks_counter_ = nullptr;
 };
 
 }  // namespace tcq

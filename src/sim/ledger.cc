@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace tcq {
 
 std::string_view CostCategoryName(CostCategory category) {
@@ -42,6 +44,17 @@ std::string CostLedger::Report() const {
                 GrandTotal());
   out += line;
   return out;
+}
+
+void CostLedger::ExportTo(Metrics* metrics, const std::string& prefix) const {
+  if (metrics == nullptr) return;
+  for (size_t i = 0; i < kN; ++i) {
+    auto cat = static_cast<CostCategory>(i);
+    const std::string base = prefix + "." + std::string(CostCategoryName(cat));
+    metrics->gauge(base + "_s")->Set(totals_[i]);
+    metrics->gauge(base + "_ops")->Set(static_cast<double>(counts_[i]));
+  }
+  metrics->gauge(prefix + ".total_s")->Set(GrandTotal());
 }
 
 }  // namespace tcq

@@ -13,6 +13,8 @@
 
 namespace tcq {
 
+class Metrics;
+
 /// What a unit of simulated work was spent on. Used both for accounting
 /// (per-category totals) and, in simulation mode, to advance the
 /// `VirtualClock`.
@@ -115,6 +117,13 @@ class CostLedger {
 
   /// Multi-line per-category report (for logs and examples).
   std::string Report() const;
+
+  /// Publishes the per-category totals/counts and the grand total into
+  /// `metrics` as gauges named `<prefix>.<category>_s`, `<prefix>.
+  /// <category>_ops` and `<prefix>.total_s`. Gauges (not counters): call
+  /// from a serial section — the engine exports after each stage barrier,
+  /// folding per-term ledgers in term order.
+  void ExportTo(Metrics* metrics, const std::string& prefix) const;
 
  private:
   static constexpr size_t kN =

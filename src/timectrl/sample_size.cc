@@ -7,23 +7,41 @@ namespace tcq {
 Result<SampleSizeResult> SampleSizeDetermine(const QCostFn& qcost,
                                              double time_left,
                                              double epsilon, double f_max,
-                                             double f_min_step) {
+                                             double f_min_step,
+                                             const ObsHandle* obs) {
+  Counter* probes = obs != nullptr && obs->metering()
+                        ? obs->metrics->counter("timectrl.ssd_probes")
+                        : nullptr;
+  Tracer* tracer = obs != nullptr ? obs->tracer : nullptr;
+  TraceSpan span(tracer, "sample_size_determine", "timectrl");
+  int64_t probe_count = 0;
+  auto probe = [&](double f) {
+    ++probe_count;
+    return qcost(f);
+  };
+
   SampleSizeResult best;
   if (f_max <= 0.0 || time_left <= 0.0) return best;
 
   // If everything remaining fits, take it all.
-  TCQ_ASSIGN_OR_RETURN(double cost_max, qcost(f_max));
+  TCQ_ASSIGN_OR_RETURN(double cost_max, probe(f_max));
   if (cost_max <= time_left) {
     best.fraction = f_max;
     best.predicted_seconds = cost_max;
+    if (probes != nullptr) probes->Add(probe_count);
+    span.Arg("fraction", best.fraction);
     return best;
   }
   // If even one block's worth does not fit, give up (the paper observed
   // exactly this for Join/Intersect at large d_β: the remaining time
   // cannot fund another full-fulfillment stage).
   double f_smallest = std::min(f_min_step, f_max);
-  TCQ_ASSIGN_OR_RETURN(double cost_min, qcost(f_smallest));
-  if (cost_min > time_left) return best;
+  TCQ_ASSIGN_OR_RETURN(double cost_min, probe(f_smallest));
+  if (cost_min > time_left) {
+    if (probes != nullptr) probes->Add(probe_count);
+    span.Arg("fraction", 0.0);
+    return best;
+  }
 
   best.fraction = f_smallest;
   best.predicted_seconds = cost_min;
@@ -31,7 +49,7 @@ Result<SampleSizeResult> SampleSizeDetermine(const QCostFn& qcost,
   double high = f_max;
   double f = (low + high) / 2.0;
   for (int iter = 0; iter < 64; ++iter) {
-    TCQ_ASSIGN_OR_RETURN(double cost, qcost(f));
+    TCQ_ASSIGN_OR_RETURN(double cost, probe(f));
     if (cost <= time_left) {
       if (f > best.fraction) {
         best.fraction = f;
@@ -45,6 +63,9 @@ Result<SampleSizeResult> SampleSizeDetermine(const QCostFn& qcost,
     if (high - low <= f_min_step / 2.0) break;
     f = (low + high) / 2.0;
   }
+  if (probes != nullptr) probes->Add(probe_count);
+  span.Arg("fraction", best.fraction);
+  span.Arg("probes", static_cast<double>(probe_count));
   return best;
 }
 

@@ -3,6 +3,7 @@
 
 #include <functional>
 
+#include "obs/obs.h"
 #include "util/result.h"
 
 namespace tcq {
@@ -29,10 +30,16 @@ struct SampleSizeResult {
 /// bracket is narrower than a block, returning the largest *feasible*
 /// fraction seen (cost ≤ time_left). Returns fraction 0 when qcost(f_min_step)
 /// already exceeds the budget.
+///
+/// `obs` (optional) counts every cost-formula probe in the
+/// `timectrl.ssd_probes` counter and records the bisection as a trace
+/// span. Planning runs in the engine's serial section, so the probe count
+/// is deterministic at a fixed seed.
 [[nodiscard]] Result<SampleSizeResult> SampleSizeDetermine(const QCostFn& qcost,
                                              double time_left,
                                              double epsilon, double f_max,
-                                             double f_min_step);
+                                             double f_min_step,
+                                             const ObsHandle* obs = nullptr);
 
 }  // namespace tcq
 

@@ -152,4 +152,18 @@ std::map<int, double> ComputeSelPlus(const StagedTermEvaluator& term,
   return out;
 }
 
+std::map<int, double> ReviseSelectivities(const StagedTermEvaluator& term,
+                                          const SelectivityOptions& options,
+                                          const ObsHandle& obs) {
+  std::map<int, double> revised = ReviseSelectivities(term, options);
+  if (obs.metering()) {
+    Histogram* h = obs.metrics->histogram("timectrl.selectivity");
+    for (const auto& [id, sel] : revised) {
+      (void)id;
+      h->Record(sel);
+    }
+  }
+  return revised;
+}
+
 }  // namespace tcq

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "exec/staged.h"
+#include "obs/obs.h"
 
 namespace tcq {
 
@@ -36,6 +37,14 @@ struct SelectivityOptions {
 /// 1..i−1, with the stage-1 defaults above and the zero-hit fix applied.
 std::map<int, double> ReviseSelectivities(const StagedTermEvaluator& term,
                                           const SelectivityOptions& options);
+
+/// Same, additionally recording every revised value into the
+/// `timectrl.selectivity` histogram. Call from the engine's serial
+/// section only: the revised values are deterministic at a fixed seed, so
+/// the histogram stays bit-identical across thread counts.
+std::map<int, double> ReviseSelectivities(const StagedTermEvaluator& term,
+                                          const SelectivityOptions& options,
+                                          const ObsHandle& obs);
 
 /// Per-node point-space deltas for a candidate fraction `f` of the next
 /// stage: `new_points` the stage would cover and `remaining_points` not

@@ -16,7 +16,7 @@ Result<StagePlan> OneAtATimeStrategy::PlanStage(
   TCQ_ASSIGN_OR_RETURN(
       SampleSizeResult r,
       SampleSizeDetermine(qcost, context.time_left, context.epsilon,
-                          context.f_max, context.f_min_step));
+                          context.f_max, context.f_min_step, &context.obs));
   StagePlan plan;
   plan.fraction = r.fraction;
   plan.predicted_seconds = r.predicted_seconds;
@@ -35,7 +35,7 @@ Result<StagePlan> SingleIntervalStrategy::PlanStage(
   TCQ_ASSIGN_OR_RETURN(
       SampleSizeResult r,
       SampleSizeDetermine(qcost, context.time_left, context.epsilon,
-                          context.f_max, context.f_min_step));
+                          context.f_max, context.f_min_step, &context.obs));
   StagePlan plan;
   plan.fraction = r.fraction;
   plan.predicted_seconds = r.predicted_seconds;
@@ -51,7 +51,7 @@ Result<StagePlan> HeuristicStrategy::PlanStage(
   TCQ_ASSIGN_OR_RETURN(
       SampleSizeResult r,
       SampleSizeDetermine(qcost, target, context.epsilon, context.f_max,
-                          context.f_min_step));
+                          context.f_min_step, &context.obs));
   StagePlan plan;
   plan.fraction = r.fraction;
   plan.predicted_seconds = r.predicted_seconds;

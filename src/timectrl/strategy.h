@@ -21,6 +21,11 @@ struct StagePlanContext {
   double f_min_step = 0.0;  // one disk block, as a fraction
   double epsilon = 0.0;     // Figure 3.4's tolerance
 
+  /// Observability sinks for the planning pass (tracer spans around the
+  /// Sample-Size-Determine bisection, probe counters). Default-empty =
+  /// no instrumentation.
+  ObsHandle obs;
+
   /// QCOST(f, SEL⁺(d_β)): predicted stage cost with the operator
   /// selectivities inflated by d_β standard deviations (Figure 3.5).
   std::function<Result<double>(double f, double d_beta)> qcost;

@@ -97,7 +97,7 @@ TEST(ExecutorTest, HardDeadlineDiscardsAbortedStage) {
     if (r->stages_counted > 0) {
       EXPECT_DOUBLE_EQ(
           r->estimate,
-          r->stages[static_cast<size_t>(r->stages_counted - 1)]
+          r->stages()[static_cast<size_t>(r->stages_counted - 1)]
               .estimate_after);
     } else {
       EXPECT_DOUBLE_EQ(r->estimate, 0.0);
@@ -117,7 +117,7 @@ TEST(ExecutorTest, SoftDeadlineCountsFinalStage) {
     ASSERT_TRUE(r.ok());
     if (!r->overspent) continue;
     EXPECT_EQ(r->stages_counted, r->stages_run);
-    EXPECT_DOUBLE_EQ(r->estimate, r->stages.back().estimate_after);
+    EXPECT_DOUBLE_EQ(r->estimate, r->stages().back().estimate_after);
     return;
   }
   FAIL() << "no overspending run found";
@@ -250,9 +250,9 @@ TEST(ExecutorTest, StageTracesAreConsistent) {
   auto r = RunTimeConstrainedCount(w->query, 10.0, w->catalog,
                                    DefaultOptions(24.0));
   ASSERT_TRUE(r.ok());
-  ASSERT_EQ(static_cast<int>(r->stages.size()), r->stages_run);
+  ASSERT_EQ(static_cast<int>(r->stages().size()), r->stages_run);
   double time_left = 10.0;
-  for (const StageTrace& t : r->stages) {
+  for (const StageTrace& t : r->stages()) {
     EXPECT_NEAR(t.time_left_before, time_left, 1e-9);
     EXPECT_GT(t.planned_fraction, 0.0);
     EXPECT_GT(t.blocks_drawn, 0);
@@ -269,7 +269,7 @@ TEST(ExecutorTest, PredictionsAreHonoredWithinQuota) {
   auto r = RunTimeConstrainedCount(w->query, 10.0, w->catalog,
                                    DefaultOptions(48.0));
   ASSERT_TRUE(r.ok());
-  for (const StageTrace& t : r->stages) {
+  for (const StageTrace& t : r->stages()) {
     EXPECT_LE(t.predicted_seconds, t.time_left_before + 1e-9);
   }
 }

@@ -172,7 +172,7 @@ TEST_P(FuzzEquivalenceTest, InvariantsHold) {
     auto quick = RunTimeConstrainedCount(expr, 2.0, catalog, tight);
     ASSERT_TRUE(quick.ok()) << expr->ToString();
     EXPECT_TRUE(std::isfinite(quick->estimate));
-    EXPECT_EQ(static_cast<int>(quick->stages.size()), quick->stages_run);
+    EXPECT_EQ(static_cast<int>(quick->stages().size()), quick->stages_run);
 
     ++checked;
   }

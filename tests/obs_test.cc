@@ -1,0 +1,373 @@
+// Observability contracts (DESIGN.md §7): the Chrome trace_event JSON
+// schema, the metrics determinism guarantee (counter/histogram sections
+// bit-identical across thread counts at a fixed seed), the telescoping
+// per-stage ledger-spend identity, and the ProgressObserver stream.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/tcq.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "sim/ledger.h"
+#include "workload/generators.h"
+
+namespace tcq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator: enough to reject anything a
+// trace/metrics exporter could plausibly get wrong (unbalanced brackets,
+// trailing commas, bad escapes, NaN/Inf leaking into number positions).
+// ---------------------------------------------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+            e != 'n' && e != 'r' && e != 't' && e != 'u') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(
+                               s_[start] == '-' ? s_[start + 1] : s_[start]));
+  }
+
+  bool Literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+Session MakeSession(int64_t tuples = 2000, uint64_t seed = 7) {
+  auto workload = MakeIntersectionWorkload(tuples, seed);
+  EXPECT_TRUE(workload.ok());
+  return Session(std::move(workload->catalog));
+}
+
+// ---------------------------------------------------------------------------
+// Trace schema.
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, ChromeJsonSchema) {
+  Session session = MakeSession();
+  Tracer tracer;
+  auto r = session.Query("r1 INTERSECT r2")
+               .WithSeed(3)
+               .WithQuota(2.0)
+               .WithTracer(&tracer)
+               .Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_GT(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.dropped_events(), 0);
+
+  std::string json = tracer.ExportChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+  // Chrome trace_event envelope + the span taxonomy the engine emits.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"clock\":\"virtual\""), std::string::npos);
+  for (const char* name :
+       {"\"query\"", "\"stage\"", "\"plan_stage\"", "\"draw_blocks\"",
+        "\"eval_terms\"", "\"term_stage\"", "\"sample_size_determine\"",
+        "\"combine_estimates\"", "\"ledger_spend_s\""}) {
+    EXPECT_NE(json.find(name), std::string::npos) << "missing " << name;
+  }
+}
+
+TEST(TraceTest, SimulatedTraceIsDeterministicGolden) {
+  // In simulation the tracer reads the engine's VirtualClock, so the
+  // entire serialized trace is a pure function of the seed.
+  std::string runs[2];
+  for (std::string& out : runs) {
+    Session session = MakeSession();
+    Tracer tracer;
+    auto r = session.Query("r1 INTERSECT r2")
+                 .WithSeed(17)
+                 .WithQuota(1.5)
+                 .WithTracer(&tracer)
+                 .Run();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    out = tracer.ExportChromeJson();
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+}
+
+TEST(TraceTest, DisabledTracerRecordsNothing) {
+  Session session = MakeSession();
+  TraceOptions off;
+  off.enabled = false;
+  Tracer tracer(off);
+  auto r = session.Query("r1 INTERSECT r2").WithTracer(&tracer).Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(TraceTest, WithTraceExportsToFile) {
+  Session session = MakeSession();
+  TraceOptions trace;
+  trace.export_path =
+      ::testing::TempDir() + "/tcq_obs_test_trace.json";
+  auto r = session.Query("r1 INTERSECT r2").WithTrace(trace).Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  FILE* f = std::fopen(trace.export_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(trace.export_path.c_str());
+  EXPECT_TRUE(JsonChecker(content).Valid()) << content.substr(0, 400);
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, DeterministicSectionBitIdenticalAcrossThreads) {
+  std::vector<std::string> deterministic;
+  for (int threads : {1, 4, 8}) {
+    Session session = MakeSession();
+    Metrics metrics;
+    auto r = session.Query("r1 INTERSECT r2")
+                 .WithSeed(42)
+                 .WithQuota(2.0)
+                 .WithThreads(threads)
+                 .WithMetrics(&metrics)
+                 .Run();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(JsonChecker(metrics.ToJson()).Valid());
+    deterministic.push_back(metrics.DeterministicJson());
+  }
+  EXPECT_EQ(deterministic[0], deterministic[1]);
+  EXPECT_EQ(deterministic[0], deterministic[2]);
+}
+
+TEST(MetricsTest, CountersCoverThePipeline) {
+  Session session = MakeSession();
+  Metrics metrics;
+  auto r = session.Query("r1 INTERSECT r2")
+               .WithSeed(5)
+               .WithMetrics(&metrics)
+               .Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(metrics.counter("engine.stages_run")->value(), r->stages_run);
+  EXPECT_EQ(metrics.counter("engine.blocks_drawn")->value(),
+            r->blocks_sampled);
+  EXPECT_GT(metrics.counter("sampling.blocks_drawn")->value(), 0);
+  EXPECT_GT(metrics.counter("exec.tuples_scanned")->value(), 0);
+  EXPECT_GT(metrics.counter("timectrl.ssd_probes")->value(), 0);
+  EXPECT_GT(metrics.counter("estimator.combines")->value(), 0);
+  EXPECT_EQ(metrics.gauge("engine.quota_s")->value(), 5.0);
+  // The full simulated spend splits between the engine's shared ledger
+  // (stage overhead, block reads) and the per-term operator ledgers; the
+  // two exports together account for every simulated second.
+  double accounted = metrics.gauge("ledger.total_s")->value();
+  for (size_t c = 0; c < static_cast<size_t>(CostCategory::kNumCategories);
+       ++c) {
+    const std::string name =
+        std::string("ledger.terms.") +
+        std::string(CostCategoryName(static_cast<CostCategory>(c))) + "_s";
+    accounted += metrics.gauge(name)->value();
+  }
+  EXPECT_NEAR(accounted, r->elapsed_seconds, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Stage reports: the telescoping ledger-spend identity and the observer.
+// ---------------------------------------------------------------------------
+
+TEST(StageReportTest, LedgerSpendsTelescopeToElapsed) {
+  Session session = MakeSession();
+  auto r = session.Query("r1 INTERSECT r2").WithSeed(9).WithQuota(2.0).Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_GT(r->stages().size(), 0u);
+  double sum = 0.0;
+  double cumulative = 0.0;
+  for (const StageReport& report : r->stages()) {
+    EXPECT_GE(report.ledger_spend_s, 0.0);
+    sum += report.ledger_spend_s;
+    EXPECT_GE(report.cumulative_spend_s, cumulative);
+    cumulative = report.cumulative_spend_s;
+    EXPECT_EQ(report.quota_s, 2.0);
+    EXPECT_FALSE(report.selectivities.empty());
+  }
+  // The virtual clock only advances inside stages, so per-stage spends
+  // telescope to the run's total.
+  EXPECT_NEAR(sum, r->elapsed_seconds, 1e-9);
+  EXPECT_NEAR(cumulative, r->elapsed_seconds, 1e-9);
+}
+
+class RecordingObserver : public ProgressObserver {
+ public:
+  void OnQueryBegin(double quota_s, int num_terms) override {
+    ++begins;
+    last_quota = quota_s;
+    terms = num_terms;
+  }
+  void OnStage(const StageReport& report) override {
+    stage_indices.push_back(report.index);
+  }
+  void OnQueryEnd(double estimate, double, bool) override {
+    ++ends;
+    final_estimate = estimate;
+  }
+
+  int begins = 0;
+  int ends = 0;
+  int terms = 0;
+  double last_quota = 0.0;
+  double final_estimate = 0.0;
+  std::vector<int> stage_indices;
+};
+
+TEST(StageReportTest, ObserverStreamsEveryStage) {
+  Session session = MakeSession();
+  RecordingObserver observer;
+  auto r = session.Query("r1 INTERSECT r2")
+               .WithSeed(13)
+               .WithQuota(2.0)
+               .WithObserver(observer)
+               .Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(observer.begins, 1);
+  EXPECT_EQ(observer.ends, 1);
+  EXPECT_EQ(observer.last_quota, 2.0);
+  EXPECT_GT(observer.terms, 0);
+  EXPECT_EQ(observer.final_estimate, r->estimate);
+  ASSERT_EQ(observer.stage_indices.size(), r->stages().size());
+  for (size_t i = 0; i < observer.stage_indices.size(); ++i) {
+    EXPECT_EQ(observer.stage_indices[i], r->stages()[i].index);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session pool reuse (high-water sizing).
+// ---------------------------------------------------------------------------
+
+TEST(SessionPoolTest, PoolKeepsHighWaterSize) {
+  Session session = MakeSession();
+  EXPECT_EQ(session.pool_workers(), 0);
+  auto wide = session.Query("r1 INTERSECT r2").WithSeed(3).WithThreads(8).Run();
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+  EXPECT_EQ(session.pool_workers(), 7);
+  // A narrower query reuses the wide pool instead of rebuilding it...
+  auto narrow =
+      session.Query("r1 INTERSECT r2").WithSeed(3).WithThreads(2).Run();
+  ASSERT_TRUE(narrow.ok()) << narrow.status().ToString();
+  EXPECT_EQ(session.pool_workers(), 7);
+  // ...and determinism makes the width switch unobservable in the result.
+  EXPECT_EQ(wide->estimate, narrow->estimate);
+  EXPECT_EQ(wide->blocks_sampled, narrow->blocks_sampled);
+  // A wider request grows the pool.
+  auto wider =
+      session.Query("r1 INTERSECT r2").WithSeed(3).WithThreads(12).Run();
+  ASSERT_TRUE(wider.ok()) << wider.status().ToString();
+  EXPECT_EQ(session.pool_workers(), 11);
+  EXPECT_EQ(wider->estimate, wide->estimate);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -37,19 +37,19 @@ void ExpectBitIdentical(const QueryResult& serial,
   EXPECT_EQ(serial.stages_run, parallel.stages_run);
   EXPECT_EQ(serial.stages_counted, parallel.stages_counted);
   EXPECT_EQ(serial.elapsed_seconds, parallel.elapsed_seconds);
-  ASSERT_EQ(serial.stages.size(), parallel.stages.size());
-  for (size_t i = 0; i < serial.stages.size(); ++i) {
-    EXPECT_EQ(serial.stages[i].planned_fraction,
-              parallel.stages[i].planned_fraction);
-    EXPECT_EQ(serial.stages[i].blocks_drawn, parallel.stages[i].blocks_drawn);
-    EXPECT_EQ(serial.stages[i].predicted_seconds,
-              parallel.stages[i].predicted_seconds);
-    EXPECT_EQ(serial.stages[i].actual_seconds,
-              parallel.stages[i].actual_seconds);
-    EXPECT_EQ(serial.stages[i].estimate_after,
-              parallel.stages[i].estimate_after);
-    EXPECT_EQ(serial.stages[i].variance_after,
-              parallel.stages[i].variance_after);
+  ASSERT_EQ(serial.stages().size(), parallel.stages().size());
+  for (size_t i = 0; i < serial.stages().size(); ++i) {
+    EXPECT_EQ(serial.stages()[i].planned_fraction,
+              parallel.stages()[i].planned_fraction);
+    EXPECT_EQ(serial.stages()[i].blocks_drawn, parallel.stages()[i].blocks_drawn);
+    EXPECT_EQ(serial.stages()[i].predicted_seconds,
+              parallel.stages()[i].predicted_seconds);
+    EXPECT_EQ(serial.stages()[i].actual_seconds,
+              parallel.stages()[i].actual_seconds);
+    EXPECT_EQ(serial.stages()[i].estimate_after,
+              parallel.stages()[i].estimate_after);
+    EXPECT_EQ(serial.stages()[i].variance_after,
+              parallel.stages()[i].variance_after);
   }
 }
 

@@ -42,7 +42,7 @@ TEST(WallClockModeTest, CoefficientsAdaptFromWrongInitialScale) {
   auto r = RunTimeConstrainedCount(w->query, 1.0, w->catalog, options);
   ASSERT_TRUE(r.ok());
   ASSERT_GE(r->stages_run, 2) << "expected multiple stages in 1 s";
-  EXPECT_GT(r->stages[1].blocks_drawn, r->stages[0].blocks_drawn);
+  EXPECT_GT(r->stages()[1].blocks_drawn, r->stages()[0].blocks_drawn);
   // Real elapsed time is far below what the 1989 constants predicted for
   // the work done (the run should finish the relation quickly).
   EXPECT_LT(r->elapsed_seconds, 5.0);

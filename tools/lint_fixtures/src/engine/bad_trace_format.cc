@@ -1,0 +1,17 @@
+// Fixture: library code outside src/obs/ must not assemble trace JSON by
+// hand or reach for the obs-internal formatting entry points.
+#include <string>
+
+namespace tcq {
+
+std::string HandRolledTrace(const std::string& body) {
+  std::string json = "{\"traceEvents\": [";
+  json += body;
+  json += "]}";
+  return json;
+}
+
+std::string ReExport(Tracer& tracer) { return tracer.ExportChromeJson(); }
+void Leak(std::string* out) { AppendTraceEventJson(nullptr, out); }
+
+}  // namespace tcq

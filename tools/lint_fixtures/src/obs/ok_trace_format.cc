@@ -1,0 +1,12 @@
+// Fixture: src/obs/ owns the trace_event schema, so formatting here is
+// exactly what the trace-format-outside-obs rule permits.
+#include <string>
+
+namespace tcq {
+
+std::string ExportChromeJson() {
+  std::string json = "{\"traceEvents\": []}";
+  return json;
+}
+
+}  // namespace tcq

@@ -28,7 +28,17 @@ enforces them statically:
                      std::thread / std::jthread / std::async / .detach()
                      outside src/parallel/. All concurrency goes through
                      ThreadPool so the fixed-order reduction contract (and
-                     the TSan story) covers it.
+                     the TSan story) covers it. Reading thread *identity*
+                     (std::thread::id, std::this_thread) is fine — it does
+                     not create concurrency.
+  trace-format-outside-obs
+                     Trace-output formatting (ExportChromeJson,
+                     AppendTraceEventJson, a "traceEvents" literal) in
+                     library code outside src/obs/. The Chrome trace_event
+                     schema lives in exactly one place so the golden-schema
+                     test covers every byte any query can emit; other
+                     layers record through the Tracer API and export via
+                     Tracer::ExportToFile.
 
 Usage:
   tools/tcq_lint.py [--root DIR] [--list-rules] [PATHS...]
@@ -159,8 +169,11 @@ def rule_stdout_in_lib(relpath, lines, code_lines):
                        "examples/bench do the printing")
 
 
+# std::thread::id is an identity read, not thread creation, and is the
+# sanctioned way for per-thread data structures (e.g. the tracer's
+# lock-free buffers) to key on the current thread.
 THREAD_TOKENS = re.compile(
-    r"std::thread\b|std::jthread\b|std::async\b|\.detach\s*\(")
+    r"std::thread\b(?!::id)|std::jthread\b|std::async\b|\.detach\s*\(")
 
 
 def rule_thread_outside_parallel(relpath, lines, code_lines):
@@ -174,6 +187,28 @@ def rule_thread_outside_parallel(relpath, lines, code_lines):
                        "src/parallel/ escape the ThreadPool's fixed-order "
                        "reduction and shutdown contracts; use "
                        "tcq::ThreadPool / RunTasks")
+
+
+TRACE_FORMAT_TOKENS = re.compile(
+    r"\bExportChromeJson\b|\bAppendTraceEventJson\b")
+# The schema key appears inside a string literal, which code_lines blanks
+# out, so the raw line is checked. The leading (possibly escaped) quote
+# keeps prose mentions of traceEvents from firing.
+TRACE_FORMAT_LITERAL = re.compile(r'\\?"traceEvents')
+
+
+def rule_trace_format_outside_obs(relpath, lines, code_lines):
+    p = _norm(relpath)
+    if not p.startswith("src/") or p.startswith("src/obs/"):
+        return
+    for no, (line, code) in enumerate(zip(lines, code_lines), 1):
+        m = TRACE_FORMAT_TOKENS.search(code) or TRACE_FORMAT_LITERAL.search(
+            line)
+        if m:
+            yield no, (f"'{m.group(0)}' — trace JSON is formatted only in "
+                       "src/obs/ so the golden-schema test covers every "
+                       "byte a query can emit; record through the Tracer "
+                       "API and export with Tracer::ExportToFile")
 
 
 # A declaration line returning Status or Result<...>. Anchored at the start
@@ -219,6 +254,7 @@ RULES = {
     "stdout-in-lib": rule_stdout_in_lib,
     "nodiscard-status": rule_nodiscard_status,
     "thread-outside-parallel": rule_thread_outside_parallel,
+    "trace-format-outside-obs": rule_trace_format_outside_obs,
 }
 
 

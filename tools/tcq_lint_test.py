@@ -45,6 +45,11 @@ EXPECTED = {
         (7, "thread-outside-parallel"),
         (8, "thread-outside-parallel"),
     ],
+    "src/engine/bad_trace_format.cc": [
+        (8, "trace-format-outside-obs"),
+        (14, "trace-format-outside-obs"),
+        (15, "trace-format-outside-obs"),
+    ],
     # Scope and suppression cases: must come back clean.
     "src/util/random.cc": [],
     "src/timectrl/ok_clock.cc": [],
@@ -52,6 +57,7 @@ EXPECTED = {
     "bench/ok_print.cc": [],
     "src/exec/suppressed_rng.cc": [],
     "src/api/ok_nodiscard.h": [],
+    "src/obs/ok_trace_format.cc": [],
 }
 
 
