@@ -16,6 +16,9 @@
 #   trace-smoke   traced quickstart run; validates + archives the Chrome
 #                 trace JSON at build/artifacts/trace_smoke.json, then
 #                 gates disabled-tracing overhead via bench/trace_overhead
+#   warm-bench    cold-vs-warm comparison via bench/warm_start; archives
+#                 the JSON at build/artifacts/warm_start.json and gates
+#                 the >=20% fresh-draw savings of the warm run
 #   tsan          ThreadSanitizer build + ctest (contracts armed)
 #   asan          AddressSanitizer build + ctest (contracts armed)
 #   ubsan         UndefinedBehaviorSanitizer build + ctest (contracts armed)
@@ -27,7 +30,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs="$(nproc 2>/dev/null || echo 2)"
-ALL_STAGES=(lint format-check tidy release trace-smoke tsan asan ubsan)
+ALL_STAGES=(lint format-check tidy release trace-smoke warm-bench tsan asan ubsan)
 
 usage() {
   echo "usage: $0 [stage...]   stages: ${ALL_STAGES[*]}" >&2
@@ -91,6 +94,21 @@ print(f"trace-smoke: {len(events)} events archived at "
       "build/artifacts/trace_smoke.json")
 EOF
     ./build/bench/trace_overhead
+}
+
+stage_warm_bench() {
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release &&
+    cmake --build build -j "$jobs" --target warm_start &&
+    mkdir -p build/artifacts &&
+    ./build/bench/warm_start | tee build/artifacts/warm_start.json &&
+    python3 - <<'EOF_PY'
+import json
+with open("build/artifacts/warm_start.json") as f:
+    result = json.load(f)
+assert result["ok"], "warm_start bench gate failed"
+print(f"warm-bench: {result['fresh_savings_pct']:.1f}% fresh-draw savings "
+      "archived at build/artifacts/warm_start.json")
+EOF_PY
 }
 
 stage_tsan() {

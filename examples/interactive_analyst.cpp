@@ -7,6 +7,7 @@
 //
 //   ./build/examples/interactive_analyst
 
+#include <algorithm>
 #include <cstdio>
 
 #include "api/tcq.h"
@@ -60,13 +61,16 @@ int main() {
               query->ToString().c_str(), static_cast<long long>(*exact));
 
   std::printf("-- progressive refinement under growing quotas --\n");
-  std::printf("  quota(s)  estimate     95%% CI                blocks\n");
+  std::printf("  quota(s)  estimate     95%% CI                blocks   used\n");
   for (double quota : {1.0, 2.5, 5.0, 10.0, 30.0, 60.0}) {
     auto r = session.Query(query).WithQuota(quota).Run();
     if (!r.ok()) return 1;
-    std::printf("  %8.1f  %8.0f  [%8.0f, %8.0f]  %6lld\n", quota,
+    // Clamped for display only; r->utilization itself reports the true
+    // (possibly > 1 under a soft deadline) ratio.
+    std::printf("  %8.1f  %8.0f  [%8.0f, %8.0f]  %6lld  %4.0f%%\n", quota,
                 r->estimate, r->ci.lo, r->ci.hi,
-                static_cast<long long>(r->blocks_sampled));
+                static_cast<long long>(r->blocks_sampled),
+                100.0 * std::min(1.0, r->utilization));
   }
 
   std::printf(

@@ -19,6 +19,7 @@
 //
 //   ./build/examples/query_shell
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -47,12 +48,15 @@ void RunQuery(const std::string& text, Session* session, double quota_s,
     std::printf("  error: %s\n", r.status().ToString().c_str());
     return;
   }
+  // std::min is a display clamp only: r->utilization carries the true
+  // ratio and exceeds 1 after a soft-deadline overrun.
   std::printf(
       "  estimate %.1f   95%% CI [%.1f, %.1f]   %d stages, %lld blocks, "
-      "%.2f s of %.2f s%s\n",
+      "%.2f s of %.2f s (%.0f%% used)%s\n",
       r->estimate, r->ci.lo, r->ci.hi, r->stages_counted,
       static_cast<long long>(r->blocks_sampled), r->elapsed_seconds,
-      quota_s, r->overspent ? " (last stage aborted)" : "");
+      quota_s, 100.0 * std::min(1.0, r->utilization),
+      r->overspent ? " (last stage aborted)" : "");
   if (with_exact) {
     auto expr = ParseQuery(text);
     if (!expr.ok()) return;

@@ -8,6 +8,7 @@
 // it in chrome://tracing or https://ui.perfetto.dev to see the per-stage
 // plan/draw/evaluate spans on a timeline (README "Tracing a query").
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -66,8 +67,11 @@ int main(int argc, char** argv) {
   std::printf("stages  : %d run, %d counted, %lld blocks sampled\n",
               result->stages_run, result->stages_counted,
               static_cast<long long>(result->blocks_sampled));
+  // Display clamp only: utilization itself reports the true ratio, which
+  // exceeds 1 when a soft deadline let the final stage overrun.
   std::printf("time    : %.2f s elapsed of %.2f s quota (%.0f%% used%s)\n",
-              result->elapsed_seconds, 5.0, 100.0 * result->utilization,
+              result->elapsed_seconds, 5.0,
+              100.0 * std::min(1.0, result->utilization),
               result->overspent ? ", overspent last stage" : "");
   std::printf("\n  stage  fraction  blocks  predicted  actual   estimate\n");
   for (const StageReport& s : result->stages()) {

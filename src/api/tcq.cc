@@ -49,10 +49,11 @@ QueryBuilder Session::Query(std::string_view text) {
   Result<ExprPtr> parsed = ParseQuery(StripCountWrapper(text));
   if (!parsed.ok()) {
     return QueryBuilder(this, nullptr, parsed.status(), options_.defaults,
-                        options_.threads);
+                        options_.threads, options_.warm_start);
   }
   return QueryBuilder(this, std::move(*parsed), Status::OK(),
-                      options_.defaults, options_.threads);
+                      options_.defaults, options_.threads,
+                      options_.warm_start);
 }
 
 QueryBuilder Session::Query(ExprPtr expr) {
@@ -60,11 +61,19 @@ QueryBuilder Session::Query(ExprPtr expr) {
                       ? Status::InvalidArgument("null query expression")
                       : Status::OK();
   return QueryBuilder(this, std::move(expr), std::move(status),
-                      options_.defaults, options_.threads);
+                      options_.defaults, options_.threads,
+                      options_.warm_start);
 }
 
 Result<ExplainResult> Session::Explain(std::string_view text) {
   return Query(text).Explain();
+}
+
+WarmStartCache* Session::EnsureWarmCache() {
+  if (warm_cache_ == nullptr) {
+    warm_cache_ = std::make_unique<WarmStartCache>();
+  }
+  return warm_cache_.get();
 }
 
 ThreadPool* Session::EnsurePool(int threads) {
@@ -86,6 +95,11 @@ Result<QueryResult> QueryBuilder::Run() {
   options.threads = threads_;
   TCQ_RETURN_NOT_OK(options.Validate());
   options.pool = session_->EnsurePool(threads_);
+  // Warm start is an engine-level concern: the builder only decides
+  // whether to hand the session's cache to this run. A null cache takes
+  // exactly the historical cold code paths.
+  options.warm_cache =
+      warm_start_ ? session_->EnsureWarmCache() : nullptr;
   if (options.obs.metrics != nullptr) {
     options.obs.metrics->gauge("session.pool_workers")
         ->Set(session_->pool_workers());

@@ -23,6 +23,7 @@
 #include <string_view>
 #include <utility>
 
+#include "cache/warm_start.h"
 #include "engine/executor.h"
 #include "obs/obs.h"
 #include "parallel/thread_pool.h"
@@ -121,6 +122,17 @@ class QueryBuilder {
     options_.cost = cost;
     return *this;
   }
+  /// Attaches (or detaches) the session's warm-start cache for this query:
+  /// block draws replay the sample pools earlier queries of the session
+  /// filled, stage-0 planning starts from cached operator selectivities,
+  /// and the run's own samples feed the cache back. Off by default
+  /// (Session::Options::warm_start flips the session default);
+  /// WithWarmStart(false) is bit-identical to a session that never warmed
+  /// anything, at any seed and thread count. Explain() always plans cold.
+  QueryBuilder& WithWarmStart(bool on = true) {
+    warm_start_ = on;
+    return *this;
+  }
 
   /// Enables tracing with a builder-owned tracer: the run records spans,
   /// instants and counter tracks; when `trace.export_path` is non-empty
@@ -191,12 +203,13 @@ class QueryBuilder {
  private:
   friend class Session;
   QueryBuilder(Session* session, ExprPtr expr, Status parse_status,
-               ExecutorOptions options, int threads)
+               ExecutorOptions options, int threads, bool warm_start)
       : session_(session),
         expr_(std::move(expr)),
         parse_status_(std::move(parse_status)),
         options_(std::move(options)),
-        threads_(threads) {}
+        threads_(threads),
+        warm_start_(warm_start) {}
 
   Session* session_;
   ExprPtr expr_;
@@ -205,6 +218,7 @@ class QueryBuilder {
   AggregateSpec aggregate_;
   std::shared_ptr<Tracer> owned_tracer_;  // WithTrace; shared with copies
   int threads_;
+  bool warm_start_;  // from Session::Options; WithWarmStart overrides
 };
 
 /// Owns a Catalog and the worker pool queries execute on. Sessions are
@@ -217,6 +231,12 @@ class Session {
     /// Default execution width of queries (QueryBuilder::WithThreads
     /// overrides per query). 1 = serial.
     int threads = 1;
+    /// Warm-start queries by default (QueryBuilder::WithWarmStart
+    /// overrides per query): repeated or overlapping queries replay the
+    /// session's sample pools and seed their planning from cached
+    /// selectivities and cost coefficients. Off keeps every query cold
+    /// and bit-identical to the historical engine.
+    bool warm_start = false;
     /// Per-query option defaults (seed, strategy, cost model, ...).
     ExecutorOptions defaults;
   };
@@ -259,6 +279,25 @@ class Session {
     return pool_ == nullptr ? 0 : pool_->workers();
   }
 
+  /// Flips the session-wide warm-start default for subsequent queries
+  /// (per-query WithWarmStart still overrides). Turning it off does not
+  /// drop accumulated cache state; use ClearCache() for that.
+  void SetWarmStart(bool on) { options_.warm_start = on; }
+
+  /// Aggregate view of the warm-start cache: pooled/replayed/fresh block
+  /// counts, selectivity-prior entries and hit rates, cost-coefficient
+  /// snapshots. All-zero before the first warm query.
+  WarmStartStats CacheStats() const {
+    return warm_cache_ == nullptr ? WarmStartStats{} : warm_cache_->Stats();
+  }
+
+  /// Drops every pooled block, cached selectivity and cost snapshot; the
+  /// next warm query starts cold (e.g. after the underlying data
+  /// changed — the cache has no invalidation of its own).
+  void ClearCache() {
+    if (warm_cache_ != nullptr) warm_cache_->Clear();
+  }
+
  private:
   friend class QueryBuilder;
 
@@ -268,9 +307,13 @@ class Session {
   /// batch participation instead (high-water reuse).
   ThreadPool* EnsurePool(int threads);
 
+  /// The session's warm-start cache, created empty on first use.
+  WarmStartCache* EnsureWarmCache();
+
   Catalog catalog_;
   Options options_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<WarmStartCache> warm_cache_;
 };
 
 }  // namespace tcq

@@ -1,0 +1,79 @@
+#ifndef TCQ_CACHE_SAMPLE_POOL_H_
+#define TCQ_CACHE_SAMPLE_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tcq {
+
+/// Session-lifetime pool of the disk blocks drawn from one relation,
+/// in the order they were first drawn (the BlinkDB-style sample reuse
+/// lever, adapted to the paper's cluster-sampling setting).
+///
+/// Unbiasedness: every block ever appended was drawn uniformly from the
+/// blocks not yet in the pool (BlockSampler's without-replacement draw),
+/// so the pool's draw order is a realization of uniform without-
+/// replacement sampling of the relation. Any *prefix* of that order is
+/// therefore itself a uniform without-replacement sample — a later query
+/// that replays the pooled prefix before drawing fresh blocks sees
+/// exactly the distribution a cold query would have drawn, and the
+/// cluster-sampling estimators of §2 stay unbiased. The consumed-block
+/// membership bitmap is what keeps replay + fresh draws without
+/// replacement: fresh draws are uniform over the complement of the pool.
+///
+/// Each appended block also records the seed substream id
+/// (SubstreamSeed(seed, relation, stage)) whose draw produced it, so
+/// pool entries stay attributable to the (relation, substream) that drew
+/// them — CacheStats provenance and the determinism tests key on it.
+class RelationSamplePool {
+ public:
+  explicit RelationSamplePool(int64_t total_blocks)
+      : consumed_(static_cast<size_t>(total_blocks), 0) {}
+
+  int64_t total_blocks() const {
+    return static_cast<int64_t>(consumed_.size());
+  }
+  /// Number of pooled (previously drawn) blocks.
+  int64_t size() const { return static_cast<int64_t>(order_.size()); }
+  /// Pooled blocks in first-draw order; replay consumes this prefix.
+  const std::vector<uint32_t>& drawn_order() const { return order_; }
+  /// True when `block` is already in the pool (consumed for sampling
+  /// purposes — a fresh draw must never produce it again).
+  bool Contains(uint32_t block) const {
+    return consumed_[static_cast<size_t>(block)] != 0;
+  }
+  /// Seed substream id that drew pool entry `i`.
+  uint64_t substream_of(int64_t i) const {
+    return substreams_[static_cast<size_t>(i)];
+  }
+
+  /// Retains one freshly drawn block. `substream` identifies the
+  /// (seed, relation, stage) substream the draw came from.
+  void Append(uint32_t block, uint64_t substream) {
+    consumed_[static_cast<size_t>(block)] = 1;
+    order_.push_back(block);
+    substreams_.push_back(substream);
+    ++fresh_total_;
+  }
+
+  /// Replay accounting (called by the pool-aware BlockSampler).
+  void NoteReplayed(int64_t n) { replayed_total_ += n; }
+
+  /// Cumulative blocks served by replaying the pooled prefix, across all
+  /// queries of the session.
+  int64_t replayed_total() const { return replayed_total_; }
+  /// Cumulative fresh draws retained into the pool.
+  int64_t fresh_total() const { return fresh_total_; }
+
+ private:
+  std::vector<uint32_t> order_;        // pooled blocks, first-draw order
+  std::vector<uint64_t> substreams_;   // provenance, parallel to order_
+  std::vector<char> consumed_;         // membership bitmap
+  int64_t replayed_total_ = 0;
+  int64_t fresh_total_ = 0;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_CACHE_SAMPLE_POOL_H_

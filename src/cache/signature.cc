@@ -1,0 +1,70 @@
+#include "cache/signature.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace tcq {
+
+namespace {
+
+std::string Canonical(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kScan:
+      return "scan(" + e.relation + ")";
+    case ExprKind::kSelect:
+      return "select[" +
+             (e.predicate != nullptr ? e.predicate->ToString() : "?") + "](" +
+             Canonical(*e.left) + ")";
+    case ExprKind::kProject: {
+      // Projection keeps a column *set*; order does not change the
+      // distinct-group count the cached selectivity describes.
+      std::vector<std::string> cols = e.columns;
+      std::sort(cols.begin(), cols.end());
+      std::string joined;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (i > 0) joined += ",";
+        joined += cols[i];
+      }
+      return "project[" + joined + "](" + Canonical(*e.left) + ")";
+    }
+    case ExprKind::kJoin: {
+      // Join keys are an unordered conjunction of equalities.
+      std::vector<std::string> keys;
+      keys.reserve(e.join_keys.size());
+      for (const auto& [l, r] : e.join_keys) keys.push_back(l + "=" + r);
+      std::sort(keys.begin(), keys.end());
+      std::string joined;
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (i > 0) joined += ",";
+        joined += keys[i];
+      }
+      return "join[" + joined + "](" + Canonical(*e.left) + "," +
+             Canonical(*e.right) + ")";
+    }
+    case ExprKind::kIntersect: {
+      std::string l = Canonical(*e.left);
+      std::string r = Canonical(*e.right);
+      if (r < l) std::swap(l, r);  // commutative: order by signature
+      return "intersect(" + l + "," + r + ")";
+    }
+    case ExprKind::kUnion: {
+      std::string l = Canonical(*e.left);
+      std::string r = Canonical(*e.right);
+      if (r < l) std::swap(l, r);
+      return "union(" + l + "," + r + ")";
+    }
+    case ExprKind::kDifference:
+      return "difference(" + Canonical(*e.left) + "," + Canonical(*e.right) +
+             ")";
+  }
+  return "?";
+}
+
+}  // namespace
+
+CacheKey CanonicalSignature(const Expr& expr) {
+  return CacheKey(Canonical(expr));
+}
+
+}  // namespace tcq

@@ -1,0 +1,55 @@
+#ifndef TCQ_CACHE_SIGNATURE_H_
+#define TCQ_CACHE_SIGNATURE_H_
+
+#include <string>
+#include <utility>
+
+#include "ra/expr.h"
+
+namespace tcq {
+
+class CacheKey;
+CacheKey CanonicalSignature(const Expr& expr);
+
+/// Key of a warm-start cache entry: the canonicalized signature of an
+/// operator subtree (relation set, operator kind, predicate print).
+///
+/// A CacheKey can only be produced by `CanonicalSignature` — the single
+/// place that knows the canonical form — so two structurally equivalent
+/// subtrees can never end up under different keys because a caller
+/// hand-rolled its own string. The `cache-key-canonical` lint rule
+/// (tools/tcq_lint.py) additionally rejects direct construction attempts
+/// in library code outside this translation unit.
+class CacheKey {
+ public:
+  const std::string& text() const { return text_; }
+
+  bool operator<(const CacheKey& other) const { return text_ < other.text_; }
+  bool operator==(const CacheKey& other) const {
+    return text_ == other.text_;
+  }
+
+ private:
+  friend CacheKey CanonicalSignature(const Expr& expr);
+  explicit CacheKey(std::string text) : text_(std::move(text)) {}
+
+  std::string text_;
+};
+
+/// Canonicalized signature of an operator subtree, suitable as a
+/// cross-query cache key:
+///   - predicates are printed with the canonical predicate printer
+///     (Predicate::ToString), so textually different but identically
+///     parsed formulas share a key;
+///   - the children of commutative operators (Intersect) are ordered by
+///     their signatures, so `a ∩ b` and `b ∩ a` share a key;
+///   - scans print as `scan(<relation>)`, keying every entry to the
+///     relation set it was observed on.
+/// Two subtrees with equal signatures have equal output distributions
+/// over the same catalog, which is what makes a cached selectivity a
+/// valid stage-0 prior.
+CacheKey CanonicalSignature(const Expr& expr);
+
+}  // namespace tcq
+
+#endif  // TCQ_CACHE_SIGNATURE_H_

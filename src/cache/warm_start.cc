@@ -1,0 +1,72 @@
+#include "cache/warm_start.h"
+
+#include <utility>
+
+namespace tcq {
+
+RelationSamplePool* WarmStartCache::PoolFor(const std::string& relation,
+                                           int64_t total_blocks) {
+  auto it = pools_.find(relation);
+  if (it == pools_.end()) {
+    it = pools_
+             .emplace(relation,
+                      std::make_unique<RelationSamplePool>(total_blocks))
+             .first;
+  }
+  return it->second.get();
+}
+
+const double* WarmStartCache::LookupPrior(const CacheKey& key) {
+  auto it = priors_.find(key);
+  if (it == priors_.end()) {
+    ++prior_misses_;
+    return nullptr;
+  }
+  ++prior_hits_;
+  return &it->second;
+}
+
+void WarmStartCache::RecordPrior(const CacheKey& key, double selectivity) {
+  priors_[key] = selectivity;
+}
+
+const AdaptiveCostModel::Snapshot* WarmStartCache::LookupCostSnapshot(
+    const CacheKey& key) {
+  auto it = snapshots_.find(key);
+  if (it == snapshots_.end()) return nullptr;
+  ++snapshot_hits_;
+  return &it->second;
+}
+
+void WarmStartCache::RecordCostSnapshot(const CacheKey& key,
+                                        AdaptiveCostModel::Snapshot snapshot) {
+  snapshots_[key] = std::move(snapshot);
+}
+
+WarmStartStats WarmStartCache::Stats() const {
+  WarmStartStats s;
+  s.relations = static_cast<int>(pools_.size());
+  for (const auto& [name, pool] : pools_) {
+    (void)name;
+    s.pooled_blocks += pool->size();
+    s.replayed_blocks += pool->replayed_total();
+    s.fresh_blocks += pool->fresh_total();
+  }
+  s.prior_entries = static_cast<int64_t>(priors_.size());
+  s.prior_hits = prior_hits_;
+  s.prior_misses = prior_misses_;
+  s.cost_snapshots = static_cast<int64_t>(snapshots_.size());
+  s.cost_snapshot_hits = snapshot_hits_;
+  return s;
+}
+
+void WarmStartCache::Clear() {
+  pools_.clear();
+  priors_.clear();
+  snapshots_.clear();
+  prior_hits_ = 0;
+  prior_misses_ = 0;
+  snapshot_hits_ = 0;
+}
+
+}  // namespace tcq

@@ -1,0 +1,79 @@
+#ifndef TCQ_CACHE_WARM_START_H_
+#define TCQ_CACHE_WARM_START_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cache/sample_pool.h"
+#include "cache/signature.h"
+#include "cost/adaptive_model.h"
+
+namespace tcq {
+
+/// Aggregate view of a warm-start cache (Session::CacheStats()).
+struct WarmStartStats {
+  int relations = 0;           // relations with a sample pool
+  int64_t pooled_blocks = 0;   // blocks currently retained across pools
+  int64_t replayed_blocks = 0;  // draws served from pooled prefixes
+  int64_t fresh_blocks = 0;     // fresh draws retained into pools
+  int64_t prior_entries = 0;    // cached operator selectivities
+  int64_t prior_hits = 0;       // stage-0 lookups that found a prior
+  int64_t prior_misses = 0;     // stage-0 lookups that fell back to defaults
+  int64_t cost_snapshots = 0;       // cached fitted cost-coefficient sets
+  int64_t cost_snapshot_hits = 0;   // queries that started from one
+};
+
+/// Session-lifetime warm-start state shared by consecutive queries: the
+/// per-relation sample pools (pooled-prefix replay; see sample_pool.h for
+/// the unbiasedness argument), the selectivity prior cache (stage-0 of
+/// Sample-Size-Determine starts from the last observed selectivity of a
+/// canonically equal operator instead of the default prior), and the
+/// fitted cost-coefficient snapshots of AdaptiveCostModel keyed by whole-
+/// query signature.
+///
+/// All keys are CacheKeys produced by CanonicalSignature — never raw
+/// strings — so equivalent operators cannot shadow each other under
+/// different spellings (enforced by the `cache-key-canonical` lint rule).
+///
+/// Not thread-safe: owned by a Session, which runs one query at a time.
+/// The engine only touches the cache from its serial sections and from
+/// the per-relation draw tasks (each of which touches only its own
+/// relation's pool), so cached runs stay bit-identical across thread
+/// counts at a fixed seed.
+class WarmStartCache {
+ public:
+  /// The relation's sample pool, created empty on first use.
+  RelationSamplePool* PoolFor(const std::string& relation,
+                              int64_t total_blocks);
+
+  /// Last observed selectivity of a canonically equal operator, or null;
+  /// counts a prior hit or miss.
+  const double* LookupPrior(const CacheKey& key);
+  /// Records (or overwrites with) the latest observed selectivity.
+  void RecordPrior(const CacheKey& key, double selectivity);
+
+  /// Fitted cost-coefficient snapshot of the last run of a canonically
+  /// equal query, or null; counts a snapshot hit when found.
+  const AdaptiveCostModel::Snapshot* LookupCostSnapshot(const CacheKey& key);
+  void RecordCostSnapshot(const CacheKey& key,
+                          AdaptiveCostModel::Snapshot snapshot);
+
+  WarmStartStats Stats() const;
+
+  /// Drops every pool, prior, and snapshot (counters included).
+  void Clear();
+
+ private:
+  std::map<std::string, std::unique_ptr<RelationSamplePool>> pools_;
+  std::map<CacheKey, double> priors_;
+  std::map<CacheKey, AdaptiveCostModel::Snapshot> snapshots_;
+  int64_t prior_hits_ = 0;
+  int64_t prior_misses_ = 0;
+  int64_t snapshot_hits_ = 0;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_CACHE_WARM_START_H_

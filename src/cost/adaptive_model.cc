@@ -68,6 +68,19 @@ void AdaptiveCostModel::ObserveParallelism(double work_seconds,
       (1.0 - options_.ewma) * efficiency_ + options_.ewma * observed;
 }
 
+AdaptiveCostModel::Snapshot AdaptiveCostModel::ExportSnapshot() const {
+  Snapshot s;
+  s.coefs = coefs_;
+  s.efficiency = efficiency_;
+  return s;
+}
+
+void AdaptiveCostModel::RestoreSnapshot(const Snapshot& snapshot) {
+  if (!options_.adaptive) return;
+  coefs_ = snapshot.coefs;
+  efficiency_ = snapshot.efficiency;
+}
+
 double AdaptiveCostModel::Initial(CostStep step) const {
   const double scale = options_.initial_scale;
   const double bf = options_.assumed_blocking_factor;

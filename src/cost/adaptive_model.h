@@ -61,9 +61,30 @@ class AdaptiveCostModel {
     double assumed_comparisons = 2.0;
   };
 
+  /// Portable image of the fitted state: the per-(node, step) coefficient
+  /// map and the parallel-efficiency coefficient η. Used by the warm-start
+  /// cache to carry a converged model across queries of one session — the
+  /// node ids only stay meaningful for a structurally identical query, so
+  /// snapshots are keyed by the whole-query canonical signature.
+  struct Snapshot {
+    std::map<std::pair<int, int>, double> coefs;
+    double efficiency = 0.0;
+
+    bool empty() const { return coefs.empty(); }
+  };
+
   explicit AdaptiveCostModel(const CostModel& physical, Options options);
   explicit AdaptiveCostModel(const CostModel& physical)
       : AdaptiveCostModel(physical, Options()) {}
+
+  /// The current fitted state (initial values are not materialized: a
+  /// fresh model exports an empty snapshot).
+  Snapshot ExportSnapshot() const;
+
+  /// Replaces the fitted state with `snapshot`, as if this model had made
+  /// the donor's observations itself. No-op for a non-adaptive model (the
+  /// fixed-form ablation must keep its initial coefficients).
+  void RestoreSnapshot(const Snapshot& snapshot);
 
   /// Current coefficient (seconds per basis unit) for a node's step.
   ///

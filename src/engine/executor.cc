@@ -9,6 +9,7 @@
 #include <set>
 #include <utility>
 
+#include "cache/warm_start.h"
 #include "cost/predictor.h"
 #include "util/check.h"
 #include "sampling/block_sampler.h"
@@ -210,8 +211,28 @@ Result<QueryResult> RunTimeConstrainedAggregate(
   CostModel physical = options.physical;
   physical.workers = wall ? width : 1;
   AdaptiveCostModel coefs(physical, options.cost);
+
+  // Warm start: with a session cache attached, begin from the fitted
+  // cost coefficients of the last run of a canonically equal query (the
+  // coefficients' node ids only transfer between structurally identical
+  // plans, hence the whole-query key). The stats snapshot taken here
+  // turns the cache's cumulative counters into this run's deltas for the
+  // metric export below.
+  WarmStartCache* const cache = options.warm_cache;
+  WarmStartStats cache_stats_before;
+  if (cache != nullptr) {
+    cache_stats_before = cache->Stats();
+    const AdaptiveCostModel::Snapshot* snapshot =
+        cache->LookupCostSnapshot(CanonicalSignature(*expr));
+    if (snapshot != nullptr) coefs.RestoreSnapshot(*snapshot);
+  }
+
   std::unique_ptr<TimeControlStrategy> strategy =
       MakeStrategy(options.strategy);
+
+  const CombineVariance combine_rule =
+      options.conservative_term_variance ? CombineVariance::kConservative
+                                         : CombineVariance::kIndependent;
 
   // Terms that are bare scans have exactly known aggregates (the catalog
   // knows |r|); they are priced at zero and never sampled. COUNT(r1 ∪ r2)
@@ -247,8 +268,8 @@ Result<QueryResult> RunTimeConstrainedAggregate(
   }
   if (terms.empty()) {
     // Fully constant query (e.g. COUNT(r1)).
-    CountEstimate combined =
-        CombineSignedEstimates(constant_signs, constant_estimates, obs);
+    CountEstimate combined = CombineSignedEstimates(
+        constant_signs, constant_estimates, obs, combine_rule);
     QueryResult r;
     r.estimate = combined.value;
     r.variance = combined.variance;
@@ -288,12 +309,35 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     for (const std::string& name : scans) {
       if (samplers.count(name) == 0) {
         TCQ_ASSIGN_OR_RETURN(RelationPtr rel, catalog.Find(name));
-        samplers[name] = std::make_unique<BlockSampler>(std::move(rel));
+        // With a warm cache the sampler replays the relation's pooled
+        // prefix before drawing fresh blocks (see BlockSampler); an
+        // empty pool degenerates to the historical cold sampler.
+        RelationSamplePool* rel_pool =
+            cache != nullptr ? cache->PoolFor(name, rel->NumBlocks())
+                             : nullptr;
+        samplers[name] =
+            std::make_unique<BlockSampler>(std::move(rel), rel_pool);
         samplers[name]->SetMetrics(obs.metrics);
       }
     }
     evaluators.push_back(std::move(ev));
     signs.push_back(term.sign);
+  }
+
+  // Warm-start selectivity priors: one lookup per operator node before
+  // the stage loop, keyed by the node subtree's canonical signature. The
+  // resulting per-term maps seed stage-0 of ReviseSelectivities; once a
+  // node has its own samples the priors are ignored.
+  std::vector<std::map<int, double>> term_priors(evaluators.size());
+  if (cache != nullptr) {
+    for (size_t t = 0; t < evaluators.size(); ++t) {
+      for (const StagedNode* node : evaluators[t]->NodesPreOrder()) {
+        if (node->kind == ExprKind::kScan) continue;
+        const double* prior =
+            cache->LookupPrior(CanonicalSignature(*node->expr));
+        if (prior != nullptr) term_priors[t][node->id] = *prior;
+      }
+    }
   }
 
   const Deadline deadline = Deadline::StartingNow(clock, quota_s);
@@ -332,8 +376,10 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     // Figure 3.3: revise per-operator selectivities from all samples.
     std::vector<std::map<int, double>> sel_prev;
     sel_prev.reserve(evaluators.size());
-    for (const auto& ev : evaluators) {
-      sel_prev.push_back(ReviseSelectivities(*ev, options.selectivity, obs));
+    for (size_t t = 0; t < evaluators.size(); ++t) {
+      sel_prev.push_back(ReviseSelectivities(
+          *evaluators[t], options.selectivity, obs,
+          cache != nullptr ? &term_priors[t] : nullptr));
     }
 
     // Full-query cost formula: per-stage overhead + block fetches (priced
@@ -344,8 +390,21 @@ Result<QueryResult> RunTimeConstrainedAggregate(
         int64_t d_new = std::min<int64_t>(
             BlocksForFraction(f, sampler->total_blocks()),
             sampler->remaining_blocks());
-        seconds += static_cast<double>(d_new) *
-                   coefs.Coef(kGlobalCostNode, CostStep::kFetch);
+        double coef = coefs.Coef(kGlobalCostNode, CostStep::kFetch);
+        if (!wall && cache != nullptr) {
+          // The next pooled_remaining() draws replay cached blocks at the
+          // discounted rate; pricing them as full reads would make the
+          // planner under-fill warm stages.
+          int64_t replayed =
+              std::min<int64_t>(d_new, sampler->pooled_remaining());
+          int64_t fresh = d_new - replayed;
+          seconds += (static_cast<double>(replayed) *
+                          options.physical.cached_read_factor +
+                      static_cast<double>(fresh)) *
+                     coef;
+        } else {
+          seconds += static_cast<double>(d_new) * coef;
+        }
       }
       return seconds;
     };
@@ -455,6 +514,7 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     // order, so neither depends on the worker count.
     std::map<std::string, std::vector<const Block*>> stage_blocks;
     int64_t blocks_drawn = 0;
+    int64_t blocks_replayed = 0;
     {
       TraceSpan draw_span(obs.tracer, "draw_blocks", "engine");
       struct DrawSlot {
@@ -494,11 +554,28 @@ Result<QueryResult> RunTimeConstrainedAggregate(
       for (DrawSlot& slot : draws) {
         stage_parallel.work_seconds += slot.seconds;
         blocks_drawn += static_cast<int64_t>(slot.blocks.size());
+        int64_t replayed = slot.sampler->last_draw_replayed();
+        blocks_replayed += replayed;
         if (!wall) {
-          ledger.ChargeN(CostCategory::kBlockRead,
-                         static_cast<int64_t>(slot.blocks.size()),
+          // Replayed blocks come from the session's sample cache and
+          // charge the discounted rate; fresh draws pay a full random
+          // read. The charge count — and with it the per-block jitter
+          // stream — is the same replayed + fresh split or not, and with
+          // no (or an empty) warm cache `replayed` is zero, so the first
+          // ChargeN is a no-op and the charging is bit-identical to the
+          // historical single call.
+          int64_t fresh =
+              static_cast<int64_t>(slot.blocks.size()) - replayed;
+          ledger.ChargeN(CostCategory::kBlockRead, replayed,
+                         options.physical.block_read_s *
+                             options.physical.cached_read_factor);
+          ledger.ChargeN(CostCategory::kBlockRead, fresh,
                          options.physical.block_read_s);
         }
+        // The fetch coefficient keeps meaning "seconds per *fresh* read":
+        // in simulation the observation feeds the nominal full-read cost
+        // regardless of the replay split, and fetch_cost applies the
+        // replay discount itself.
         coefs.Observe(kGlobalCostNode, CostStep::kFetch,
                       static_cast<double>(slot.blocks.size()),
                       wall ? slot.seconds
@@ -507,6 +584,9 @@ Result<QueryResult> RunTimeConstrainedAggregate(
         stage_blocks[slot.name] = std::move(slot.blocks);
       }
       draw_span.Arg("blocks", static_cast<double>(blocks_drawn));
+      if (cache != nullptr) {
+        draw_span.Arg("replayed", static_cast<double>(blocks_replayed));
+      }
     }
 
     // Parallel term evaluation: every inclusion–exclusion term runs as
@@ -577,7 +657,7 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     all_signs.insert(all_signs.end(), constant_signs.begin(),
                      constant_signs.end());
     CountEstimate combined =
-        CombineSignedEstimates(all_signs, term_estimates, obs);
+        CombineSignedEstimates(all_signs, term_estimates, obs, combine_rule);
     if (aggregate.kind != AggregateSpec::Kind::kCount) {
       std::vector<CountEstimate> sum_estimates;
       sum_estimates.reserve(evaluators.size());
@@ -588,7 +668,7 @@ Result<QueryResult> RunTimeConstrainedAggregate(
             ev->total_points()));
       }
       CountEstimate sum_combined =
-          CombineSignedEstimates(signs, sum_estimates);
+          CombineSignedEstimates(signs, sum_estimates, combine_rule);
       if (aggregate.kind == AggregateSpec::Kind::kSum) {
         combined = sum_combined;
       } else {
@@ -670,7 +750,11 @@ Result<QueryResult> RunTimeConstrainedAggregate(
       result.overspend_seconds = deadline.Elapsed(clock) - quota_s;
       if (options.deadline_mode == DeadlineMode::kHard) {
         // The interrupted stage is aborted: its samples are wasted and the
-        // previous stage's estimate stands.
+        // previous stage's estimate stands. The wasted draws still hit
+        // the disk (and the blocks_drawn metric) — account for them so
+        // blocks_sampled + blocks_wasted reconciles with the per-stage
+        // reports and the `engine.blocks_drawn` counter.
+        result.blocks_wasted += blocks_drawn;
         break;
       }
       // Soft deadline: the finished stage counts, then we stop.
@@ -706,8 +790,52 @@ Result<QueryResult> RunTimeConstrainedAggregate(
   final_estimate.variance = result.variance;
   result.ci = NormalConfidenceInterval(final_estimate, options.confidence);
   result.elapsed_seconds = deadline.Elapsed(clock);
-  result.utilization =
-      quota_s > 0.0 ? std::min(1.0, counted_elapsed / quota_s) : 0.0;
+  // The true ratio, deliberately unclamped: under a soft deadline the
+  // counted final stage may overrun the quota, and utilization > 1 is
+  // exactly the overspend signal callers need to see. Hard-deadline runs
+  // never exceed 1 (counted stages cannot pass the quota — see the
+  // invariant above); display paths clamp for presentation.
+  result.utilization = quota_s > 0.0 ? counted_elapsed / quota_s : 0.0;
+
+  if (cache != nullptr) {
+    // Feed the cache for the next query: every operator node that sampled
+    // points records its revised selectivity (exactly what the next stage
+    // of *this* run would have planned with), and the fitted cost
+    // coefficients are snapshotted under the whole-query signature.
+    for (size_t t = 0; t < evaluators.size(); ++t) {
+      if (evaluators[t]->num_stages() == 0) continue;
+      std::map<int, double> revised =
+          ReviseSelectivities(*evaluators[t], options.selectivity);
+      for (const StagedNode* node : evaluators[t]->NodesPreOrder()) {
+        if (node->kind == ExprKind::kScan) continue;
+        if (node->cum_points <= 0.0) continue;
+        auto it = revised.find(node->id);
+        if (it == revised.end()) continue;
+        cache->RecordPrior(CanonicalSignature(*node->expr), it->second);
+      }
+    }
+    cache->RecordCostSnapshot(CanonicalSignature(*expr),
+                              coefs.ExportSnapshot());
+    if (obs.metering()) {
+      // This run's deltas against the session-cumulative cache counters,
+      // plus the pool-size gauge. All deterministic at a fixed seed and
+      // cache state: replay counts depend only on pool contents and the
+      // plan, never on the worker count.
+      WarmStartStats after = cache->Stats();
+      obs.metrics->counter("cache.blocks_replayed")
+          ->Add(after.replayed_blocks - cache_stats_before.replayed_blocks);
+      obs.metrics->counter("cache.blocks_fresh")
+          ->Add(after.fresh_blocks - cache_stats_before.fresh_blocks);
+      obs.metrics->counter("cache.prior_hits")
+          ->Add(after.prior_hits - cache_stats_before.prior_hits);
+      obs.metrics->counter("cache.prior_misses")
+          ->Add(after.prior_misses - cache_stats_before.prior_misses);
+      obs.metrics->gauge("cache.pool_blocks")
+          ->Set(static_cast<double>(after.pooled_blocks));
+      obs.metrics->gauge("cache.prior_entries")
+          ->Set(static_cast<double>(after.prior_entries));
+    }
+  }
 
   if (obs.metering()) {
     obs.metrics->gauge("engine.spend_s")->Set(result.elapsed_seconds);

@@ -21,6 +21,8 @@
 
 namespace tcq {
 
+class WarmStartCache;
+
 /// Which time-control strategy to run (§3.3).
 struct StrategyConfig {
   enum class Kind { kOneAtATime, kSingleInterval, kHeuristic };
@@ -84,6 +86,18 @@ struct ExecutorOptions {
   /// optional and non-owning. The default-empty handle costs one pointer
   /// check per instrumentation site; no virtual dispatch on hot paths.
   ObsHandle obs;
+  /// Session-lifetime warm-start state (not owned; normally
+  /// tcq::Session's): per-relation sample pools replayed as this run's
+  /// first draws, selectivity priors seeding stage-0 planning, and the
+  /// previous run's fitted cost coefficients. Null (the default) runs
+  /// cold and is bit-identical to a build without the cache subsystem at
+  /// any seed and thread count.
+  WarmStartCache* warm_cache = nullptr;
+  /// Combine inclusion–exclusion terms with the Cauchy–Schwarz variance
+  /// bound (Σ|aᵢ|σᵢ)² instead of the independent sum Σaᵢ²σᵢ² — the
+  /// historical behaviour, kept as an explicit opt-in for callers that
+  /// want never-understated intervals whatever the term correlations.
+  bool conservative_term_variance = false;
 
   /// Rejects nonsense configurations: quota_s <= 0, epsilon_s or
   /// confidence outside (0, 1), threads < 1, max_stages < 1. The Run*
@@ -111,6 +125,11 @@ struct QueryResult {
   /// Share of the quota spent in the counted stages ("successfully used").
   double utilization = 0.0;
   int64_t blocks_sampled = 0;  // blocks contributing to `estimate`
+  /// Blocks drawn by a hard-deadline-aborted final stage: they cost time
+  /// and I/O but contribute nothing to `estimate`. Always
+  /// blocks_sampled + blocks_wasted == Σ stage_reports[i].blocks_drawn
+  /// (== the `engine.blocks_drawn` metric when metering).
+  int64_t blocks_wasted = 0;
   double elapsed_seconds = 0.0;  // total, incl. any aborted stage
   bool stopped_for_precision = false;
   /// Set when the run ended because no affordable stage remained.

@@ -7,22 +7,26 @@
 
 namespace tcq {
 
-CountEstimate CombineSignedEstimates(
-    const std::vector<int>& signs,
-    const std::vector<CountEstimate>& terms) {
+CountEstimate CombineSignedEstimates(const std::vector<int>& signs,
+                                     const std::vector<CountEstimate>& terms,
+                                     CombineVariance variance_rule) {
   TCQ_CHECK(signs.size() == terms.size(),
             "every inclusion-exclusion term needs a sign");
   CountEstimate out;
-  double sigma_sum = 0.0;
+  double var_sum = 0.0;    // Σ aᵢ²σᵢ²
+  double sigma_sum = 0.0;  // Σ |aᵢ|σᵢ
   for (size_t i = 0; i < terms.size(); ++i) {
     double a = static_cast<double>(signs[i]);
     out.value += a * terms[i].value;
+    var_sum += a * a * terms[i].variance;
     sigma_sum += std::abs(a) * std::sqrt(terms[i].variance);
     out.hits += terms[i].hits;
     out.points += terms[i].points;
     out.total_points += terms[i].total_points;
   }
-  out.variance = sigma_sum * sigma_sum;
+  out.variance = variance_rule == CombineVariance::kConservative
+                     ? sigma_sum * sigma_sum
+                     : var_sum;
   TCQ_CHECK_INVARIANT(out.variance >= 0.0,
                       "combined variance estimate went negative");
   return out;
@@ -30,8 +34,9 @@ CountEstimate CombineSignedEstimates(
 
 CountEstimate CombineSignedEstimates(const std::vector<int>& signs,
                                      const std::vector<CountEstimate>& terms,
-                                     const ObsHandle& obs) {
-  CountEstimate out = CombineSignedEstimates(signs, terms);
+                                     const ObsHandle& obs,
+                                     CombineVariance variance_rule) {
+  CountEstimate out = CombineSignedEstimates(signs, terms, variance_rule);
   if (obs.metering()) {
     obs.metrics->counter("estimator.combines")->Increment();
     obs.metrics->gauge("estimator.estimate")->Set(out.value);

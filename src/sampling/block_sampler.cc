@@ -6,25 +6,55 @@
 
 namespace tcq {
 
-BlockSampler::BlockSampler(RelationPtr rel) : rel_(std::move(rel)) {
+BlockSampler::BlockSampler(RelationPtr rel, RelationSamplePool* pool)
+    : rel_(std::move(rel)), pool_(pool) {
+  if (pool_ != nullptr) {
+    TCQ_CHECK_INVARIANT(pool_->total_blocks() == rel_->NumBlocks(),
+                        "sample pool sized for a different relation");
+  }
   remaining_.reserve(static_cast<size_t>(rel_->NumBlocks()));
   for (int64_t i = 0; i < rel_->NumBlocks(); ++i) {
-    remaining_.push_back(static_cast<uint32_t>(i));
+    uint32_t b = static_cast<uint32_t>(i);
+    if (pool_ != nullptr && pool_->Contains(b)) continue;
+    remaining_.push_back(b);
   }
 }
 
 std::vector<const Block*> BlockSampler::Draw(int64_t count, Rng* rng) {
+  return DrawInternal(count, rng, 0);
+}
+
+std::vector<const Block*> BlockSampler::DrawInternal(int64_t count, Rng* rng,
+                                                     uint64_t substream) {
   TCQ_DCHECK(rng != nullptr, "Draw needs a generator");
   TCQ_DCHECK(count >= 0, "negative block count requested");
   int64_t k = std::min<int64_t>(count, remaining_blocks());
   std::vector<const Block*> out;
   out.reserve(static_cast<size_t>(k));
-  for (int64_t i = 0; i < k; ++i) {
+
+  // Replay first: the pooled prefix in original draw order, consuming no
+  // randomness — the fresh-draw RNG stream is untouched by replays.
+  int64_t replay_n = std::min<int64_t>(k, pooled_remaining());
+  for (int64_t i = 0; i < replay_n; ++i) {
+    out.push_back(&rel_->block(pool_->drawn_order()[
+        static_cast<size_t>(replay_pos_++)]));
+  }
+  if (replay_n > 0) pool_->NoteReplayed(replay_n);
+  last_draw_replayed_ = replay_n;
+
+  for (int64_t i = replay_n; i < k; ++i) {
     size_t j = remaining_.size() - 1 -
                static_cast<size_t>(rng->Uniform(remaining_.size()));
     std::swap(remaining_[j], remaining_.back());
-    out.push_back(&rel_->block(remaining_.back()));
+    uint32_t block = remaining_.back();
+    out.push_back(&rel_->block(block));
     remaining_.pop_back();
+    if (pool_ != nullptr) {
+      pool_->Append(block, substream);
+      // Our own append extends the pooled prefix; advance past it so the
+      // block is not replayed back to this same query.
+      replay_pos_ = pool_->size();
+    }
   }
   // Sampling without replacement: the pool only shrinks, and exactly
   // by the number of blocks handed out.
@@ -37,8 +67,9 @@ std::vector<const Block*> BlockSampler::Draw(int64_t count, Rng* rng) {
 std::vector<const Block*> BlockSampler::DrawSubstream(int64_t count,
                                                       uint64_t seed,
                                                       uint64_t stage) {
-  Rng rng = Rng::Substream(seed, rel_->name(), stage);
-  return Draw(count, &rng);
+  uint64_t sub = SubstreamSeed(seed, rel_->name(), stage);
+  Rng rng(sub);
+  return DrawInternal(count, &rng, sub);
 }
 
 }  // namespace tcq

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "cache/sample_pool.h"
 #include "obs/metrics.h"
 #include "storage/relation.h"
 #include "util/random.h"
@@ -14,18 +15,44 @@ namespace tcq {
 /// sample unit, and blocks already drawn in earlier stages are never
 /// drawn again. One sampler per relation is shared by all query terms
 /// that scan it.
+///
+/// With a `RelationSamplePool` attached the sampler becomes warm-start
+/// aware: draws first *replay* the pooled prefix (blocks retained by
+/// earlier queries of the session, in their original draw order —
+/// consuming no randomness), then fall back to fresh uniform draws over
+/// the blocks not yet pooled, which are appended to the pool for the
+/// next query. Replay of a uniform without-replacement prefix followed
+/// by uniform draws over its complement is distributionally identical to
+/// a cold without-replacement sample, so estimators stay unbiased (see
+/// cache/sample_pool.h). With no pool — or an empty one — behaviour is
+/// bit-identical to the historical sampler: same blocks, same RNG
+/// consumption.
 class BlockSampler {
  public:
-  explicit BlockSampler(RelationPtr rel);
+  explicit BlockSampler(RelationPtr rel) : BlockSampler(std::move(rel), nullptr) {}
+  BlockSampler(RelationPtr rel, RelationSamplePool* pool);
 
   const RelationPtr& relation() const { return rel_; }
   int64_t total_blocks() const { return rel_->NumBlocks(); }
+  /// Blocks this query has not yet drawn: the unreplayed pooled prefix
+  /// plus the blocks no query of the session has touched.
   int64_t remaining_blocks() const {
-    return static_cast<int64_t>(remaining_.size());
+    return pooled_remaining() + static_cast<int64_t>(remaining_.size());
   }
   int64_t drawn_blocks() const {
     return total_blocks() - remaining_blocks();
   }
+
+  /// Pooled blocks this query has not replayed yet; the next
+  /// `pooled_remaining()` drawn blocks are replays, everything after is a
+  /// fresh draw. Zero with no pool attached.
+  int64_t pooled_remaining() const {
+    return pool_ != nullptr ? pool_->size() - replay_pos_ : 0;
+  }
+
+  /// How many blocks of the most recent Draw/DrawSubstream call were
+  /// served by replaying the pool (the rest were fresh draws).
+  int64_t last_draw_replayed() const { return last_draw_replayed_; }
 
   /// Publishes draw activity to `metrics` (may be null to detach): every
   /// drawn block increments the `sampling.blocks_drawn` counter. The
@@ -52,8 +79,14 @@ class BlockSampler {
                                           uint64_t stage);
 
  private:
+  std::vector<const Block*> DrawInternal(int64_t count, Rng* rng,
+                                         uint64_t substream);
+
   RelationPtr rel_;
-  std::vector<uint32_t> remaining_;
+  RelationSamplePool* pool_ = nullptr;  // not owned; may be null
+  std::vector<uint32_t> remaining_;     // blocks never drawn by any query
+  int64_t replay_pos_ = 0;              // pool entries already replayed
+  int64_t last_draw_replayed_ = 0;
   Counter* blocks_counter_ = nullptr;
 };
 

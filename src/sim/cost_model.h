@@ -43,6 +43,15 @@ struct CostModel {
   double stage_speed_cv = 0.10;
   double block_read_jitter = 0.5;
 
+  /// Cost of re-reading a block retained in a warm-start sample pool,
+  /// as a fraction of a cold random read: pooled blocks live in the
+  /// sample cache (BlinkDB's materialized-sample assumption), so a
+  /// replayed block charges `cached_read_factor · block_read_s` instead
+  /// of a full random read. Only consulted when a WarmStartCache is
+  /// attached to the run — without one, no draw is ever a replay and the
+  /// charging is bit-identical to a cacheless build.
+  double cached_read_factor = 0.25;
+
   /// Execution parallelism of the machine the cost formulas describe: the
   /// worker count W available to one stage, and the fraction of linear
   /// scaling a parallel step realizes (the efficiency coefficient η of the

@@ -84,14 +84,22 @@ PointsWalk WalkPoints(const StagedNode& node, double f,
 
 }  // namespace
 
-std::map<int, double> ReviseSelectivities(const StagedTermEvaluator& term,
-                                          const SelectivityOptions& options) {
+std::map<int, double> ReviseSelectivities(
+    const StagedTermEvaluator& term, const SelectivityOptions& options,
+    const std::map<int, double>* stage0_priors) {
   std::map<int, double> out;
   for (const StagedNode* node : term.NodesPreOrder()) {
     if (node->kind == ExprKind::kScan) continue;
     if (options.freeze_initial || term.num_stages() == 0 ||
         node->cum_points <= 0.0) {
-      out[node->id] = InitialSelectivity(*node, options);
+      double sel = InitialSelectivity(*node, options);
+      if (!options.freeze_initial && stage0_priors != nullptr) {
+        auto it = stage0_priors->find(node->id);
+        if (it != stage0_priors->end()) {
+          sel = std::clamp(it->second, 0.0, 1.0);
+        }
+      }
+      out[node->id] = sel;
       continue;
     }
     if (node->cum_tuples == 0) {
@@ -152,10 +160,11 @@ std::map<int, double> ComputeSelPlus(const StagedTermEvaluator& term,
   return out;
 }
 
-std::map<int, double> ReviseSelectivities(const StagedTermEvaluator& term,
-                                          const SelectivityOptions& options,
-                                          const ObsHandle& obs) {
-  std::map<int, double> revised = ReviseSelectivities(term, options);
+std::map<int, double> ReviseSelectivities(
+    const StagedTermEvaluator& term, const SelectivityOptions& options,
+    const ObsHandle& obs, const std::map<int, double>* stage0_priors) {
+  std::map<int, double> revised =
+      ReviseSelectivities(term, options, stage0_priors);
   if (obs.metering()) {
     Histogram* h = obs.metrics->histogram("timectrl.selectivity");
     for (const auto& [id, sel] : revised) {

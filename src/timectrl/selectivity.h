@@ -35,16 +35,27 @@ struct SelectivityOptions {
 /// Revise-Selectivities (Figure 3.3): returns sel^(i-1) for every non-scan
 /// operator node id of `term`, from the cumulative samples of stages
 /// 1..i−1, with the stage-1 defaults above and the zero-hit fix applied.
-std::map<int, double> ReviseSelectivities(const StagedTermEvaluator& term,
-                                          const SelectivityOptions& options);
+///
+/// `stage0_priors` (optional) maps node ids to warm-start selectivity
+/// priors from the session's cache: while a node has no cumulative
+/// samples yet, its prior replaces the generic stage-1 default, so a
+/// repeated query plans its first stage from the previous run's realized
+/// selectivity instead of the maximally pessimistic 1.0. Priors only
+/// ever substitute for *assumed* values — as soon as the node has sampled
+/// points, the revision from samples wins, and `freeze_initial` (the
+/// prestored-statistics ablation) ignores priors entirely.
+std::map<int, double> ReviseSelectivities(
+    const StagedTermEvaluator& term, const SelectivityOptions& options,
+    const std::map<int, double>* stage0_priors = nullptr);
 
 /// Same, additionally recording every revised value into the
 /// `timectrl.selectivity` histogram. Call from the engine's serial
 /// section only: the revised values are deterministic at a fixed seed, so
 /// the histogram stays bit-identical across thread counts.
-std::map<int, double> ReviseSelectivities(const StagedTermEvaluator& term,
-                                          const SelectivityOptions& options,
-                                          const ObsHandle& obs);
+std::map<int, double> ReviseSelectivities(
+    const StagedTermEvaluator& term, const SelectivityOptions& options,
+    const ObsHandle& obs,
+    const std::map<int, double>* stage0_priors = nullptr);
 
 /// Per-node point-space deltas for a candidate fraction `f` of the next
 /// stage: `new_points` the stage would cover and `remaining_points` not

@@ -152,6 +152,43 @@ TEST(AggregateQueryTest, CountSpecMatchesCountEntryPoint) {
   EXPECT_DOUBLE_EQ(a->estimate, b->estimate);
 }
 
+TEST(AggregateQueryTest, AvgVariancePinsCovarianceFreeDeltaMethod) {
+  // Pins the AVG variance to the delta-method composition of the SUM and
+  // COUNT results from the same draws:
+  //
+  //   Var[S/C] ≈ (Var[S] + (S/C)² Var[C]) / C²
+  //
+  // The full delta method has a third term, −2 (S/C) Cov[S, C] / C², that
+  // the engine deliberately omits (DESIGN.md §2): S and C come from the
+  // same blocks, so Cov[S, C] > 0 for non-negative values and the
+  // reported variance is conservative. This test documents the omission;
+  // it must be updated in step with any covariance-tracking change.
+  auto w = MakeSelectionWorkload(2000, 18);
+  ASSERT_TRUE(w.ok());
+  auto opts = Opts();
+  opts.seed = 3;
+  // The aggregate kind only changes the final combine, never the draws,
+  // so all three runs see identical samples.
+  auto count = RunTimeConstrainedAggregate(w->query, AggregateSpec::Count(),
+                                           10.0, w->catalog, opts);
+  auto sum = RunTimeConstrainedAggregate(w->query, AggregateSpec::Sum("key"),
+                                         10.0, w->catalog, opts);
+  auto avg = RunTimeConstrainedAggregate(w->query, AggregateSpec::Avg("key"),
+                                         10.0, w->catalog, opts);
+  ASSERT_TRUE(count.ok());
+  ASSERT_TRUE(sum.ok());
+  ASSERT_TRUE(avg.ok());
+  EXPECT_EQ(count->blocks_sampled, avg->blocks_sampled);
+  ASSERT_GT(count->estimate, 0.0);
+  double ratio = sum->estimate / count->estimate;
+  EXPECT_DOUBLE_EQ(avg->estimate, ratio);
+  double expected_variance =
+      (sum->variance + ratio * ratio * count->variance) /
+      (count->estimate * count->estimate);
+  EXPECT_DOUBLE_EQ(avg->variance, expected_variance);
+  EXPECT_GT(avg->variance, 0.0);
+}
+
 /// Property sweep: the SUM estimator is unbiased — over many independent
 /// runs its mean approaches the exact sum, at several d_β values.
 class SumUnbiasednessTest : public ::testing::TestWithParam<double> {};

@@ -169,8 +169,13 @@ TEST(CombineTest, SignedSum) {
   b.variance = 9.0;
   auto combined = CombineSignedEstimates({1, -1}, {a, b});
   EXPECT_DOUBLE_EQ(combined.value, 70.0);
-  // (4 + 3)^2 = 49 (Cauchy–Schwarz bound).
-  EXPECT_DOUBLE_EQ(combined.variance, 49.0);
+  // Default independent sum: 16 + 9 = 25.
+  EXPECT_DOUBLE_EQ(combined.variance, 25.0);
+  // Opt-in Cauchy–Schwarz bound: (4 + 3)^2 = 49.
+  auto conservative = CombineSignedEstimates(
+      {1, -1}, {a, b}, CombineVariance::kConservative);
+  EXPECT_DOUBLE_EQ(conservative.value, 70.0);
+  EXPECT_DOUBLE_EQ(conservative.variance, 49.0);
 }
 
 TEST(CombineTest, SingleTermPassThrough) {
@@ -188,7 +193,51 @@ TEST(CombineTest, VarianceBoundDominatesIndependentSum) {
   CountEstimate b;
   b.variance = 9.0;
   auto combined = CombineSignedEstimates({1, 1}, {a, b});
-  EXPECT_GE(combined.variance, 13.0);
+  EXPECT_DOUBLE_EQ(combined.variance, 13.0);  // 4 + 9
+  auto bound = CombineSignedEstimates({1, 1}, {a, b},
+                                      CombineVariance::kConservative);
+  // (2 + 3)^2 = 25: the bound always dominates the independent sum.
+  EXPECT_DOUBLE_EQ(bound.variance, 25.0);
+  EXPECT_GE(bound.variance, combined.variance);
+}
+
+// Monte-Carlo calibration of the two combination rules: for independent
+// per-term estimators X_i ~ N(mu_i, sigma_i^2) combined as X1 - X2 + X3,
+// the independent sum must match the empirical variance of the combined
+// estimator, while the Cauchy-Schwarz bound must overstate it by the
+// correlation-free gap. 1000 seeds, each combining fresh draws.
+TEST(CombineTest, MonteCarloVarianceCalibration) {
+  const std::vector<int> signs{1, -1, 1};
+  const double mu[3] = {500.0, 120.0, 60.0};
+  const double var[3] = {400.0, 150.0, 90.0};
+  RunningStat combined_values;
+  double mean_independent = 0.0;
+  double mean_conservative = 0.0;
+  const int kSeeds = 1000;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    Rng rng(9000 + static_cast<uint64_t>(seed));
+    std::vector<CountEstimate> terms(3);
+    for (int i = 0; i < 3; ++i) {
+      terms[i].value = mu[i] + std::sqrt(var[i]) * rng.Gaussian();
+      terms[i].variance = var[i];
+    }
+    auto independent = CombineSignedEstimates(signs, terms);
+    auto conservative =
+        CombineSignedEstimates(signs, terms, CombineVariance::kConservative);
+    combined_values.Add(independent.value);
+    mean_independent += independent.variance / kSeeds;
+    mean_conservative += conservative.variance / kSeeds;
+  }
+  const double empirical = combined_values.variance();
+  const double true_var = var[0] + var[1] + var[2];  // 640
+  // The independent sum is calibrated: within Monte-Carlo noise of the
+  // empirical variance of the combined estimator.
+  // Exact up to summation rounding: each per-seed reported variance is
+  // exactly Σaᵢ²σᵢ² because the term variances are seed-independent.
+  EXPECT_NEAR(mean_independent, true_var, 1e-9 * true_var);
+  EXPECT_NEAR(empirical, mean_independent, 0.15 * true_var);
+  // The historical bound is not: (sigma1+sigma2+sigma3)^2 ~ 1051 > 640.
+  EXPECT_GT(mean_conservative, 1.5 * empirical);
 }
 
 /// Property: SRS estimator is unbiased and its variance formula matches

@@ -255,7 +255,7 @@ TEST(MetricsTest, CountersCoverThePipeline) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(metrics.counter("engine.stages_run")->value(), r->stages_run);
   EXPECT_EQ(metrics.counter("engine.blocks_drawn")->value(),
-            r->blocks_sampled);
+            r->blocks_sampled + r->blocks_wasted);
   EXPECT_GT(metrics.counter("sampling.blocks_drawn")->value(), 0);
   EXPECT_GT(metrics.counter("exec.tuples_scanned")->value(), 0);
   EXPECT_GT(metrics.counter("timectrl.ssd_probes")->value(), 0);

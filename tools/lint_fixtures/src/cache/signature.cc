@@ -1,0 +1,13 @@
+// Fixture: src/cache/ owns key construction, so building a CacheKey here
+// is exactly what the cache-key-canonical rule permits. Callers that only
+// hold a returned key (`CacheKey k = CanonicalSignature(...)`) are also
+// clean — the rule matches constructor syntax, not the type name.
+#include <string>
+
+namespace tcq {
+
+CacheKey CanonicalSignature(const Expr& expr) {
+  return CacheKey(Canonical(expr));
+}
+
+}  // namespace tcq

@@ -1,0 +1,15 @@
+// Violates cache-key-canonical: hand-built warm-start cache keys outside
+// src/cache/ bypass CanonicalSignature, so "a INTERSECT b" and
+// "b INTERSECT a" would land in different cache entries.
+#include <string>
+
+namespace tcq {
+
+void SeedCacheBadly(const std::string& text) {
+  auto key = CacheKey(text);              // flagged
+  auto brace_key = CacheKey{"scan(r1)"};  // flagged
+  (void)key;
+  (void)brace_key;
+}
+
+}  // namespace tcq

@@ -31,6 +31,13 @@ enforces them statically:
                      the TSan story) covers it. Reading thread *identity*
                      (std::thread::id, std::this_thread) is fine — it does
                      not create concurrency.
+  cache-key-canonical
+                     Direct CacheKey construction in library code outside
+                     src/cache/. Warm-start cache keys must come from
+                     CanonicalSignature(expr) so semantically equal
+                     queries (commutted intersections, reordered project
+                     columns) share pool/prior entries; a hand-built key
+                     silently splits the cache.
   trace-format-outside-obs
                      Trace-output formatting (ExportChromeJson,
                      AppendTraceEventJson, a "traceEvents" literal) in
@@ -189,6 +196,27 @@ def rule_thread_outside_parallel(relpath, lines, code_lines):
                        "tcq::ThreadPool / RunTasks")
 
 
+# Constructor-style uses only: `CacheKey(...)` / `CacheKey{...}`.
+# Declarations that merely hold a returned key (`CacheKey k = ...;`) and
+# the factory's own signature (`CacheKey CanonicalSignature(...)`) have an
+# identifier between the type name and the parenthesis and do not match.
+CACHE_KEY_TOKENS = re.compile(r"\bCacheKey\s*[({]")
+
+
+def rule_cache_key_canonical(relpath, lines, code_lines):
+    p = _norm(relpath)
+    if not p.startswith("src/") or p.startswith("src/cache/"):
+        return
+    for no, code in enumerate(code_lines, 1):
+        m = CACHE_KEY_TOKENS.search(code)
+        if m:
+            yield no, (f"'{m.group(0).strip()}' — warm-start cache keys are "
+                       "built only by CanonicalSignature(expr) in "
+                       "src/cache/signature.*; a hand-constructed key skips "
+                       "canonicalization and splits the cache for "
+                       "semantically equal queries")
+
+
 TRACE_FORMAT_TOKENS = re.compile(
     r"\bExportChromeJson\b|\bAppendTraceEventJson\b")
 # The schema key appears inside a string literal, which code_lines blanks
@@ -254,6 +282,7 @@ RULES = {
     "stdout-in-lib": rule_stdout_in_lib,
     "nodiscard-status": rule_nodiscard_status,
     "thread-outside-parallel": rule_thread_outside_parallel,
+    "cache-key-canonical": rule_cache_key_canonical,
     "trace-format-outside-obs": rule_trace_format_outside_obs,
 }
 

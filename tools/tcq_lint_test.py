@@ -45,6 +45,10 @@ EXPECTED = {
         (7, "thread-outside-parallel"),
         (8, "thread-outside-parallel"),
     ],
+    "src/engine/bad_cache_key.cc": [
+        (9, "cache-key-canonical"),
+        (10, "cache-key-canonical"),
+    ],
     "src/engine/bad_trace_format.cc": [
         (8, "trace-format-outside-obs"),
         (14, "trace-format-outside-obs"),
@@ -58,6 +62,7 @@ EXPECTED = {
     "src/exec/suppressed_rng.cc": [],
     "src/api/ok_nodiscard.h": [],
     "src/obs/ok_trace_format.cc": [],
+    "src/cache/signature.cc": [],
 }
 
 
