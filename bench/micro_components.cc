@@ -17,6 +17,14 @@
 namespace tcq {
 namespace {
 
+// Quota is unified into ExecutorOptions::quota_s (the pre-unification
+// overloads are gone); set it via this copy-and-set helper.
+ExecutorOptions WithQuota(ExecutorOptions options, double quota_s) {
+  options.quota_s = quota_s;
+  return options;
+}
+
+
 const Workload& SelectionWorkload() {
   static const Workload& w = *new Workload(
       std::move(*MakeSelectionWorkload(2000, 42)));
@@ -114,7 +122,7 @@ void BM_TimeConstrainedQuery(benchmark::State& state) {
   for (auto _ : state) {
     options.seed = seed++;
     benchmark::DoNotOptimize(
-        RunTimeConstrainedCount(w.query, 10.0, w.catalog, options));
+        RunTimeConstrainedCount(w.query, w.catalog, WithQuota(options, 10.0)));
   }
 }
 BENCHMARK(BM_TimeConstrainedQuery);

@@ -15,6 +15,14 @@
 namespace tcq::bench {
 namespace {
 
+// Quota is unified into ExecutorOptions::quota_s (the pre-unification
+// overloads are gone); set it via this copy-and-set helper.
+ExecutorOptions WithQuota(ExecutorOptions options, double quota_s) {
+  options.quota_s = quota_s;
+  return options;
+}
+
+
 struct ScalingRow {
   int threads = 0;
   double mean_blocks = 0.0;
@@ -90,8 +98,7 @@ int Main(int argc, char** argv) {
       options.max_stages = 1;
       options.threads = threads;
       options.seed = args.seed + static_cast<uint64_t>(rep);
-      auto r = RunTimeConstrainedCount(workload->query, quota_s,
-                                       workload->catalog, options);
+      auto r = RunTimeConstrainedCount(workload->query, workload->catalog, WithQuota(options, quota_s));
       if (!r.ok()) {
         std::fprintf(stderr, "run failed (threads=%d): %s\n", threads,
                      r.status().ToString().c_str());

@@ -19,6 +19,11 @@
 #   warm-bench    cold-vs-warm comparison via bench/warm_start; archives
 #                 the JSON at build/artifacts/warm_start.json and gates
 #                 the >=20% fresh-draw savings of the warm run
+#   serve-bench   4x-overload serving run via bench/serve_load (admission
+#                 on vs off); archives build/artifacts/serve_load.json,
+#                 refreshes the top-level BENCH_serve.json summary, and
+#                 gates the <=5% deadline-miss rate of admitted queries
+#                 (and that admission OFF violates it)
 #   tsan          ThreadSanitizer build + ctest (contracts armed)
 #   asan          AddressSanitizer build + ctest (contracts armed)
 #   ubsan         UndefinedBehaviorSanitizer build + ctest (contracts armed)
@@ -30,7 +35,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs="$(nproc 2>/dev/null || echo 2)"
-ALL_STAGES=(lint format-check tidy release trace-smoke warm-bench tsan asan ubsan)
+ALL_STAGES=(lint format-check tidy release trace-smoke warm-bench serve-bench tsan asan ubsan)
 
 usage() {
   echo "usage: $0 [stage...]   stages: ${ALL_STAGES[*]}" >&2
@@ -108,6 +113,40 @@ with open("build/artifacts/warm_start.json") as f:
 assert result["ok"], "warm_start bench gate failed"
 print(f"warm-bench: {result['fresh_savings_pct']:.1f}% fresh-draw savings "
       "archived at build/artifacts/warm_start.json")
+EOF_PY
+}
+
+stage_serve_bench() {
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release &&
+    cmake --build build -j "$jobs" --target serve_load &&
+    mkdir -p build/artifacts &&
+    ./build/bench/serve_load | tee build/artifacts/serve_load.json &&
+    python3 - <<'EOF_PY'
+import json
+with open("build/artifacts/serve_load.json") as f:
+    result = json.load(f)
+assert result["ok"], "serve_load bench gate failed"
+on = next(r for r in result["runs"] if r["admission"])
+off = next(r for r in result["runs"] if not r["admission"])
+summary = {
+    "bench": "serve_load",
+    "n": result["n"],
+    "overload": result["overload"],
+    "t_svc_s": result["t_svc_s"],
+    "deadline_s": result["deadline_s"],
+    "admission_on": {k: on[k] for k in
+                     ("qps", "p99_latency_s", "miss_pct", "admitted",
+                      "shrunk", "queued", "rejected", "completed")},
+    "admission_off": {k: off[k] for k in
+                      ("qps", "p99_latency_s", "miss_pct", "admitted",
+                       "shrunk", "queued", "rejected", "completed")},
+    "ok": result["ok"],
+}
+with open("BENCH_serve.json", "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+print(f"serve-bench: admission on {on['miss_pct']:.1f}% miss / "
+      f"off {off['miss_pct']:.1f}% miss; summary at BENCH_serve.json")
 EOF_PY
 }
 

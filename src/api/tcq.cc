@@ -43,7 +43,90 @@ std::string_view StripCountWrapper(std::string_view text) {
   return Trim(rest.substr(1, rest.size() - 2));
 }
 
+/// The standalone session's backend: privately owned catalog, lazily
+/// created high-water thread pool, and warm-start cache. Serial by
+/// contract — a standalone Session runs one query at a time, so nothing
+/// here is synchronized (the concurrent backend lives in src/serve/).
+class LocalQueryBackend final : public QueryBackend {
+ public:
+  LocalQueryBackend() = default;
+  explicit LocalQueryBackend(Catalog catalog)
+      : catalog_(std::move(catalog)) {}
+
+  Catalog& catalog() override { return catalog_; }
+  const Catalog& catalog() const override { return catalog_; }
+  void ResetCatalog(Catalog catalog) override {
+    catalog_ = std::move(catalog);
+  }
+
+  int pool_workers() const override {
+    return pool_ == nullptr ? 0 : pool_->workers();
+  }
+
+  WarmStartStats CacheStats() const override {
+    return warm_cache_ == nullptr ? WarmStartStats{} : warm_cache_->Stats();
+  }
+  void ClearCache() override {
+    if (warm_cache_ != nullptr) warm_cache_->Clear();
+  }
+
+  Result<QueryResult> RunQuery(const ExprPtr& expr,
+                               const AggregateSpec& aggregate,
+                               ExecutorOptions options,
+                               bool warm_start) override {
+    options.pool = EnsurePool(options.threads);
+    // Warm start is an engine-level concern: the backend only decides
+    // whether to hand its cache to this run. A null cache takes exactly
+    // the historical cold code paths.
+    options.warm_cache = warm_start ? EnsureWarmCache() : nullptr;
+    if (options.obs.metrics != nullptr) {
+      options.obs.metrics->gauge("session.pool_workers")
+          ->Set(pool_workers());
+    }
+    return RunTimeConstrainedAggregate(expr, aggregate, catalog_, options);
+  }
+
+ private:
+  /// Returns the pool sized for at least `threads` execution width (null
+  /// for serial). The pool is created lazily, grows when a query asks
+  /// for more width, and never shrinks — narrower queries cap their
+  /// batch participation instead (high-water reuse).
+  ThreadPool* EnsurePool(int threads) {
+    if (threads <= 1) return nullptr;
+    const int workers = threads - 1;
+    if (pool_ == nullptr || pool_->workers() < workers) {
+      pool_ = std::make_unique<ThreadPool>(workers);
+    }
+    return pool_.get();
+  }
+
+  /// The warm-start cache, created empty on first use.
+  WarmStartCache* EnsureWarmCache() {
+    if (warm_cache_ == nullptr) {
+      warm_cache_ = std::make_unique<WarmStartCache>();
+    }
+    return warm_cache_.get();
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<WarmStartCache> warm_cache_;
+};
+
 }  // namespace
+
+Session::Session() : backend_(std::make_shared<LocalQueryBackend>()) {}
+
+Session::Session(Options options)
+    : backend_(std::make_shared<LocalQueryBackend>()),
+      options_(std::move(options)) {}
+
+Session::Session(Catalog catalog)
+    : backend_(std::make_shared<LocalQueryBackend>(std::move(catalog))) {}
+
+Session::Session(Catalog catalog, Options options)
+    : backend_(std::make_shared<LocalQueryBackend>(std::move(catalog))),
+      options_(std::move(options)) {}
 
 QueryBuilder Session::Query(std::string_view text) {
   Result<ExprPtr> parsed = ParseQuery(StripCountWrapper(text));
@@ -69,43 +152,13 @@ Result<ExplainResult> Session::Explain(std::string_view text) {
   return Query(text).Explain();
 }
 
-WarmStartCache* Session::EnsureWarmCache() {
-  if (warm_cache_ == nullptr) {
-    warm_cache_ = std::make_unique<WarmStartCache>();
-  }
-  return warm_cache_.get();
-}
-
-ThreadPool* Session::EnsurePool(int threads) {
-  if (threads <= 1) return nullptr;
-  const int workers = threads - 1;
-  // High-water sizing: only grow. A narrower query reuses the wide pool —
-  // the engine caps its batches at min(threads, pool width) — so
-  // alternating 8- and 2-thread queries no longer tear the pool down and
-  // respawn workers on every switch.
-  if (pool_ == nullptr || pool_->workers() < workers) {
-    pool_ = std::make_unique<ThreadPool>(workers);
-  }
-  return pool_.get();
-}
-
 Result<QueryResult> QueryBuilder::Run() {
   TCQ_RETURN_NOT_OK(parse_status_);
   ExecutorOptions options = options_;
   options.threads = threads_;
   TCQ_RETURN_NOT_OK(options.Validate());
-  options.pool = session_->EnsurePool(threads_);
-  // Warm start is an engine-level concern: the builder only decides
-  // whether to hand the session's cache to this run. A null cache takes
-  // exactly the historical cold code paths.
-  options.warm_cache =
-      warm_start_ ? session_->EnsureWarmCache() : nullptr;
-  if (options.obs.metrics != nullptr) {
-    options.obs.metrics->gauge("session.pool_workers")
-        ->Set(session_->pool_workers());
-  }
-  Result<QueryResult> result = RunTimeConstrainedAggregate(
-      expr_, aggregate_, session_->catalog(), options);
+  Result<QueryResult> result = session_->backend_->RunQuery(
+      expr_, aggregate_, std::move(options), warm_start_);
   if (result.ok() && owned_tracer_ != nullptr &&
       !owned_tracer_->options().export_path.empty()) {
     TCQ_RETURN_NOT_OK(
@@ -119,7 +172,7 @@ Result<ExplainResult> QueryBuilder::Explain() {
   ExecutorOptions options = options_;
   options.threads = threads_;
   TCQ_RETURN_NOT_OK(options.Validate());
-  // Planning only: no pool, no samples, no side effects.
+  // Planning only: no pool, no samples, no side effects, no admission.
   options.pool = nullptr;
   return ExplainTimeConstrainedAggregate(expr_, aggregate_,
                                          session_->catalog(), options);

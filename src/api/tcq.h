@@ -1,9 +1,9 @@
 #ifndef TCQ_API_TCQ_H_
 #define TCQ_API_TCQ_H_
 
-/// Public façade of the library: a `Session` owning the catalog and the
-/// execution thread pool, and a fluent `QueryBuilder` for one-off
-/// time-constrained aggregate queries:
+/// Public façade of the library: a `Session` handle over the catalog and
+/// execution state queries run on, and a fluent `QueryBuilder` for
+/// one-off time-constrained aggregate queries:
 ///
 ///   tcq::Session session;
 ///   TCQ_RETURN_NOT_OK(session.Register(orders));
@@ -13,8 +13,12 @@
 ///                     .WithConfidence(0.95)
 ///                     .Run();
 ///
-/// The free functions in engine/executor.h remain available for callers
-/// that manage their own Catalog and options.
+/// A standalone Session owns its catalog, thread pool, and warm-start
+/// cache privately. Sessions opened on a `tcq::Server` (src/serve/) are
+/// thin handles over the server's shared state instead, and their
+/// queries pass through the server's admission controller. The free
+/// functions in engine/executor.h remain available for callers that
+/// manage their own Catalog and options.
 
 #include <cstdint>
 #include <functional>
@@ -35,6 +39,41 @@ namespace tcq {
 
 class Session;
 
+/// Execution state a Session's queries run on: the catalog, the worker
+/// pool, and the warm-start cache, plus the run entry point itself.
+/// Implemented privately by standalone sessions (session-owned state,
+/// one query at a time) and by tcq::Server (shared state behind an
+/// admission controller, safe for concurrent RunQuery calls). The api/
+/// layer never depends on serve/ — the server plugs in through this
+/// interface.
+class QueryBackend {
+ public:
+  virtual ~QueryBackend() = default;
+
+  virtual Catalog& catalog() = 0;
+  virtual const Catalog& catalog() const = 0;
+  /// Replaces the whole catalog (e.g. after LoadCatalog). Must not race
+  /// running queries.
+  virtual void ResetCatalog(Catalog catalog) = 0;
+
+  /// Current worker count of the execution pool (0 = none yet).
+  virtual int pool_workers() const = 0;
+
+  /// Aggregate warm-start cache statistics (all-zero before the first
+  /// warm query).
+  virtual WarmStartStats CacheStats() const = 0;
+  /// Drops all warm-start state. Must not race running queries.
+  virtual void ClearCache() = 0;
+
+  /// Runs one validated query. `options` arrives with threads/quota and
+  /// obs sinks resolved by the builder; the backend supplies the pool and
+  /// (when `warm_start`) the cache, and may shrink `options.quota_s`
+  /// under admission control before the engine sees it.
+  [[nodiscard]] virtual Result<QueryResult> RunQuery(
+      const ExprPtr& expr, const AggregateSpec& aggregate,
+      ExecutorOptions options, bool warm_start) = 0;
+};
+
 /// Fluent configuration of one time-constrained aggregate query. Obtained
 /// from Session::Query; every `With*` returns *this for chaining and
 /// `Run()` executes. The builder starts from the session's default
@@ -42,15 +81,15 @@ class Session;
 class QueryBuilder {
  public:
   /// Time quota in (simulated or wall-clock) seconds. Default 5. Stored
-  /// in ExecutorOptions::quota_s, so observers, EXPLAIN and With() edits
-  /// all see the same value.
+  /// in ExecutorOptions::quota_s, so observers, EXPLAIN and admission
+  /// control all see the same value.
   QueryBuilder& WithQuota(double seconds) {
     options_.quota_s = seconds;
     return *this;
   }
-  /// Execution width, counting the calling thread; the session's shared
-  /// pool is (re)sized to serve it. Estimates are bit-identical for any
-  /// value at the same seed.
+  /// Execution width, counting the calling thread; the backing pool is
+  /// (re)sized or capped to serve it. Estimates are bit-identical for
+  /// any value at the same seed.
   QueryBuilder& WithThreads(int threads) {
     threads_ = threads;
     return *this;
@@ -76,6 +115,14 @@ class QueryBuilder {
   }
   QueryBuilder& WithDeadline(DeadlineMode mode) {
     options_.deadline_mode = mode;
+    return *this;
+  }
+  /// Serving-layer completion deadline in real seconds (see
+  /// ExecutorOptions::serve_deadline_s): a tcq::Server's admission queue
+  /// orders waiters by it and gives up waiting once it expires. 0 (the
+  /// default) means "use the quota". Standalone runs ignore it.
+  QueryBuilder& WithServeDeadline(double seconds) {
+    options_.serve_deadline_s = seconds;
     return *this;
   }
   QueryBuilder& WithFulfillment(Fulfillment fulfillment) {
@@ -122,10 +169,18 @@ class QueryBuilder {
     options_.cost = cost;
     return *this;
   }
-  /// Attaches (or detaches) the session's warm-start cache for this query:
-  /// block draws replay the sample pools earlier queries of the session
-  /// filled, stage-0 planning starts from cached operator selectivities,
-  /// and the run's own samples feed the cache back. Off by default
+  /// Combine inclusion–exclusion terms with the Cauchy–Schwarz variance
+  /// bound instead of the independent sum — never-understated intervals
+  /// whatever the term correlations (ExecutorOptions::
+  /// conservative_term_variance).
+  QueryBuilder& WithConservativeTermVariance(bool on = true) {
+    options_.conservative_term_variance = on;
+    return *this;
+  }
+  /// Attaches (or detaches) the backing warm-start cache for this query:
+  /// block draws replay the sample pools earlier queries filled, stage-0
+  /// planning starts from cached operator selectivities, and the run's
+  /// own samples feed the cache back. Off by default
   /// (Session::Options::warm_start flips the session default);
   /// WithWarmStart(false) is bit-identical to a session that never warmed
   /// anything, at any seed and thread count. Explain() always plans cold.
@@ -165,9 +220,14 @@ class QueryBuilder {
     return *this;
   }
 
-  /// Deprecated escape hatch for options without a typed setter yet;
-  /// prefer the With* setters above. Arbitrary edits to the underlying
-  /// ExecutorOptions (including quota_s, which WithQuota also sets).
+  /// Escape hatch for arbitrary edits to the underlying ExecutorOptions.
+  /// Every field now has a typed With* setter — use those: they are
+  /// greppable, they keep admission control and EXPLAIN in sync with
+  /// what actually runs, and the `raw-options-edit` lint rule flags this
+  /// hatch outside tests.
+  [[deprecated(
+      "every ExecutorOptions field has a typed With* setter; use those "
+      "instead of raw edits")]]
   QueryBuilder& With(const std::function<void(ExecutorOptions*)>& edit) {
     edit(&options_);
     return *this;
@@ -187,8 +247,15 @@ class QueryBuilder {
     return *this;
   }
 
-  /// Executes the query against the session's catalog and pool. With a
-  /// WithTrace export path, the Chrome trace JSON is written on success.
+  /// Outcome of parsing/validating the query text or expression this
+  /// builder was created from: OK, or the parse error — with line/column
+  /// diagnostics — that Run()/Explain() would return. Lets callers (and
+  /// the Server admission path) reject malformed queries before spending
+  /// any budget on them.
+  const Status& status() const { return parse_status_; }
+
+  /// Executes the query against the session's backend. With a WithTrace
+  /// export path, the Chrome trace JSON is written on success.
   [[nodiscard]] Result<QueryResult> Run();
 
   /// Runs the planner without drawing a single sample: the stages the
@@ -221,10 +288,14 @@ class QueryBuilder {
   bool warm_start_;  // from Session::Options; WithWarmStart overrides
 };
 
-/// Owns a Catalog and the worker pool queries execute on. Sessions are
-/// cheap to create; keep one alive across queries to reuse the pool and
-/// the registered relations. Not thread-safe: run one query at a time per
-/// session (one query already uses every configured worker).
+/// A handle over the execution state queries run on, plus per-session
+/// defaults. A standalone Session (the constructors below) privately
+/// owns its catalog, worker pool, and warm-start cache — cheap to
+/// create, not thread-safe: run one query at a time per standalone
+/// session (one query already uses every configured worker). Sessions
+/// returned by tcq::Server::OpenSession() share the server's state
+/// instead: those handles are cheap values, and many of them may Run()
+/// concurrently — the server's admission controller arbitrates.
 class Session {
  public:
   struct Options {
@@ -233,7 +304,7 @@ class Session {
     int threads = 1;
     /// Warm-start queries by default (QueryBuilder::WithWarmStart
     /// overrides per query): repeated or overlapping queries replay the
-    /// session's sample pools and seed their planning from cached
+    /// backing sample pools and seed their planning from cached
     /// selectivities and cost coefficients. Off keeps every query cold
     /// and bit-identical to the historical engine.
     bool warm_start = false;
@@ -241,27 +312,33 @@ class Session {
     ExecutorOptions defaults;
   };
 
-  Session() = default;
-  explicit Session(Options options) : options_(std::move(options)) {}
-  explicit Session(Catalog catalog) : catalog_(std::move(catalog)) {}
-  Session(Catalog catalog, Options options)
-      : catalog_(std::move(catalog)), options_(std::move(options)) {}
+  Session();
+  explicit Session(Options options);
+  explicit Session(Catalog catalog);
+  Session(Catalog catalog, Options options);
 
-  /// Registers a relation under its own name; AlreadyExists on duplicates.
+  /// Registers a relation under its own name; AlreadyExists on
+  /// duplicates. On a server-backed session this registers into the
+  /// server's shared catalog — do not race running queries.
   [[nodiscard]] Status Register(RelationPtr relation) {
-    return catalog_.Register(std::move(relation));
+    return backend_->catalog().Register(std::move(relation));
   }
   /// Replaces the whole catalog (e.g. after LoadCatalog).
-  void ResetCatalog(Catalog catalog) { catalog_ = std::move(catalog); }
+  void ResetCatalog(Catalog catalog) {
+    backend_->ResetCatalog(std::move(catalog));
+  }
 
-  Catalog& catalog() { return catalog_; }
-  const Catalog& catalog() const { return catalog_; }
+  Catalog& catalog() { return backend_->catalog(); }
+  const Catalog& catalog() const {
+    return static_cast<const QueryBackend&>(*backend_).catalog();
+  }
 
   /// Starts a query from the prototype's relational-algebra text (see
   /// ra/parser.h for the grammar), optionally wrapped in COUNT(...):
   /// "COUNT(SELECT[key < 2000](r1))" and "SELECT[key < 2000](r1)" are
-  /// equivalent. Parse errors — with line/column diagnostics — surface
-  /// from Run() / Explain().
+  /// equivalent. Parse errors — with line/column diagnostics — are
+  /// available immediately from QueryBuilder::status() and surface from
+  /// Run() / Explain().
   QueryBuilder Query(std::string_view text);
   /// Starts a query from an expression tree.
   QueryBuilder Query(ExprPtr expr);
@@ -272,48 +349,37 @@ class Session {
   /// `Query(text).Explain()`.
   [[nodiscard]] Result<ExplainResult> Explain(std::string_view text);
 
-  /// The shared pool's current worker count (0 = no pool yet). The pool
-  /// is kept at its high-water size: narrower queries reuse it with a
-  /// participant cap instead of forcing a rebuild.
-  int pool_workers() const {
-    return pool_ == nullptr ? 0 : pool_->workers();
-  }
+  /// The backing pool's current worker count (0 = no pool yet). A
+  /// standalone session keeps its pool at the high-water size; a
+  /// server-backed session reports the server's fixed-width pool.
+  int pool_workers() const { return backend_->pool_workers(); }
 
   /// Flips the session-wide warm-start default for subsequent queries
   /// (per-query WithWarmStart still overrides). Turning it off does not
   /// drop accumulated cache state; use ClearCache() for that.
   void SetWarmStart(bool on) { options_.warm_start = on; }
 
-  /// Aggregate view of the warm-start cache: pooled/replayed/fresh block
-  /// counts, selectivity-prior entries and hit rates, cost-coefficient
-  /// snapshots. All-zero before the first warm query.
-  WarmStartStats CacheStats() const {
-    return warm_cache_ == nullptr ? WarmStartStats{} : warm_cache_->Stats();
-  }
+  /// Aggregate view of the backing warm-start cache: pooled/replayed/
+  /// fresh block counts, selectivity-prior entries and hit rates,
+  /// cost-coefficient snapshots. All-zero before the first warm query.
+  WarmStartStats CacheStats() const { return backend_->CacheStats(); }
 
   /// Drops every pooled block, cached selectivity and cost snapshot; the
   /// next warm query starts cold (e.g. after the underlying data
-  /// changed — the cache has no invalidation of its own).
-  void ClearCache() {
-    if (warm_cache_ != nullptr) warm_cache_->Clear();
-  }
+  /// changed — the cache has no invalidation of its own). On a
+  /// server-backed session this clears the server's shared cache.
+  void ClearCache() { backend_->ClearCache(); }
 
  private:
   friend class QueryBuilder;
+  friend class Server;
 
-  /// Returns the shared pool sized for at least `threads` execution width
-  /// (null for serial). The pool is created lazily, grows when a query
-  /// asks for more width, and never shrinks — narrower queries cap their
-  /// batch participation instead (high-water reuse).
-  ThreadPool* EnsurePool(int threads);
+  /// A session over externally owned state (tcq::Server::OpenSession).
+  Session(std::shared_ptr<QueryBackend> backend, Options options)
+      : backend_(std::move(backend)), options_(std::move(options)) {}
 
-  /// The session's warm-start cache, created empty on first use.
-  WarmStartCache* EnsureWarmCache();
-
-  Catalog catalog_;
+  std::shared_ptr<QueryBackend> backend_;
   Options options_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<WarmStartCache> warm_cache_;
 };
 
 }  // namespace tcq

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace tcq {
@@ -26,47 +27,83 @@ namespace tcq {
 /// (SubstreamSeed(seed, relation, stage)) whose draw produced it, so
 /// pool entries stay attributable to the (relation, substream) that drew
 /// them — CacheStats provenance and the determinism tests key on it.
+///
+/// Thread safety: all methods synchronize on an internal mutex, so
+/// concurrent queries served out of one tcq::Server may share a pool.
+/// Samplers never hold references into the pool's vectors across calls:
+/// a pool-aware BlockSampler copies the pooled prefix at construction
+/// (SnapshotOrder) and replays from its private copy, and fresh draws go
+/// through TryAppend, which refuses blocks that a concurrent query
+/// appended first — keeping the pool duplicate-free (still a without-
+/// replacement draw order). With a single owner, behaviour is
+/// bit-identical to the historical unsynchronized pool.
 class RelationSamplePool {
  public:
   explicit RelationSamplePool(int64_t total_blocks)
       : consumed_(static_cast<size_t>(total_blocks), 0) {}
 
+  /// Fixed at construction; safe without the lock.
   int64_t total_blocks() const {
     return static_cast<int64_t>(consumed_.size());
   }
   /// Number of pooled (previously drawn) blocks.
-  int64_t size() const { return static_cast<int64_t>(order_.size()); }
-  /// Pooled blocks in first-draw order; replay consumes this prefix.
-  const std::vector<uint32_t>& drawn_order() const { return order_; }
+  int64_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(order_.size());
+  }
+  /// Copy of the pooled blocks in first-draw order; a sampler replays
+  /// this snapshot so later concurrent appends cannot shift it.
+  std::vector<uint32_t> SnapshotOrder() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return order_;
+  }
   /// True when `block` is already in the pool (consumed for sampling
   /// purposes — a fresh draw must never produce it again).
   bool Contains(uint32_t block) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return consumed_[static_cast<size_t>(block)] != 0;
   }
   /// Seed substream id that drew pool entry `i`.
   uint64_t substream_of(int64_t i) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return substreams_[static_cast<size_t>(i)];
   }
 
-  /// Retains one freshly drawn block. `substream` identifies the
-  /// (seed, relation, stage) substream the draw came from.
-  void Append(uint32_t block, uint64_t substream) {
-    consumed_[static_cast<size_t>(block)] = 1;
+  /// Retains one freshly drawn block; `substream` identifies the
+  /// (seed, relation, stage) substream the draw came from. Returns false
+  /// — leaving the pool unchanged — when a concurrent query already
+  /// appended the block; the caller keeps its draw either way.
+  bool TryAppend(uint32_t block, uint64_t substream) {
+    std::lock_guard<std::mutex> lock(mu_);
+    char& consumed = consumed_[static_cast<size_t>(block)];
+    if (consumed != 0) return false;
+    consumed = 1;
     order_.push_back(block);
     substreams_.push_back(substream);
     ++fresh_total_;
+    return true;
   }
 
   /// Replay accounting (called by the pool-aware BlockSampler).
-  void NoteReplayed(int64_t n) { replayed_total_ += n; }
+  void NoteReplayed(int64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    replayed_total_ += n;
+  }
 
   /// Cumulative blocks served by replaying the pooled prefix, across all
   /// queries of the session.
-  int64_t replayed_total() const { return replayed_total_; }
+  int64_t replayed_total() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return replayed_total_;
+  }
   /// Cumulative fresh draws retained into the pool.
-  int64_t fresh_total() const { return fresh_total_; }
+  int64_t fresh_total() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fresh_total_;
+  }
 
  private:
+  mutable std::mutex mu_;
   std::vector<uint32_t> order_;        // pooled blocks, first-draw order
   std::vector<uint64_t> substreams_;   // provenance, parallel to order_
   std::vector<char> consumed_;         // membership bitmap

@@ -1,72 +1,111 @@
 #include "cache/warm_start.h"
 
+#include <algorithm>
+#include <functional>
 #include <utility>
+
+#include "util/check.h"
 
 namespace tcq {
 
+WarmStartCache::WarmStartCache(int shards) {
+  int n = std::max(1, shards);
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+WarmStartCache::Shard& WarmStartCache::ShardFor(std::string_view key_text) {
+  size_t h = std::hash<std::string_view>{}(key_text);
+  return *shards_[h % shards_.size()];
+}
+
+const WarmStartCache::Shard& WarmStartCache::ShardFor(
+    std::string_view key_text) const {
+  size_t h = std::hash<std::string_view>{}(key_text);
+  return *shards_[h % shards_.size()];
+}
+
 RelationSamplePool* WarmStartCache::PoolFor(const std::string& relation,
-                                           int64_t total_blocks) {
-  auto it = pools_.find(relation);
-  if (it == pools_.end()) {
-    it = pools_
+                                            int64_t total_blocks) {
+  Shard& shard = ShardFor(relation);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.pools.find(relation);
+  if (it == shard.pools.end()) {
+    it = shard.pools
              .emplace(relation,
                       std::make_unique<RelationSamplePool>(total_blocks))
              .first;
   }
+  TCQ_CHECK_INVARIANT(it->second->total_blocks() == total_blocks,
+                      "sample pool re-requested with a different block count");
   return it->second.get();
 }
 
-const double* WarmStartCache::LookupPrior(const CacheKey& key) {
-  auto it = priors_.find(key);
-  if (it == priors_.end()) {
-    ++prior_misses_;
-    return nullptr;
+std::optional<double> WarmStartCache::LookupPrior(const CacheKey& key) {
+  Shard& shard = ShardFor(key.text());
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.priors.find(key);
+  if (it == shard.priors.end()) {
+    ++shard.prior_misses;
+    return std::nullopt;
   }
-  ++prior_hits_;
-  return &it->second;
+  ++shard.prior_hits;
+  return it->second;
 }
 
 void WarmStartCache::RecordPrior(const CacheKey& key, double selectivity) {
-  priors_[key] = selectivity;
+  Shard& shard = ShardFor(key.text());
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.priors[key] = selectivity;
 }
 
-const AdaptiveCostModel::Snapshot* WarmStartCache::LookupCostSnapshot(
+std::optional<AdaptiveCostModel::Snapshot> WarmStartCache::LookupCostSnapshot(
     const CacheKey& key) {
-  auto it = snapshots_.find(key);
-  if (it == snapshots_.end()) return nullptr;
-  ++snapshot_hits_;
-  return &it->second;
+  Shard& shard = ShardFor(key.text());
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.snapshots.find(key);
+  if (it == shard.snapshots.end()) return std::nullopt;
+  ++shard.snapshot_hits;
+  return it->second;
 }
 
 void WarmStartCache::RecordCostSnapshot(const CacheKey& key,
                                         AdaptiveCostModel::Snapshot snapshot) {
-  snapshots_[key] = std::move(snapshot);
+  Shard& shard = ShardFor(key.text());
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.snapshots[key] = std::move(snapshot);
 }
 
 WarmStartStats WarmStartCache::Stats() const {
   WarmStartStats s;
-  s.relations = static_cast<int>(pools_.size());
-  for (const auto& [name, pool] : pools_) {
-    (void)name;
-    s.pooled_blocks += pool->size();
-    s.replayed_blocks += pool->replayed_total();
-    s.fresh_blocks += pool->fresh_total();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.relations += static_cast<int>(shard->pools.size());
+    for (const auto& [name, pool] : shard->pools) {
+      (void)name;
+      s.pooled_blocks += pool->size();
+      s.replayed_blocks += pool->replayed_total();
+      s.fresh_blocks += pool->fresh_total();
+    }
+    s.prior_entries += static_cast<int64_t>(shard->priors.size());
+    s.prior_hits += shard->prior_hits;
+    s.prior_misses += shard->prior_misses;
+    s.cost_snapshots += static_cast<int64_t>(shard->snapshots.size());
+    s.cost_snapshot_hits += shard->snapshot_hits;
   }
-  s.prior_entries = static_cast<int64_t>(priors_.size());
-  s.prior_hits = prior_hits_;
-  s.prior_misses = prior_misses_;
-  s.cost_snapshots = static_cast<int64_t>(snapshots_.size());
-  s.cost_snapshot_hits = snapshot_hits_;
   return s;
 }
 
 void WarmStartCache::Clear() {
-  pools_.clear();
-  priors_.clear();
-  snapshots_.clear();
-  prior_hits_ = 0;
-  prior_misses_ = 0;
-  snapshot_hits_ = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->pools.clear();
+    shard->priors.clear();
+    shard->snapshots.clear();
+    shard->prior_hits = 0;
+    shard->prior_misses = 0;
+    shard->snapshot_hits = 0;
+  }
 }
 
 }  // namespace tcq

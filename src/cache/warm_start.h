@@ -4,7 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "cache/sample_pool.h"
 #include "cache/signature.h"
@@ -37,41 +41,63 @@ struct WarmStartStats {
 /// strings — so equivalent operators cannot shadow each other under
 /// different spellings (enforced by the `cache-key-canonical` lint rule).
 ///
-/// Not thread-safe: owned by a Session, which runs one query at a time.
-/// The engine only touches the cache from its serial sections and from
-/// the per-relation draw tasks (each of which touches only its own
-/// relation's pool), so cached runs stay bit-identical across thread
-/// counts at a fixed seed.
+/// Thread safety: the cache is sharded by key (priors and cost snapshots
+/// by signature text, sample pools by relation name) with one mutex per
+/// shard, so concurrent queries served out of one tcq::Server contend
+/// only when they touch the same shard. Lookups return *copies*
+/// (std::optional) rather than pointers into shard maps, since a
+/// concurrent Record/Clear may rehash or erase behind a reference; the
+/// returned RelationSamplePool pointer is stable (pools are never
+/// destroyed before Clear) and the pool is internally synchronized. With
+/// a single owner, cached runs stay bit-identical across thread counts
+/// at a fixed seed: shard assignment depends only on key text, and every
+/// counter is updated under its shard lock in engine serial sections.
 class WarmStartCache {
  public:
-  /// The relation's sample pool, created empty on first use.
+  static constexpr int kDefaultShards = 8;
+
+  explicit WarmStartCache(int shards = kDefaultShards);
+
+  /// The relation's sample pool, created empty on first use. The pointer
+  /// stays valid until Clear() or destruction.
   RelationSamplePool* PoolFor(const std::string& relation,
                               int64_t total_blocks);
 
-  /// Last observed selectivity of a canonically equal operator, or null;
-  /// counts a prior hit or miss.
-  const double* LookupPrior(const CacheKey& key);
+  /// Last observed selectivity of a canonically equal operator, or
+  /// nullopt; counts a prior hit or miss.
+  std::optional<double> LookupPrior(const CacheKey& key);
   /// Records (or overwrites with) the latest observed selectivity.
   void RecordPrior(const CacheKey& key, double selectivity);
 
   /// Fitted cost-coefficient snapshot of the last run of a canonically
-  /// equal query, or null; counts a snapshot hit when found.
-  const AdaptiveCostModel::Snapshot* LookupCostSnapshot(const CacheKey& key);
+  /// equal query, or nullopt; counts a snapshot hit when found.
+  std::optional<AdaptiveCostModel::Snapshot> LookupCostSnapshot(
+      const CacheKey& key);
   void RecordCostSnapshot(const CacheKey& key,
                           AdaptiveCostModel::Snapshot snapshot);
 
   WarmStartStats Stats() const;
 
-  /// Drops every pool, prior, and snapshot (counters included).
+  /// Drops every pool, prior, and snapshot (counters included). Must not
+  /// race a running query: callers (Session/Server) only clear while no
+  /// query holds a pool pointer.
   void Clear();
 
  private:
-  std::map<std::string, std::unique_ptr<RelationSamplePool>> pools_;
-  std::map<CacheKey, double> priors_;
-  std::map<CacheKey, AdaptiveCostModel::Snapshot> snapshots_;
-  int64_t prior_hits_ = 0;
-  int64_t prior_misses_ = 0;
-  int64_t snapshot_hits_ = 0;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<RelationSamplePool>> pools;
+    std::map<CacheKey, double> priors;
+    std::map<CacheKey, AdaptiveCostModel::Snapshot> snapshots;
+    int64_t prior_hits = 0;
+    int64_t prior_misses = 0;
+    int64_t snapshot_hits = 0;
+  };
+
+  Shard& ShardFor(std::string_view key_text);
+  const Shard& ShardFor(std::string_view key_text) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace tcq

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <utility>
 
@@ -116,6 +117,11 @@ Status ExecutorOptions::Validate() const {
     return Status::InvalidArgument("max_stages must be >= 1; got " +
                                    std::to_string(max_stages));
   }
+  if (serve_deadline_s < 0.0) {
+    return Status::InvalidArgument(
+        "serve_deadline_s must be >= 0 (0 means quota_s); got " +
+        std::to_string(serve_deadline_s));
+  }
   return Status::OK();
 }
 
@@ -124,22 +130,6 @@ Result<QueryResult> RunTimeConstrainedCount(const ExprPtr& expr,
                                             const ExecutorOptions& options) {
   return RunTimeConstrainedAggregate(expr, AggregateSpec::Count(), catalog,
                                      options);
-}
-
-Result<QueryResult> RunTimeConstrainedCount(const ExprPtr& expr,
-                                            double quota_s,
-                                            const Catalog& catalog,
-                                            const ExecutorOptions& options) {
-  return RunTimeConstrainedAggregate(expr, AggregateSpec::Count(), quota_s,
-                                     catalog, options);
-}
-
-Result<QueryResult> RunTimeConstrainedAggregate(
-    const ExprPtr& expr, const AggregateSpec& aggregate, double quota_s,
-    const Catalog& catalog, const ExecutorOptions& options) {
-  ExecutorOptions adjusted = options;
-  adjusted.quota_s = quota_s;
-  return RunTimeConstrainedAggregate(expr, aggregate, catalog, adjusted);
 }
 
 Result<QueryResult> RunTimeConstrainedAggregate(
@@ -222,9 +212,9 @@ Result<QueryResult> RunTimeConstrainedAggregate(
   WarmStartStats cache_stats_before;
   if (cache != nullptr) {
     cache_stats_before = cache->Stats();
-    const AdaptiveCostModel::Snapshot* snapshot =
+    std::optional<AdaptiveCostModel::Snapshot> snapshot =
         cache->LookupCostSnapshot(CanonicalSignature(*expr));
-    if (snapshot != nullptr) coefs.RestoreSnapshot(*snapshot);
+    if (snapshot.has_value()) coefs.RestoreSnapshot(*snapshot);
   }
 
   std::unique_ptr<TimeControlStrategy> strategy =
@@ -333,9 +323,9 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     for (size_t t = 0; t < evaluators.size(); ++t) {
       for (const StagedNode* node : evaluators[t]->NodesPreOrder()) {
         if (node->kind == ExprKind::kScan) continue;
-        const double* prior =
+        std::optional<double> prior =
             cache->LookupPrior(CanonicalSignature(*node->expr));
-        if (prior != nullptr) term_priors[t][node->id] = *prior;
+        if (prior.has_value()) term_priors[t][node->id] = *prior;
       }
     }
   }

@@ -98,10 +98,18 @@ struct ExecutorOptions {
   /// historical behaviour, kept as an explicit opt-in for callers that
   /// want never-understated intervals whatever the term correlations.
   bool conservative_term_variance = false;
+  /// Serving-layer completion deadline in real (serving-clock) seconds,
+  /// measured from submission to a tcq::Server: the admission queue
+  /// orders waiters by it (earliest first) and stops waiting for budget
+  /// once it expires; finishing later counts as a deadline miss in the
+  /// serve metrics. 0 (the default) means "use quota_s". The standalone
+  /// engine ignores it — quota_s alone bounds execution time.
+  double serve_deadline_s = 0.0;
 
   /// Rejects nonsense configurations: quota_s <= 0, epsilon_s or
-  /// confidence outside (0, 1), threads < 1, max_stages < 1. The Run*
-  /// entry points call this before touching any data.
+  /// confidence outside (0, 1), threads < 1, max_stages < 1,
+  /// serve_deadline_s < 0. The Run* entry points call this before
+  /// touching any data.
   [[nodiscard]] Status Validate() const;
 };
 
@@ -109,6 +117,26 @@ struct ExecutorOptions {
 /// `StageReport` (src/obs/report.h) is the record; the old `StageTrace`
 /// name stays as an alias for existing call sites.
 using StageTrace = StageReport;
+
+/// How the serving layer admitted a query (filled in by tcq::Server;
+/// every standalone engine run reports kStandalone with zeroed timings).
+/// Rejected submissions never produce a QueryResult — they surface as a
+/// typed non-OK Status (kResourceExhausted / kDeadlineExceeded) instead.
+struct AdmissionReport {
+  enum class Outcome {
+    kStandalone,  // not served through an admission controller
+    kAdmitted,    // full requested quota granted immediately
+    kShrunk,      // admitted immediately at a reduced quota
+    kQueued,      // waited in the EDF queue before being granted
+  };
+  Outcome outcome = Outcome::kStandalone;
+  double requested_quota_s = 0.0;  // quota asked for at submission
+  double granted_quota_s = 0.0;    // quota the ledger actually drew
+  double queue_wait_s = 0.0;       // serving-clock seconds spent queued
+  double serve_latency_s = 0.0;    // submission → completion, serving clock
+  double deadline_s = 0.0;         // effective serving deadline applied
+  bool deadline_missed = false;    // serve_latency_s exceeded deadline_s
+};
 
 /// Result of a time-constrained COUNT(E) evaluation.
 struct QueryResult {
@@ -138,6 +166,8 @@ struct QueryResult {
   /// reports' `ledger_spend_s` values telescope: their sum equals
   /// `elapsed_seconds` (the virtual clock only advances inside stages).
   std::vector<StageReport> stage_reports;
+  /// Serving-layer admission record (kStandalone outside a tcq::Server).
+  AdmissionReport admission;
 
   const std::vector<StageReport>& stages() const { return stage_reports; }
 };
@@ -170,11 +200,6 @@ struct AggregateSpec {
     const ExprPtr& expr, const AggregateSpec& aggregate,
     const Catalog& catalog, const ExecutorOptions& options);
 
-/// Compatibility overload: `quota_s` overrides `options.quota_s`.
-[[nodiscard]] Result<QueryResult> RunTimeConstrainedAggregate(
-    const ExprPtr& expr, const AggregateSpec& aggregate, double quota_s,
-    const Catalog& catalog, const ExecutorOptions& options);
-
 /// Evaluates the estimator of COUNT(expr) within `options.quota_s`
 /// simulated seconds (Figure 3.1):
 ///
@@ -190,12 +215,6 @@ struct AggregateSpec {
 [[nodiscard]] Result<QueryResult> RunTimeConstrainedCount(
     const ExprPtr& expr, const Catalog& catalog,
     const ExecutorOptions& options);
-
-/// Compatibility overload: `quota_s` overrides `options.quota_s`.
-[[nodiscard]] Result<QueryResult> RunTimeConstrainedCount(const ExprPtr& expr,
-                                            double quota_s,
-                                            const Catalog& catalog,
-                                            const ExecutorOptions& options);
 
 /// One predicted stage of an EXPLAIN plan.
 struct StagePrediction {

@@ -20,10 +20,10 @@ Result<ExperimentRow> RunExperiment(const ExperimentConfig& config) {
   for (int rep = 0; rep < config.repetitions; ++rep) {
     ExecutorOptions options = config.options;
     options.seed = config.base_seed + static_cast<uint64_t>(rep) * 7919;
+    options.quota_s = config.quota_s;
     TCQ_ASSIGN_OR_RETURN(
         QueryResult result,
-        RunTimeConstrainedCount(config.query, config.quota_s,
-                                *config.catalog, options));
+        RunTimeConstrainedCount(config.query, *config.catalog, options));
     stages_sum += result.stages_run;
     util_sum += result.utilization;
     blocks_sum += static_cast<double>(result.blocks_sampled);

@@ -11,11 +11,17 @@ BlockSampler::BlockSampler(RelationPtr rel, RelationSamplePool* pool)
   if (pool_ != nullptr) {
     TCQ_CHECK_INVARIANT(pool_->total_blocks() == rel_->NumBlocks(),
                         "sample pool sized for a different relation");
+    // One consistent snapshot of the pooled prefix; blocks a concurrent
+    // query appends later are neither replayed nor excluded from our
+    // fresh-draw universe (TryAppend resolves the overlap).
+    replay_order_ = pool_->SnapshotOrder();
   }
+  std::vector<char> pooled(static_cast<size_t>(rel_->NumBlocks()), 0);
+  for (uint32_t b : replay_order_) pooled[static_cast<size_t>(b)] = 1;
   remaining_.reserve(static_cast<size_t>(rel_->NumBlocks()));
   for (int64_t i = 0; i < rel_->NumBlocks(); ++i) {
     uint32_t b = static_cast<uint32_t>(i);
-    if (pool_ != nullptr && pool_->Contains(b)) continue;
+    if (pooled[static_cast<size_t>(b)] != 0) continue;
     remaining_.push_back(b);
   }
 }
@@ -32,11 +38,12 @@ std::vector<const Block*> BlockSampler::DrawInternal(int64_t count, Rng* rng,
   std::vector<const Block*> out;
   out.reserve(static_cast<size_t>(k));
 
-  // Replay first: the pooled prefix in original draw order, consuming no
-  // randomness — the fresh-draw RNG stream is untouched by replays.
+  // Replay first: the snapshotted pooled prefix in original draw order,
+  // consuming no randomness — the fresh-draw RNG stream is untouched by
+  // replays.
   int64_t replay_n = std::min<int64_t>(k, pooled_remaining());
   for (int64_t i = 0; i < replay_n; ++i) {
-    out.push_back(&rel_->block(pool_->drawn_order()[
+    out.push_back(&rel_->block(replay_order_[
         static_cast<size_t>(replay_pos_++)]));
   }
   if (replay_n > 0) pool_->NoteReplayed(replay_n);
@@ -50,10 +57,10 @@ std::vector<const Block*> BlockSampler::DrawInternal(int64_t count, Rng* rng,
     out.push_back(&rel_->block(block));
     remaining_.pop_back();
     if (pool_ != nullptr) {
-      pool_->Append(block, substream);
-      // Our own append extends the pooled prefix; advance past it so the
-      // block is not replayed back to this same query.
-      replay_pos_ = pool_->size();
+      // Replays never reach past the snapshot, so our own appends cannot
+      // be replayed back to this query; a false return means a
+      // concurrent query pooled the block first and we keep the draw.
+      (void)pool_->TryAppend(block, substream);
     }
   }
   // Sampling without replacement: the pool only shrinks, and exactly

@@ -27,6 +27,15 @@ namespace tcq {
 /// cache/sample_pool.h). With no pool — or an empty one — behaviour is
 /// bit-identical to the historical sampler: same blocks, same RNG
 /// consumption.
+///
+/// Concurrency: the sampler copies the pooled prefix ONCE, at
+/// construction, and replays from that private snapshot — it never holds
+/// references into the live pool, whose vectors may grow concurrently
+/// when several queries of a tcq::Server share it. Fresh draws are
+/// offered to the pool with TryAppend; a block another query appended
+/// first simply is not pooled again (this query still samples it). The
+/// sampler object itself is per-query state and is not shared across
+/// threads other than through the engine's disjoint-slot draw tasks.
 class BlockSampler {
  public:
   explicit BlockSampler(RelationPtr rel) : BlockSampler(std::move(rel), nullptr) {}
@@ -43,11 +52,12 @@ class BlockSampler {
     return total_blocks() - remaining_blocks();
   }
 
-  /// Pooled blocks this query has not replayed yet; the next
-  /// `pooled_remaining()` drawn blocks are replays, everything after is a
-  /// fresh draw. Zero with no pool attached.
+  /// Pooled blocks this query has not replayed yet (from the prefix
+  /// snapshot taken at construction); the next `pooled_remaining()` drawn
+  /// blocks are replays, everything after is a fresh draw. Zero with no
+  /// pool attached.
   int64_t pooled_remaining() const {
-    return pool_ != nullptr ? pool_->size() - replay_pos_ : 0;
+    return static_cast<int64_t>(replay_order_.size()) - replay_pos_;
   }
 
   /// How many blocks of the most recent Draw/DrawSubstream call were
@@ -84,8 +94,9 @@ class BlockSampler {
 
   RelationPtr rel_;
   RelationSamplePool* pool_ = nullptr;  // not owned; may be null
-  std::vector<uint32_t> remaining_;     // blocks never drawn by any query
-  int64_t replay_pos_ = 0;              // pool entries already replayed
+  std::vector<uint32_t> replay_order_;  // pooled prefix snapshot to replay
+  std::vector<uint32_t> remaining_;     // blocks not pooled at snapshot time
+  int64_t replay_pos_ = 0;              // snapshot entries already replayed
   int64_t last_draw_replayed_ = 0;
   Counter* blocks_counter_ = nullptr;
 };

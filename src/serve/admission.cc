@@ -1,0 +1,267 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tcq {
+
+namespace {
+
+/// Longest time a waiter sleeps on the serving clock in one stretch.
+/// Bounds the absolute-deadline arithmetic away from time_point overflow
+/// for arbitrarily large caller deadlines; the wait loop re-checks.
+constexpr double kMaxWaitSliceS = 1.0e6;
+
+double SecondsBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+Status AdmissionOptions::Validate() const {
+  if (global_budget_s <= 0.0) {
+    return Status::InvalidArgument("admission global_budget_s must be > 0");
+  }
+  if (min_shrunk_quota_s <= 0.0) {
+    return Status::InvalidArgument("admission min_shrunk_quota_s must be > 0");
+  }
+  if (min_shrunk_quota_s > global_budget_s) {
+    return Status::InvalidArgument(
+        "admission min_shrunk_quota_s exceeds the global budget");
+  }
+  if (max_concurrent < 1) {
+    return Status::InvalidArgument("admission max_concurrent must be >= 1");
+  }
+  if (max_queue_depth < 0) {
+    return Status::InvalidArgument("admission max_queue_depth must be >= 0");
+  }
+  return Status::OK();
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         Metrics* metrics)
+    : options_(std::move(options)), metrics_(metrics) {}
+
+double AdmissionController::ImmediateGrantLocked(double requested_s) const {
+  if (active_ >= options_.max_concurrent) return 0.0;
+  const double remaining = options_.global_budget_s - outstanding_s_;
+  if (remaining >= requested_s) return requested_s;
+  if (options_.allow_shrink && remaining >= options_.min_shrunk_quota_s) {
+    return remaining;
+  }
+  return 0.0;
+}
+
+void AdmissionController::ReserveLocked(double granted_s) {
+  outstanding_s_ += granted_s;
+  ++active_;
+}
+
+void AdmissionController::UnreserveLocked(double granted_s) {
+  outstanding_s_ -= granted_s;
+  --active_;
+  PumpLocked();
+}
+
+void AdmissionController::PumpLocked() {
+  bool granted_any = false;
+  while (!queue_.empty()) {
+    Waiter* head = queue_.begin()->second;
+    const double grant = ImmediateGrantLocked(head->requested_s);
+    // Strict head-of-line: when the earliest deadline cannot be served,
+    // nobody behind it is — EDF order is never inverted by a smaller
+    // request slipping through.
+    if (grant <= 0.0) break;
+    head->granted = true;
+    head->granted_s = grant;
+    ReserveLocked(grant);
+    queue_.erase(queue_.begin());
+    granted_any = true;
+  }
+  if (granted_any) cv_.notify_all();
+}
+
+void AdmissionController::CountOutcomeLocked(
+    AdmissionReport::Outcome outcome) {
+  const char* name = nullptr;
+  switch (outcome) {
+    case AdmissionReport::Outcome::kAdmitted:
+      ++admitted_;
+      name = "serve.admitted";
+      break;
+    case AdmissionReport::Outcome::kShrunk:
+      ++shrunk_;
+      name = "serve.shrunk";
+      break;
+    case AdmissionReport::Outcome::kQueued:
+      ++queued_;
+      name = "serve.queued";
+      break;
+    case AdmissionReport::Outcome::kStandalone:
+      return;  // never produced by the controller
+  }
+  if (metrics_ != nullptr) metrics_->counter(name)->Increment();
+}
+
+void AdmissionController::CountRejectedLocked() {
+  ++rejected_;
+  if (metrics_ != nullptr) metrics_->counter("serve.rejected")->Increment();
+}
+
+void AdmissionController::UpdateGaugesLocked() {
+  if (metrics_ == nullptr) return;
+  metrics_->gauge("serve.queue_depth")
+      ->Set(static_cast<double>(queue_.size()));
+  metrics_->gauge("serve.outstanding_quota_s")->Set(outstanding_s_);
+  metrics_->gauge("serve.active")->Set(static_cast<double>(active_));
+}
+
+Status AdmissionController::ProbeReservedGrant(const FitProbe& fit_probe,
+                                               double granted_s) {
+  const Status probed = fit_probe ? fit_probe(granted_s) : Status::OK();
+  if (probed.ok()) return probed;
+  std::lock_guard<std::mutex> lk(mu_);
+  UnreserveLocked(granted_s);
+  CountRejectedLocked();
+  UpdateGaugesLocked();
+  return Status::ResourceExhausted(
+      "shrunk quota rejected by the fit probe: " + probed.message());
+}
+
+Result<QuotaLedger> AdmissionController::Admit(double requested_quota_s,
+                                               double deadline_s,
+                                               const FitProbe& fit_probe) {
+  if (requested_quota_s <= 0.0) {
+    return Status::InvalidArgument("requested quota must be > 0");
+  }
+  const double effective_deadline_s =
+      deadline_s > 0.0 ? deadline_s : requested_quota_s;
+
+  std::unique_lock<std::mutex> lk(mu_);
+  QuotaLedger ledger;
+  ledger.id = ++next_id_;
+  ledger.requested_s = requested_quota_s;
+  ledger.deadline_s = effective_deadline_s;
+  ++submitted_;
+  if (metrics_ != nullptr) metrics_->counter("serve.submitted")->Increment();
+
+  if (!options_.enabled) {
+    // Accounting-only mode: every request is granted in full, but active
+    // grants and outstanding quota are still tracked, so the gauges show
+    // exactly how far the uncontrolled workload overcommits the budget.
+    ledger.outcome = AdmissionReport::Outcome::kAdmitted;
+    ledger.granted_s = requested_quota_s;
+    ReserveLocked(requested_quota_s);
+    CountOutcomeLocked(ledger.outcome);
+    UpdateGaugesLocked();
+    return ledger;
+  }
+
+  if (queue_.empty()) {
+    const double grant = ImmediateGrantLocked(requested_quota_s);
+    if (grant >= requested_quota_s) {
+      ledger.outcome = AdmissionReport::Outcome::kAdmitted;
+      ledger.granted_s = grant;
+      ReserveLocked(grant);
+      CountOutcomeLocked(ledger.outcome);
+      UpdateGaugesLocked();
+      return ledger;
+    }
+    if (grant > 0.0) {
+      // Shrunk grant: reserve optimistically, then validate outside the
+      // lock that Sample-Size-Determine still plans at least one stage
+      // at the reduced quota. A failing probe rejects and returns the
+      // reservation.
+      ledger.outcome = AdmissionReport::Outcome::kShrunk;
+      ledger.granted_s = grant;
+      ReserveLocked(grant);
+      UpdateGaugesLocked();
+      lk.unlock();
+      TCQ_RETURN_NOT_OK(ProbeReservedGrant(fit_probe, grant));
+      lk.lock();
+      CountOutcomeLocked(ledger.outcome);
+      return ledger;
+    }
+  }
+
+  if (!options_.allow_queue ||
+      static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
+    CountRejectedLocked();
+    UpdateGaugesLocked();
+    return Status::ResourceExhausted(
+        options_.allow_queue
+            ? "admission queue is full"
+            : "no budget for the requested quota and queuing is disabled");
+  }
+
+  // Queue, earliest deadline first (submission order breaks ties).
+  Waiter waiter;
+  waiter.requested_s = requested_quota_s;
+  const ServeClock::time_point enqueued = ServeClock::now();
+  const ServeClock::time_point absolute_deadline =
+      enqueued + std::chrono::duration_cast<ServeClock::duration>(
+                     std::chrono::duration<double>(
+                         std::min(effective_deadline_s, kMaxWaitSliceS)));
+  const QueueKey key{absolute_deadline, ledger.id};
+  queue_.emplace(key, &waiter);
+  UpdateGaugesLocked();
+  // The new waiter may itself be the earliest deadline and grantable
+  // (e.g. budget free but an unservable head was blocking the old head
+  // position); pump decides.
+  PumpLocked();
+
+  while (!waiter.granted) {
+    if (cv_.wait_until(lk, absolute_deadline) == std::cv_status::timeout &&
+        !waiter.granted) {
+      queue_.erase(key);
+      // Last-chance shrink: budget freed between the final wake-up and
+      // the deadline still turns into a (possibly reduced) grant.
+      const double last = ImmediateGrantLocked(requested_quota_s);
+      if (last > 0.0) {
+        waiter.granted = true;
+        waiter.granted_s = last;
+        ReserveLocked(last);
+        break;
+      }
+      CountRejectedLocked();
+      UpdateGaugesLocked();
+      return Status::DeadlineExceeded(
+          "serving deadline expired in the admission queue");
+    }
+  }
+
+  ledger.outcome = AdmissionReport::Outcome::kQueued;
+  ledger.granted_s = waiter.granted_s;
+  ledger.queue_wait_s = SecondsBetween(enqueued, ServeClock::now());
+  UpdateGaugesLocked();
+  if (waiter.granted_s < requested_quota_s) {
+    lk.unlock();
+    TCQ_RETURN_NOT_OK(ProbeReservedGrant(fit_probe, waiter.granted_s));
+    lk.lock();
+  }
+  CountOutcomeLocked(ledger.outcome);
+  return ledger;
+}
+
+void AdmissionController::Release(const QuotaLedger& ledger) {
+  std::lock_guard<std::mutex> lk(mu_);
+  UnreserveLocked(ledger.granted_s);
+  UpdateGaugesLocked();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s;
+  s.submitted = submitted_;
+  s.admitted = admitted_;
+  s.shrunk = shrunk_;
+  s.queued = queued_;
+  s.rejected = rejected_;
+  s.active = active_;
+  s.queue_depth = static_cast<int>(queue_.size());
+  s.outstanding_s = outstanding_s_;
+  return s;
+}
+
+}  // namespace tcq

@@ -1,0 +1,184 @@
+#ifndef TCQ_SERVE_ADMISSION_H_
+#define TCQ_SERVE_ADMISSION_H_
+
+/// Quota-aware admission control for a tcq::Server: many concurrent
+/// queries draw their time quotas from one shared pool so they cannot
+/// collectively overspend it.
+///
+/// Every submission ends in exactly one of four outcomes:
+///
+///   admitted  — the full requested quota fits the remaining global
+///               budget; granted immediately.
+///   shrunk    — the full quota does not fit but a reduced one does; the
+///               caller-supplied fit probe (a re-run of Sample-Size-
+///               Determine at the reduced quota, via EXPLAIN) confirms at
+///               least one stage still fits before the grant stands.
+///   queued    — no grant is possible right now; the submission waits in
+///               a deadline-ordered (earliest-deadline-first) queue until
+///               a release frees budget or its serving deadline expires.
+///   rejected  — a typed non-OK Status: kResourceExhausted when there is
+///               no capacity (queue full, shrink floor unreachable, fit
+///               probe failed), kDeadlineExceeded when the serving
+///               deadline ran out while queued. Rejected submissions
+///               never execute.
+///
+/// Grants are recorded in a per-query QuotaLedger; Release() returns the
+/// grant to the pool and wakes the queue. Decisions depend only on the
+/// controller's accounting state — never on a clock or random draw — so
+/// sequential use is fully deterministic; the monotonic serving clock is
+/// read only to order and expire queued waiters.
+///
+/// Thread safety: every public method is safe to call concurrently; one
+/// internal mutex guards the accounting state and the EDF queue.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "engine/executor.h"
+#include "obs/metrics.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tcq {
+
+/// Admission policy of a tcq::Server.
+struct AdmissionOptions {
+  /// Master switch. When false every submission is granted its full
+  /// request immediately — but submissions and outstanding quota are
+  /// still counted, so the serve metrics show exactly how far an
+  /// uncontrolled workload overcommits the budget.
+  bool enabled = true;
+  /// The shared time-quota pool, in seconds: the sum of all outstanding
+  /// grants never exceeds it (while `enabled`).
+  double global_budget_s = 10.0;
+  /// Hard cap on queries holding a grant at once.
+  int max_concurrent = 8;
+  /// Grant a reduced quota when the full request does not fit.
+  bool allow_shrink = true;
+  /// Smallest quota worth granting: below this floor a shrunk run could
+  /// not fit even its first stage, so the submission queues or rejects
+  /// instead. Shrunk grants are additionally validated by the fit probe.
+  double min_shrunk_quota_s = 0.25;
+  /// Queue submissions that cannot be granted immediately.
+  bool allow_queue = true;
+  /// Reject (kResourceExhausted) once this many submissions are waiting.
+  int max_queue_depth = 16;
+
+  /// Rejects nonsense policies: non-positive budget or floor, floor above
+  /// budget, max_concurrent < 1, max_queue_depth < 0.
+  [[nodiscard]] Status Validate() const;
+};
+
+/// One query's draw from the shared quota pool: the admission outcome and
+/// the grant to return on Release(). Plain data, cheap to copy.
+struct QuotaLedger {
+  uint64_t id = 0;  // submission sequence number (1-based)
+  AdmissionReport::Outcome outcome = AdmissionReport::Outcome::kAdmitted;
+  double requested_s = 0.0;   // quota asked for
+  double granted_s = 0.0;     // quota actually drawn from the pool
+  double queue_wait_s = 0.0;  // serving-clock seconds spent queued
+  double deadline_s = 0.0;    // serving deadline applied while queued
+};
+
+/// Arbitrates per-query time quotas against the shared global budget.
+class AdmissionController {
+ public:
+  /// Validates a tentative (shrunk) quota before the grant stands —
+  /// typically ExplainTimeConstrainedAggregate at the reduced quota,
+  /// checking that at least one stage is still planned. Called without
+  /// the controller lock held; a non-OK return converts the grant into a
+  /// rejection. An empty function accepts every quota.
+  using FitProbe = std::function<Status(double quota_s)>;
+
+  /// `metrics` (optional, not owned) receives the serve.* counters and
+  /// gauges listed in server.h alongside the internal stats.
+  explicit AdmissionController(AdmissionOptions options,
+                               Metrics* metrics = nullptr);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Submits a request for `requested_quota_s` seconds of budget.
+  /// `deadline_s` bounds the time spent waiting in the queue (<= 0 means
+  /// "use the requested quota as the deadline"). Blocks only on the
+  /// queued path. The returned ledger must be passed to Release() exactly
+  /// once after the query finishes.
+  [[nodiscard]] Result<QuotaLedger> Admit(double requested_quota_s,
+                                          double deadline_s,
+                                          const FitProbe& fit_probe = {});
+
+  /// Returns a grant to the pool and wakes the EDF queue. Idempotence is
+  /// the caller's responsibility: release each ledger exactly once.
+  void Release(const QuotaLedger& ledger);
+
+  /// Accounting snapshot; counters partition submissions exactly:
+  /// admitted + shrunk + queued + rejected == submitted (once no Admit
+  /// call is in flight).
+  struct Stats {
+    int64_t submitted = 0;
+    int64_t admitted = 0;
+    int64_t shrunk = 0;
+    int64_t queued = 0;
+    int64_t rejected = 0;
+    int active = 0;              // grants currently outstanding
+    int queue_depth = 0;         // submissions currently waiting
+    double outstanding_s = 0.0;  // sum of outstanding grants
+  };
+  Stats stats() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  using ServeClock = std::chrono::steady_clock;
+
+  struct Waiter {
+    double requested_s = 0.0;
+    bool granted = false;
+    double granted_s = 0.0;
+  };
+  /// EDF order: earliest absolute deadline first, submission order as the
+  /// tiebreak.
+  using QueueKey = std::pair<ServeClock::time_point, uint64_t>;
+
+  /// Grants the queue head(s) while budget and concurrency allow; strict
+  /// head-of-line — a later waiter never overtakes an unserved earlier
+  /// deadline. Requires `mu_` held; notifies waiters when it grants.
+  void PumpLocked();
+  /// Immediate grant for `requested_s` under the current accounting, or
+  /// 0.0 when none is possible. Requires `mu_` held.
+  double ImmediateGrantLocked(double requested_s) const;
+  /// Reserves `granted_s` for one query. Requires `mu_` held.
+  void ReserveLocked(double granted_s);
+  /// Returns a reservation and pumps the queue. Requires `mu_` held.
+  void UnreserveLocked(double granted_s);
+  /// Runs the fit probe on a reserved grant; on failure the reservation
+  /// is returned and the submission counted rejected. Takes `mu_`.
+  [[nodiscard]] Status ProbeReservedGrant(const FitProbe& fit_probe,
+                                          double granted_s);
+  void CountOutcomeLocked(AdmissionReport::Outcome outcome);
+  void CountRejectedLocked();
+  void UpdateGaugesLocked();
+
+  const AdmissionOptions options_;
+  Metrics* const metrics_;  // may be null
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<QueueKey, Waiter*> queue_;
+  uint64_t next_id_ = 0;
+  int active_ = 0;
+  double outstanding_s_ = 0.0;
+  int64_t submitted_ = 0;
+  int64_t admitted_ = 0;
+  int64_t shrunk_ = 0;
+  int64_t queued_ = 0;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_SERVE_ADMISSION_H_

@@ -1,0 +1,166 @@
+#include "serve/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+namespace tcq {
+
+namespace {
+
+using ServeClock = std::chrono::steady_clock;
+
+double SecondsSince(ServeClock::time_point start) {
+  return std::chrono::duration<double>(ServeClock::now() - start).count();
+}
+
+}  // namespace
+
+/// The shared backend behind every session of one server. All state a
+/// query touches concurrently is synchronized at its own layer: the
+/// ThreadPool accepts concurrent RunAll batches, the WarmStartCache is
+/// sharded with per-shard mutexes, and the AdmissionController guards its
+/// accounting — so RunQuery itself takes no server-wide lock and admitted
+/// queries overlap freely.
+class Server::Impl final : public QueryBackend {
+ public:
+  Impl(Catalog catalog, const Server::Options& options)
+      : catalog_(std::move(catalog)),
+        pool_(options.pool_workers > 0
+                  ? std::make_unique<ThreadPool>(options.pool_workers)
+                  : nullptr),
+        cache_(options.cache_shards),
+        admission_(options.admission, options.metrics),
+        metrics_(options.metrics) {}
+
+  Catalog& catalog() override { return catalog_; }
+  const Catalog& catalog() const override { return catalog_; }
+  void ResetCatalog(Catalog catalog) override {
+    catalog_ = std::move(catalog);
+  }
+
+  int pool_workers() const override {
+    return pool_ == nullptr ? 0 : pool_->workers();
+  }
+
+  WarmStartStats CacheStats() const override { return cache_.Stats(); }
+  void ClearCache() override { cache_.Clear(); }
+
+  Result<QueryResult> RunQuery(const ExprPtr& expr,
+                               const AggregateSpec& aggregate,
+                               ExecutorOptions options,
+                               bool warm_start) override {
+    const ServeClock::time_point arrival = ServeClock::now();
+    const double deadline_s =
+        options.serve_deadline_s > 0.0 ? options.serve_deadline_s
+                                       : options.quota_s;
+
+    // A shrunk grant only stands if Sample-Size-Determine, re-run against
+    // the reduced quota, still plans at least one stage; the probe is the
+    // side-effect-free EXPLAIN path over this query's own options.
+    AdmissionController::FitProbe fit_probe =
+        [this, &expr, &aggregate, &options](double quota_s) -> Status {
+      ExecutorOptions probe = options;
+      probe.quota_s = quota_s;
+      probe.pool = nullptr;
+      probe.warm_cache = nullptr;
+      probe.obs = ObsHandle{};
+      TCQ_ASSIGN_OR_RETURN(
+          ExplainResult plan,
+          ExplainTimeConstrainedAggregate(expr, aggregate, catalog_, probe));
+      if (plan.stages.empty()) {
+        return Status::ResourceExhausted(
+            "no stage fits the shrunk quota");
+      }
+      return Status::OK();
+    };
+
+    TCQ_ASSIGN_OR_RETURN(QuotaLedger ledger,
+                         admission_.Admit(options.quota_s, deadline_s,
+                                          fit_probe));
+
+    options.quota_s = ledger.granted_s;
+    // Serial queries keep a null pool (exactly the standalone Session
+    // contract — attaching it would widen a threads=1 query to the
+    // pool's full width); wider queries share the server pool, capped at
+    // their own requested width.
+    options.pool = options.threads > 1 ? pool_.get() : nullptr;
+    options.warm_cache = warm_start ? &cache_ : nullptr;
+
+    Result<QueryResult> result =
+        RunTimeConstrainedAggregate(expr, aggregate, catalog_, options);
+    admission_.Release(ledger);
+    if (!result.ok()) return result;
+
+    AdmissionReport& report = result->admission;
+    report.outcome = ledger.outcome;
+    report.requested_quota_s = ledger.requested_s;
+    report.granted_quota_s = ledger.granted_s;
+    report.queue_wait_s = ledger.queue_wait_s;
+    report.deadline_s = ledger.deadline_s;
+    report.serve_latency_s = SecondsSince(arrival);
+    report.deadline_missed = report.serve_latency_s > report.deadline_s;
+
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (report.deadline_missed) {
+      deadline_missed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->counter("serve.completed")->Increment();
+      metrics_->histogram("serve.latency_s")->Record(report.serve_latency_s);
+      if (report.deadline_missed) {
+        metrics_->counter("serve.deadline_missed")->Increment();
+        metrics_->histogram("serve.deadline_miss_s")
+            ->Record(report.serve_latency_s - report.deadline_s);
+      }
+    }
+    return result;
+  }
+
+  ServerStats stats() const {
+    ServerStats s;
+    s.admission = admission_.stats();
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.deadline_missed = deadline_missed_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  Catalog catalog_;
+  const std::unique_ptr<ThreadPool> pool_;  // fixed width for the lifetime
+  WarmStartCache cache_;
+  AdmissionController admission_;
+  Metrics* const metrics_;  // may be null
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> deadline_missed_{0};
+};
+
+Server::Server() : Server(Catalog{}, Options{}) {}
+
+Server::Server(Options options) : Server(Catalog{}, std::move(options)) {}
+
+Server::Server(Catalog catalog) : Server(std::move(catalog), Options{}) {}
+
+Server::Server(Catalog catalog, Options options)
+    : impl_(std::make_shared<Impl>(std::move(catalog), options)) {
+  session_options_ = std::move(options.session);
+}
+
+Server::~Server() = default;
+
+Session Server::OpenSession() { return OpenSession(session_options_); }
+
+Session Server::OpenSession(Session::Options session_options) {
+  return Session(impl_, std::move(session_options));
+}
+
+Catalog& Server::catalog() { return impl_->catalog(); }
+const Catalog& Server::catalog() const {
+  return static_cast<const Impl&>(*impl_).catalog();
+}
+int Server::pool_workers() const { return impl_->pool_workers(); }
+WarmStartStats Server::CacheStats() const { return impl_->CacheStats(); }
+void Server::ClearCache() { impl_->ClearCache(); }
+ServerStats Server::stats() const { return impl_->stats(); }
+
+}  // namespace tcq

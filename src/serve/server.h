@@ -1,0 +1,109 @@
+#ifndef TCQ_SERVE_SERVER_H_
+#define TCQ_SERVE_SERVER_H_
+
+/// tcq::Server — many logical sessions, one process, shared execution
+/// state:
+///
+///   tcq::Server::Options options;
+///   options.pool_workers = 3;                 // one shared ThreadPool
+///   options.admission.global_budget_s = 12.0; // shared quota pool
+///   tcq::Server server(std::move(catalog), options);
+///   tcq::Session a = server.OpenSession();
+///   tcq::Session b = server.OpenSession();    // cheap handles; may Run()
+///                                             // concurrently
+///
+/// Every query a server-backed session runs passes through the
+/// AdmissionController first: it is admitted at its full quota, admitted
+/// at a shrunk quota (re-planned against the reduced budget and
+/// fit-probed), queued deadline-first, or rejected with a typed Status —
+/// so concurrent queries can never collectively overspend the global
+/// budget. Admitted queries execute on the server's fixed-width
+/// ThreadPool and (when warm-started) share the server's sharded
+/// WarmStartCache.
+///
+/// Observability: with Options::metrics set, the server publishes
+///   counters   serve.submitted, serve.admitted, serve.shrunk,
+///              serve.queued, serve.rejected, serve.deadline_missed,
+///              serve.completed
+///   gauges     serve.queue_depth, serve.outstanding_quota_s,
+///              serve.active
+///   histograms serve.latency_s (submission → completion),
+///              serve.deadline_miss_s (overshoot of missed deadlines)
+/// The serve histograms record wall-time and are scheduling-dependent;
+/// they are serving-layer telemetry, outside the engine's cross-width
+/// bit-identity contract.
+///
+/// Catalog registration and ClearCache are administrative: do them while
+/// no query is running, exactly as on a standalone Session.
+
+#include <cstdint>
+#include <memory>
+
+#include "api/tcq.h"
+#include "serve/admission.h"
+
+namespace tcq {
+
+/// Point-in-time view of a server (stats()).
+struct ServerStats {
+  AdmissionController::Stats admission;
+  int64_t completed = 0;        // queries that ran to a result
+  int64_t deadline_missed = 0;  // completions past their serving deadline
+};
+
+class Server {
+ public:
+  struct Options {
+    /// Admission policy of the shared quota pool.
+    AdmissionOptions admission;
+    /// Worker threads of the shared execution pool, created once at
+    /// server construction (fixed width; queries cap their batch
+    /// participation instead of resizing it). 0 = no pool: every query
+    /// runs serially on its calling thread.
+    int pool_workers = 0;
+    /// Shard count of the shared warm-start cache.
+    int cache_shards = WarmStartCache::kDefaultShards;
+    /// Session::Options handed to OpenSession(): per-query defaults,
+    /// default execution width, and the warm-start default.
+    Session::Options session;
+    /// Optional metrics registry for the serve.* instruments (not owned;
+    /// must outlive the server).
+    Metrics* metrics = nullptr;
+  };
+
+  Server();
+  explicit Server(Options options);
+  explicit Server(Catalog catalog);
+  Server(Catalog catalog, Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  Server(Server&&) = default;
+  Server& operator=(Server&&) = default;
+
+  /// A new logical session over the server's shared state, configured
+  /// with Options::session (or an explicit override). Handles are cheap
+  /// values; any number may Run() concurrently — admission arbitrates.
+  Session OpenSession();
+  Session OpenSession(Session::Options session_options);
+
+  /// Shared-state views, equivalent to the same calls on any session of
+  /// this server.
+  Catalog& catalog();
+  const Catalog& catalog() const;
+  int pool_workers() const;
+  WarmStartStats CacheStats() const;
+  void ClearCache();
+
+  ServerStats stats() const;
+
+ private:
+  class Impl;
+  std::shared_ptr<Impl> impl_;
+  Session::Options session_options_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_SERVE_SERVER_H_

@@ -17,6 +17,7 @@ enum class StatusCode {
   kOutOfRange,
   kNotImplemented,
   kDeadlineExceeded,
+  kResourceExhausted,
   kInternal,
 };
 
@@ -54,6 +55,9 @@ class Status {
   }
   [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

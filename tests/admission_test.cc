@@ -1,0 +1,288 @@
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "parallel/thread_pool.h"
+#include "util/status.h"
+
+namespace tcq {
+namespace {
+
+AdmissionOptions Policy(double budget_s) {
+  AdmissionOptions options;
+  options.global_budget_s = budget_s;
+  options.min_shrunk_quota_s = 0.5;
+  return options;
+}
+
+TEST(AdmissionOptionsTest, ValidateRejectsNonsense) {
+  EXPECT_TRUE(AdmissionOptions{}.Validate().ok());
+  {
+    AdmissionOptions o;
+    o.global_budget_s = 0.0;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    AdmissionOptions o;
+    o.min_shrunk_quota_s = -1.0;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    AdmissionOptions o;
+    o.global_budget_s = 1.0;
+    o.min_shrunk_quota_s = 2.0;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    AdmissionOptions o;
+    o.max_concurrent = 0;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+  {
+    AdmissionOptions o;
+    o.max_queue_depth = -1;
+    EXPECT_FALSE(o.Validate().ok());
+  }
+}
+
+TEST(AdmissionTest, FullGrantWithinBudget) {
+  AdmissionController controller(Policy(10.0));
+  auto ledger = controller.Admit(4.0, /*deadline_s=*/0.0);
+  ASSERT_TRUE(ledger.ok()) << ledger.status().ToString();
+  EXPECT_EQ(ledger->outcome, AdmissionReport::Outcome::kAdmitted);
+  EXPECT_EQ(ledger->requested_s, 4.0);
+  EXPECT_EQ(ledger->granted_s, 4.0);
+  EXPECT_EQ(ledger->queue_wait_s, 0.0);
+  // deadline defaults to the requested quota
+  EXPECT_EQ(ledger->deadline_s, 4.0);
+
+  AdmissionController::Stats stats = controller.stats();
+  EXPECT_EQ(stats.submitted, 1);
+  EXPECT_EQ(stats.admitted, 1);
+  EXPECT_EQ(stats.active, 1);
+  EXPECT_EQ(stats.outstanding_s, 4.0);
+
+  controller.Release(*ledger);
+  stats = controller.stats();
+  EXPECT_EQ(stats.active, 0);
+  EXPECT_EQ(stats.outstanding_s, 0.0);
+}
+
+TEST(AdmissionTest, ShrinksToRemainingBudget) {
+  AdmissionController controller(Policy(10.0));
+  auto first = controller.Admit(6.0, 0.0);
+  ASSERT_TRUE(first.ok());
+
+  double probed_quota = 0.0;
+  auto second = controller.Admit(6.0, 0.0, [&](double quota_s) {
+    probed_quota = quota_s;
+    return Status::OK();
+  });
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->outcome, AdmissionReport::Outcome::kShrunk);
+  EXPECT_EQ(second->granted_s, 4.0);  // 10 - 6 outstanding
+  EXPECT_EQ(probed_quota, 4.0);       // fit probe saw the shrunk quota
+
+  AdmissionController::Stats stats = controller.stats();
+  EXPECT_EQ(stats.admitted, 1);
+  EXPECT_EQ(stats.shrunk, 1);
+  EXPECT_EQ(stats.outstanding_s, 10.0);
+
+  controller.Release(*first);
+  controller.Release(*second);
+  EXPECT_EQ(controller.stats().outstanding_s, 0.0);
+}
+
+TEST(AdmissionTest, FitProbeFailureRejectsAndReturnsReservation) {
+  AdmissionController controller(Policy(10.0));
+  auto first = controller.Admit(6.0, 0.0);
+  ASSERT_TRUE(first.ok());
+
+  auto second = controller.Admit(6.0, 0.0, [](double) {
+    return Status::InvalidArgument("no stage fits");
+  });
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+
+  AdmissionController::Stats stats = controller.stats();
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.active, 1);
+  EXPECT_EQ(stats.outstanding_s, 6.0);  // the failed reservation returned
+  controller.Release(*first);
+}
+
+TEST(AdmissionTest, RejectsWhenShrinkAndQueueDisabled) {
+  AdmissionOptions options = Policy(10.0);
+  options.allow_shrink = false;
+  options.allow_queue = false;
+  AdmissionController controller(options);
+
+  auto big = controller.Admit(20.0, 0.0);
+  EXPECT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(controller.stats().rejected, 1);
+}
+
+TEST(AdmissionTest, ZeroDepthQueueRejectsLikeNoQueue) {
+  AdmissionOptions options = Policy(10.0);
+  options.allow_shrink = false;
+  options.max_queue_depth = 0;
+  AdmissionController controller(options);
+
+  auto holder = controller.Admit(10.0, 0.0);
+  ASSERT_TRUE(holder.ok());
+  auto next = controller.Admit(1.0, 0.0);
+  EXPECT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kResourceExhausted);
+  controller.Release(*holder);
+}
+
+TEST(AdmissionTest, QueuedSubmissionTimesOutWithDeadlineExceeded) {
+  AdmissionOptions options = Policy(4.0);
+  options.allow_shrink = false;
+  AdmissionController controller(options);
+
+  auto holder = controller.Admit(4.0, 0.0);
+  ASSERT_TRUE(holder.ok());
+  // Nothing will release the budget: the waiter must give up at its
+  // serving deadline, not its (much larger) quota.
+  auto waiter = controller.Admit(4.0, /*deadline_s=*/0.05);
+  EXPECT_FALSE(waiter.ok());
+  EXPECT_EQ(waiter.status().code(), StatusCode::kDeadlineExceeded);
+
+  AdmissionController::Stats stats = controller.stats();
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.queue_depth, 0);  // the expired waiter left the queue
+  controller.Release(*holder);
+}
+
+TEST(AdmissionTest, DisabledControllerGrantsEverythingButKeepsBooks) {
+  AdmissionOptions options = Policy(1.0);
+  options.enabled = false;
+  AdmissionController controller(options);
+
+  auto a = controller.Admit(5.0, 0.0);
+  auto b = controller.Admit(5.0, 0.0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->granted_s, 5.0);
+  EXPECT_EQ(b->granted_s, 5.0);
+
+  // The books still show the overcommit an enabled controller prevents.
+  AdmissionController::Stats stats = controller.stats();
+  EXPECT_EQ(stats.submitted, 2);
+  EXPECT_EQ(stats.admitted, 2);
+  EXPECT_EQ(stats.outstanding_s, 10.0);
+  EXPECT_GT(stats.outstanding_s, options.global_budget_s);
+
+  controller.Release(*a);
+  controller.Release(*b);
+  EXPECT_EQ(controller.stats().outstanding_s, 0.0);
+}
+
+TEST(AdmissionTest, ReleaseWakesTheQueue) {
+  AdmissionController controller(Policy(4.0));
+  auto holder = controller.Admit(4.0, 0.0);
+  ASSERT_TRUE(holder.ok());
+
+  ThreadPool pool(1);  // two-wide: blocked waiter + releasing task
+  Result<QuotaLedger> queued = Status::Internal("not run");
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&] { queued = controller.Admit(4.0, /*deadline_s=*/30.0); });
+  tasks.push_back([&] {
+    while (controller.stats().queue_depth < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    controller.Release(*holder);
+  });
+  RunTasks(&pool, &tasks);
+
+  ASSERT_TRUE(queued.ok()) << queued.status().ToString();
+  EXPECT_EQ(queued->outcome, AdmissionReport::Outcome::kQueued);
+  EXPECT_EQ(queued->granted_s, 4.0);
+  EXPECT_GE(queued->queue_wait_s, 0.0);
+  EXPECT_EQ(controller.stats().queued, 1);
+  controller.Release(*queued);
+  EXPECT_EQ(controller.stats().outstanding_s, 0.0);
+}
+
+TEST(AdmissionTest, QueueGrantsEarliestDeadlineFirst) {
+  AdmissionController controller(Policy(4.0));
+  auto holder = controller.Admit(4.0, 0.0);
+  ASSERT_TRUE(holder.ok());
+
+  // The late-deadline waiter enqueues FIRST; EDF must still serve the
+  // early-deadline waiter ahead of it when budget frees up.
+  std::atomic<int> grant_sequence{0};
+  int early_rank = 0, late_rank = 0;
+  ThreadPool pool(2);  // three-wide: two waiters + the orchestrator
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&] {
+    auto late = controller.Admit(4.0, /*deadline_s=*/60.0);
+    ASSERT_TRUE(late.ok()) << late.status().ToString();
+    late_rank = ++grant_sequence;
+    controller.Release(*late);
+  });
+  tasks.push_back([&] {
+    while (controller.stats().queue_depth < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    auto early = controller.Admit(4.0, /*deadline_s=*/30.0);
+    ASSERT_TRUE(early.ok()) << early.status().ToString();
+    early_rank = ++grant_sequence;
+    controller.Release(*early);
+  });
+  tasks.push_back([&] {
+    while (controller.stats().queue_depth < 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    controller.Release(*holder);
+  });
+  RunTasks(&pool, &tasks);
+
+  EXPECT_EQ(early_rank, 1) << "the earlier deadline must be granted first";
+  EXPECT_EQ(late_rank, 2);
+  AdmissionController::Stats stats = controller.stats();
+  EXPECT_EQ(stats.queued, 2);
+  EXPECT_EQ(stats.outstanding_s, 0.0);
+  EXPECT_EQ(stats.active, 0);
+}
+
+TEST(AdmissionTest, CountersPartitionSubmissionsAndReachMetrics) {
+  Metrics metrics;
+  AdmissionOptions options = Policy(10.0);
+  options.allow_queue = false;
+  AdmissionController controller(options, &metrics);
+
+  auto a = controller.Admit(6.0, 0.0);       // admitted
+  auto b = controller.Admit(6.0, 0.0);       // shrunk to 4
+  auto c = controller.Admit(6.0, 0.0);       // rejected: no budget, no queue
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(c.ok());
+
+  AdmissionController::Stats stats = controller.stats();
+  EXPECT_EQ(stats.submitted, 3);
+  EXPECT_EQ(stats.admitted + stats.shrunk + stats.queued + stats.rejected,
+            stats.submitted);
+  EXPECT_EQ(metrics.counter("serve.submitted")->value(), 3);
+  EXPECT_EQ(metrics.counter("serve.admitted")->value(), 1);
+  EXPECT_EQ(metrics.counter("serve.shrunk")->value(), 1);
+  EXPECT_EQ(metrics.counter("serve.rejected")->value(), 1);
+  EXPECT_EQ(metrics.gauge("serve.outstanding_quota_s")->value(), 10.0);
+  EXPECT_EQ(metrics.gauge("serve.active")->value(), 2.0);
+
+  controller.Release(*a);
+  controller.Release(*b);
+  EXPECT_EQ(metrics.gauge("serve.active")->value(), 0.0);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -10,6 +10,14 @@
 namespace tcq {
 namespace {
 
+// Quota is unified into ExecutorOptions::quota_s (the pre-unification
+// overloads are gone); set it via this copy-and-set helper.
+ExecutorOptions WithQuota(ExecutorOptions options, double quota_s) {
+  options.quota_s = quota_s;
+  return options;
+}
+
+
 ExecutorOptions Opts(double d_beta = 24.0) {
   ExecutorOptions options;
   options.strategy.one_at_a_time.d_beta = d_beta;
@@ -61,8 +69,7 @@ TEST(ExactAggregateTest, RejectsStringColumnAndEmptyAvg) {
 TEST(AggregateQueryTest, SumFullCoverageExact) {
   auto w = MakeSelectionWorkload(2000, 10);
   ASSERT_TRUE(w.ok());
-  auto r = RunTimeConstrainedAggregate(w->query, AggregateSpec::Sum("key"),
-                                       100000.0, w->catalog, Opts());
+  auto r = RunTimeConstrainedAggregate(w->query, AggregateSpec::Sum("key"), w->catalog, WithQuota(Opts(), 100000.0));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_DOUBLE_EQ(r->estimate, 1999.0 * 2000.0 / 2.0);
 }
@@ -70,8 +77,7 @@ TEST(AggregateQueryTest, SumFullCoverageExact) {
 TEST(AggregateQueryTest, SumTightQuotaApproximates) {
   auto w = MakeSelectionWorkload(2000, 11);
   ASSERT_TRUE(w.ok());
-  auto r = RunTimeConstrainedAggregate(w->query, AggregateSpec::Sum("key"),
-                                       10.0, w->catalog, Opts());
+  auto r = RunTimeConstrainedAggregate(w->query, AggregateSpec::Sum("key"), w->catalog, WithQuota(Opts(), 10.0));
   ASSERT_TRUE(r.ok());
   double exact = 1999.0 * 2000.0 / 2.0;
   EXPECT_NEAR(r->estimate, exact, 0.5 * exact);
@@ -81,8 +87,7 @@ TEST(AggregateQueryTest, SumTightQuotaApproximates) {
 TEST(AggregateQueryTest, AvgFullCoverageExact) {
   auto w = MakeSelectionWorkload(2000, 12);
   ASSERT_TRUE(w.ok());
-  auto r = RunTimeConstrainedAggregate(w->query, AggregateSpec::Avg("key"),
-                                       100000.0, w->catalog, Opts());
+  auto r = RunTimeConstrainedAggregate(w->query, AggregateSpec::Avg("key"), w->catalog, WithQuota(Opts(), 100000.0));
   ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r->estimate, 1999.0 / 2.0);
 }
@@ -92,8 +97,7 @@ TEST(AggregateQueryTest, AvgTightQuotaCloseToExact) {
   // sample, so it is far more stable than either alone.
   auto w = MakeSelectionWorkload(2000, 13);
   ASSERT_TRUE(w.ok());
-  auto r = RunTimeConstrainedAggregate(w->query, AggregateSpec::Avg("key"),
-                                       10.0, w->catalog, Opts());
+  auto r = RunTimeConstrainedAggregate(w->query, AggregateSpec::Avg("key"), w->catalog, WithQuota(Opts(), 10.0));
   ASSERT_TRUE(r.ok());
   EXPECT_NEAR(r->estimate, 999.5, 150.0);
 }
@@ -104,8 +108,7 @@ TEST(AggregateQueryTest, SumOverUnionViaInclusionExclusion) {
   auto query = Union(Scan("r1"), Scan("r2"));
   auto exact = ExactSum(query, "key", w->catalog);
   ASSERT_TRUE(exact.ok());
-  auto r = RunTimeConstrainedAggregate(query, AggregateSpec::Sum("key"),
-                                       100000.0, w->catalog, Opts());
+  auto r = RunTimeConstrainedAggregate(query, AggregateSpec::Sum("key"), w->catalog, WithQuota(Opts(), 100000.0));
   ASSERT_TRUE(r.ok());
   EXPECT_NEAR(r->estimate, *exact, 1e-6);
 }
@@ -113,18 +116,14 @@ TEST(AggregateQueryTest, SumOverUnionViaInclusionExclusion) {
 TEST(AggregateQueryTest, SumRejectsUnknownColumn) {
   auto w = MakeSelectionWorkload(2000, 15);
   ASSERT_TRUE(w.ok());
-  EXPECT_FALSE(RunTimeConstrainedAggregate(w->query,
-                                           AggregateSpec::Sum("missing"),
-                                           10.0, w->catalog, Opts())
+  EXPECT_FALSE(RunTimeConstrainedAggregate(w->query, AggregateSpec::Sum("missing"), w->catalog, WithQuota(Opts(), 10.0))
                    .ok());
 }
 
 TEST(AggregateQueryTest, SumRejectsStringColumn) {
   auto w = MakeSelectionWorkload(2000, 16);
   ASSERT_TRUE(w.ok());
-  EXPECT_FALSE(RunTimeConstrainedAggregate(w->query,
-                                           AggregateSpec::Sum("payload"),
-                                           10.0, w->catalog, Opts())
+  EXPECT_FALSE(RunTimeConstrainedAggregate(w->query, AggregateSpec::Sum("payload"), w->catalog, WithQuota(Opts(), 10.0))
                    .ok());
 }
 
@@ -132,8 +131,7 @@ TEST(AggregateQueryTest, SumOverProjectionRejected) {
   auto w = MakeSelectionWorkload(2000, 17);
   ASSERT_TRUE(w.ok());
   auto query = Project(Scan("r1"), {"key"});
-  EXPECT_EQ(RunTimeConstrainedAggregate(query, AggregateSpec::Sum("key"),
-                                        10.0, w->catalog, Opts())
+  EXPECT_EQ(RunTimeConstrainedAggregate(query, AggregateSpec::Sum("key"), w->catalog, WithQuota(Opts(), 10.0))
                 .status()
                 .code(),
             StatusCode::kNotImplemented);
@@ -144,9 +142,8 @@ TEST(AggregateQueryTest, CountSpecMatchesCountEntryPoint) {
   ASSERT_TRUE(w.ok());
   auto opts = Opts();
   opts.seed = 3;
-  auto a = RunTimeConstrainedAggregate(w->query, AggregateSpec::Count(),
-                                       10.0, w->catalog, opts);
-  auto b = RunTimeConstrainedCount(w->query, 10.0, w->catalog, opts);
+  auto a = RunTimeConstrainedAggregate(w->query, AggregateSpec::Count(), w->catalog, WithQuota(opts, 10.0));
+  auto b = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(opts, 10.0));
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_DOUBLE_EQ(a->estimate, b->estimate);
@@ -169,12 +166,9 @@ TEST(AggregateQueryTest, AvgVariancePinsCovarianceFreeDeltaMethod) {
   opts.seed = 3;
   // The aggregate kind only changes the final combine, never the draws,
   // so all three runs see identical samples.
-  auto count = RunTimeConstrainedAggregate(w->query, AggregateSpec::Count(),
-                                           10.0, w->catalog, opts);
-  auto sum = RunTimeConstrainedAggregate(w->query, AggregateSpec::Sum("key"),
-                                         10.0, w->catalog, opts);
-  auto avg = RunTimeConstrainedAggregate(w->query, AggregateSpec::Avg("key"),
-                                         10.0, w->catalog, opts);
+  auto count = RunTimeConstrainedAggregate(w->query, AggregateSpec::Count(), w->catalog, WithQuota(opts, 10.0));
+  auto sum = RunTimeConstrainedAggregate(w->query, AggregateSpec::Sum("key"), w->catalog, WithQuota(opts, 10.0));
+  auto avg = RunTimeConstrainedAggregate(w->query, AggregateSpec::Avg("key"), w->catalog, WithQuota(opts, 10.0));
   ASSERT_TRUE(count.ok());
   ASSERT_TRUE(sum.ok());
   ASSERT_TRUE(avg.ok());
@@ -202,8 +196,7 @@ TEST_P(SumUnbiasednessTest, MeanApproachesExact) {
   for (int rep = 0; rep < reps; ++rep) {
     auto opts = Opts(GetParam());
     opts.seed = 100 + static_cast<uint64_t>(rep);
-    auto r = RunTimeConstrainedAggregate(
-        w->query, AggregateSpec::Sum("key"), 10.0, w->catalog, opts);
+    auto r = RunTimeConstrainedAggregate(w->query, AggregateSpec::Sum("key"), w->catalog, WithQuota(opts, 10.0));
     ASSERT_TRUE(r.ok());
     sum += r->estimate;
   }

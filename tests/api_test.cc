@@ -62,6 +62,60 @@ TEST(SessionTest, ParseErrorSurfacesFromRun) {
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(SessionTest, ParseStatusIsAvailableBeforeRun) {
+  Session session = MakeSession();
+  // A malformed query is rejectable without spending any budget on it —
+  // the builder carries the parse error, line/column included.
+  QueryBuilder bad = session.Query("SELECT[key <](r1)");
+  EXPECT_FALSE(bad.status().ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("line"), std::string::npos)
+      << bad.status().ToString();
+  // Run() returns exactly the status the builder already exposed.
+  auto r = bad.Run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), bad.status());
+
+  QueryBuilder good = session.Query("SELECT[key < 100](r1)");
+  EXPECT_TRUE(good.status().ok());
+}
+
+TEST(SessionTest, TypedSettersCoverEveryOptionsField) {
+  // The typed setters and the deprecated escape hatch must configure the
+  // very same ExecutorOptions: a query configured twice — once through
+  // With* setters, once through a raw edit — runs bit-identically.
+  Session a = MakeSession();
+  Session b = MakeSession();
+  auto typed = a.Query("r1 INTERSECT r2")
+                   .WithSeed(21)
+                   .WithQuota(6.0)
+                   .WithEpsilon(0.04)
+                   .WithConservativeTermVariance()
+                   .WithServeDeadline(30.0)
+                   .Run();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto raw = b.Query("r1 INTERSECT r2")
+                 .With([](ExecutorOptions* o) {
+                   o->seed = 21;
+                   o->quota_s = 6.0;
+                   o->epsilon_s = 0.04;
+                   o->conservative_term_variance = true;
+                   o->serve_deadline_s = 30.0;
+                 })
+                 .Run();
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(typed.ok()) << typed.status().ToString();
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_EQ(typed->estimate, raw->estimate);
+  EXPECT_EQ(typed->variance, raw->variance);
+  EXPECT_EQ(typed->blocks_sampled, raw->blocks_sampled);
+  // Outside a server, the admission report stays at its standalone
+  // defaults whatever the serve deadline asks for.
+  EXPECT_EQ(typed->admission.outcome, AdmissionReport::Outcome::kStandalone);
+  EXPECT_FALSE(typed->admission.deadline_missed);
+}
+
 TEST(SessionTest, UnbalancedCountWrapperIsAParseError) {
   Session session = MakeSession();
   auto r = session.Query("COUNT(SELECT[key < 100](r1)").Run();
@@ -143,9 +197,12 @@ TEST(ValidateTest, RejectsNonsenseConfigs) {
     EXPECT_FALSE(r.ok());
   }
   {
-    auto r = session.Query("r1 UNION r2")
-                 .With([](ExecutorOptions* o) { o->epsilon_s = 1.25; })
-                 .Run();
+    auto r = session.Query("r1 UNION r2").WithEpsilon(1.25).Run();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    auto r = session.Query("r1 UNION r2").WithServeDeadline(-1.0).Run();
     EXPECT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
   }

@@ -14,6 +14,14 @@
 namespace tcq {
 namespace {
 
+// Quota is unified into ExecutorOptions::quota_s (the pre-unification
+// overloads are gone); set it via this copy-and-set helper.
+ExecutorOptions WithQuota(ExecutorOptions options, double quota_s) {
+  options.quota_s = quota_s;
+  return options;
+}
+
+
 TEST(EdgeCaseTest, ProjectTermCostPrediction) {
   // PredictTermStageCost must price a projection root (temp write + sort
   // + merge + dedup + output) and grow with the fraction.
@@ -91,7 +99,7 @@ TEST(EdgeCaseTest, DoubleTypedPredicateThroughEngine) {
   ASSERT_TRUE(exact.ok());
   EXPECT_NEAR(static_cast<double>(*exact), 500.0, 80.0);
   ExecutorOptions options;
-  auto r = RunTimeConstrainedCount(query, 1e9, catalog, options);
+  auto r = RunTimeConstrainedCount(query, catalog, WithQuota(options, 1e9));
   ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r->estimate, static_cast<double>(*exact));
 }
@@ -102,7 +110,7 @@ TEST(EdgeCaseTest, MaxStagesCapRespected) {
   ExecutorOptions options;
   options.max_stages = 2;
   options.strategy.one_at_a_time.d_beta = 72.0;  // many small stages
-  auto r = RunTimeConstrainedCount(w->query, 1e6, w->catalog, options);
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(options, 1e6));
   ASSERT_TRUE(r.ok());
   EXPECT_LE(r->stages_run, 2);
 }
@@ -114,7 +122,7 @@ TEST(EdgeCaseTest, SingleBlockRelation) {
   auto query =
       Select(Scan("tiny"), CmpLiteral("key", CompareOp::kGe, int64_t{0}));
   ExecutorOptions options;
-  auto r = RunTimeConstrainedCount(query, 100.0, catalog, options);
+  auto r = RunTimeConstrainedCount(query, catalog, WithQuota(options, 100.0));
   ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r->estimate, 5.0);
   EXPECT_EQ(r->blocks_sampled, 1);
@@ -127,7 +135,7 @@ TEST(EdgeCaseTest, SoftDeadlineWithPrecisionStopComposes) {
   options.deadline_mode = DeadlineMode::kSoft;
   options.precision.rel_halfwidth = 0.25;
   options.seed = 3;
-  auto r = RunTimeConstrainedCount(w->query, 60.0, w->catalog, options);
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(options, 60.0));
   ASSERT_TRUE(r.ok());
   EXPECT_GT(r->stages_counted, 0);
   // One of the two criteria ended the run before sample exhaustion.

@@ -11,6 +11,14 @@
 namespace tcq {
 namespace {
 
+// Quota is unified into ExecutorOptions::quota_s (the pre-unification
+// overloads are gone); set it via this copy-and-set helper.
+ExecutorOptions WithQuota(ExecutorOptions options, double quota_s) {
+  options.quota_s = quota_s;
+  return options;
+}
+
+
 ExecutorOptions DefaultOptions(double d_beta = 12.0) {
   ExecutorOptions options;
   options.strategy.one_at_a_time.d_beta = d_beta;
@@ -22,8 +30,7 @@ TEST(ExecutorTest, GenerousQuotaSamplesEverythingExactly) {
   // covers the full point space and returns the exact count.
   auto w = MakeSelectionWorkload(2000, 101);
   ASSERT_TRUE(w.ok());
-  auto r = RunTimeConstrainedCount(w->query, /*quota_s=*/100000.0,
-                                   w->catalog, DefaultOptions());
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(DefaultOptions(), 100000.0));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_DOUBLE_EQ(r->estimate, 2000.0);
   EXPECT_FALSE(r->overspent);
@@ -34,8 +41,7 @@ TEST(ExecutorTest, GenerousQuotaSamplesEverythingExactly) {
 TEST(ExecutorTest, TightQuotaStaysReasonablyAccurate) {
   auto w = MakeSelectionWorkload(2000, 102);
   ASSERT_TRUE(w.ok());
-  auto r = RunTimeConstrainedCount(w->query, /*quota_s=*/10.0, w->catalog,
-                                   DefaultOptions());
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(DefaultOptions(), 10.0));
   ASSERT_TRUE(r.ok());
   ASSERT_GT(r->stages_counted, 0);
   EXPECT_GT(r->blocks_sampled, 0);
@@ -50,8 +56,8 @@ TEST(ExecutorTest, DeterministicForSameSeed) {
   ASSERT_TRUE(w.ok());
   auto opts = DefaultOptions();
   opts.seed = 77;
-  auto a = RunTimeConstrainedCount(w->query, 10.0, w->catalog, opts);
-  auto b = RunTimeConstrainedCount(w->query, 10.0, w->catalog, opts);
+  auto a = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(opts, 10.0));
+  auto b = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(opts, 10.0));
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_DOUBLE_EQ(a->estimate, b->estimate);
@@ -69,7 +75,7 @@ TEST(ExecutorTest, DifferentSeedsDiffer) {
   for (uint64_t seed = 1; seed <= 5; ++seed) {
     auto opts = DefaultOptions();
     opts.seed = seed;
-    auto r = RunTimeConstrainedCount(w->query, 10.0, w->catalog, opts);
+    auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(opts, 10.0));
     ASSERT_TRUE(r.ok());
     outcomes.insert({r->estimate, r->elapsed_seconds});
   }
@@ -86,7 +92,7 @@ TEST(ExecutorTest, HardDeadlineDiscardsAbortedStage) {
     auto opts = DefaultOptions(/*d_beta=*/0.0);
     opts.seed = seed;
     opts.deadline_mode = DeadlineMode::kHard;
-    auto r = RunTimeConstrainedCount(w->query, 10.0, w->catalog, opts);
+    auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(opts, 10.0));
     ASSERT_TRUE(r.ok());
     if (!r->overspent) continue;
     found = true;
@@ -113,7 +119,7 @@ TEST(ExecutorTest, SoftDeadlineCountsFinalStage) {
     auto opts = DefaultOptions(/*d_beta=*/0.0);
     opts.seed = seed;
     opts.deadline_mode = DeadlineMode::kSoft;
-    auto r = RunTimeConstrainedCount(w->query, 10.0, w->catalog, opts);
+    auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(opts, 10.0));
     ASSERT_TRUE(r.ok());
     if (!r->overspent) continue;
     EXPECT_EQ(r->stages_counted, r->stages_run);
@@ -127,7 +133,7 @@ TEST(ExecutorTest, IntersectionQueryEndToEnd) {
   auto w = MakeIntersectionWorkload(5000, 107);
   ASSERT_TRUE(w.ok());
   auto opts = DefaultOptions(12.0);
-  auto r = RunTimeConstrainedCount(w->query, 10.0, w->catalog, opts);
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(opts, 10.0));
   ASSERT_TRUE(r.ok());
   ASSERT_GT(r->stages_counted, 0);
   // Intersection estimates are noisy at small samples; sanity band only.
@@ -140,7 +146,7 @@ TEST(ExecutorTest, JoinQueryEndToEnd) {
   ASSERT_TRUE(w.ok());
   auto opts = DefaultOptions(12.0);
   opts.selectivity.initial_join = 0.1;  // paper §5.C
-  auto r = RunTimeConstrainedCount(w->query, 2.5, w->catalog, opts);
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(opts, 2.5));
   ASSERT_TRUE(r.ok());
   EXPECT_GE(r->stages_run, 1);
 }
@@ -150,8 +156,7 @@ TEST(ExecutorTest, BareScanCountIsExactWithoutSampling) {
   // variance.
   auto w = MakeSelectionWorkload(2000, 120);
   ASSERT_TRUE(w.ok());
-  auto r = RunTimeConstrainedCount(Scan("r1"), 0.001, w->catalog,
-                                   DefaultOptions());
+  auto r = RunTimeConstrainedCount(Scan("r1"), w->catalog, WithQuota(DefaultOptions(), 0.001));
   ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r->estimate, 10000.0);
   EXPECT_DOUBLE_EQ(r->variance, 0.0);
@@ -165,8 +170,7 @@ TEST(ExecutorTest, UnionUsesConstantScanTerms) {
   // and can never stray below 10,000.
   auto w = MakeIntersectionWorkload(5000, 121);
   ASSERT_TRUE(w.ok());
-  auto r = RunTimeConstrainedCount(Union(Scan("r1"), Scan("r2")), 10.0,
-                                   w->catalog, DefaultOptions());
+  auto r = RunTimeConstrainedCount(Union(Scan("r1"), Scan("r2")), w->catalog, WithQuota(DefaultOptions(), 10.0));
   ASSERT_TRUE(r.ok());
   EXPECT_GE(r->estimate, 10000.0);
   EXPECT_LE(r->estimate, 20000.0);
@@ -180,8 +184,7 @@ TEST(ExecutorTest, UnionQueryViaInclusionExclusion) {
   ASSERT_TRUE(exact.ok());
   EXPECT_EQ(*exact, 15000);
   // Generous quota: all three terms fully sampled -> exact.
-  auto r = RunTimeConstrainedCount(query, 100000.0, w->catalog,
-                                   DefaultOptions());
+  auto r = RunTimeConstrainedCount(query, w->catalog, WithQuota(DefaultOptions(), 100000.0));
   ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r->estimate, 15000.0);
 }
@@ -190,8 +193,7 @@ TEST(ExecutorTest, DifferenceQuery) {
   auto w = MakeIntersectionWorkload(4000, 110);
   ASSERT_TRUE(w.ok());
   auto query = Difference(Scan("r1"), Scan("r2"));
-  auto r = RunTimeConstrainedCount(query, 100000.0, w->catalog,
-                                   DefaultOptions());
+  auto r = RunTimeConstrainedCount(query, w->catalog, WithQuota(DefaultOptions(), 100000.0));
   ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r->estimate, 6000.0);
 }
@@ -199,8 +201,7 @@ TEST(ExecutorTest, DifferenceQuery) {
 TEST(ExecutorTest, ZeroMatchQueryDoesNotBlowUp) {
   auto w = MakeSelectionWorkload(0, 111);
   ASSERT_TRUE(w.ok());
-  auto r = RunTimeConstrainedCount(w->query, 10.0, w->catalog,
-                                   DefaultOptions(12.0));
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(DefaultOptions(12.0), 10.0));
   ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r->estimate, 0.0);
   EXPECT_GT(r->stages_counted, 0);
@@ -214,7 +215,7 @@ TEST(ExecutorTest, PrecisionStopEndsEarly) {
   opts.precision.confidence = 0.95;
   // A quota under the full-scan cost, so stage 1 is a partial sample and
   // the precision criterion (not exhaustion) is what stops the run.
-  auto r = RunTimeConstrainedCount(w->query, 30.0, w->catalog, opts);
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(opts, 30.0));
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->stopped_for_precision);
   EXPECT_LT(r->blocks_sampled, 2000);
@@ -229,8 +230,7 @@ TEST(ExecutorTest, ProjectionQuery) {
   auto exact = ExactCount(query, catalog);
   ASSERT_TRUE(exact.ok());
   EXPECT_EQ(*exact, 100);
-  auto r = RunTimeConstrainedCount(query, 100000.0, catalog,
-                                   DefaultOptions());
+  auto r = RunTimeConstrainedCount(query, catalog, WithQuota(DefaultOptions(), 100000.0));
   ASSERT_TRUE(r.ok());
   // Full coverage: all keys observed.
   EXPECT_NEAR(r->estimate, 100.0, 1.0);
@@ -240,15 +240,14 @@ TEST(ExecutorTest, RejectsNonPositiveQuota) {
   auto w = MakeSelectionWorkload(2000, 113);
   ASSERT_TRUE(w.ok());
   EXPECT_FALSE(
-      RunTimeConstrainedCount(w->query, 0.0, w->catalog, DefaultOptions())
+      RunTimeConstrainedCount(w->query, w->catalog, WithQuota(DefaultOptions(), 0.0))
           .ok());
 }
 
 TEST(ExecutorTest, StageTracesAreConsistent) {
   auto w = MakeSelectionWorkload(2000, 114);
   ASSERT_TRUE(w.ok());
-  auto r = RunTimeConstrainedCount(w->query, 10.0, w->catalog,
-                                   DefaultOptions(24.0));
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(DefaultOptions(24.0), 10.0));
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(static_cast<int>(r->stages().size()), r->stages_run);
   double time_left = 10.0;
@@ -266,8 +265,7 @@ TEST(ExecutorTest, PredictionsAreHonoredWithinQuota) {
   // the time left, and most stages should complete within it.
   auto w = MakeSelectionWorkload(2000, 115);
   ASSERT_TRUE(w.ok());
-  auto r = RunTimeConstrainedCount(w->query, 10.0, w->catalog,
-                                   DefaultOptions(48.0));
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(DefaultOptions(48.0), 10.0));
   ASSERT_TRUE(r.ok());
   for (const StageTrace& t : r->stages()) {
     EXPECT_LE(t.predicted_seconds, t.time_left_before + 1e-9);
@@ -279,7 +277,7 @@ TEST(ExecutorTest, SingleIntervalStrategyRuns) {
   ASSERT_TRUE(w.ok());
   ExecutorOptions opts;
   opts.strategy.kind = StrategyConfig::Kind::kSingleInterval;
-  auto r = RunTimeConstrainedCount(w->query, 10.0, w->catalog, opts);
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(opts, 10.0));
   ASSERT_TRUE(r.ok());
   EXPECT_GT(r->stages_counted, 0);
   EXPECT_NEAR(r->estimate, 2000.0, 1200.0);
@@ -290,7 +288,7 @@ TEST(ExecutorTest, HeuristicStrategyRuns) {
   ASSERT_TRUE(w.ok());
   ExecutorOptions opts;
   opts.strategy.kind = StrategyConfig::Kind::kHeuristic;
-  auto r = RunTimeConstrainedCount(w->query, 10.0, w->catalog, opts);
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(opts, 10.0));
   ASSERT_TRUE(r.ok());
   EXPECT_GT(r->stages_counted, 1);  // spends ~half the budget per stage
   EXPECT_NEAR(r->estimate, 2000.0, 1200.0);
@@ -310,9 +308,9 @@ TEST(ExecutorTest, HybridFinalPartialStagesUseResidualTime) {
   for (int rep = 0; rep < reps; ++rep) {
     auto opts = base;
     opts.seed = 500 + static_cast<uint64_t>(rep);
-    auto plain = RunTimeConstrainedCount(w->query, 2.5, w->catalog, opts);
+    auto plain = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(opts, 2.5));
     opts.final_partial_stages = true;
-    auto hybrid = RunTimeConstrainedCount(w->query, 2.5, w->catalog, opts);
+    auto hybrid = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(opts, 2.5));
     ASSERT_TRUE(plain.ok());
     ASSERT_TRUE(hybrid.ok());
     blocks_plain += plain->blocks_sampled;
@@ -329,7 +327,7 @@ TEST(ExecutorTest, PartialFulfillmentRuns) {
   ASSERT_TRUE(w.ok());
   auto opts = DefaultOptions(12.0);
   opts.fulfillment = Fulfillment::kPartial;
-  auto r = RunTimeConstrainedCount(w->query, 10.0, w->catalog, opts);
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(opts, 10.0));
   ASSERT_TRUE(r.ok());
   EXPECT_GT(r->stages_counted, 0);
 }

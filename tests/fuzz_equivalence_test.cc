@@ -26,6 +26,14 @@
 namespace tcq {
 namespace {
 
+// Quota is unified into ExecutorOptions::quota_s (the pre-unification
+// overloads are gone); set it via this copy-and-set helper.
+ExecutorOptions WithQuota(ExecutorOptions options, double quota_s) {
+  options.quota_s = quota_s;
+  return options;
+}
+
+
 /// Small relations so exact evaluation of deep trees stays fast. Keys are
 /// drawn from a narrow domain so joins/intersections actually match;
 /// tuples are duplicate-free (unique ids would break set-compatibility of
@@ -161,7 +169,7 @@ TEST_P(FuzzEquivalenceTest, InvariantsHold) {
     // P3: the engine with an unlimited quota is exact.
     ExecutorOptions generous;
     generous.seed = GetParam();
-    auto full = RunTimeConstrainedCount(expr, 1e9, catalog, generous);
+    auto full = RunTimeConstrainedCount(expr, catalog, WithQuota(generous, 1e9));
     ASSERT_TRUE(full.ok()) << expr->ToString();
     EXPECT_DOUBLE_EQ(full->estimate, static_cast<double>(*exact))
         << expr->ToString();
@@ -169,7 +177,7 @@ TEST_P(FuzzEquivalenceTest, InvariantsHold) {
     // P4: a tight quota still yields a sane result.
     ExecutorOptions tight;
     tight.seed = GetParam() + 1;
-    auto quick = RunTimeConstrainedCount(expr, 2.0, catalog, tight);
+    auto quick = RunTimeConstrainedCount(expr, catalog, WithQuota(tight, 2.0));
     ASSERT_TRUE(quick.ok()) << expr->ToString();
     EXPECT_TRUE(std::isfinite(quick->estimate));
     EXPECT_EQ(static_cast<int>(quick->stages().size()), quick->stages_run);

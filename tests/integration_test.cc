@@ -16,6 +16,14 @@
 namespace tcq {
 namespace {
 
+// Quota is unified into ExecutorOptions::quota_s (the pre-unification
+// overloads are gone); set it via this copy-and-set helper.
+ExecutorOptions WithQuota(ExecutorOptions options, double quota_s) {
+  options.quota_s = quota_s;
+  return options;
+}
+
+
 std::string TempDir(const char* leaf) {
   auto dir = std::filesystem::temp_directory_path() / "tcq_integration" /
              leaf;
@@ -42,7 +50,7 @@ TEST(IntegrationTest, DiskToParserToEngine) {
   ExecutorOptions options;
   options.strategy.one_at_a_time.d_beta = 24.0;
   options.seed = 4;
-  auto r = RunTimeConstrainedCount(*query, 10.0, *catalog, options);
+  auto r = RunTimeConstrainedCount(*query, *catalog, WithQuota(options, 10.0));
   ASSERT_TRUE(r.ok());
   EXPECT_NEAR(r->estimate, 3000.0, 1200.0);
   EXPECT_GT(r->stages_counted, 0);
@@ -58,7 +66,7 @@ TEST(IntegrationTest, ParsedSetQueryThroughEngine) {
   EXPECT_EQ(*exact, 10000);  // symmetric difference: 2 × 5,000 unique
   ExecutorOptions options;
   options.seed = 5;
-  auto r = RunTimeConstrainedCount(*query, 1e9, w->catalog, options);
+  auto r = RunTimeConstrainedCount(*query, w->catalog, WithQuota(options, 1e9));
   ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r->estimate, 10000.0);
 }
@@ -72,8 +80,7 @@ TEST(IntegrationTest, ParsedAggregateOverReloadedCatalog) {
   ASSERT_TRUE(catalog.ok());
   auto query = ParseQuery("SELECT[key < 2000](r1)");
   ASSERT_TRUE(query.ok());
-  auto r = RunTimeConstrainedAggregate(*query, AggregateSpec::Avg("key"),
-                                       1e9, *catalog, ExecutorOptions());
+  auto r = RunTimeConstrainedAggregate(*query, AggregateSpec::Avg("key"), *catalog, WithQuota(ExecutorOptions(), 1e9));
   ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r->estimate, 999.5);
 }
@@ -102,7 +109,7 @@ TEST(IntegrationTest, HybridAndPrecisionComposeWithHardDeadline) {
   options.precision.rel_halfwidth = 0.10;
   options.deadline_mode = DeadlineMode::kHard;
   options.seed = 7;
-  auto r = RunTimeConstrainedCount(w->query, 10.0, w->catalog, options);
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(options, 10.0));
   ASSERT_TRUE(r.ok());
   EXPECT_GT(r->stages_counted, 0);
   EXPECT_LE(r->utilization, 1.0);
@@ -117,7 +124,7 @@ TEST(IntegrationTest, WallClockOverParsedQuery) {
   options.use_wall_clock = true;
   options.physical = CostModel::ModernInMemory();
   options.seed = 8;
-  auto r = RunTimeConstrainedCount(*query, 0.050, w->catalog, options);
+  auto r = RunTimeConstrainedCount(*query, w->catalog, WithQuota(options, 0.050));
   ASSERT_TRUE(r.ok());
   EXPECT_GT(r->stages_counted, 0);
   EXPECT_NEAR(r->estimate, 2000.0, 1500.0);

@@ -12,6 +12,14 @@
 namespace tcq {
 namespace {
 
+// Quota is unified into ExecutorOptions::quota_s (the pre-unification
+// overloads are gone); set it via this copy-and-set helper.
+ExecutorOptions WithQuota(ExecutorOptions options, double quota_s) {
+  options.quota_s = quota_s;
+  return options;
+}
+
+
 ExecutorOptions BaseOptions(int threads) {
   ExecutorOptions options;
   options.strategy.one_at_a_time.d_beta = 24.0;
@@ -22,7 +30,7 @@ ExecutorOptions BaseOptions(int threads) {
 
 QueryResult MustRun(const ExprPtr& query, const Catalog& catalog,
                     double quota_s, const ExecutorOptions& options) {
-  auto r = RunTimeConstrainedCount(query, quota_s, catalog, options);
+  auto r = RunTimeConstrainedCount(query, catalog, WithQuota(options, quota_s));
   EXPECT_TRUE(r.ok()) << r.status().ToString();
   return *r;
 }

@@ -1,0 +1,274 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "api/tcq.h"
+#include "obs/metrics.h"
+#include "parallel/thread_pool.h"
+#include "util/status.h"
+#include "workload/generators.h"
+
+namespace tcq {
+namespace {
+
+constexpr int kTuples = 2000;
+constexpr uint64_t kWorkloadSeed = 7;
+
+Catalog MakeCatalog() {
+  auto workload = MakeIntersectionWorkload(kTuples, kWorkloadSeed);
+  EXPECT_TRUE(workload.ok());
+  return std::move(workload->catalog);
+}
+
+Server::Options GenerousOptions() {
+  Server::Options options;
+  options.admission.global_budget_s = 100.0;
+  options.admission.max_concurrent = 32;
+  return options;
+}
+
+TEST(ServerTest, SingleQueryBitIdenticalToStandaloneSession) {
+  Session standalone(MakeCatalog());
+  auto lone = standalone.Query("r1 INTERSECT r2").WithSeed(21).Run();
+  ASSERT_TRUE(lone.ok()) << lone.status().ToString();
+
+  Server server(MakeCatalog(), GenerousOptions());
+  Session session = server.OpenSession();
+  auto served = session.Query("r1 INTERSECT r2").WithSeed(21).Run();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  EXPECT_EQ(served->estimate, lone->estimate);
+  EXPECT_EQ(served->variance, lone->variance);
+  EXPECT_EQ(served->blocks_sampled, lone->blocks_sampled);
+
+  // The standalone run is unserved; the served run carries its ledger.
+  EXPECT_EQ(lone->admission.outcome, AdmissionReport::Outcome::kStandalone);
+  EXPECT_EQ(served->admission.outcome, AdmissionReport::Outcome::kAdmitted);
+  EXPECT_EQ(served->admission.requested_quota_s, 5.0);
+  EXPECT_EQ(served->admission.granted_quota_s, 5.0);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admission.submitted, 1);
+  EXPECT_EQ(stats.admission.admitted, 1);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.admission.active, 0);
+  EXPECT_EQ(stats.admission.outstanding_s, 0.0);
+}
+
+TEST(ServerTest, OversizedQuotaIsRejectedWithTypedStatus) {
+  Server::Options options;
+  options.admission.global_budget_s = 2.0;
+  options.admission.allow_shrink = false;
+  options.admission.allow_queue = false;
+  Server server(MakeCatalog(), options);
+  Session session = server.OpenSession();
+
+  auto r = session.Query("r1 INTERSECT r2").WithQuota(20.0).Run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admission.submitted, 1);
+  EXPECT_EQ(stats.admission.rejected, 1);
+  EXPECT_EQ(stats.completed, 0);  // a rejected submission never executes
+}
+
+TEST(ServerTest, ShrunkGrantRunsAtReducedQuotaBitIdentically) {
+  Server::Options options;
+  options.admission.global_budget_s = 2.0;
+  options.admission.min_shrunk_quota_s = 0.25;
+  Server server(MakeCatalog(), options);
+  Session session = server.OpenSession();
+
+  auto shrunk = session.Query("r1 INTERSECT r2")
+                    .WithSeed(21)
+                    .WithQuota(8.0)
+                    .Run();
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+  EXPECT_EQ(shrunk->admission.outcome, AdmissionReport::Outcome::kShrunk);
+  EXPECT_EQ(shrunk->admission.requested_quota_s, 8.0);
+  EXPECT_EQ(shrunk->admission.granted_quota_s, 2.0);
+
+  // The engine saw exactly the shrunk quota: a standalone run asking for
+  // 2 s outright reproduces the estimate bit for bit.
+  Session standalone(MakeCatalog());
+  auto direct =
+      standalone.Query("r1 INTERSECT r2").WithSeed(21).WithQuota(2.0).Run();
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_EQ(shrunk->estimate, direct->estimate);
+  EXPECT_EQ(shrunk->variance, direct->variance);
+  EXPECT_EQ(shrunk->blocks_sampled, direct->blocks_sampled);
+}
+
+TEST(ServerTest, ParseErrorsNeverReachAdmission) {
+  Server server(MakeCatalog(), GenerousOptions());
+  Session session = server.OpenSession();
+
+  QueryBuilder bad = session.Query("SELECT[key <](r1)");
+  EXPECT_FALSE(bad.status().ok());
+  auto r = bad.Run();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The malformed query was turned away before it could draw budget.
+  EXPECT_EQ(server.stats().admission.submitted, 0);
+}
+
+TEST(ServerTest, DeadlineMissIsRecorded) {
+  Metrics metrics;
+  Server::Options options = GenerousOptions();
+  options.metrics = &metrics;
+  Server server(MakeCatalog(), options);
+  Session session = server.OpenSession();
+
+  // An unmeetable serving deadline: the (simulated) run completes, but
+  // its real latency exceeds a nanosecond-scale deadline.
+  auto r = session.Query("r1 INTERSECT r2")
+               .WithSeed(21)
+               .WithServeDeadline(1e-9)
+               .Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->admission.deadline_missed);
+  EXPECT_EQ(r->admission.deadline_s, 1e-9);
+  EXPECT_GT(r->admission.serve_latency_s, 0.0);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.deadline_missed, 1);
+  EXPECT_EQ(metrics.counter("serve.deadline_missed")->value(), 1);
+  EXPECT_EQ(metrics.histogram("serve.deadline_miss_s")->count(), 1);
+  EXPECT_EQ(metrics.histogram("serve.latency_s")->count(), 1);
+}
+
+TEST(ServerTest, QueuedSubmissionRunsAfterRelease) {
+  Server::Options options;
+  options.admission.global_budget_s = 5.0;  // exactly one default quota
+  Server server(MakeCatalog(), options);
+
+  ThreadPool submitters(1);  // two concurrent submitters
+  Result<QueryResult> first = Status::Internal("not run");
+  Result<QueryResult> second = Status::Internal("not run");
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&] {
+    Session session = server.OpenSession();
+    first = session.Query("r1 INTERSECT r2")
+                .WithSeed(21)
+                .WithServeDeadline(30.0)
+                .Run();
+  });
+  tasks.push_back([&] {
+    Session session = server.OpenSession();
+    second = session.Query("r1 INTERSECT r2")
+                 .WithSeed(21)
+                 .WithServeDeadline(30.0)
+                 .Run();
+  });
+  RunTasks(&submitters, &tasks);
+
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // Same seed, same catalog: however the two interleaved, both estimates
+  // are the bit-identical sim-mode result.
+  EXPECT_EQ(first->estimate, second->estimate);
+  EXPECT_EQ(first->blocks_sampled, second->blocks_sampled);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admission.submitted, 2);
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.admission.admitted + stats.admission.shrunk +
+                stats.admission.queued + stats.admission.rejected,
+            2);
+  EXPECT_EQ(stats.admission.rejected, 0);
+  EXPECT_EQ(stats.admission.outstanding_s, 0.0);
+}
+
+// The TSan target of the serving layer: many sessions of one server run
+// concurrently, sharing the fixed-width ThreadPool, the sharded warm
+// cache, and the admission books.
+TEST(ServerTest, EightConcurrentWarmQueriesShareOnePoolAndCache) {
+  Metrics metrics;
+  Server::Options options = GenerousOptions();
+  options.pool_workers = 3;
+  options.session.warm_start = true;
+  options.session.threads = 2;
+  options.metrics = &metrics;
+  Server server(MakeCatalog(), options);
+  EXPECT_EQ(server.pool_workers(), 3);
+
+  constexpr int kQueries = 8;
+  ThreadPool submitters(kQueries - 1);
+  std::vector<Result<QueryResult>> results(kQueries,
+                                           Status::Internal("not run"));
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < kQueries; ++i) {
+    tasks.push_back([&, i] {
+      Session session = server.OpenSession();
+      results[static_cast<size_t>(i)] =
+          session.Query(i % 2 == 0 ? "r1 INTERSECT r2" : "r1 UNION r2")
+              .WithSeed(100 + static_cast<uint64_t>(i))
+              .WithServeDeadline(60.0)
+              .Run();
+    });
+  }
+  RunTasks(&submitters, &tasks);
+
+  for (int i = 0; i < kQueries; ++i) {
+    const auto& r = results[static_cast<size_t>(i)];
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+    // A sparse intersection can estimate 0 from the blocks it sampled;
+    // what admission guarantees is that every run got its full grant.
+    EXPECT_EQ(r->admission.granted_quota_s, r->admission.requested_quota_s)
+        << i;
+  }
+
+  // Admission at this budget is deterministic whatever the interleaving:
+  // the budget fits all eight, so every submission is plainly admitted.
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.admission.submitted, kQueries);
+  EXPECT_EQ(stats.admission.admitted, kQueries);
+  EXPECT_EQ(stats.admission.shrunk, 0);
+  EXPECT_EQ(stats.admission.queued, 0);
+  EXPECT_EQ(stats.admission.rejected, 0);
+  EXPECT_EQ(stats.completed, kQueries);
+  EXPECT_EQ(stats.admission.active, 0);
+  EXPECT_EQ(stats.admission.outstanding_s, 0.0);
+  EXPECT_EQ(metrics.counter("serve.submitted")->value(), kQueries);
+  EXPECT_EQ(metrics.counter("serve.completed")->value(), kQueries);
+
+  // The shared cache's books reconcile: every pooled block was retained
+  // from a fresh draw exactly once, concurrent appends included.
+  WarmStartStats cache = server.CacheStats();
+  EXPECT_GT(cache.relations, 0);
+  EXPECT_GT(cache.pooled_blocks, 0);
+  EXPECT_EQ(cache.pooled_blocks, cache.fresh_blocks);
+  EXPECT_GT(cache.prior_hits + cache.prior_misses, 0);
+
+  // A later warm query replays the pools those eight filled.
+  const int64_t replayed_before = cache.replayed_blocks;
+  Session warm = server.OpenSession();
+  auto replay = warm.Query("r1 INTERSECT r2").WithSeed(500).Run();
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_GT(server.CacheStats().replayed_blocks, replayed_before);
+}
+
+TEST(ServerTest, AdminSurfacesMatchSessions) {
+  Server server(MakeCatalog(), GenerousOptions());
+  Session session = server.OpenSession();
+
+  // Catalog and cache views are the same shared state through either
+  // handle.
+  EXPECT_EQ(&server.catalog(), &session.catalog());
+  Session warm = server.OpenSession();
+  auto r = warm.Query("r1 INTERSECT r2").WithWarmStart().Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(server.CacheStats().pooled_blocks, 0);
+  EXPECT_EQ(server.CacheStats().pooled_blocks,
+            session.CacheStats().pooled_blocks);
+  server.ClearCache();
+  EXPECT_EQ(session.CacheStats().pooled_blocks, 0);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -6,6 +6,14 @@
 namespace tcq {
 namespace {
 
+// Quota is unified into ExecutorOptions::quota_s (the pre-unification
+// overloads are gone); set it via this copy-and-set helper.
+ExecutorOptions WithQuota(ExecutorOptions options, double quota_s) {
+  options.quota_s = quota_s;
+  return options;
+}
+
+
 TEST(WallClockModeTest, AnswersWithinRealQuota) {
   auto w = MakeSelectionWorkload(2000, 1);
   ASSERT_TRUE(w.ok());
@@ -16,7 +24,7 @@ TEST(WallClockModeTest, AnswersWithinRealQuota) {
   options.epsilon_s = 0.001;
   // 50 real milliseconds: on any modern machine this covers the whole
   // 2,000-block relation many times over after the coefficients adapt.
-  auto r = RunTimeConstrainedCount(w->query, 0.050, w->catalog, options);
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(options, 0.050));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_GT(r->stages_counted, 0);
   EXPECT_GT(r->estimate, 0.0);
@@ -39,7 +47,7 @@ TEST(WallClockModeTest, CoefficientsAdaptFromWrongInitialScale) {
   options.physical = CostModel::Sun360();  // deliberately wrong scale
   options.strategy.one_at_a_time.d_beta = 12.0;
   options.epsilon_s = 0.0005;
-  auto r = RunTimeConstrainedCount(w->query, 1.0, w->catalog, options);
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(options, 1.0));
   ASSERT_TRUE(r.ok());
   ASSERT_GE(r->stages_run, 2) << "expected multiple stages in 1 s";
   EXPECT_GT(r->stages()[1].blocks_drawn, r->stages()[0].blocks_drawn);
@@ -57,7 +65,7 @@ TEST(WallClockModeTest, SamplingStillSeedDeterministic) {
   options.use_wall_clock = true;
   options.physical = CostModel::ModernInMemory();
   options.seed = 9;
-  auto r = RunTimeConstrainedCount(w->query, 0.050, w->catalog, options);
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, WithQuota(options, 0.050));
   ASSERT_TRUE(r.ok());
   EXPECT_GT(r->blocks_sampled, 0);
 }

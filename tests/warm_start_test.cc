@@ -263,8 +263,9 @@ TEST(WarmStartTest, PriorSeedsStageZeroSelectivity) {
   ExprPtr expr =
       Select(Scan("r1"), CmpLiteral("key", CompareOp::kLt, 3000));
   cache.RecordPrior(CanonicalSignature(*expr), prior);
-  const double* looked_up = cache.LookupPrior(CanonicalSignature(*expr));
-  ASSERT_NE(looked_up, nullptr);
+  std::optional<double> looked_up =
+      cache.LookupPrior(CanonicalSignature(*expr));
+  ASSERT_TRUE(looked_up.has_value());
   EXPECT_EQ(*looked_up, prior);
 }
 

@@ -1,0 +1,16 @@
+// raw-options-edit: the deprecated QueryBuilder::With escape hatch in
+// library code. Typed With* setters keep the configuration greppable and
+// in sync with EXPLAIN and the admission fit probe; raw edits do not.
+#include "api/tcq.h"
+
+namespace tcq {
+void BadRawEdits(Session& session) {
+  session.Query("r1 INTERSECT r2")
+      .With([](ExecutorOptions* o) { o->quota_s = 2.0; });
+  auto builder = session.Query("r1");
+  builder . With ([](ExecutorOptions* o) { o->seed = 3; });
+  // Typed setters are the sanctioned spelling and must not fire:
+  auto ok = session.Query("r1").WithQuota(2.0).WithSeed(3);
+  (void)ok;
+}
+}  // namespace tcq

@@ -1,0 +1,11 @@
+// raw-options-edit is scoped away from tests/: a test may use the
+// deprecated escape hatch deliberately, e.g. to prove the typed setters
+// and a raw edit configure the very same ExecutorOptions.
+#include "api/tcq.h"
+
+namespace tcq {
+void OkRawEditInTest(Session& session) {
+  session.Query("r1 INTERSECT r2")
+      .With([](ExecutorOptions* o) { o->quota_s = 2.0; });
+}
+}  // namespace tcq

@@ -46,6 +46,13 @@ enforces them statically:
                      test covers every byte any query can emit; other
                      layers record through the Tracer API and export via
                      Tracer::ExportToFile.
+  raw-options-edit   The deprecated QueryBuilder::With(edit) escape hatch
+                     outside tests/. Every ExecutorOptions field has a
+                     typed With* setter; raw edits are ungreppable and let
+                     a query drift from what EXPLAIN and the tcq::Server
+                     admission fit probe planned against. Tests may use
+                     the hatch deliberately (e.g. to prove the typed
+                     setters configure the very same options).
 
 Usage:
   tools/tcq_lint.py [--root DIR] [--list-rules] [PATHS...]
@@ -276,6 +283,25 @@ def rule_nodiscard_status(relpath, lines, code_lines):
                    "in an exception-free library")
 
 
+# Member-call spelling only: `builder.With(...)` / chained `.With (...)`.
+# Typed setters (`.WithQuota(`) have letters between "With" and the
+# parenthesis and do not match; the declaration in api/tcq.h has no
+# preceding dot.
+RAW_OPTIONS_EDIT_TOKENS = re.compile(r"\.\s*With\s*\(")
+
+
+def rule_raw_options_edit(relpath, lines, code_lines):
+    if _norm(relpath).startswith("tests/"):
+        return
+    for no, code in enumerate(code_lines, 1):
+        m = RAW_OPTIONS_EDIT_TOKENS.search(code)
+        if m:
+            yield no, ("'.With(' — the deprecated raw-ExecutorOptions "
+                       "escape hatch; use the typed With* setters so the "
+                       "configuration stays greppable and in sync with "
+                       "EXPLAIN and admission control (tests excepted)")
+
+
 RULES = {
     "unseeded-rng": rule_unseeded_rng,
     "wall-clock": rule_wall_clock,
@@ -284,6 +310,7 @@ RULES = {
     "thread-outside-parallel": rule_thread_outside_parallel,
     "cache-key-canonical": rule_cache_key_canonical,
     "trace-format-outside-obs": rule_trace_format_outside_obs,
+    "raw-options-edit": rule_raw_options_edit,
 }
 
 

@@ -54,7 +54,12 @@ EXPECTED = {
         (14, "trace-format-outside-obs"),
         (15, "trace-format-outside-obs"),
     ],
+    "src/engine/bad_raw_options_edit.cc": [
+        (9, "raw-options-edit"),
+        (11, "raw-options-edit"),
+    ],
     # Scope and suppression cases: must come back clean.
+    "tests/ok_raw_options_edit.cc": [],
     "src/util/random.cc": [],
     "src/timectrl/ok_clock.cc": [],
     "src/parallel/ok_thread.cc": [],
