@@ -24,6 +24,12 @@
 #                 refreshes the top-level BENCH_serve.json summary, and
 #                 gates the <=5% deadline-miss rate of admitted queries
 #                 (and that admission OFF violates it)
+#   fault-bench   the same 4x-overload harness with deterministic fault
+#                 injection armed (5% transient + 1% permanent) via
+#                 bench/fault_tolerance; archives build/artifacts/
+#                 fault_tolerance.json, refreshes BENCH_fault.json, and
+#                 gates the <=5% miss rate and >=80% exact-count CI
+#                 coverage of the degraded answers
 #   tsan          ThreadSanitizer build + ctest (contracts armed)
 #   asan          AddressSanitizer build + ctest (contracts armed)
 #   ubsan         UndefinedBehaviorSanitizer build + ctest (contracts armed)
@@ -35,7 +41,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs="$(nproc 2>/dev/null || echo 2)"
-ALL_STAGES=(lint format-check tidy release trace-smoke warm-bench serve-bench tsan asan ubsan)
+ALL_STAGES=(lint format-check tidy release trace-smoke warm-bench serve-bench fault-bench tsan asan ubsan)
 
 usage() {
   echo "usage: $0 [stage...]   stages: ${ALL_STAGES[*]}" >&2
@@ -147,6 +153,43 @@ with open("BENCH_serve.json", "w") as f:
     f.write("\n")
 print(f"serve-bench: admission on {on['miss_pct']:.1f}% miss / "
       f"off {off['miss_pct']:.1f}% miss; summary at BENCH_serve.json")
+EOF_PY
+}
+
+stage_fault_bench() {
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release &&
+    cmake --build build -j "$jobs" --target fault_tolerance &&
+    mkdir -p build/artifacts &&
+    ./build/bench/fault_tolerance | tee build/artifacts/fault_tolerance.json &&
+    python3 - <<'EOF_PY'
+import json
+with open("build/artifacts/fault_tolerance.json") as f:
+    result = json.load(f)
+assert result["ok"], "fault_tolerance bench gate failed"
+summary = {
+    "bench": "fault_tolerance",
+    "n": result["n"],
+    "overload": result["overload"],
+    "t_svc_s": result["t_svc_s"],
+    "transient_rate": result["transient_rate"],
+    "permanent_rate": result["permanent_rate"],
+    "miss_pct": result["miss_pct"],
+    "coverage_pct": result["coverage_pct"],
+    "mean_rel_err_pct": result["mean_rel_err_pct"],
+    "transient_faults": result["transient_faults"],
+    "retries": result["retries"],
+    "blocks_lost": result["blocks_lost"],
+    "degraded": result["degraded"],
+    "max_widening": result["max_widening"],
+    "breaker_sheds": result["breaker_sheds"],
+    "ok": result["ok"],
+}
+with open("BENCH_fault.json", "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+print(f"fault-bench: {result['miss_pct']:.1f}% miss, "
+      f"{result['coverage_pct']:.1f}% CI coverage under faults; "
+      "summary at BENCH_fault.json")
 EOF_PY
 }
 

@@ -146,6 +146,16 @@ class QueryBuilder {
     options_.use_wall_clock = on;
     return *this;
   }
+  /// Arms deterministic fault injection (ExecutorOptions::faults; see
+  /// DESIGN.md §10): transient read errors retried with quota-charged
+  /// backoff, permanently lost blocks dropped from the frame with the
+  /// variance widened, and straggler reads. Off by default; with
+  /// `faults.enabled == false` the run is bit-identical to one that
+  /// never heard of faults, at any seed and thread count.
+  QueryBuilder& WithFaults(const FaultOptions& faults) {
+    options_.faults = faults;
+    return *this;
+  }
   QueryBuilder& WithCostModel(const CostModel& model) {
     options_.physical = model;
     return *this;

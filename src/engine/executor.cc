@@ -8,10 +8,12 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "cache/warm_start.h"
 #include "cost/predictor.h"
+#include "fault/fault.h"
 #include "util/check.h"
 #include "sampling/block_sampler.h"
 #include "estimator/combined.h"
@@ -97,14 +99,21 @@ CountEstimate EstimateTerm(const StagedTermEvaluator& ev) {
 }  // namespace
 
 Status ExecutorOptions::Validate() const {
-  if (!(quota_s > 0.0)) {
-    return Status::InvalidArgument("time quota must be positive");
+  // Explicit finiteness checks everywhere: NaN compares false against
+  // everything, so a plain `x < 0` guard lets NaN through (and +inf
+  // passes any one-sided bound) — each would corrupt the deadline
+  // arithmetic much later with no typed error.
+  if (!std::isfinite(quota_s) || !(quota_s > 0.0)) {
+    return Status::InvalidArgument(
+        "time quota must be finite and positive; got " +
+        std::to_string(quota_s));
   }
-  if (!(epsilon_s > 0.0 && epsilon_s < 1.0)) {
+  if (!std::isfinite(epsilon_s) || !(epsilon_s > 0.0 && epsilon_s < 1.0)) {
     return Status::InvalidArgument(
         "epsilon_s must lie in (0, 1); got " + std::to_string(epsilon_s));
   }
-  if (!(confidence > 0.0 && confidence < 1.0)) {
+  if (!std::isfinite(confidence) ||
+      !(confidence > 0.0 && confidence < 1.0)) {
     return Status::InvalidArgument(
         "confidence must lie in (0, 1); got " + std::to_string(confidence));
   }
@@ -117,11 +126,31 @@ Status ExecutorOptions::Validate() const {
     return Status::InvalidArgument("max_stages must be >= 1; got " +
                                    std::to_string(max_stages));
   }
-  if (serve_deadline_s < 0.0) {
+  if (!std::isfinite(serve_deadline_s) || serve_deadline_s < 0.0) {
     return Status::InvalidArgument(
-        "serve_deadline_s must be >= 0 (0 means quota_s); got " +
+        "serve_deadline_s must be finite and >= 0 (0 means quota_s); got " +
         std::to_string(serve_deadline_s));
   }
+  // Precision-stop targets: NaN compares false against the > 0 "enabled"
+  // probes, so a NaN target would silently disable the stop the caller
+  // asked for instead of erroring.
+  if (!std::isfinite(precision.rel_halfwidth) ||
+      precision.rel_halfwidth < 0.0 ||
+      !std::isfinite(precision.abs_halfwidth) ||
+      precision.abs_halfwidth < 0.0 ||
+      !std::isfinite(precision.min_improvement) ||
+      precision.min_improvement < 0.0) {
+    return Status::InvalidArgument(
+        "precision-stop targets must be finite and >= 0 (0 disables)");
+  }
+  if (precision.enabled() &&
+      (!std::isfinite(precision.confidence) ||
+       !(precision.confidence > 0.0 && precision.confidence < 1.0))) {
+    return Status::InvalidArgument(
+        "precision.confidence must lie in (0, 1); got " +
+        std::to_string(precision.confidence));
+  }
+  TCQ_RETURN_NOT_OK(faults.Validate());
   return Status::OK();
 }
 
@@ -168,6 +197,18 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     ledger.AttachNoise(&noise_rng, options.physical.stage_speed_cv,
                        options.physical.block_read_jitter);
   }
+
+  // Fault injection (DESIGN.md §10): a stateless oracle whose decisions
+  // are pure in (fault_seed, relation, block, attempt) — the same fault
+  // sequence replays at any thread count. All fault charges happen in
+  // the post-barrier serial sections below, in relation-name order, so
+  // the noise stream and clock stay deterministic. With `faults_on`
+  // false every fault branch is dead and execution is bit-identical to
+  // the historical path.
+  const bool faults_on = options.faults.enabled;
+  const FaultInjector injector(options.faults);
+  const double fault_overhead_s =
+      options.faults.ExpectedOverheadSeconds(options.physical.block_read_s);
 
   // Execution pool: `threads` counts the calling thread, so threads = N
   // creates N - 1 workers. An external pool (tcq::Session) may be wider
@@ -340,6 +381,11 @@ Result<QueryResult> RunTimeConstrainedAggregate(
   result.ci.level = options.confidence;
   double counted_elapsed = 0.0;
   double previous_estimate = std::nan("");
+  // Fault bookkeeping across stages: losses inside *counted* stages feed
+  // the variance widening; the per-relation tallies feed the serving
+  // layer's circuit breaker.
+  int64_t lost_counted = 0;
+  std::map<std::string, RelationFaultCounts> rel_faults;
   // Current fulfillment mode; may downgrade to partial once (§5.B hybrid).
   Fulfillment current_mode = options.fulfillment;
 
@@ -381,6 +427,13 @@ Result<QueryResult> RunTimeConstrainedAggregate(
             BlocksForFraction(f, sampler->total_blocks()),
             sampler->remaining_blocks());
         double coef = coefs.Coef(kGlobalCostNode, CostStep::kFetch);
+        // Expected fault overhead (retry re-reads, backoff, straggler
+        // inflation) is priced into the plan: the time-control loop
+        // replans around retries instead of discovering them mid-stage
+        // and blowing the hard deadline.
+        if (faults_on) {
+          seconds += static_cast<double>(d_new) * fault_overhead_s;
+        }
         if (!wall && cache != nullptr) {
           // The next pooled_remaining() draws replay cached blocks at the
           // discounted rate; pricing them as full reads would make the
@@ -505,6 +558,11 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     std::map<std::string, std::vector<const Block*>> stage_blocks;
     int64_t blocks_drawn = 0;
     int64_t blocks_replayed = 0;
+    int64_t stage_transients = 0;
+    int64_t stage_retries = 0;
+    int64_t stage_lost = 0;
+    int64_t stage_stragglers = 0;
+    double stage_fault_delay_s = 0.0;
     {
       TraceSpan draw_span(obs.tracer, "draw_blocks", "engine");
       struct DrawSlot {
@@ -512,6 +570,8 @@ Result<QueryResult> RunTimeConstrainedAggregate(
         BlockSampler* sampler = nullptr;
         int64_t count = 0;
         std::vector<const Block*> blocks;
+        std::vector<uint32_t> indices;  // fault path: drawn block ids
+        Status status;
         double seconds = 0.0;
       };
       std::vector<DrawSlot> draws;
@@ -531,17 +591,48 @@ Result<QueryResult> RunTimeConstrainedAggregate(
       tasks.reserve(draws.size());
       for (DrawSlot& slot : draws) {
         DrawSlot* sp = &slot;
-        tasks.push_back([sp, seed, stage_idx] {
-          auto start = std::chrono::steady_clock::now();
-          sp->blocks = sp->sampler->DrawSubstream(sp->count, seed, stage_idx);
-          sp->seconds = SecondsSince(start);
-        });
+        if (faults_on) {
+          // Fault path: the draw is identical, but blocks come back with
+          // their indices through the checked storage read API (the
+          // injector keys on the physical block identity).
+          tasks.push_back([sp, seed, stage_idx] {
+            auto start = std::chrono::steady_clock::now();
+            Result<std::vector<DrawnBlock>> drawn =
+                sp->sampler->DrawSubstreamChecked(sp->count, seed,
+                                                  stage_idx);
+            if (!drawn.ok()) {
+              sp->status = drawn.status();
+            } else {
+              sp->blocks.reserve(drawn->size());
+              sp->indices.reserve(drawn->size());
+              for (const DrawnBlock& b : *drawn) {
+                sp->indices.push_back(b.index);
+                sp->blocks.push_back(b.block);
+              }
+            }
+            sp->seconds = SecondsSince(start);
+          });
+        } else {
+          tasks.push_back([sp, seed, stage_idx] {
+            auto start = std::chrono::steady_clock::now();
+            sp->blocks =
+                sp->sampler->DrawSubstream(sp->count, seed, stage_idx);
+            sp->seconds = SecondsSince(start);
+          });
+        }
       }
       auto section_start = std::chrono::steady_clock::now();
       RunTasks(pool, &tasks, max_width);
       stage_parallel.span_seconds += SecondsSince(section_start);
       stage_parallel.tasks += static_cast<int>(tasks.size());
+      // Post-barrier fault resolution happens in this serial loop
+      // (relation-name order): probes, retry charging, and the noise
+      // stream are independent of the worker count.
+      TraceSpan fault_span(faults_on ? obs.tracer : nullptr,
+                           "inject_faults", "fault");
+      double wall_fault_sleep_s = 0.0;
       for (DrawSlot& slot : draws) {
+        TCQ_RETURN_NOT_OK(slot.status);
         stage_parallel.work_seconds += slot.seconds;
         blocks_drawn += static_cast<int64_t>(slot.blocks.size());
         int64_t replayed = slot.sampler->last_draw_replayed();
@@ -571,7 +662,73 @@ Result<QueryResult> RunTimeConstrainedAggregate(
                       wall ? slot.seconds
                            : static_cast<double>(slot.blocks.size()) *
                                  options.physical.block_read_s);
+        if (faults_on) {
+          // Resolve each drawn block's read through the injector: retry
+          // transient faults with exponential backoff, drop permanently
+          // unreadable blocks from the frame, and charge every retry,
+          // backoff, and straggler second to the ledger so the deadline
+          // arithmetic sees the fault overhead.
+          std::vector<const Block*> survivors;
+          survivors.reserve(slot.blocks.size());
+          RelationFaultCounts& rf = rel_faults[slot.name];
+          rf.relation = slot.name;
+          for (size_t i = 0; i < slot.blocks.size(); ++i) {
+            const BlockReadOutcome outcome = ReadBlockWithFaults(
+                injector, slot.name, static_cast<int64_t>(slot.indices[i]),
+                options.physical.block_read_s);
+            rf.read_attempts += outcome.read_attempts;
+            const int64_t retries = outcome.read_attempts - 1;
+            if (retries > 0) {
+              stage_retries += retries;
+              // A retry re-reads the block: charged like any other read
+              // (consuming per-read jitter) but never a new draw —
+              // blocks_drawn counts this block exactly once.
+              if (!wall) {
+                ledger.ChargeN(CostCategory::kBlockRead, retries,
+                               options.physical.block_read_s);
+              }
+            }
+            stage_transients += outcome.transient_faults;
+            rf.transient_faults += outcome.transient_faults;
+            const double delay_s =
+                outcome.backoff_s + outcome.straggler_extra_s;
+            if (delay_s > 0.0) {
+              stage_fault_delay_s += delay_s;
+              if (!wall) {
+                ledger.Charge(CostCategory::kFaultDelay, delay_s);
+              } else {
+                wall_fault_sleep_s += delay_s;
+              }
+            }
+            if (outcome.lost) {
+              ++stage_lost;
+              ++rf.blocks_lost;
+              if (obs.tracing()) {
+                obs.tracer->Instant("block_lost", "fault", "block",
+                                    static_cast<double>(slot.indices[i]));
+              }
+              continue;
+            }
+            if (outcome.straggler) {
+              ++stage_stragglers;
+              ++rf.stragglers;
+            }
+            survivors.push_back(slot.blocks[i]);
+          }
+          slot.blocks = std::move(survivors);
+        }
         stage_blocks[slot.name] = std::move(slot.blocks);
+      }
+      if (wall && wall_fault_sleep_s > 0.0) {
+        // Wall-clock runs pay fault latency in real time: the deadline,
+        // the strategy's outcome feedback, and the serving layer all see
+        // the backoff/straggler seconds.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(wall_fault_sleep_s));
+      }
+      if (faults_on) {
+        fault_span.Arg("transient", static_cast<double>(stage_transients));
+        fault_span.Arg("lost", static_cast<double>(stage_lost));
       }
       draw_span.Arg("blocks", static_cast<double>(blocks_drawn));
       if (cache != nullptr) {
@@ -677,6 +834,25 @@ Result<QueryResult> RunTimeConstrainedAggregate(
       }
     }
 
+    // Degraded-answer accounting (DESIGN.md §10): fault decisions are
+    // content-agnostic, so the surviving blocks remain a uniform
+    // without-replacement sample and the cluster estimator stays
+    // unbiased over the reduced frame. The smaller effective sample is
+    // priced by widening the variance by (1 + lost/read) over the
+    // counted stages (including this one).
+    double fault_widen = 1.0;
+    if (faults_on) {
+      const int64_t read_blocks =
+          result.blocks_sampled + (blocks_drawn - stage_lost);
+      const int64_t lost_blocks = lost_counted + stage_lost;
+      if (lost_blocks > 0) {
+        fault_widen =
+            1.0 + static_cast<double>(lost_blocks) /
+                      static_cast<double>(std::max<int64_t>(1, read_blocks));
+        combined.variance *= fault_widen;
+      }
+    }
+
     StageReport report;
     report.index = stage;
     report.time_left_before = time_left;
@@ -697,6 +873,11 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     report.work_seconds = stage_parallel.work_seconds;
     report.span_seconds = stage_parallel.span_seconds;
     report.parallel_tasks = stage_parallel.tasks;
+    report.transient_faults = stage_transients;
+    report.retries = stage_retries;
+    report.blocks_lost = stage_lost;
+    report.stragglers = stage_stragglers;
+    report.fault_delay_s = stage_fault_delay_s;
     for (size_t t = 0; t < evaluators.size(); ++t) {
       for (const StagedNode* node : evaluators[t]->NodesPreOrder()) {
         auto it = sel_prev[t].find(node->id);
@@ -711,9 +892,22 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     }
     result.stage_reports.push_back(report);
     ++result.stages_run;
+    result.faults.transient_faults += stage_transients;
+    result.faults.retries += stage_retries;
+    result.faults.blocks_lost += stage_lost;
+    result.faults.stragglers += stage_stragglers;
+    result.faults.fault_delay_s += stage_fault_delay_s;
     if (obs.metering()) {
       obs.metrics->counter("engine.stages_run")->Increment();
       obs.metrics->counter("engine.blocks_drawn")->Add(blocks_drawn);
+      if (faults_on) {
+        // Deterministic at a fixed fault seed: every increment happens
+        // in this serial section, in relation-name order.
+        obs.metrics->counter("fault.transient")->Add(stage_transients);
+        obs.metrics->counter("fault.retries")->Add(stage_retries);
+        obs.metrics->counter("fault.blocks_lost")->Add(stage_lost);
+        obs.metrics->counter("fault.stragglers")->Add(stage_stragglers);
+      }
       obs.metrics->gauge("engine.spend_s")->Set(report.cumulative_spend_s);
       obs.metrics->gauge("engine.time_left_s")
           ->Set(deadline.Remaining(clock));
@@ -747,11 +941,17 @@ Result<QueryResult> RunTimeConstrainedAggregate(
         result.blocks_wasted += blocks_drawn;
         break;
       }
-      // Soft deadline: the finished stage counts, then we stop.
+      // Soft deadline: the finished stage counts, then we stop. Lost
+      // blocks cost I/O but contribute nothing to the estimate — they
+      // land in blocks_wasted, keeping the reconciliation identity
+      // blocks_sampled + blocks_wasted == Σ stage blocks_drawn.
       result.estimate = combined.value;
       result.variance = combined.variance;
       ++result.stages_counted;
-      result.blocks_sampled += blocks_drawn;
+      result.blocks_sampled += blocks_drawn - stage_lost;
+      result.blocks_wasted += stage_lost;
+      lost_counted += stage_lost;
+      result.faults.variance_widening = fault_widen;
       counted_elapsed = deadline.Elapsed(clock);
       break;
     }
@@ -759,7 +959,10 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     result.estimate = combined.value;
     result.variance = combined.variance;
     ++result.stages_counted;
-    result.blocks_sampled += blocks_drawn;
+    result.blocks_sampled += blocks_drawn - stage_lost;
+    result.blocks_wasted += stage_lost;
+    lost_counted += stage_lost;
+    result.faults.variance_widening = fault_widen;
     counted_elapsed = deadline.Elapsed(clock);
     // In simulation the clock advances only by ledger charges, so a
     // stage that passed the within-quota check cannot have pushed the
@@ -780,6 +983,19 @@ Result<QueryResult> RunTimeConstrainedAggregate(
   final_estimate.variance = result.variance;
   result.ci = NormalConfidenceInterval(final_estimate, options.confidence);
   result.elapsed_seconds = deadline.Elapsed(clock);
+  if (faults_on) {
+    result.degraded = result.faults.blocks_lost > 0;
+    result.faults.per_relation.reserve(rel_faults.size());
+    for (auto& [name, counts] : rel_faults) {
+      (void)name;
+      result.faults.per_relation.push_back(std::move(counts));
+    }
+    if (obs.metering()) {
+      obs.metrics->gauge("fault.delay_s")->Set(result.faults.fault_delay_s);
+      obs.metrics->gauge("fault.variance_widening")
+          ->Set(result.faults.variance_widening);
+    }
+  }
   // The true ratio, deliberately unclamped: under a soft deadline the
   // counted final stage may overrun the quota, and utilization > 1 is
   // exactly the overspend signal callers need to see. Hard-deadline runs
@@ -955,6 +1171,11 @@ Result<ExplainResult> ExplainTimeConstrainedAggregate(
     evaluators.push_back(std::move(ev));
   }
   std::map<std::string, int64_t> remaining = total_blocks;
+  // EXPLAIN prices the same expected fault overhead per fresh read as
+  // the run path, so a serve-layer fit probe of a faulty configuration
+  // plans honestly.
+  const double explain_fault_overhead_s =
+      options.faults.ExpectedOverheadSeconds(options.physical.block_read_s);
 
   // The planning loop of the run path against hypothetical time/block
   // state: each chosen stage charges its predicted cost to the budget and
@@ -985,7 +1206,8 @@ Result<ExplainResult> ExplainTimeConstrainedAggregate(
         int64_t d_new = std::min<int64_t>(BlocksForFraction(f, total),
                                           remaining[name]);
         seconds += static_cast<double>(d_new) *
-                   coefs.Coef(kGlobalCostNode, CostStep::kFetch);
+                   (coefs.Coef(kGlobalCostNode, CostStep::kFetch) +
+                    explain_fault_overhead_s);
       }
       return seconds;
     };

@@ -8,6 +8,7 @@
 #include "cost/adaptive_model.h"
 #include "estimator/count_estimator.h"
 #include "exec/staged.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 #include "parallel/thread_pool.h"
 #include "ra/expr.h"
@@ -105,11 +106,20 @@ struct ExecutorOptions {
   /// serve metrics. 0 (the default) means "use quota_s". The standalone
   /// engine ignores it — quota_s alone bounds execution time.
   double serve_deadline_s = 0.0;
+  /// Deterministic fault injection at the storage boundary (DESIGN.md
+  /// §10): transient read errors retried with quota-charged exponential
+  /// backoff, permanently unreadable blocks excluded from the sampling
+  /// frame (degraded answers with widened variance), and straggler reads
+  /// charged at inflated latency. Disabled by default; a disabled
+  /// injector leaves every result bit-identical to a fault-free build at
+  /// any seed and thread count.
+  FaultOptions faults;
 
-  /// Rejects nonsense configurations: quota_s <= 0, epsilon_s or
-  /// confidence outside (0, 1), threads < 1, max_stages < 1,
-  /// serve_deadline_s < 0. The Run* entry points call this before
-  /// touching any data.
+  /// Rejects nonsense configurations: non-finite or non-positive
+  /// quota_s, epsilon_s or confidence outside (0, 1), threads < 1,
+  /// max_stages < 1, serve_deadline_s negative or non-finite, NaN or
+  /// negative precision-stop targets, and invalid fault options. The
+  /// Run* entry points call this before touching any data.
   [[nodiscard]] Status Validate() const;
 };
 
@@ -168,6 +178,13 @@ struct QueryResult {
   std::vector<StageReport> stage_reports;
   /// Serving-layer admission record (kStandalone outside a tcq::Server).
   AdmissionReport admission;
+  /// True when at least one sampled block was permanently lost during
+  /// execution: the estimate was computed over a reduced sampling frame
+  /// and `variance`/`ci` carry the widening factor in `faults`.
+  bool degraded = false;
+  /// Fault tally of the whole run (zeroed unless faults were injected);
+  /// per-stage counts live in the stage reports.
+  FaultReport faults;
 
   const std::vector<StageReport>& stages() const { return stage_reports; }
 };

@@ -1,0 +1,145 @@
+#include "fault/fault.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace tcq {
+namespace {
+
+/// Tag separating the per-attempt substream from the per-block one.
+constexpr std::string_view kAttemptTag = "fault-attempt";
+
+bool RateOk(double rate) {
+  return std::isfinite(rate) && rate >= 0.0 && rate <= 1.0;
+}
+
+uint64_t BlockSeed(const FaultOptions& options, std::string_view relation,
+                   int64_t block) {
+  return SubstreamSeed(options.fault_seed, relation,
+                       static_cast<uint64_t>(block));
+}
+
+}  // namespace
+
+std::string_view FaultClassName(FaultClass fault) {
+  switch (fault) {
+    case FaultClass::kNone:
+      return "none";
+    case FaultClass::kTransient:
+      return "transient";
+    case FaultClass::kPermanent:
+      return "permanent";
+    case FaultClass::kStraggler:
+      return "straggler";
+  }
+  return "unknown";
+}
+
+Status FaultOptions::Validate() const {
+  if (!enabled) return Status::OK();
+  if (!RateOk(transient_rate) || transient_rate >= 1.0) {
+    return Status::InvalidArgument(
+        "faults.transient_rate must be finite and in [0, 1)");
+  }
+  if (!RateOk(permanent_rate)) {
+    return Status::InvalidArgument(
+        "faults.permanent_rate must be finite and in [0, 1]");
+  }
+  if (!RateOk(straggler_rate)) {
+    return Status::InvalidArgument(
+        "faults.straggler_rate must be finite and in [0, 1]");
+  }
+  if (!std::isfinite(straggler_factor) || straggler_factor < 1.0) {
+    return Status::InvalidArgument(
+        "faults.straggler_factor must be finite and >= 1");
+  }
+  if (max_retries < 0 || max_retries > 32) {
+    return Status::InvalidArgument("faults.max_retries must be in [0, 32]");
+  }
+  if (!std::isfinite(backoff_base_s) || backoff_base_s < 0.0) {
+    return Status::InvalidArgument(
+        "faults.backoff_base_s must be finite and >= 0");
+  }
+  if (!std::isfinite(backoff_multiplier) || backoff_multiplier < 1.0) {
+    return Status::InvalidArgument(
+        "faults.backoff_multiplier must be finite and >= 1");
+  }
+  return Status::OK();
+}
+
+double FaultOptions::ExpectedOverheadSeconds(double block_read_s) const {
+  if (!enabled) return 0.0;
+  // First-order expectation: an untruncated geometric number of retries
+  // p/(1-p), each costing one re-read plus (at least) the base backoff,
+  // plus straggler inflation on the straggler_rate fraction of reads.
+  const double p = transient_rate;
+  const double expected_retries = p < 1.0 ? p / (1.0 - p) : 0.0;
+  return expected_retries * (block_read_s + backoff_base_s) +
+         straggler_rate * (straggler_factor - 1.0) * block_read_s;
+}
+
+FaultInjector::FaultInjector(const FaultOptions& options)
+    : options_(options) {
+  TCQ_DCHECK(options.Validate().ok(),
+             "FaultInjector built from unvalidated options");
+}
+
+bool FaultInjector::IsPermanentlyLost(std::string_view relation,
+                                      int64_t block) const {
+  if (!options_.enabled || options_.permanent_rate <= 0.0) return false;
+  Rng rng(BlockSeed(options_, relation, block));
+  return rng.UniformDouble() < options_.permanent_rate;
+}
+
+FaultClass FaultInjector::Probe(std::string_view relation, int64_t block,
+                                int attempt) const {
+  if (!options_.enabled) return FaultClass::kNone;
+  if (IsPermanentlyLost(relation, block)) return FaultClass::kPermanent;
+  Rng rng(SubstreamSeed(BlockSeed(options_, relation, block), kAttemptTag,
+                        static_cast<uint64_t>(attempt)));
+  if (rng.UniformDouble() < options_.transient_rate) {
+    return FaultClass::kTransient;
+  }
+  if (rng.UniformDouble() < options_.straggler_rate) {
+    return FaultClass::kStraggler;
+  }
+  return FaultClass::kNone;
+}
+
+BlockReadOutcome ReadBlockWithFaults(const FaultInjector& injector,
+                                     std::string_view relation,
+                                     int64_t block, double block_read_s) {
+  BlockReadOutcome out;
+  if (!injector.enabled()) return out;
+  const FaultOptions& options = injector.options();
+  double backoff = options.backoff_base_s;
+  for (int attempt = 0;; ++attempt) {
+    out.read_attempts = attempt + 1;
+    const FaultClass fault = injector.Probe(relation, block, attempt);
+    out.final_fault = fault;
+    if (fault == FaultClass::kPermanent) {
+      out.lost = true;
+      return out;
+    }
+    if (fault != FaultClass::kTransient) {
+      out.straggler = fault == FaultClass::kStraggler;
+      if (out.straggler) {
+        out.straggler_extra_s =
+            (options.straggler_factor - 1.0) * block_read_s;
+      }
+      return out;
+    }
+    ++out.transient_faults;
+    if (attempt >= options.max_retries) {
+      out.lost = true;
+      return out;
+    }
+    out.backoff_s += backoff;
+    backoff *= options.backoff_multiplier;
+  }
+}
+
+}  // namespace tcq

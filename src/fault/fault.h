@@ -1,0 +1,160 @@
+#ifndef TCQ_FAULT_FAULT_H_
+#define TCQ_FAULT_FAULT_H_
+
+/// Deterministic fault injection at the storage boundary (DESIGN.md §10).
+///
+/// The `FaultInjector` decides, for every block-read *attempt* the engine
+/// makes, whether that attempt succeeds, fails transiently (retryable),
+/// hits a permanently unreadable block (checksum mismatch — the block is
+/// lost), or straggles (succeeds with inflated latency). Decisions are a
+/// pure function of (fault_seed, relation, block index, attempt number),
+/// derived through `SubstreamSeed`, so:
+///
+///  - the same fault seed reproduces the same fault sequence on any
+///    thread count, in any draw order, across runs;
+///  - whether a block is *permanently* lost depends only on
+///    (fault_seed, relation, block) — every attempt against it fails,
+///    which is what a corrupt page on disk looks like;
+///  - faults are content-agnostic (decided before any tuple is seen), so
+///    dropping lost blocks leaves a uniform without-replacement sample of
+///    the surviving frame and the cluster estimator stays unbiased; the
+///    engine widens the reported variance by (1 + lost/read) to price the
+///    shrunken sample (DESIGN.md §10).
+///
+/// The injector itself never touches a clock or a ledger: the engine
+/// charges retries/backoff/straggler latency to its `CostLedger` so the
+/// time-control loop replans around fault overhead like any other cost.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tcq {
+
+/// Fault-injection configuration (ExecutorOptions::faults / WithFaults).
+/// Disabled by default; with `enabled == false` the engine's execution
+/// path is bit-identical to a build without fault support.
+struct FaultOptions {
+  /// Master switch. When false every other field is ignored.
+  bool enabled = false;
+
+  /// Probability that a single read attempt fails transiently (retryable).
+  double transient_rate = 0.0;
+  /// Probability that a block is permanently unreadable (sticky per
+  /// block: every attempt fails with a checksum mismatch).
+  double permanent_rate = 0.0;
+  /// Probability that a successful read straggles.
+  double straggler_rate = 0.0;
+  /// Latency multiplier for a straggling read (>= 1). The extra
+  /// (straggler_factor - 1) x block_read_s is charged to the clock.
+  double straggler_factor = 8.0;
+
+  /// Retry budget per block: a read is attempted at most 1 + max_retries
+  /// times before the block is declared lost.
+  int max_retries = 3;
+  /// Exponential backoff charged before retry k (0-based):
+  /// backoff_base_s * backoff_multiplier^k simulated seconds.
+  double backoff_base_s = 0.010;
+  double backoff_multiplier = 2.0;
+
+  /// Seed of the fault substream. Independent of the query seed so the
+  /// same fault storm can be replayed against different sample draws.
+  uint64_t fault_seed = 1;
+
+  [[nodiscard]] Status Validate() const;
+
+  /// Expected simulated seconds of fault overhead per fresh block read
+  /// (retry re-reads, backoff, straggler inflation), given the base
+  /// per-block read cost. Zero when disabled. The stage planner inflates
+  /// its fetch-cost coefficient by this so planned fractions already
+  /// price the fault overhead instead of discovering it mid-stage.
+  double ExpectedOverheadSeconds(double block_read_s) const;
+};
+
+/// Outcome of probing one read attempt.
+enum class FaultClass {
+  kNone = 0,    // read succeeds at nominal cost
+  kTransient,   // attempt fails; retry may succeed
+  kPermanent,   // block unreadable forever (checksum mismatch)
+  kStraggler,   // read succeeds at straggler_factor x nominal cost
+};
+
+std::string_view FaultClassName(FaultClass fault);
+
+/// Per-relation fault tally (drives the serving-layer circuit breaker).
+struct RelationFaultCounts {
+  std::string relation;
+  int64_t read_attempts = 0;   // every attempt, including retries
+  int64_t transient_faults = 0;
+  int64_t blocks_lost = 0;
+  int64_t stragglers = 0;
+};
+
+/// Aggregate fault report attached to a degraded QueryResult.
+struct FaultReport {
+  int64_t transient_faults = 0;  // read attempts that failed transiently
+  int64_t retries = 0;           // re-read attempts performed
+  int64_t blocks_lost = 0;       // blocks excluded from the sampling frame
+  int64_t stragglers = 0;        // reads with inflated latency
+  double fault_delay_s = 0.0;    // backoff + straggler + re-read seconds
+  double variance_widening = 1.0;  // factor applied to reported variance
+  std::vector<RelationFaultCounts> per_relation;
+
+  bool any() const {
+    return transient_faults > 0 || blocks_lost > 0 || stragglers > 0;
+  }
+};
+
+/// Deterministic fault oracle; cheap to copy, safe to share across
+/// threads (stateless after construction — `Probe` is const and pure).
+class FaultInjector {
+ public:
+  /// `options` must already be validated.
+  explicit FaultInjector(const FaultOptions& options);
+
+  bool enabled() const { return options_.enabled; }
+  const FaultOptions& options() const { return options_; }
+
+  /// Fault class of attempt number `attempt` (0-based; 0 is the initial
+  /// read, k > 0 the k-th retry) against block `block` of `relation`.
+  /// Pure: depends only on (fault_seed, relation, block, attempt).
+  FaultClass Probe(std::string_view relation, int64_t block,
+                   int attempt) const;
+
+  /// True iff the block is permanently unreadable (sticky across
+  /// attempts). `Probe` already folds this in; exposed for tests.
+  bool IsPermanentlyLost(std::string_view relation, int64_t block) const;
+
+ private:
+  FaultOptions options_;
+};
+
+/// Outcome of reading one drawn block through the injector, with every
+/// cost the engine must charge. Pure accounting — no clock is touched.
+struct BlockReadOutcome {
+  bool lost = false;       // excluded from the sampling frame
+  FaultClass final_fault = FaultClass::kNone;  // classification of the end
+  int read_attempts = 1;   // total attempts (1 = clean first read)
+  int transient_faults = 0;
+  bool straggler = false;
+  /// Simulated seconds beyond the first nominal read: re-reads are
+  /// charged separately as block reads; this is backoff + straggler
+  /// inflation only, pre-noise (the ledger applies stage noise).
+  double backoff_s = 0.0;
+  double straggler_extra_s = 0.0;  // (straggler_factor - 1) * block_read_s
+};
+
+/// Resolves the full retry loop for one block read: probes attempt 0,
+/// retries transient faults up to options().max_retries with exponential
+/// backoff, and reports the block lost on a permanent fault or an
+/// exhausted retry budget. `block_read_s` prices straggler inflation.
+BlockReadOutcome ReadBlockWithFaults(const FaultInjector& injector,
+                                     std::string_view relation,
+                                     int64_t block, double block_read_s);
+
+}  // namespace tcq
+
+#endif  // TCQ_FAULT_FAULT_H_

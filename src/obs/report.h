@@ -47,6 +47,16 @@ struct StageReport {
   double span_seconds = 0.0;       // parallel sections: elapsed
   int parallel_tasks = 0;
   std::vector<OperatorSelectivity> selectivities;
+
+  // Fault-injection tally of this stage (all zero with faults disabled;
+  // see DESIGN.md §10). Retried reads are *attempts*, never fresh draws:
+  // `blocks_drawn` counts each drawn block exactly once however many
+  // times it was re-read.
+  int64_t transient_faults = 0;  // read attempts that failed transiently
+  int64_t retries = 0;           // re-read attempts performed
+  int64_t blocks_lost = 0;       // drawn blocks excluded as unreadable
+  int64_t stragglers = 0;        // reads at inflated latency
+  double fault_delay_s = 0.0;    // backoff + straggler seconds charged
 };
 
 /// Receives live progress from a running query. Invoked synchronously

@@ -37,14 +37,17 @@ std::vector<const Block*> BlockSampler::DrawInternal(int64_t count, Rng* rng,
   int64_t k = std::min<int64_t>(count, remaining_blocks());
   std::vector<const Block*> out;
   out.reserve(static_cast<size_t>(k));
+  last_draw_indices_.clear();
+  last_draw_indices_.reserve(static_cast<size_t>(k));
 
   // Replay first: the snapshotted pooled prefix in original draw order,
   // consuming no randomness — the fresh-draw RNG stream is untouched by
   // replays.
   int64_t replay_n = std::min<int64_t>(k, pooled_remaining());
   for (int64_t i = 0; i < replay_n; ++i) {
-    out.push_back(&rel_->block(replay_order_[
-        static_cast<size_t>(replay_pos_++)]));
+    uint32_t block = replay_order_[static_cast<size_t>(replay_pos_++)];
+    last_draw_indices_.push_back(block);
+    out.push_back(&rel_->block(block));
   }
   if (replay_n > 0) pool_->NoteReplayed(replay_n);
   last_draw_replayed_ = replay_n;
@@ -54,6 +57,7 @@ std::vector<const Block*> BlockSampler::DrawInternal(int64_t count, Rng* rng,
                static_cast<size_t>(rng->Uniform(remaining_.size()));
     std::swap(remaining_[j], remaining_.back());
     uint32_t block = remaining_.back();
+    last_draw_indices_.push_back(block);
     out.push_back(&rel_->block(block));
     remaining_.pop_back();
     if (pool_ != nullptr) {
@@ -77,6 +81,22 @@ std::vector<const Block*> BlockSampler::DrawSubstream(int64_t count,
   uint64_t sub = SubstreamSeed(seed, rel_->name(), stage);
   Rng rng(sub);
   return DrawInternal(count, &rng, sub);
+}
+
+Result<std::vector<DrawnBlock>> BlockSampler::DrawSubstreamChecked(
+    int64_t count, uint64_t seed, uint64_t stage) {
+  std::vector<const Block*> drawn = DrawSubstream(count, seed, stage);
+  std::vector<DrawnBlock> out;
+  out.reserve(drawn.size());
+  for (size_t i = 0; i < drawn.size(); ++i) {
+    uint32_t index = last_draw_indices_[i];
+    TCQ_ASSIGN_OR_RETURN(const Block* block,
+                         rel_->ReadBlock(static_cast<int64_t>(index)));
+    TCQ_CHECK_INVARIANT(block == drawn[i],
+                        "checked read disagrees with the drawn block");
+    out.push_back(DrawnBlock{index, block});
+  }
+  return out;
 }
 
 }  // namespace tcq

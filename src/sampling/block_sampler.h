@@ -1,14 +1,24 @@
 #ifndef TCQ_SAMPLING_BLOCK_SAMPLER_H_
 #define TCQ_SAMPLING_BLOCK_SAMPLER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "cache/sample_pool.h"
 #include "obs/metrics.h"
 #include "storage/relation.h"
 #include "util/random.h"
+#include "util/result.h"
 
 namespace tcq {
+
+/// One sampled block together with its index in the relation — the
+/// identity the fault injector keys on (faults are per physical block,
+/// not per draw).
+struct DrawnBlock {
+  uint32_t index = 0;
+  const Block* block = nullptr;
+};
 
 /// Without-replacement stream of disk blocks from one relation — the
 /// cluster-sampling primitive of the paper (§2): a disk block is the
@@ -88,6 +98,21 @@ class BlockSampler {
   std::vector<const Block*> DrawSubstream(int64_t count, uint64_t seed,
                                           uint64_t stage);
 
+  /// Fallible variant of DrawSubstream for the fault-tolerant path: the
+  /// draw itself is identical (same RNG consumption, same blocks in the
+  /// same order), but every drawn block is fetched through the checked
+  /// `Relation::ReadBlock` storage API and returned with its block index
+  /// so the engine can probe the FaultInjector per physical block. The
+  /// Status must be consulted (`status-discarded-in-storage` lint rule).
+  [[nodiscard]] Result<std::vector<DrawnBlock>> DrawSubstreamChecked(
+      int64_t count, uint64_t seed, uint64_t stage);
+
+  /// Indices (into the relation) of the blocks returned by the most
+  /// recent Draw/DrawSubstream call, in draw order.
+  const std::vector<uint32_t>& last_draw_indices() const {
+    return last_draw_indices_;
+  }
+
  private:
   std::vector<const Block*> DrawInternal(int64_t count, Rng* rng,
                                          uint64_t substream);
@@ -98,6 +123,7 @@ class BlockSampler {
   std::vector<uint32_t> remaining_;     // blocks not pooled at snapshot time
   int64_t replay_pos_ = 0;              // snapshot entries already replayed
   int64_t last_draw_replayed_ = 0;
+  std::vector<uint32_t> last_draw_indices_;
   Counter* blocks_counter_ = nullptr;
 };
 

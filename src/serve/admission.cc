@@ -36,7 +36,7 @@ Status AdmissionOptions::Validate() const {
   if (max_queue_depth < 0) {
     return Status::InvalidArgument("admission max_queue_depth must be >= 0");
   }
-  return Status::OK();
+  return breaker.Validate();
 }
 
 AdmissionController::AdmissionController(AdmissionOptions options,

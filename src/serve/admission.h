@@ -40,6 +40,7 @@
 
 #include "engine/executor.h"
 #include "obs/metrics.h"
+#include "serve/circuit_breaker.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -67,9 +68,14 @@ struct AdmissionOptions {
   bool allow_queue = true;
   /// Reject (kResourceExhausted) once this many submissions are waiting.
   int max_queue_depth = 16;
+  /// Per-relation fault-storm policy (see circuit_breaker.h). The server
+  /// owns the breaker; the controller never inspects it — it lives here
+  /// so one options struct configures the whole admission path.
+  CircuitBreakerOptions breaker;
 
   /// Rejects nonsense policies: non-positive budget or floor, floor above
-  /// budget, max_concurrent < 1, max_queue_depth < 0.
+  /// budget, max_concurrent < 1, max_queue_depth < 0, plus the breaker's
+  /// own Validate() when it is enabled.
   [[nodiscard]] Status Validate() const;
 };
 

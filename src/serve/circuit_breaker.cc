@@ -1,0 +1,191 @@
+#include "serve/circuit_breaker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcq {
+
+Status CircuitBreakerOptions::Validate() const {
+  if (!enabled) return Status::OK();
+  if (!std::isfinite(fault_rate_threshold) || fault_rate_threshold <= 0.0 ||
+      fault_rate_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "breaker fault_rate_threshold must be in (0, 1]");
+  }
+  if (min_reads < 1) {
+    return Status::InvalidArgument("breaker min_reads must be >= 1");
+  }
+  if (!std::isfinite(cooldown_s) || cooldown_s < 0.0) {
+    return Status::InvalidArgument(
+        "breaker cooldown_s must be finite and >= 0");
+  }
+  if (!shed &&
+      (!std::isfinite(shrink_factor) || shrink_factor <= 0.0 ||
+       shrink_factor >= 1.0)) {
+    return Status::InvalidArgument(
+        "breaker shrink_factor must be in (0, 1)");
+  }
+  if (window_factor < 1) {
+    return Status::InvalidArgument("breaker window_factor must be >= 1");
+  }
+  return Status::OK();
+}
+
+RelationCircuitBreaker::RelationCircuitBreaker(CircuitBreakerOptions options,
+                                               Metrics* metrics)
+    : options_(options), metrics_(metrics) {}
+
+Status RelationCircuitBreaker::Check(
+    const std::vector<std::string>& relations, double* quota_scale) {
+  if (quota_scale != nullptr) *quota_scale = 1.0;
+  if (!options_.enabled) return Status::OK();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const ServeClock::time_point now = ServeClock::now();
+  double scale = 1.0;
+  for (const std::string& relation : relations) {
+    auto it = relations_.find(relation);
+    if (it == relations_.end()) continue;
+    RelationHealth& health = it->second;
+    if (health.state == State::kOpen) {
+      const double open_for =
+          std::chrono::duration<double>(now - health.opened_at).count();
+      if (open_for >= options_.cooldown_s) {
+        health.state = State::kHalfOpen;
+        health.probe_in_flight = false;
+      }
+    }
+    if (health.state == State::kHalfOpen && !health.probe_in_flight) {
+      // This query becomes the single probe; concurrent arrivals below
+      // see probe_in_flight and are handled like an open breaker.
+      health.probe_in_flight = true;
+      ++probes_;
+      if (metrics_ != nullptr) {
+        metrics_->counter("serve.breaker_probes")->Increment();
+      }
+      continue;
+    }
+    if (health.state == State::kOpen ||
+        (health.state == State::kHalfOpen && health.probe_in_flight)) {
+      if (options_.shed) {
+        ++sheds_;
+        if (metrics_ != nullptr) {
+          metrics_->counter("serve.breaker_sheds")->Increment();
+        }
+        return Status::Unavailable("relation '" + relation +
+                                   "' is in a fault storm (breaker open)");
+      }
+      scale = std::min(scale, options_.shrink_factor);
+    }
+  }
+  if (scale < 1.0) {
+    ++shrinks_;
+    if (metrics_ != nullptr) {
+      metrics_->counter("serve.breaker_shrinks")->Increment();
+    }
+    if (quota_scale != nullptr) *quota_scale = scale;
+  }
+  return Status::OK();
+}
+
+void RelationCircuitBreaker::Report(std::string_view relation, int64_t reads,
+                                    int64_t faults) {
+  if (!options_.enabled) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    if (reads <= 0) return;  // nothing to record about an unseen relation
+    it = relations_.emplace(std::string(relation), RelationHealth{}).first;
+  }
+  RelationHealth& health = it->second;
+  if (reads > 0) AccumulateLocked(&health, reads, faults);
+
+  const bool was_probe = health.probe_in_flight;
+  health.probe_in_flight = false;
+  const double rate = health.reads > 0.0 ? health.faults / health.reads : 0.0;
+
+  switch (health.state) {
+    case State::kClosed:
+      if (health.reads >= static_cast<double>(options_.min_reads) &&
+          rate > options_.fault_rate_threshold) {
+        TripLocked(it->first, &health);
+      }
+      break;
+    case State::kHalfOpen:
+      if (!was_probe) break;  // a stale pre-trip query, not the probe
+      // A probe that completed with its own fault rate at or under the
+      // threshold — including a faults-off run reporting no reads at
+      // all — counts as clean.
+      if (static_cast<double>(faults) <=
+          static_cast<double>(reads) * options_.fault_rate_threshold) {
+        // Clean probe: the storm has passed. Reset the window so the old
+        // storm's tallies cannot instantly re-trip the breaker.
+        health.state = State::kClosed;
+        health.reads = 0.0;
+        health.faults = 0.0;
+        --open_;
+        UpdateGaugeLocked();
+      } else {
+        TripLocked(it->first, &health);
+      }
+      break;
+    case State::kOpen:
+      break;  // feedback from queries admitted before the trip
+  }
+}
+
+RelationCircuitBreaker::State RelationCircuitBreaker::state(
+    std::string_view relation) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = relations_.find(relation);
+  return it == relations_.end() ? State::kClosed : it->second.state;
+}
+
+RelationCircuitBreaker::Stats RelationCircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.trips = trips_;
+  s.sheds = sheds_;
+  s.shrinks = shrinks_;
+  s.probes = probes_;
+  s.open = open_;
+  return s;
+}
+
+void RelationCircuitBreaker::AccumulateLocked(RelationHealth* health,
+                                              int64_t reads,
+                                              int64_t faults) const {
+  health->reads += static_cast<double>(reads);
+  health->faults += static_cast<double>(faults);
+  const double cap = 2.0 * static_cast<double>(options_.window_factor) *
+                     static_cast<double>(options_.min_reads);
+  while (health->reads > cap) {
+    health->reads *= 0.5;
+    health->faults *= 0.5;
+  }
+}
+
+void RelationCircuitBreaker::TripLocked(const std::string& relation,
+                                        RelationHealth* health) {
+  if (health->state != State::kOpen && health->state != State::kHalfOpen) {
+    ++open_;
+  }
+  health->state = State::kOpen;
+  health->opened_at = ServeClock::now();
+  health->probe_in_flight = false;
+  ++trips_;
+  if (metrics_ != nullptr) {
+    metrics_->counter("serve.breaker_trips")->Increment();
+    (void)relation;
+  }
+  UpdateGaugeLocked();
+}
+
+void RelationCircuitBreaker::UpdateGaugeLocked() {
+  if (metrics_ != nullptr) {
+    metrics_->gauge("serve.breaker_open")->Set(static_cast<double>(open_));
+  }
+}
+
+}  // namespace tcq

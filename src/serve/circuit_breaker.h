@@ -1,0 +1,149 @@
+#ifndef TCQ_SERVE_CIRCUIT_BREAKER_H_
+#define TCQ_SERVE_CIRCUIT_BREAKER_H_
+
+/// Per-relation circuit breaker for a tcq::Server (DESIGN.md §10.5).
+///
+/// When a relation enters a fault storm — a sustained windowed fault rate
+/// above threshold — queries that scan it are shed (typed kUnavailable)
+/// or admitted with a shrunk quota, instead of burning the shared budget
+/// on retries that will mostly fail. Each relation moves through the
+/// classic three states:
+///
+///   closed    — healthy; queries pass untouched. Post-run fault tallies
+///               accumulate in a decayed window.
+///   open      — tripped; queries against the relation are shed (or
+///               shrunk, per policy) until `cooldown_s` of serving-clock
+///               time has passed.
+///   half-open — cooldown elapsed; exactly one probe query is let
+///               through. A clean probe closes the breaker (window
+///               reset); a faulty one re-opens it for another cooldown.
+///
+/// Feedback arrives from the engine's per-relation fault tallies
+/// (FaultReport::per_relation), so the breaker needs no hooks inside the
+/// executor. Decisions are made under one mutex; the serving clock is
+/// read only to time cooldowns, mirroring the admission controller's
+/// contract that accounting is deterministic and only queue/cooldown
+/// timing touches a clock.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace tcq {
+
+/// Fault-storm policy of a tcq::Server. Off by default: a server without
+/// faults armed behaves exactly as before.
+struct CircuitBreakerOptions {
+  /// Master switch. When false Check() always passes and Report() is a
+  /// no-op.
+  bool enabled = false;
+  /// Windowed fault rate (faults per read attempt) above which a
+  /// relation's breaker trips open.
+  double fault_rate_threshold = 0.10;
+  /// Minimum read attempts in the window before the rate is trusted; a
+  /// handful of unlucky reads must not trip the breaker.
+  int64_t min_reads = 50;
+  /// Serving-clock seconds an open breaker waits before letting a probe
+  /// query through (half-open).
+  double cooldown_s = 1.0;
+  /// Open-state policy: shed queries with kUnavailable (true) or admit
+  /// them with a quota shrunk by `shrink_factor` (false).
+  bool shed = true;
+  /// Quota multiplier applied when `shed` is false and a scanned
+  /// relation's breaker is open. In (0, 1).
+  double shrink_factor = 0.5;
+  /// Window decay: once the window holds `2 * window_factor * min_reads`
+  /// attempts, both attempt and fault counts are halved, so old storms
+  /// age out and recovery is observable.
+  int64_t window_factor = 4;
+
+  /// Rejects nonsense policies: threshold outside (0, 1], min_reads < 1,
+  /// non-finite/negative cooldown, shrink_factor outside (0, 1),
+  /// window_factor < 1. Only checked when `enabled`.
+  [[nodiscard]] Status Validate() const;
+};
+
+/// Tracks per-relation fault health and sheds or shrinks queries that
+/// scan a relation whose breaker is open. Thread-safe.
+class RelationCircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// `metrics` (optional, not owned) receives the serve.breaker_*
+  /// counters and gauge listed in server.h.
+  explicit RelationCircuitBreaker(CircuitBreakerOptions options,
+                                  Metrics* metrics = nullptr);
+
+  RelationCircuitBreaker(const RelationCircuitBreaker&) = delete;
+  RelationCircuitBreaker& operator=(const RelationCircuitBreaker&) = delete;
+
+  /// Gatekeeper, called with every relation the query scans *before*
+  /// admission. Returns kUnavailable when any scanned relation is open
+  /// under the shed policy; otherwise OK, with `*quota_scale` set to the
+  /// smallest shrink factor across open relations (1.0 when all are
+  /// healthy). In the half-open state exactly one caller passes as the
+  /// probe; concurrent callers are treated as still-open.
+  [[nodiscard]] Status Check(const std::vector<std::string>& relations,
+                             double* quota_scale);
+
+  /// Post-run feedback: `reads` attempts against `relation`, of which
+  /// `faults` failed (transients plus lost blocks). Folds the tallies
+  /// into the relation's window and drives the state machine. A probe
+  /// query's report closes (clean) or re-opens (faulty) the breaker.
+  void Report(std::string_view relation, int64_t reads, int64_t faults);
+
+  /// Current state of one relation's breaker (kClosed if never seen).
+  State state(std::string_view relation) const;
+
+  struct Stats {
+    int64_t trips = 0;    // closed/half-open -> open transitions
+    int64_t sheds = 0;    // queries rejected kUnavailable
+    int64_t shrinks = 0;  // queries admitted at a reduced quota
+    int64_t probes = 0;   // half-open probe queries let through
+    int open = 0;         // relations currently open or half-open
+  };
+  Stats stats() const;
+
+  const CircuitBreakerOptions& options() const { return options_; }
+
+ private:
+  using ServeClock = std::chrono::steady_clock;
+
+  struct RelationHealth {
+    State state = State::kClosed;
+    double reads = 0.0;   // decayed window of read attempts
+    double faults = 0.0;  // decayed window of failed attempts
+    ServeClock::time_point opened_at{};
+    bool probe_in_flight = false;
+  };
+
+  /// Folds one report into the window and applies halving decay.
+  /// Requires `mu_` held.
+  void AccumulateLocked(RelationHealth* health, int64_t reads,
+                        int64_t faults) const;
+  /// Trips `health` open and counts the transition. Requires `mu_` held.
+  void TripLocked(const std::string& relation, RelationHealth* health);
+  void UpdateGaugeLocked();
+
+  const CircuitBreakerOptions options_;
+  Metrics* const metrics_;  // may be null
+
+  mutable std::mutex mu_;
+  std::map<std::string, RelationHealth, std::less<>> relations_;
+  int open_ = 0;
+  int64_t trips_ = 0;
+  int64_t sheds_ = 0;
+  int64_t shrinks_ = 0;
+  int64_t probes_ = 0;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_SERVE_CIRCUIT_BREAKER_H_

@@ -1,8 +1,14 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <utility>
+#include <vector>
+
+#include "ra/expr.h"
+#include "serve/circuit_breaker.h"
 
 namespace tcq {
 
@@ -31,6 +37,7 @@ class Server::Impl final : public QueryBackend {
                   : nullptr),
         cache_(options.cache_shards),
         admission_(options.admission, options.metrics),
+        breaker_(options.admission.breaker, options.metrics),
         metrics_(options.metrics) {}
 
   Catalog& catalog() override { return catalog_; }
@@ -51,6 +58,20 @@ class Server::Impl final : public QueryBackend {
                                ExecutorOptions options,
                                bool warm_start) override {
     const ServeClock::time_point arrival = ServeClock::now();
+
+    // Circuit breaker first: a query scanning a relation in a fault storm
+    // is shed (kUnavailable) or shrunk before it can draw from the shared
+    // quota pool. The scanned relations are read off the expression
+    // itself, so the engine needs no serving-layer hooks.
+    std::vector<std::string> scanned;
+    CollectScans(expr, &scanned);
+    std::sort(scanned.begin(), scanned.end());
+    scanned.erase(std::unique(scanned.begin(), scanned.end()),
+                  scanned.end());
+    double breaker_scale = 1.0;
+    TCQ_RETURN_NOT_OK(breaker_.Check(scanned, &breaker_scale));
+    if (breaker_scale < 1.0) options.quota_s *= breaker_scale;
+
     const double deadline_s =
         options.serve_deadline_s > 0.0 ? options.serve_deadline_s
                                        : options.quota_s;
@@ -92,6 +113,23 @@ class Server::Impl final : public QueryBackend {
     admission_.Release(ledger);
     if (!result.ok()) return result;
 
+    // Feed the breaker from the engine's per-relation fault tallies.
+    // Every scanned relation is reported — with zero tallies when the
+    // run had faults off — so a half-open probe's clean completion
+    // recloses the breaker whatever the probe's fault configuration.
+    for (const std::string& relation : scanned) {
+      int64_t reads = 0;
+      int64_t faults = 0;
+      for (const RelationFaultCounts& rf : result->faults.per_relation) {
+        if (rf.relation == relation) {
+          reads = rf.read_attempts;
+          faults = rf.transient_faults + rf.blocks_lost;
+          break;
+        }
+      }
+      breaker_.Report(relation, reads, faults);
+    }
+
     AdmissionReport& report = result->admission;
     report.outcome = ledger.outcome;
     report.requested_quota_s = ledger.requested_s;
@@ -120,6 +158,7 @@ class Server::Impl final : public QueryBackend {
   ServerStats stats() const {
     ServerStats s;
     s.admission = admission_.stats();
+    s.breaker = breaker_.stats();
     s.completed = completed_.load(std::memory_order_relaxed);
     s.deadline_missed = deadline_missed_.load(std::memory_order_relaxed);
     return s;
@@ -130,6 +169,7 @@ class Server::Impl final : public QueryBackend {
   const std::unique_ptr<ThreadPool> pool_;  // fixed width for the lifetime
   WarmStartCache cache_;
   AdmissionController admission_;
+  RelationCircuitBreaker breaker_;
   Metrics* const metrics_;  // may be null
   std::atomic<int64_t> completed_{0};
   std::atomic<int64_t> deadline_missed_{0};

@@ -24,9 +24,10 @@
 /// Observability: with Options::metrics set, the server publishes
 ///   counters   serve.submitted, serve.admitted, serve.shrunk,
 ///              serve.queued, serve.rejected, serve.deadline_missed,
-///              serve.completed
+///              serve.completed, serve.breaker_trips, serve.breaker_sheds,
+///              serve.breaker_shrinks, serve.breaker_probes
 ///   gauges     serve.queue_depth, serve.outstanding_quota_s,
-///              serve.active
+///              serve.active, serve.breaker_open
 ///   histograms serve.latency_s (submission → completion),
 ///              serve.deadline_miss_s (overshoot of missed deadlines)
 /// The serve histograms record wall-time and are scheduling-dependent;
@@ -47,6 +48,7 @@ namespace tcq {
 /// Point-in-time view of a server (stats()).
 struct ServerStats {
   AdmissionController::Stats admission;
+  RelationCircuitBreaker::Stats breaker;
   int64_t completed = 0;        // queries that ran to a result
   int64_t deadline_missed = 0;  // completions past their serving deadline
 };

@@ -24,6 +24,8 @@ std::string_view CostCategoryName(CostCategory category) {
       return "stage_overhead";
     case CostCategory::kOpSetup:
       return "op_setup";
+    case CostCategory::kFaultDelay:
+      return "fault_delay";
     case CostCategory::kNumCategories:
       break;
   }

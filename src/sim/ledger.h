@@ -27,6 +27,7 @@ enum class CostCategory {
   kTupleMove,
   kStageOverhead,
   kOpSetup,
+  kFaultDelay,  // retry backoff + straggler inflation (DESIGN.md §10)
   kNumCategories,  // sentinel
 };
 

@@ -11,7 +11,9 @@ namespace tcq {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'C', 'Q', 'F'};
-constexpr uint32_t kVersion = 1;
+/// v1: no page checksums; v2 appends a 64-bit FNV-1a sum after each page.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 void PutU32(uint32_t v, std::vector<uint8_t>* out) {
   for (int i = 0; i < 4; ++i) {
@@ -86,6 +88,16 @@ class Reader {
 };
 
 }  // namespace
+
+uint64_t PageChecksum(const std::vector<uint8_t>& page) {
+  // FNV-1a, 64-bit.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint8_t byte : page) {
+    h ^= byte;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
 
 Status EncodeTuple(const Tuple& tuple, const Schema& schema,
                    std::vector<uint8_t>* out) {
@@ -222,6 +234,7 @@ Status SaveRelation(const Relation& relation, const std::string& path) {
         std::vector<uint8_t> page,
         EncodePage(b, relation.schema(), relation.block_bytes()));
     out.insert(out.end(), page.begin(), page.end());
+    PutU64(PageChecksum(page), &out);
   }
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) {
@@ -244,7 +257,7 @@ Result<Relation> LoadRelation(const std::string& path) {
     return Status::InvalidArgument("'" + path + "' is not a TCQF file");
   }
   TCQ_ASSIGN_OR_RETURN(uint32_t version, reader.U32());
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return Status::InvalidArgument("unsupported TCQF version " +
                                    std::to_string(version));
   }
@@ -279,6 +292,13 @@ Result<Relation> LoadRelation(const std::string& path) {
   for (uint64_t b = 0; b < num_blocks; ++b) {
     TCQ_ASSIGN_OR_RETURN(std::vector<uint8_t> page,
                          reader.Raw(block_bytes));
+    if (version >= 2) {
+      TCQ_ASSIGN_OR_RETURN(uint64_t stored_sum, reader.U64());
+      if (stored_sum != PageChecksum(page)) {
+        return Status::DataLoss("page " + std::to_string(b) + " of '" +
+                                path + "' failed checksum verification");
+      }
+    }
     TCQ_ASSIGN_OR_RETURN(
         Block block,
         DecodePage(page, static_cast<int>(counts[static_cast<size_t>(b)]),

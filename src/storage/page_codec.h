@@ -16,6 +16,17 @@ namespace tcq {
 /// occupies exactly its schema byte width: int64 and double are 8 bytes
 /// little-endian; strings are zero-padded to their declared width
 /// (embedded or trailing NULs are therefore not representable).
+///
+/// File format (TCQF): magic "TCQF", version, name, schema, geometry,
+/// per-page tuple counts, then the raw pages. Version 2 follows every
+/// page with its 64-bit FNV-1a checksum; `LoadRelation` verifies each
+/// page and reports a corrupt one as `StatusCode::kDataLoss` — the
+/// permanently-unreadable-block signal the fault-tolerant execution path
+/// (DESIGN.md §10) maps to a lost block. Version 1 files (no checksums)
+/// still load, skipping verification.
+
+/// 64-bit FNV-1a checksum of a page buffer (the TCQF v2 per-page sum).
+[[nodiscard]] uint64_t PageChecksum(const std::vector<uint8_t>& page);
 
 /// Appends the encoded tuple (schema.TupleBytes() bytes) to `out`.
 /// The tuple must validate against the schema.

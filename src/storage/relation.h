@@ -56,6 +56,20 @@ class Relation {
   }
   const std::vector<Block>& blocks() const { return blocks_; }
 
+  /// Fallible read path to one block: `OutOfRange` on a bad index. The
+  /// fault-tolerant executor fetches drawn blocks through this (not the
+  /// unchecked `block()` accessor) so the returned Status is a real
+  /// failure channel — the `status-discarded-in-storage` lint rule
+  /// forbids ignoring it.
+  [[nodiscard]] Result<const Block*> ReadBlock(int64_t i) const {
+    if (i < 0 || i >= NumBlocks()) {
+      return Status::OutOfRange("block " + std::to_string(i) +
+                                " out of range for relation '" + name_ +
+                                "'");
+    }
+    return &blocks_[static_cast<size_t>(i)];
+  }
+
  private:
   Relation(std::string name, Schema schema, int block_bytes,
            int blocking_factor)

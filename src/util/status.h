@@ -18,6 +18,8 @@ enum class StatusCode {
   kNotImplemented,
   kDeadlineExceeded,
   kResourceExhausted,
+  kDataLoss,
+  kUnavailable,
   kInternal,
 };
 
@@ -58,6 +60,12 @@ class Status {
   }
   [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  [[nodiscard]] static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  [[nodiscard]] static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

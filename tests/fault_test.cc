@@ -1,0 +1,413 @@
+// Fault-tolerant sampling (DESIGN.md §10): deterministic fault injection,
+// quota-charged retries, degraded answers, and the off-switch contract —
+// a run with faults disabled is bit-identical to one that never heard of
+// faults, at any seed and thread count.
+
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "engine/executor.h"
+#include "exec/exact.h"
+#include "workload/generators.h"
+
+namespace tcq {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+FaultOptions ArmedFaults() {
+  FaultOptions f;
+  f.enabled = true;
+  f.transient_rate = 0.05;
+  f.permanent_rate = 0.01;
+  f.straggler_rate = 0.02;
+  f.fault_seed = 7;
+  return f;
+}
+
+ExecutorOptions BaseOptions(int threads = 1) {
+  ExecutorOptions options;
+  options.strategy.one_at_a_time.d_beta = 24.0;
+  options.seed = 42;
+  options.threads = threads;
+  options.quota_s = 10.0;
+  return options;
+}
+
+// ---------------------------------------------------------------------
+// FaultOptions::Validate and the hardened ExecutorOptions::Validate.
+
+TEST(FaultOptionsTest, DisabledOptionsAlwaysValidate) {
+  FaultOptions f;
+  f.enabled = false;
+  f.transient_rate = kNan;  // nonsense, but the switch is off
+  f.max_retries = -5;
+  EXPECT_TRUE(f.Validate().ok());
+}
+
+TEST(FaultOptionsTest, ValidatesRatesAndRetryPolicy) {
+  EXPECT_TRUE(ArmedFaults().Validate().ok());
+  FaultOptions f = ArmedFaults();
+  f.transient_rate = kNan;
+  EXPECT_EQ(f.Validate().code(), StatusCode::kInvalidArgument);
+  f = ArmedFaults();
+  f.transient_rate = 1.0;  // rate 1 would retry forever
+  EXPECT_EQ(f.Validate().code(), StatusCode::kInvalidArgument);
+  f = ArmedFaults();
+  f.permanent_rate = -0.1;
+  EXPECT_EQ(f.Validate().code(), StatusCode::kInvalidArgument);
+  f = ArmedFaults();
+  f.straggler_factor = 0.5;
+  EXPECT_EQ(f.Validate().code(), StatusCode::kInvalidArgument);
+  f = ArmedFaults();
+  f.straggler_factor = kInf;
+  EXPECT_EQ(f.Validate().code(), StatusCode::kInvalidArgument);
+  f = ArmedFaults();
+  f.max_retries = -1;
+  EXPECT_EQ(f.Validate().code(), StatusCode::kInvalidArgument);
+  f = ArmedFaults();
+  f.backoff_base_s = -0.001;
+  EXPECT_EQ(f.Validate().code(), StatusCode::kInvalidArgument);
+  f = ArmedFaults();
+  f.backoff_multiplier = 0.9;
+  EXPECT_EQ(f.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExecutorValidateTest, RejectsNonFiniteInputs) {
+  // Satellite of the fault PR: NaN used to sail through the sign checks
+  // (NaN < 0.0 is false) and poison every downstream planning division.
+  for (double bad : {kNan, kInf, -kInf}) {
+    ExecutorOptions o = BaseOptions();
+    o.quota_s = bad;
+    EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument) << bad;
+    o = BaseOptions();
+    o.epsilon_s = bad;
+    EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument) << bad;
+    o = BaseOptions();
+    o.confidence = bad;
+    EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument) << bad;
+    o = BaseOptions();
+    o.serve_deadline_s = bad;
+    EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument) << bad;
+    // A NaN precision target would silently disable the requested stop
+    // (NaN > 0 is false in PrecisionStop::enabled) instead of erroring.
+    o = BaseOptions();
+    o.precision.rel_halfwidth = bad;
+    EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument) << bad;
+    o = BaseOptions();
+    o.precision.abs_halfwidth = bad;
+    EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument) << bad;
+    o = BaseOptions();
+    o.precision.min_improvement = bad;
+    EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument) << bad;
+    o = BaseOptions();
+    o.precision.rel_halfwidth = 0.05;
+    o.precision.confidence = bad;
+    EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  ExecutorOptions o = BaseOptions();
+  o.precision.rel_halfwidth = -0.1;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExecutorValidateTest, RejectsBadFaultOptions) {
+  ExecutorOptions o = BaseOptions();
+  o.faults = ArmedFaults();
+  EXPECT_TRUE(o.Validate().ok());
+  o.faults.transient_rate = 2.0;
+  EXPECT_EQ(o.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// FaultInjector: pure, sticky, seed-substream determinism.
+
+TEST(FaultInjectorTest, DisabledInjectorNeverFaults) {
+  FaultInjector injector{FaultOptions{}};
+  EXPECT_FALSE(injector.enabled());
+  for (int64_t b = 0; b < 200; ++b) {
+    EXPECT_EQ(injector.Probe("r1", b, 0), FaultClass::kNone);
+    EXPECT_FALSE(injector.IsPermanentlyLost("r1", b));
+  }
+}
+
+TEST(FaultInjectorTest, DecisionsArePureFunctionsOfTheirCoordinates) {
+  const FaultInjector a(ArmedFaults());
+  const FaultInjector b(ArmedFaults());
+  for (int64_t block = 0; block < 500; ++block) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      EXPECT_EQ(a.Probe("r1", block, attempt), b.Probe("r1", block, attempt));
+    }
+    EXPECT_EQ(a.IsPermanentlyLost("r1", block),
+              b.IsPermanentlyLost("r1", block));
+  }
+}
+
+TEST(FaultInjectorTest, PermanenceIsStickyAcrossAttempts) {
+  FaultOptions f = ArmedFaults();
+  f.permanent_rate = 0.2;
+  const FaultInjector injector(f);
+  int lost = 0;
+  for (int64_t block = 0; block < 1000; ++block) {
+    if (!injector.IsPermanentlyLost("r1", block)) continue;
+    ++lost;
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      EXPECT_EQ(injector.Probe("r1", block, attempt), FaultClass::kPermanent);
+    }
+  }
+  // ~200 expected at rate 0.2; a loose band guards the substream wiring.
+  EXPECT_GT(lost, 120);
+  EXPECT_LT(lost, 280);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsAndRelationsDecorrelate) {
+  FaultOptions f = ArmedFaults();
+  f.permanent_rate = 0.5;
+  FaultOptions g = f;
+  g.fault_seed = f.fault_seed + 1;
+  const FaultInjector a(f);
+  const FaultInjector b(g);
+  int differ_seed = 0;
+  int differ_relation = 0;
+  for (int64_t block = 0; block < 400; ++block) {
+    differ_seed += a.IsPermanentlyLost("r1", block) !=
+                   b.IsPermanentlyLost("r1", block);
+    differ_relation += a.IsPermanentlyLost("r1", block) !=
+                       a.IsPermanentlyLost("r2", block);
+  }
+  EXPECT_GT(differ_seed, 50);
+  EXPECT_GT(differ_relation, 50);
+}
+
+TEST(ReadBlockWithFaultsTest, CleanReadIsOneAttempt) {
+  FaultOptions f;
+  f.enabled = true;  // armed but all rates zero
+  const FaultInjector injector(f);
+  const BlockReadOutcome outcome =
+      ReadBlockWithFaults(injector, "r1", 3, 0.015);
+  EXPECT_FALSE(outcome.lost);
+  EXPECT_EQ(outcome.read_attempts, 1);
+  EXPECT_EQ(outcome.transient_faults, 0);
+  EXPECT_EQ(outcome.backoff_s, 0.0);
+  EXPECT_EQ(outcome.straggler_extra_s, 0.0);
+}
+
+TEST(ReadBlockWithFaultsTest, ExhaustedRetriesLoseTheBlockWithBackoff) {
+  FaultOptions f;
+  f.enabled = true;
+  f.transient_rate = 0.999;  // effectively always faulting
+  f.max_retries = 3;
+  f.backoff_base_s = 0.010;
+  f.backoff_multiplier = 2.0;
+  const FaultInjector injector(f);
+  // Find a block whose every attempt faults (overwhelmingly likely).
+  for (int64_t block = 0; block < 50; ++block) {
+    const BlockReadOutcome outcome =
+        ReadBlockWithFaults(injector, "r1", block, 0.015);
+    if (!outcome.lost) continue;
+    EXPECT_EQ(outcome.read_attempts, 1 + f.max_retries);
+    EXPECT_EQ(outcome.transient_faults, 1 + f.max_retries);
+    // Geometric backoff: 10ms + 20ms + 40ms before attempts 1..3.
+    EXPECT_NEAR(outcome.backoff_s, 0.070, 1e-12);
+    return;
+  }
+  FAIL() << "no block exhausted its retries at rate 0.999";
+}
+
+TEST(ReadBlockWithFaultsTest, StragglerChargesTheInflationOnly) {
+  FaultOptions f;
+  f.enabled = true;
+  f.straggler_rate = 0.999;
+  f.straggler_factor = 8.0;
+  const FaultInjector injector(f);
+  const BlockReadOutcome outcome =
+      ReadBlockWithFaults(injector, "r1", 0, 0.015);
+  ASSERT_TRUE(outcome.straggler);
+  EXPECT_FALSE(outcome.lost);
+  // The base read is charged by the normal path; the outcome carries the
+  // extra (factor - 1) * read seconds.
+  EXPECT_NEAR(outcome.straggler_extra_s, 7.0 * 0.015, 1e-12);
+}
+
+TEST(FaultOptionsTest, ExpectedOverheadMatchesTheModel) {
+  FaultOptions f = ArmedFaults();
+  const double read_s = 0.015;
+  const double p = f.transient_rate;
+  const double expected = p / (1.0 - p) * (read_s + f.backoff_base_s) +
+                          f.straggler_rate * (f.straggler_factor - 1.0) *
+                              read_s;
+  EXPECT_NEAR(f.ExpectedOverheadSeconds(read_s), expected, 1e-15);
+  FaultOptions off;
+  EXPECT_EQ(off.ExpectedOverheadSeconds(read_s), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: the off-switch, reproducibility, and degraded answers.
+
+TEST(FaultExecutionTest, DisabledFaultsAreBitIdenticalToDefaultRun) {
+  auto w = MakeSelectionWorkload(2000, 301);
+  ASSERT_TRUE(w.ok());
+  for (int threads : {1, 4, 8}) {
+    ExecutorOptions plain = BaseOptions(threads);
+    ExecutorOptions off = BaseOptions(threads);
+    off.faults.enabled = false;  // armed-looking rates, master switch off
+    off.faults.transient_rate = 0.5;
+    off.faults.permanent_rate = 0.5;
+    off.faults.straggler_rate = 0.5;
+    auto a = RunTimeConstrainedCount(w->query, w->catalog, plain);
+    auto b = RunTimeConstrainedCount(w->query, w->catalog, off);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->estimate, b->estimate) << threads;
+    EXPECT_EQ(a->variance, b->variance) << threads;
+    EXPECT_EQ(a->blocks_sampled, b->blocks_sampled) << threads;
+    EXPECT_EQ(a->elapsed_seconds, b->elapsed_seconds) << threads;
+    EXPECT_FALSE(b->degraded);
+    EXPECT_FALSE(b->faults.any());
+    EXPECT_EQ(b->faults.variance_widening, 1.0);
+  }
+}
+
+TEST(FaultExecutionTest, FixedFaultSeedReproducibleAcrossThreadWidths) {
+  auto w = MakeSelectionWorkload(2000, 302);
+  ASSERT_TRUE(w.ok());
+  ExecutorOptions base = BaseOptions(1);
+  base.faults = ArmedFaults();
+  base.faults.permanent_rate = 0.05;
+  auto reference = RunTimeConstrainedCount(w->query, w->catalog, base);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (int threads : {1, 4, 8}) {
+    ExecutorOptions o = base;
+    o.threads = threads;
+    auto r = RunTimeConstrainedCount(w->query, w->catalog, o);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->estimate, reference->estimate) << threads;
+    EXPECT_EQ(r->variance, reference->variance) << threads;
+    EXPECT_EQ(r->elapsed_seconds, reference->elapsed_seconds) << threads;
+    EXPECT_EQ(r->blocks_sampled, reference->blocks_sampled) << threads;
+    EXPECT_EQ(r->faults.transient_faults, reference->faults.transient_faults)
+        << threads;
+    EXPECT_EQ(r->faults.retries, reference->faults.retries) << threads;
+    EXPECT_EQ(r->faults.blocks_lost, reference->faults.blocks_lost)
+        << threads;
+    EXPECT_EQ(r->faults.stragglers, reference->faults.stragglers) << threads;
+    EXPECT_EQ(r->faults.fault_delay_s, reference->faults.fault_delay_s)
+        << threads;
+  }
+}
+
+TEST(FaultExecutionTest, DifferentFaultSeedsChangeTheInjection) {
+  auto w = MakeSelectionWorkload(2000, 303);
+  ASSERT_TRUE(w.ok());
+  ExecutorOptions a = BaseOptions();
+  a.faults = ArmedFaults();
+  a.faults.transient_rate = 0.2;
+  ExecutorOptions b = a;
+  b.faults.fault_seed = a.faults.fault_seed + 1;
+  auto ra = RunTimeConstrainedCount(w->query, w->catalog, a);
+  auto rb = RunTimeConstrainedCount(w->query, w->catalog, b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_GT(ra->faults.transient_faults, 0);
+  EXPECT_GT(rb->faults.transient_faults, 0);
+  EXPECT_NE(ra->faults.transient_faults, rb->faults.transient_faults);
+}
+
+TEST(FaultExecutionTest, LostBlocksDegradeTheAnswerAndWidenTheVariance) {
+  auto w = MakeSelectionWorkload(2000, 304);
+  ASSERT_TRUE(w.ok());
+  ExecutorOptions o = BaseOptions();
+  o.faults = ArmedFaults();
+  o.faults.transient_rate = 0.0;
+  o.faults.permanent_rate = 0.10;
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, o);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_GT(r->faults.blocks_lost, 0);
+  EXPECT_TRUE(r->degraded);
+  EXPECT_GT(r->faults.variance_widening, 1.0);
+  // Lost blocks are wasted quota, and stage tallies add up to the totals.
+  EXPECT_GE(r->blocks_wasted, r->faults.blocks_lost);
+  int64_t staged_lost = 0;
+  int64_t staged_drawn = 0;
+  for (const StageReport& s : r->stages()) {
+    staged_lost += s.blocks_lost;
+    staged_drawn += s.blocks_drawn;
+  }
+  EXPECT_EQ(staged_lost, r->faults.blocks_lost);
+  EXPECT_EQ(staged_drawn, r->blocks_sampled + r->blocks_wasted);
+  // MCAR losses keep the estimator unbiased: the estimate is still in the
+  // right ballpark (true count 2000) despite 10% of blocks vanishing.
+  EXPECT_NEAR(r->estimate, 2000.0, 1000.0);
+  // The per-relation tallies feed the serving-layer breaker.
+  ASSERT_FALSE(r->faults.per_relation.empty());
+  EXPECT_EQ(r->faults.per_relation[0].relation, "r1");
+  EXPECT_GT(r->faults.per_relation[0].read_attempts, 0);
+}
+
+TEST(FaultExecutionTest, RetriesAreAttemptsNeverFreshDraws) {
+  auto w = MakeSelectionWorkload(2000, 305);
+  ASSERT_TRUE(w.ok());
+  ExecutorOptions o = BaseOptions();
+  o.faults = ArmedFaults();
+  o.faults.transient_rate = 0.15;
+  o.faults.permanent_rate = 0.0;
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->faults.retries, 0);
+  EXPECT_EQ(r->faults.blocks_lost, 0);
+  EXPECT_FALSE(r->degraded);
+  // read_attempts = one per drawn block + one per retry, exactly.
+  int64_t attempts = 0;
+  for (const RelationFaultCounts& rf : r->faults.per_relation) {
+    attempts += rf.read_attempts;
+  }
+  int64_t drawn = 0;
+  for (const StageReport& s : r->stages()) drawn += s.blocks_drawn;
+  EXPECT_EQ(attempts, drawn + r->faults.retries);
+}
+
+TEST(FaultExecutionTest, FaultDelayIsChargedToTheClock) {
+  auto w = MakeSelectionWorkload(2000, 306);
+  ASSERT_TRUE(w.ok());
+  ExecutorOptions with = BaseOptions();
+  with.faults = ArmedFaults();
+  with.faults.transient_rate = 0.30;
+  with.faults.straggler_rate = 0.20;
+  with.faults.permanent_rate = 0.0;
+  auto r = RunTimeConstrainedCount(w->query, w->catalog, with);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->faults.fault_delay_s, 0.0);
+  double staged_delay = 0.0;
+  for (const StageReport& s : r->stages()) staged_delay += s.fault_delay_s;
+  EXPECT_DOUBLE_EQ(staged_delay, r->faults.fault_delay_s);
+  // Charged time is real time: the run never spends past its quota by
+  // more than the usual overshoot rules allow, and the planner's
+  // inflated fetch cost keeps the deadline arithmetic honest.
+  EXPECT_GT(r->stages_counted, 0);
+}
+
+TEST(FaultExecutionTest, ExplainPlansAgainstTheInflatedReadCost) {
+  auto w = MakeSelectionWorkload(2000, 307);
+  ASSERT_TRUE(w.ok());
+  ExecutorOptions off = BaseOptions();
+  ExecutorOptions on = BaseOptions();
+  on.faults = ArmedFaults();
+  on.faults.transient_rate = 0.45;  // heavy expected retry overhead
+  auto cold = ExplainTimeConstrainedAggregate(w->query, AggregateSpec::Count(),
+                                              w->catalog, off);
+  auto faulty = ExplainTimeConstrainedAggregate(
+      w->query, AggregateSpec::Count(), w->catalog, on);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+  ASSERT_FALSE(cold->stages.empty());
+  ASSERT_FALSE(faulty->stages.empty());
+  // Pricier reads buy fewer blocks in the first planned stage.
+  EXPECT_LT(faulty->stages[0].blocks_planned, cold->stages[0].blocks_planned);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -107,6 +107,90 @@ TEST(RelationFileTest, RoundTripPaperRelation) {
   }
 }
 
+TEST(PageChecksumTest, DeterministicAndSensitiveToEveryByte) {
+  std::vector<uint8_t> page(64, 0xab);
+  const uint64_t sum = PageChecksum(page);
+  EXPECT_EQ(sum, PageChecksum(page));  // pure function of the bytes
+  for (size_t i = 0; i < page.size(); ++i) {
+    std::vector<uint8_t> flipped = page;
+    flipped[i] ^= 0x01;
+    EXPECT_NE(PageChecksum(flipped), sum) << "byte " << i;
+  }
+  EXPECT_NE(PageChecksum({}), sum);
+}
+
+TEST(RelationFileTest, CorruptedPageFailsWithDataLoss) {
+  auto w = MakeSelectionWorkload(50, 11);
+  ASSERT_TRUE(w.ok());
+  auto rel = w->catalog.Find("r1");
+  ASSERT_TRUE(rel.ok());
+  std::string path = TempDir() + "/corrupt.tcq";
+  ASSERT_TRUE(SaveRelation(**rel, path).ok());
+
+  // Flip one payload byte of the last page (the final 8 bytes are its
+  // stored checksum). v2 readers must refuse the file with kDataLoss.
+  std::vector<uint8_t> bytes;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    bytes.resize(static_cast<size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+  ASSERT_GT(bytes.size(), 9u);
+  bytes[bytes.size() - 9] ^= 0xff;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+  auto loaded = LoadRelation(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(RelationFileTest, VersionOneFileStillLoads) {
+  // A v1 file written by hand: no per-page checksums. One int64 column,
+  // one block of one tuple (value 7), 8-byte pages.
+  std::vector<uint8_t> out;
+  auto put_u32 = [&out](uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  };
+  auto put_u64 = [&out](uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  };
+  for (char c : {'T', 'C', 'Q', 'F'}) out.push_back(static_cast<uint8_t>(c));
+  put_u32(1);  // version 1
+  put_u32(2);  // name length
+  out.push_back('v');
+  out.push_back('1');
+  put_u32(1);  // one column
+  put_u32(1);  // column name length
+  out.push_back('i');
+  put_u32(0);  // DataType::kInt64
+  put_u32(0);  // width
+  put_u32(8);  // block_bytes
+  put_u64(1);  // num_blocks
+  put_u64(1);  // num_tuples
+  put_u32(1);  // tuples in block 0
+  put_u64(7);  // the page: one int64
+  std::string path = TempDir() + "/v1.tcq";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(out.data(), 1, out.size(), f), out.size());
+    std::fclose(f);
+  }
+  auto loaded = LoadRelation(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), "v1");
+  ASSERT_EQ(loaded->NumTuples(), 1);
+  EXPECT_EQ(std::get<int64_t>(loaded->block(0).tuples[0][0]), 7);
+}
+
 TEST(RelationFileTest, LoadRejectsGarbage) {
   std::string path = TempDir() + "/garbage.tcq";
   {

@@ -270,5 +270,219 @@ TEST(ServerTest, AdminSurfacesMatchSessions) {
   EXPECT_EQ(session.CacheStats().pooled_blocks, 0);
 }
 
+TEST(ServerTest, HardAbortAndServeDeadlineStayConsistent) {
+  // A hard-deadline abort inside the engine and a serving-deadline miss
+  // at the server are independent events; whatever their combination,
+  // the report must stay self-consistent: the aborted stage appears in
+  // stages_run but not stages_counted, and deadline_missed reflects the
+  // *serving* clock, never the simulated abort.
+  bool saw_abort = false;
+  for (uint64_t seed = 1; seed <= 30 && !saw_abort; ++seed) {
+    auto workload = MakeSelectionWorkload(3000, 7);
+    ASSERT_TRUE(workload.ok());
+    Server server(std::move(workload->catalog), GenerousOptions());
+    Session session = server.OpenSession();
+    auto r = session.Query("SELECT[key < 3000](r1)")
+                 .WithSeed(seed)
+                 .WithQuota(2.0)
+                 .WithRiskMargin(0.0)
+                 .WithDeadline(DeadlineMode::kHard)
+                 .WithServeDeadline(60.0)
+                 .Run();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->admission.outcome, AdmissionReport::Outcome::kAdmitted);
+    EXPECT_EQ(r->admission.deadline_s, 60.0);
+    EXPECT_FALSE(r->admission.deadline_missed);  // a real minute is ample
+    EXPECT_EQ(r->stages_run,
+              static_cast<int>(r->stage_reports.size()));
+    if (r->overspent) {
+      saw_abort = true;
+      EXPECT_EQ(r->stages_counted, r->stages_run - 1);
+      EXPECT_FALSE(r->stage_reports.back().within_quota);
+      EXPECT_EQ(server.stats().deadline_missed, 0);
+    } else {
+      EXPECT_EQ(r->stages_counted, r->stages_run);
+    }
+  }
+  EXPECT_TRUE(saw_abort) << "no seed in 1..30 aborted a hard-deadline stage";
+
+  // The reverse combination: the simulated run finishes cleanly but the
+  // serving deadline (nanosecond-scale) is missed.
+  Server server(MakeCatalog(), GenerousOptions());
+  Session session = server.OpenSession();
+  auto r = session.Query("r1 INTERSECT r2")
+               .WithSeed(21)
+               .WithQuota(2.0)
+               .WithDeadline(DeadlineMode::kHard)
+               .WithServeDeadline(1e-9)
+               .Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->admission.deadline_missed);
+  EXPECT_EQ(r->admission.deadline_s, 1e-9);
+  EXPECT_EQ(r->stages_run, static_cast<int>(r->stage_reports.size()));
+  EXPECT_EQ(server.stats().deadline_missed, 1);
+}
+
+// ---------------------------------------------------------------------
+// Circuit breaker: fault storms at the serving layer.
+
+FaultOptions StormFaults(uint64_t fault_seed) {
+  FaultOptions f;
+  f.enabled = true;
+  f.transient_rate = 0.30;
+  f.permanent_rate = 0.05;
+  f.fault_seed = fault_seed;
+  return f;
+}
+
+TEST(ServerTest, BreakerTripsOnAStormThenProbesAndRecloses) {
+  // Deterministic walk through the breaker state machine: closed → open
+  // (faulty run) → half-open (zero cooldown) → closed (clean probe).
+  Server::Options options = GenerousOptions();
+  options.admission.breaker.enabled = true;
+  options.admission.breaker.fault_rate_threshold = 0.05;
+  options.admission.breaker.min_reads = 10;
+  options.admission.breaker.cooldown_s = 0.0;
+  Server server(MakeCatalog(), options);
+  Session session = server.OpenSession();
+
+  auto stormy = session.Query("r1 INTERSECT r2")
+                    .WithSeed(21)
+                    .WithFaults(StormFaults(3))
+                    .Run();
+  ASSERT_TRUE(stormy.ok()) << stormy.status().ToString();
+  EXPECT_TRUE(stormy->faults.any());
+  EXPECT_GE(server.stats().breaker.trips, 1);
+
+  // Cooldown already over: the next query is the half-open probe. Its
+  // clean (faults-off) completion recloses the breaker, so a third
+  // query passes without shedding or probing.
+  auto probe = session.Query("r1 INTERSECT r2").WithSeed(22).Run();
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  auto after = session.Query("r1 INTERSECT r2").WithSeed(23).Run();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+
+  ServerStats stats = server.stats();
+  EXPECT_GE(stats.breaker.probes, 1);
+  EXPECT_EQ(stats.breaker.sheds, 0);
+  EXPECT_EQ(stats.breaker.open, 0);  // reclosed
+  EXPECT_EQ(stats.completed, 3);
+}
+
+TEST(ServerTest, OpenBreakerShedsWithTypedUnavailable) {
+  Server::Options options = GenerousOptions();
+  options.admission.breaker.enabled = true;
+  options.admission.breaker.fault_rate_threshold = 0.05;
+  options.admission.breaker.min_reads = 10;
+  options.admission.breaker.cooldown_s = 3600.0;  // stays open
+  Server server(MakeCatalog(), options);
+  Session session = server.OpenSession();
+
+  auto stormy = session.Query("r1 INTERSECT r2")
+                    .WithSeed(21)
+                    .WithFaults(StormFaults(3))
+                    .Run();
+  ASSERT_TRUE(stormy.ok()) << stormy.status().ToString();
+  ASSERT_GE(server.stats().breaker.trips, 1);
+
+  auto shed = session.Query("r1 INTERSECT r2").WithSeed(22).Run();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  ServerStats stats = server.stats();
+  EXPECT_GE(stats.breaker.sheds, 1);
+  EXPECT_GE(stats.breaker.open, 1);
+  // A shed query never reached admission or execution.
+  EXPECT_EQ(stats.admission.submitted, 1);
+  EXPECT_EQ(stats.completed, 1);
+}
+
+TEST(ServerTest, OpenBreakerShrinksInsteadWhenConfigured) {
+  Server::Options options = GenerousOptions();
+  options.admission.breaker.enabled = true;
+  options.admission.breaker.fault_rate_threshold = 0.05;
+  options.admission.breaker.min_reads = 10;
+  options.admission.breaker.cooldown_s = 3600.0;
+  options.admission.breaker.shed = false;
+  options.admission.breaker.shrink_factor = 0.5;
+  Server server(MakeCatalog(), options);
+  Session session = server.OpenSession();
+
+  auto stormy = session.Query("r1 INTERSECT r2")
+                    .WithSeed(21)
+                    .WithQuota(4.0)
+                    .WithFaults(StormFaults(3))
+                    .Run();
+  ASSERT_TRUE(stormy.ok()) << stormy.status().ToString();
+  ASSERT_GE(server.stats().breaker.trips, 1);
+
+  auto shrunk = session.Query("r1 INTERSECT r2")
+                    .WithSeed(22)
+                    .WithQuota(4.0)
+                    .Run();
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+  EXPECT_EQ(shrunk->admission.granted_quota_s, 2.0);
+  EXPECT_GE(server.stats().breaker.shrinks, 1);
+}
+
+// The TSan target of the fault path: concurrent faulty queries exercise
+// retry/backoff inside the engine and the breaker's shared books at once.
+TEST(ServerTest, ConcurrentFaultStormKeepsTheServerCoherent) {
+  Metrics metrics;
+  Server::Options options = GenerousOptions();
+  options.pool_workers = 3;
+  options.session.threads = 2;
+  options.metrics = &metrics;
+  options.admission.breaker.enabled = true;
+  options.admission.breaker.fault_rate_threshold = 0.05;
+  options.admission.breaker.min_reads = 20;
+  options.admission.breaker.cooldown_s = 3600.0;
+  Server server(MakeCatalog(), options);
+
+  constexpr int kQueries = 8;
+  ThreadPool submitters(kQueries - 1);
+  std::vector<Result<QueryResult>> results(kQueries,
+                                           Status::Internal("not run"));
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < kQueries; ++i) {
+    tasks.push_back([&, i] {
+      Session session = server.OpenSession();
+      results[static_cast<size_t>(i)] =
+          session.Query(i % 2 == 0 ? "r1 INTERSECT r2" : "r1 UNION r2")
+              .WithSeed(100 + static_cast<uint64_t>(i))
+              .WithFaults(StormFaults(40 + static_cast<uint64_t>(i)))
+              .WithServeDeadline(60.0)
+              .Run();
+    });
+  }
+  RunTasks(&submitters, &tasks);
+
+  // Depending on the interleaving a query either ran (possibly degraded)
+  // or was shed once an earlier report tripped the breaker — nothing
+  // else.
+  int ran = 0;
+  int shed = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    const auto& r = results[static_cast<size_t>(i)];
+    if (r.ok()) {
+      ++ran;
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable) << i;
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ran + shed, kQueries);
+  EXPECT_GT(ran, 0);  // the first reporter ran before any trip
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, ran);
+  EXPECT_EQ(stats.breaker.sheds, shed);
+  EXPECT_GE(stats.breaker.trips, 1);  // a 30%+ storm cannot stay unnoticed
+  EXPECT_EQ(stats.admission.active, 0);
+  EXPECT_EQ(stats.admission.outstanding_s, 0.0);
+  if (shed > 0) {
+    EXPECT_EQ(metrics.counter("serve.breaker_sheds")->value(), shed);
+  }
+}
+
 }  // namespace
 }  // namespace tcq

@@ -29,7 +29,16 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
   EXPECT_EQ(Status::DeadlineExceeded("x").code(),
             StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, FaultCodesRenderTheirNames) {
+  EXPECT_EQ(Status::DataLoss("page 3 corrupt").ToString(),
+            "DataLoss: page 3 corrupt");
+  EXPECT_EQ(Status::Unavailable("fault storm").ToString(),
+            "Unavailable: fault storm");
 }
 
 TEST(StatusTest, Equality) {

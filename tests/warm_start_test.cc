@@ -330,6 +330,60 @@ TEST(AccountingTest, BlocksWastedReconcilesWithStageReportsAndMetric) {
   EXPECT_TRUE(saw_abort) << "no seed in 1..30 aborted a hard-deadline stage";
 }
 
+TEST(AccountingTest, FaultRetriesNeverDoubleCountBlocksDrawn) {
+  // With transient faults armed, a retried read is another *attempt* at
+  // the same drawn block — blocks_drawn (stage reports and the
+  // engine.blocks_drawn counter) must count it exactly once, and the
+  // reconciliation identity must keep holding with lost blocks wasted.
+  bool saw_retry = false;
+  bool saw_loss = false;
+  for (uint64_t seed = 1; seed <= 30 && !(saw_retry && saw_loss); ++seed) {
+    Session session = MakeSelectSession();
+    Metrics metrics;
+    FaultOptions faults;
+    faults.enabled = true;
+    faults.transient_rate = 0.15;
+    faults.permanent_rate = 0.03;
+    faults.fault_seed = seed;
+    auto r = session.Query("SELECT[key < 3000](r1)")
+                 .WithSeed(seed)
+                 .WithQuota(2.0)
+                 .WithRiskMargin(0.0)
+                 .WithDeadline(DeadlineMode::kHard)
+                 .WithMetrics(&metrics)
+                 .WithFaults(faults)
+                 .Run();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    int64_t reported = 0;
+    for (const StageReport& s : r->stage_reports) reported += s.blocks_drawn;
+    EXPECT_EQ(r->blocks_sampled + r->blocks_wasted, reported);
+    EXPECT_EQ(metrics.counter("engine.blocks_drawn")->value(), reported);
+    // Attempts exceed draws by exactly the retry count, never more.
+    int64_t attempts = 0;
+    for (const RelationFaultCounts& rf : r->faults.per_relation) {
+      attempts += rf.read_attempts;
+    }
+    EXPECT_EQ(attempts, reported + r->faults.retries);
+    if (r->faults.retries > 0) {
+      saw_retry = true;
+      EXPECT_EQ(metrics.counter("fault.retries")->value(),
+                r->faults.retries);
+    }
+    if (r->faults.blocks_lost > 0) {
+      saw_loss = true;
+      if (r->overspent) {
+        // The aborted stage wastes all its draws, lost or not.
+        EXPECT_GE(r->blocks_wasted, r->faults.blocks_lost);
+      } else {
+        // Every stage counted: wasted quota is exactly the lost blocks.
+        EXPECT_EQ(r->blocks_wasted, r->faults.blocks_lost);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_retry) << "no seed in 1..30 retried a transient fault";
+  EXPECT_TRUE(saw_loss) << "no seed in 1..30 lost a block";
+}
+
 TEST(AccountingTest, SoftOverrunReportsUtilizationAboveOne) {
   // Under a soft deadline the overrunning final stage counts, so the true
   // quota-spend ratio exceeds 1 and must no longer be clamped away.

@@ -1,0 +1,11 @@
+// Fixture: storage code dropping Status/Result returns on the floor.
+// Bare statements and (void) casts both compile; the lint must catch
+// them because a discarded return hides a checksum DataLoss.
+#include "storage/page_codec.h"
+
+void Checkpoint(const tcq::Relation& rel, const tcq::Catalog& cat) {
+  SaveRelation(rel, "/tmp/r.tcq");
+  (void)SaveCatalog(cat, "/tmp/dir");
+  LoadRelation(
+      "/tmp/r.tcq");
+}

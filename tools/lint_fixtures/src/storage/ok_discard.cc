@@ -1,0 +1,18 @@
+// Fixture: the sanctioned ways to consume storage Status returns. The
+// TCQ_RETURN_NOT_OK continuation line mirrors SaveCatalog in
+// src/storage/page_codec.cc and must not fire even though SaveRelation
+// opens the line.
+#include "storage/page_codec.h"
+
+tcq::Status CheckpointAll(const tcq::Catalog& cat, const tcq::Relation& rel) {
+  TCQ_RETURN_NOT_OK(
+      SaveRelation(rel, "/tmp/r.tcq"));
+  tcq::Status s = SaveCatalog(cat, "/tmp/dir");
+  if (!SaveCatalog(cat, "/tmp/dir2").ok()) {
+    return s;
+  }
+  TCQ_ASSIGN_OR_RETURN(
+      tcq::Relation reloaded,
+      LoadRelation("/tmp/r.tcq"));
+  return SaveRelation(reloaded, "/tmp/r2.tcq");
+}

@@ -53,6 +53,16 @@ enforces them statically:
                      admission fit probe planned against. Tests may use
                      the hatch deliberately (e.g. to prove the typed
                      setters configure the very same options).
+  status-discarded-in-storage
+                     A storage I/O call (SaveRelation, LoadCatalog,
+                     EncodePage, ...) used as a bare statement — or behind
+                     a (void) cast — inside src/storage/. Every entry
+                     point there returns Status/Result precisely because
+                     disk corruption (checksum mismatch -> DataLoss) and
+                     injected faults surface through those values; a
+                     dropped return turns a detectable corrupt page into
+                     silent wrong data. Wrap in TCQ_RETURN_NOT_OK /
+                     TCQ_ASSIGN_OR_RETURN or branch on .ok().
 
 Usage:
   tools/tcq_lint.py [--root DIR] [--list-rules] [PATHS...]
@@ -302,6 +312,67 @@ def rule_raw_options_edit(relpath, lines, code_lines):
                        "EXPLAIN and admission control (tests excepted)")
 
 
+# The Status/Result-returning storage entry points (page_codec.h,
+# relation.h). All carry [[nodiscard]], but a `(void)` cast compiles
+# cleanly and a missed wrapper macro is easy to write; with per-page
+# checksums these returns are the *only* channel a corrupt/injected-fault
+# page reports through, so discarding one in storage code converts a
+# detectable DataLoss into silent wrong data.
+STORAGE_STATUS_CALLS = (
+    "SaveRelation", "SaveCatalog", "LoadRelation", "LoadCatalog",
+    "EncodeTuple", "DecodeTuple", "EncodePage", "DecodePage",
+    "ReadBlock", "Append", "Register", "ValidateTuple",
+)
+# A call that *starts* a statement: optional `(void)` cast, optional
+# receiver (`rel.` / `catalog->` / `tcq::`), then the name and its
+# opening parenthesis. Uses as a subexpression (`return Save...`,
+# `Status s = Save...`, `if (!Save...`) have other tokens before the
+# name and never match.
+STORAGE_CALL_RE = re.compile(
+    r"^\s*(?:\(\s*void\s*\)\s*)?(?:[A-Za-z_]\w*\s*(?:\.|->)\s*|tcq::)?"
+    r"(" + "|".join(STORAGE_STATUS_CALLS) + r")\s*\(")
+
+
+def rule_status_discarded_in_storage(relpath, lines, code_lines):
+    if not _norm(relpath).startswith("src/storage/"):
+        return
+    for no, code in enumerate(code_lines, 1):
+        m = STORAGE_CALL_RE.match(code)
+        if not m:
+            continue
+        # Walk the call's parentheses (the statement may span lines). The
+        # first non-space character after the matching close decides:
+        # `;` means the return value was discarded; an extra `)` (depth
+        # going negative) means this line only continues a wrapper such
+        # as TCQ_RETURN_NOT_OK( opened on a previous line; anything else
+        # (`.ok()`, `,`) is a real use.
+        depth = 0
+        tail = code[m.end() - 1:]  # from the call's opening paren
+        verdict = None
+        row = no - 1
+        while verdict is None and row < len(code_lines) and row < no + 9:
+            for ch in tail:
+                if ch == "(":
+                    depth += 1
+                elif ch == ")":
+                    depth -= 1
+                    if depth < 0:
+                        verdict = "wrapped"
+                        break
+                elif depth == 0 and not ch.isspace():
+                    verdict = "discarded" if ch == ";" else "used"
+                    break
+            row += 1
+            tail = code_lines[row] if row < len(code_lines) else ""
+        if verdict == "discarded":
+            yield no, (f"'{m.group(1)}' returns Status/Result but the call "
+                       "is a bare statement; in src/storage/ that return "
+                       "is the only channel a corrupt page (checksum "
+                       "DataLoss) or injected fault reports through — wrap "
+                       "in TCQ_RETURN_NOT_OK / TCQ_ASSIGN_OR_RETURN or "
+                       "branch on .ok()")
+
+
 RULES = {
     "unseeded-rng": rule_unseeded_rng,
     "wall-clock": rule_wall_clock,
@@ -311,6 +382,7 @@ RULES = {
     "cache-key-canonical": rule_cache_key_canonical,
     "trace-format-outside-obs": rule_trace_format_outside_obs,
     "raw-options-edit": rule_raw_options_edit,
+    "status-discarded-in-storage": rule_status_discarded_in_storage,
 }
 
 

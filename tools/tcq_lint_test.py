@@ -58,6 +58,11 @@ EXPECTED = {
         (9, "raw-options-edit"),
         (11, "raw-options-edit"),
     ],
+    "src/storage/bad_discard.cc": [
+        (7, "status-discarded-in-storage"),
+        (8, "status-discarded-in-storage"),
+        (9, "status-discarded-in-storage"),
+    ],
     # Scope and suppression cases: must come back clean.
     "tests/ok_raw_options_edit.cc": [],
     "src/util/random.cc": [],
@@ -68,6 +73,7 @@ EXPECTED = {
     "src/api/ok_nodiscard.h": [],
     "src/obs/ok_trace_format.cc": [],
     "src/cache/signature.cc": [],
+    "src/storage/ok_discard.cc": [],
 }
 
 
