@@ -72,12 +72,23 @@ Status FaultOptions::Validate() const {
 
 double FaultOptions::ExpectedOverheadSeconds(double block_read_s) const {
   if (!enabled) return 0.0;
-  // First-order expectation: an untruncated geometric number of retries
-  // p/(1-p), each costing one re-read plus (at least) the base backoff,
-  // plus straggler inflation on the straggler_rate fraction of reads.
+  // Truncated-geometric retry pricing, matching ReadBlockWithFaults
+  // exactly: retry k (1-based, k <= max_retries) happens iff the first k
+  // attempts all failed transiently — probability p^k — and costs one
+  // re-read plus the backoff charged before it,
+  // backoff_base_s * backoff_multiplier^(k-1). The sum truncates where
+  // the executor gives up and declares the block lost, and straggler
+  // inflation rides on the straggler_rate fraction of reads.
   const double p = transient_rate;
-  const double expected_retries = p < 1.0 ? p / (1.0 - p) : 0.0;
-  return expected_retries * (block_read_s + backoff_base_s) +
+  double overhead = 0.0;
+  double p_pow_k = 1.0;
+  double backoff = backoff_base_s;
+  for (int k = 1; k <= max_retries; ++k) {
+    p_pow_k *= p;
+    overhead += p_pow_k * (block_read_s + backoff);
+    backoff *= backoff_multiplier;
+  }
+  return overhead +
          straggler_rate * (straggler_factor - 1.0) * block_read_s;
 }
 

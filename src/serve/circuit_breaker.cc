@@ -36,13 +36,16 @@ RelationCircuitBreaker::RelationCircuitBreaker(CircuitBreakerOptions options,
     : options_(options), metrics_(metrics) {}
 
 Status RelationCircuitBreaker::Check(
-    const std::vector<std::string>& relations, double* quota_scale) {
+    const std::vector<std::string>& relations, double* quota_scale,
+    std::vector<ProbeGrant>* probes) {
   if (quota_scale != nullptr) *quota_scale = 1.0;
+  if (probes != nullptr) probes->clear();
   if (!options_.enabled) return Status::OK();
 
   std::lock_guard<std::mutex> lock(mu_);
-  const ServeClock::time_point now = ServeClock::now();
+  const ServeClock::time_point now = NowLocked();
   double scale = 1.0;
+  std::vector<ProbeGrant> granted;
   for (const std::string& relation : relations) {
     auto it = relations_.find(relation);
     if (it == relations_.end()) continue;
@@ -52,22 +55,40 @@ Status RelationCircuitBreaker::Check(
           std::chrono::duration<double>(now - health.opened_at).count();
       if (open_for >= options_.cooldown_s) {
         health.state = State::kHalfOpen;
-        health.probe_in_flight = false;
+        health.probe_token = 0;
       }
     }
-    if (health.state == State::kHalfOpen && !health.probe_in_flight) {
+    if (health.state == State::kHalfOpen) {
+      // Backstop against a lost probe: one in flight for a full cooldown
+      // without a verdict (its query hung, or an early return skipped
+      // both Report and AbortProbes) is reclaimed so the relation cannot
+      // stay shed forever.
+      const double probe_age =
+          std::chrono::duration<double>(now - health.opened_at).count();
+      if (health.probe_token != 0 && probe_age >= options_.cooldown_s) {
+        health.probe_token = 0;
+        ++probe_aborts_;
+        if (metrics_ != nullptr) {
+          metrics_->counter("serve.breaker_probe_aborts")->Increment();
+        }
+      }
       // This query becomes the single probe; concurrent arrivals below
-      // see probe_in_flight and are handled like an open breaker.
-      health.probe_in_flight = true;
-      ++probes_;
-      if (metrics_ != nullptr) {
-        metrics_->counter("serve.breaker_probes")->Increment();
+      // see the in-flight token and are handled like an open breaker.
+      // A caller with no way to return the grant never receives one.
+      if (health.probe_token == 0 && probes != nullptr) {
+        health.probe_token = ++last_probe_token_;
+        // From here `opened_at` stamps the probe grant, starting the
+        // reclaim clock above.
+        health.opened_at = now;
+        granted.push_back(ProbeGrant{relation, health.probe_token});
+        continue;
       }
-      continue;
     }
-    if (health.state == State::kOpen ||
-        (health.state == State::kHalfOpen && health.probe_in_flight)) {
+    if (health.state == State::kOpen || health.state == State::kHalfOpen) {
       if (options_.shed) {
+        // The query is turned away, so probes granted for relations
+        // earlier in this same call can never report — hand them back.
+        for (const ProbeGrant& grant : granted) ReleaseProbeLocked(grant);
         ++sheds_;
         if (metrics_ != nullptr) {
           metrics_->counter("serve.breaker_sheds")->Increment();
@@ -77,6 +98,14 @@ Status RelationCircuitBreaker::Check(
       }
       scale = std::min(scale, options_.shrink_factor);
     }
+  }
+  if (!granted.empty()) {
+    probes_ += static_cast<int64_t>(granted.size());
+    if (metrics_ != nullptr) {
+      auto* counter = metrics_->counter("serve.breaker_probes");
+      for (size_t i = 0; i < granted.size(); ++i) counter->Increment();
+    }
+    *probes = std::move(granted);
   }
   if (scale < 1.0) {
     ++shrinks_;
@@ -89,7 +118,7 @@ Status RelationCircuitBreaker::Check(
 }
 
 void RelationCircuitBreaker::Report(std::string_view relation, int64_t reads,
-                                    int64_t faults) {
+                                    int64_t faults, uint64_t probe_token) {
   if (!options_.enabled) return;
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -101,19 +130,23 @@ void RelationCircuitBreaker::Report(std::string_view relation, int64_t reads,
   RelationHealth& health = it->second;
   if (reads > 0) AccumulateLocked(&health, reads, faults);
 
-  const bool was_probe = health.probe_in_flight;
-  health.probe_in_flight = false;
-  const double rate = health.reads > 0.0 ? health.faults / health.reads : 0.0;
-
   switch (health.state) {
-    case State::kClosed:
+    case State::kClosed: {
+      const double rate =
+          health.reads > 0.0 ? health.faults / health.reads : 0.0;
       if (health.reads >= static_cast<double>(options_.min_reads) &&
           rate > options_.fault_rate_threshold) {
         TripLocked(it->first, &health);
       }
       break;
+    }
     case State::kHalfOpen:
-      if (!was_probe) break;  // a stale pre-trip query, not the probe
+      // Only the in-flight probe's own verdict moves a half-open
+      // breaker. A report without the current token — a query admitted
+      // before the trip, or a probe already reclaimed as lost — has
+      // already folded its tallies into the window above.
+      if (probe_token == 0 || probe_token != health.probe_token) break;
+      health.probe_token = 0;
       // A probe that completed with its own fault rate at or under the
       // threshold — including a faults-off run reporting no reads at
       // all — counts as clean.
@@ -135,6 +168,13 @@ void RelationCircuitBreaker::Report(std::string_view relation, int64_t reads,
   }
 }
 
+void RelationCircuitBreaker::AbortProbes(
+    const std::vector<ProbeGrant>& probes) {
+  if (!options_.enabled || probes.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ProbeGrant& grant : probes) ReleaseProbeLocked(grant);
+}
+
 RelationCircuitBreaker::State RelationCircuitBreaker::state(
     std::string_view relation) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -149,8 +189,26 @@ RelationCircuitBreaker::Stats RelationCircuitBreaker::stats() const {
   s.sheds = sheds_;
   s.shrinks = shrinks_;
   s.probes = probes_;
+  s.probe_aborts = probe_aborts_;
   s.open = open_;
   return s;
+}
+
+void RelationCircuitBreaker::UseVirtualClockForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  virtual_clock_ = true;
+  virtual_now_ = ServeClock::time_point{} + std::chrono::hours(1);
+}
+
+void RelationCircuitBreaker::AdvanceClockForTest(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  virtual_now_ += std::chrono::duration_cast<ServeClock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+RelationCircuitBreaker::ServeClock::time_point
+RelationCircuitBreaker::NowLocked() const {
+  return virtual_clock_ ? virtual_now_ : ServeClock::now();
 }
 
 void RelationCircuitBreaker::AccumulateLocked(RelationHealth* health,
@@ -166,14 +224,28 @@ void RelationCircuitBreaker::AccumulateLocked(RelationHealth* health,
   }
 }
 
+void RelationCircuitBreaker::ReleaseProbeLocked(const ProbeGrant& grant) {
+  auto it = relations_.find(grant.relation);
+  if (it == relations_.end()) return;
+  RelationHealth& health = it->second;
+  if (health.state != State::kHalfOpen || health.probe_token != grant.token) {
+    return;  // verdict already delivered, reclaimed, or state moved on
+  }
+  health.probe_token = 0;
+  ++probe_aborts_;
+  if (metrics_ != nullptr) {
+    metrics_->counter("serve.breaker_probe_aborts")->Increment();
+  }
+}
+
 void RelationCircuitBreaker::TripLocked(const std::string& relation,
                                         RelationHealth* health) {
   if (health->state != State::kOpen && health->state != State::kHalfOpen) {
     ++open_;
   }
   health->state = State::kOpen;
-  health->opened_at = ServeClock::now();
-  health->probe_in_flight = false;
+  health->opened_at = NowLocked();
+  health->probe_token = 0;
   ++trips_;
   if (metrics_ != nullptr) {
     metrics_->counter("serve.breaker_trips")->Increment();

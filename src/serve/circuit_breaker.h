@@ -18,6 +18,16 @@
 ///               through. A clean probe closes the breaker (window
 ///               reset); a faulty one re-opens it for another cooldown.
 ///
+/// The probe is tracked by token: Check() hands the granted probe back
+/// as a `ProbeGrant`, and only a Report() presenting the matching token
+/// can close or re-trip a half-open breaker — a query admitted before
+/// the trip that happens to finish during the half-open window merely
+/// folds its tallies into the decayed window. A probe whose query never
+/// reports (early admission rejection, engine error, hung run) is handed
+/// back explicitly via AbortProbes(), and as a backstop Check() reclaims
+/// a probe that has been in flight for a full `cooldown_s` without a
+/// verdict, so a lost probe can never shed a relation forever.
+///
 /// Feedback arrives from the engine's per-relation fault tallies
 /// (FaultReport::per_relation), so the breaker needs no hooks inside the
 /// executor. Decisions are made under one mutex; the serving clock is
@@ -51,7 +61,9 @@ struct CircuitBreakerOptions {
   /// handful of unlucky reads must not trip the breaker.
   int64_t min_reads = 50;
   /// Serving-clock seconds an open breaker waits before letting a probe
-  /// query through (half-open).
+  /// query through (half-open). Also the patience granted to an
+  /// in-flight probe: one that reports no verdict for this long is
+  /// considered lost and reclaimed by the next Check().
   double cooldown_s = 1.0;
   /// Open-state policy: shed queries with kUnavailable (true) or admit
   /// them with a quota shrunk by `shrink_factor` (false).
@@ -76,6 +88,14 @@ class RelationCircuitBreaker {
  public:
   enum class State { kClosed, kOpen, kHalfOpen };
 
+  /// One half-open probe granted by Check(). The caller must either
+  /// Report() with the token once the query's fault tallies are known,
+  /// or AbortProbes() if the query never runs to completion.
+  struct ProbeGrant {
+    std::string relation;
+    uint64_t token = 0;
+  };
+
   /// `metrics` (optional, not owned) receives the serve.breaker_*
   /// counters and gauge listed in server.h.
   explicit RelationCircuitBreaker(CircuitBreakerOptions options,
@@ -89,29 +109,52 @@ class RelationCircuitBreaker {
   /// under the shed policy; otherwise OK, with `*quota_scale` set to the
   /// smallest shrink factor across open relations (1.0 when all are
   /// healthy). In the half-open state exactly one caller passes as the
-  /// probe; concurrent callers are treated as still-open.
+  /// probe; it receives a `ProbeGrant` in `*probes` and concurrent
+  /// callers are treated as still-open. A shed undoes any probes this
+  /// same call granted, and a caller passing `probes == nullptr` is
+  /// never granted one (it could not report the verdict). Probes granted
+  /// `cooldown_s` ago without a verdict are reclaimed here.
   [[nodiscard]] Status Check(const std::vector<std::string>& relations,
-                             double* quota_scale);
+                             double* quota_scale,
+                             std::vector<ProbeGrant>* probes);
 
   /// Post-run feedback: `reads` attempts against `relation`, of which
   /// `faults` failed (transients plus lost blocks). Folds the tallies
-  /// into the relation's window and drives the state machine. A probe
-  /// query's report closes (clean) or re-opens (faulty) the breaker.
-  void Report(std::string_view relation, int64_t reads, int64_t faults);
+  /// into the relation's window and drives the state machine.
+  /// `probe_token` is the token of this query's ProbeGrant for the
+  /// relation (0 when it holds none); only the report carrying the
+  /// half-open breaker's current token closes (clean) or re-opens
+  /// (faulty) it — any other report just accumulates.
+  void Report(std::string_view relation, int64_t reads, int64_t faults,
+              uint64_t probe_token = 0);
+
+  /// Hands granted probes back without a verdict — the query was turned
+  /// away after Check (admission rejection, engine error), so the
+  /// breaker should offer the probe to the next arrival instead of
+  /// waiting out the reclaim backstop. Grants whose token is no longer
+  /// current are ignored.
+  void AbortProbes(const std::vector<ProbeGrant>& probes);
 
   /// Current state of one relation's breaker (kClosed if never seen).
   State state(std::string_view relation) const;
 
   struct Stats {
-    int64_t trips = 0;    // closed/half-open -> open transitions
-    int64_t sheds = 0;    // queries rejected kUnavailable
-    int64_t shrinks = 0;  // queries admitted at a reduced quota
-    int64_t probes = 0;   // half-open probe queries let through
-    int open = 0;         // relations currently open or half-open
+    int64_t trips = 0;         // closed/half-open -> open transitions
+    int64_t sheds = 0;         // queries rejected kUnavailable
+    int64_t shrinks = 0;       // queries admitted at a reduced quota
+    int64_t probes = 0;        // half-open probe queries let through
+    int64_t probe_aborts = 0;  // probes handed back or reclaimed unheard
+    int open = 0;              // relations currently open or half-open
   };
   Stats stats() const;
 
   const CircuitBreakerOptions& options() const { return options_; }
+
+  /// Test-only: replace the serving clock with a virtual one that only
+  /// AdvanceClockForTest() moves, so cooldown and probe-expiry paths are
+  /// testable without sleeping. Production code never calls these.
+  void UseVirtualClockForTest();
+  void AdvanceClockForTest(double seconds);
 
  private:
   using ServeClock = std::chrono::steady_clock;
@@ -120,14 +163,24 @@ class RelationCircuitBreaker {
     State state = State::kClosed;
     double reads = 0.0;   // decayed window of read attempts
     double faults = 0.0;  // decayed window of failed attempts
+    /// Trip time while open; probe-grant time while half-open with a
+    /// probe in flight (so an abandoned probe expires after another
+    /// cooldown_s).
     ServeClock::time_point opened_at{};
-    bool probe_in_flight = false;
+    /// Token of the in-flight half-open probe; 0 when none.
+    uint64_t probe_token = 0;
   };
 
+  /// Serving-clock `now`, or the virtual test clock. Requires `mu_`
+  /// held (the virtual clock is guarded by it).
+  ServeClock::time_point NowLocked() const;
   /// Folds one report into the window and applies halving decay.
   /// Requires `mu_` held.
   void AccumulateLocked(RelationHealth* health, int64_t reads,
                         int64_t faults) const;
+  /// Hands one granted probe back if its token is still current.
+  /// Requires `mu_` held.
+  void ReleaseProbeLocked(const ProbeGrant& grant);
   /// Trips `health` open and counts the transition. Requires `mu_` held.
   void TripLocked(const std::string& relation, RelationHealth* health);
   void UpdateGaugeLocked();
@@ -137,11 +190,15 @@ class RelationCircuitBreaker {
 
   mutable std::mutex mu_;
   std::map<std::string, RelationHealth, std::less<>> relations_;
+  uint64_t last_probe_token_ = 0;
   int open_ = 0;
   int64_t trips_ = 0;
   int64_t sheds_ = 0;
   int64_t shrinks_ = 0;
   int64_t probes_ = 0;
+  int64_t probe_aborts_ = 0;
+  bool virtual_clock_ = false;
+  ServeClock::time_point virtual_now_{};
 };
 
 }  // namespace tcq

@@ -20,6 +20,18 @@ double SecondsSince(ServeClock::time_point start) {
   return std::chrono::duration<double>(ServeClock::now() - start).count();
 }
 
+/// Scope guard returning half-open probe grants to the breaker when
+/// RunQuery exits without reporting a verdict (admission rejection,
+/// engine error). Disarmed after the post-run Report calls.
+struct ProbeAborter {
+  RelationCircuitBreaker* breaker;
+  const std::vector<RelationCircuitBreaker::ProbeGrant>* grants;
+  ~ProbeAborter() {
+    if (breaker != nullptr) breaker->AbortProbes(*grants);
+  }
+  void Disarm() { breaker = nullptr; }
+};
+
 }  // namespace
 
 /// The shared backend behind every session of one server. All state a
@@ -69,8 +81,15 @@ class Server::Impl final : public QueryBackend {
     scanned.erase(std::unique(scanned.begin(), scanned.end()),
                   scanned.end());
     double breaker_scale = 1.0;
-    TCQ_RETURN_NOT_OK(breaker_.Check(scanned, &breaker_scale));
+    std::vector<RelationCircuitBreaker::ProbeGrant> probe_grants;
+    TCQ_RETURN_NOT_OK(breaker_.Check(scanned, &breaker_scale, &probe_grants));
     if (breaker_scale < 1.0) options.quota_s *= breaker_scale;
+
+    // If this query was granted a half-open probe, every early return
+    // between here and the post-run Report must hand the probe back —
+    // otherwise the relation would stay shed until the reclaim backstop
+    // fires. The guard is disarmed once the reports have been delivered.
+    ProbeAborter probe_guard{&breaker_, &probe_grants};
 
     const double deadline_s =
         options.serve_deadline_s > 0.0 ? options.serve_deadline_s
@@ -116,7 +135,9 @@ class Server::Impl final : public QueryBackend {
     // Feed the breaker from the engine's per-relation fault tallies.
     // Every scanned relation is reported — with zero tallies when the
     // run had faults off — so a half-open probe's clean completion
-    // recloses the breaker whatever the probe's fault configuration.
+    // recloses the breaker whatever the probe's fault configuration. A
+    // report carries this query's probe token for the relation (if any),
+    // so only the actual probe's verdict drives the half-open breaker.
     for (const std::string& relation : scanned) {
       int64_t reads = 0;
       int64_t faults = 0;
@@ -127,8 +148,16 @@ class Server::Impl final : public QueryBackend {
           break;
         }
       }
-      breaker_.Report(relation, reads, faults);
+      uint64_t probe_token = 0;
+      for (const RelationCircuitBreaker::ProbeGrant& grant : probe_grants) {
+        if (grant.relation == relation) {
+          probe_token = grant.token;
+          break;
+        }
+      }
+      breaker_.Report(relation, reads, faults, probe_token);
     }
+    probe_guard.Disarm();
 
     AdmissionReport& report = result->admission;
     report.outcome = ledger.outcome;

@@ -25,7 +25,8 @@
 ///   counters   serve.submitted, serve.admitted, serve.shrunk,
 ///              serve.queued, serve.rejected, serve.deadline_missed,
 ///              serve.completed, serve.breaker_trips, serve.breaker_sheds,
-///              serve.breaker_shrinks, serve.breaker_probes
+///              serve.breaker_shrinks, serve.breaker_probes,
+///              serve.breaker_probe_aborts
 ///   gauges     serve.queue_depth, serve.outstanding_quota_s,
 ///              serve.active, serve.breaker_open
 ///   histograms serve.latency_s (submission → completion),

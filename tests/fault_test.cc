@@ -234,13 +234,34 @@ TEST(ReadBlockWithFaultsTest, StragglerChargesTheInflationOnly) {
 }
 
 TEST(FaultOptionsTest, ExpectedOverheadMatchesTheModel) {
+  // Retry k costs a re-read plus backoff_base_s * multiplier^(k-1) and
+  // happens with probability p^k, truncated at max_retries — exactly the
+  // loop ReadBlockWithFaults runs.
   FaultOptions f = ArmedFaults();
   const double read_s = 0.015;
   const double p = f.transient_rate;
-  const double expected = p / (1.0 - p) * (read_s + f.backoff_base_s) +
-                          f.straggler_rate * (f.straggler_factor - 1.0) *
-                              read_s;
+  double expected =
+      f.straggler_rate * (f.straggler_factor - 1.0) * read_s;
+  for (int k = 1; k <= f.max_retries; ++k) {
+    expected += std::pow(p, k) *
+                (read_s + f.backoff_base_s *
+                              std::pow(f.backoff_multiplier, k - 1));
+  }
   EXPECT_NEAR(f.ExpectedOverheadSeconds(read_s), expected, 1e-15);
+
+  // The multiplier growth is priced in: doubling the multiplier must
+  // raise the planned overhead, and pricing is monotone in the retry
+  // budget (more retries, more expected backoff) — both were flat under
+  // the old base-backoff-only model.
+  FaultOptions steep = f;
+  steep.backoff_multiplier = 2.0 * f.backoff_multiplier;
+  EXPECT_GT(steep.ExpectedOverheadSeconds(read_s),
+            f.ExpectedOverheadSeconds(read_s));
+  FaultOptions no_retries = f;
+  no_retries.max_retries = 0;
+  EXPECT_NEAR(no_retries.ExpectedOverheadSeconds(read_s),
+              f.straggler_rate * (f.straggler_factor - 1.0) * read_s, 1e-15);
+
   FaultOptions off;
   EXPECT_EQ(off.ExpectedOverheadSeconds(read_s), 0.0);
 }

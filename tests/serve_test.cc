@@ -424,6 +424,174 @@ TEST(ServerTest, OpenBreakerShrinksInsteadWhenConfigured) {
   EXPECT_GE(server.stats().breaker.shrinks, 1);
 }
 
+// ---------------------------------------------------------------------
+// Breaker probe lifecycle: granted probes are tracked by token and can
+// never wedge a relation. Direct unit tests on the virtual clock.
+
+CircuitBreakerOptions TightBreaker() {
+  CircuitBreakerOptions o;
+  o.enabled = true;
+  o.fault_rate_threshold = 0.10;
+  o.min_reads = 10;
+  o.cooldown_s = 5.0;
+  return o;
+}
+
+using ProbeGrant = RelationCircuitBreaker::ProbeGrant;
+using BreakerState = RelationCircuitBreaker::State;
+
+TEST(CircuitBreakerTest, AbortedProbeIsHandedBackToTheNextArrival) {
+  RelationCircuitBreaker breaker(TightBreaker());
+  breaker.UseVirtualClockForTest();
+  breaker.Report("r1", 100, 50);  // 50% storm trips the breaker
+  ASSERT_EQ(breaker.state("r1"), BreakerState::kOpen);
+  breaker.AdvanceClockForTest(5.0);
+
+  double scale = 1.0;
+  std::vector<ProbeGrant> probes;
+  ASSERT_TRUE(breaker.Check({"r1"}, &scale, &probes).ok());
+  ASSERT_EQ(probes.size(), 1u);
+  EXPECT_EQ(breaker.state("r1"), BreakerState::kHalfOpen);
+
+  // While the probe is fresh, concurrent arrivals are shed.
+  std::vector<ProbeGrant> other;
+  EXPECT_EQ(breaker.Check({"r1"}, &scale, &other).code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(other.empty());
+
+  // The probe's query never ran (admission rejection / engine error):
+  // the grant is handed back and the next arrival probes instead of
+  // being shed until the reclaim backstop.
+  breaker.AbortProbes(probes);
+  EXPECT_EQ(breaker.stats().probe_aborts, 1);
+  std::vector<ProbeGrant> retry;
+  ASSERT_TRUE(breaker.Check({"r1"}, &scale, &retry).ok());
+  ASSERT_EQ(retry.size(), 1u);
+  EXPECT_NE(retry[0].token, probes[0].token);
+
+  breaker.Report("r1", 20, 0, retry[0].token);
+  EXPECT_EQ(breaker.state("r1"), BreakerState::kClosed);
+  EXPECT_EQ(breaker.stats().open, 0);
+}
+
+TEST(CircuitBreakerTest, LostProbeIsReclaimedAfterACooldown) {
+  RelationCircuitBreaker breaker(TightBreaker());
+  breaker.UseVirtualClockForTest();
+  breaker.Report("r1", 100, 50);
+  breaker.AdvanceClockForTest(5.0);
+
+  double scale = 1.0;
+  std::vector<ProbeGrant> probes;
+  ASSERT_TRUE(breaker.Check({"r1"}, &scale, &probes).ok());
+  ASSERT_EQ(probes.size(), 1u);
+  // The probe's query hangs: no Report, no AbortProbes. After another
+  // cooldown the probe is presumed lost and the relation probes again.
+  breaker.AdvanceClockForTest(5.0);
+  std::vector<ProbeGrant> retry;
+  ASSERT_TRUE(breaker.Check({"r1"}, &scale, &retry).ok());
+  ASSERT_EQ(retry.size(), 1u);
+  EXPECT_NE(retry[0].token, probes[0].token);
+  EXPECT_EQ(breaker.stats().probes, 2);
+  EXPECT_EQ(breaker.stats().probe_aborts, 1);
+
+  // The lost probe's verdict, arriving after the reclaim, is stale and
+  // must not drive the state machine.
+  breaker.Report("r1", 20, 20, probes[0].token);
+  EXPECT_EQ(breaker.state("r1"), BreakerState::kHalfOpen);
+  breaker.Report("r1", 20, 0, retry[0].token);
+  EXPECT_EQ(breaker.state("r1"), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenVerdictRequiresTheProbeToken) {
+  RelationCircuitBreaker breaker(TightBreaker());
+  breaker.UseVirtualClockForTest();
+  breaker.Report("r1", 100, 50);
+  breaker.AdvanceClockForTest(5.0);
+
+  double scale = 1.0;
+  std::vector<ProbeGrant> probes;
+  ASSERT_TRUE(breaker.Check({"r1"}, &scale, &probes).ok());
+  ASSERT_EQ(probes.size(), 1u);
+
+  // A faulty query admitted before the trip completes during the
+  // half-open window. Its tallies fold into the window, but it is not
+  // the probe: the breaker must not re-trip on its verdict.
+  breaker.Report("r1", 200, 100);
+  EXPECT_EQ(breaker.state("r1"), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.stats().trips, 1);
+
+  // The actual probe's clean verdict still closes the breaker.
+  breaker.Report("r1", 20, 0, probes[0].token);
+  EXPECT_EQ(breaker.state("r1"), BreakerState::kClosed);
+  EXPECT_EQ(breaker.stats().open, 0);
+}
+
+TEST(CircuitBreakerTest, ShedHandsBackProbesGrantedInTheSameCall) {
+  RelationCircuitBreaker breaker(TightBreaker());
+  breaker.UseVirtualClockForTest();
+  breaker.Report("r1", 100, 50);
+  breaker.Report("r2", 100, 50);
+  breaker.AdvanceClockForTest(5.0);
+
+  // Occupy r2's probe with a fresh grant.
+  double scale = 1.0;
+  std::vector<ProbeGrant> r2_probe;
+  ASSERT_TRUE(breaker.Check({"r2"}, &scale, &r2_probe).ok());
+  ASSERT_EQ(r2_probe.size(), 1u);
+
+  // A query scanning both relations is granted r1's probe, then shed on
+  // r2 — the r1 grant must be handed back within the same call.
+  std::vector<ProbeGrant> both;
+  EXPECT_EQ(breaker.Check({"r1", "r2"}, &scale, &both).code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(both.empty());
+  EXPECT_EQ(breaker.stats().probe_aborts, 1);
+  std::vector<ProbeGrant> r1_probe;
+  ASSERT_TRUE(breaker.Check({"r1"}, &scale, &r1_probe).ok());
+  ASSERT_EQ(r1_probe.size(), 1u);
+}
+
+TEST(ServerTest, AdmissionRejectedProbeDoesNotWedgeTheBreaker) {
+  // The end-to-end shape of the probe-leak bug: the query that won the
+  // half-open probe is rejected by admission before it runs, so it can
+  // never report a verdict. The abort guard must hand the probe back.
+  Server::Options options = GenerousOptions();
+  options.admission.allow_shrink = false;
+  options.admission.allow_queue = false;
+  options.admission.breaker.enabled = true;
+  options.admission.breaker.fault_rate_threshold = 0.05;
+  options.admission.breaker.min_reads = 10;
+  options.admission.breaker.cooldown_s = 0.0;
+  Server server(MakeCatalog(), options);
+  Session session = server.OpenSession();
+
+  auto stormy = session.Query("r1 INTERSECT r2")
+                    .WithSeed(21)
+                    .WithFaults(StormFaults(3))
+                    .Run();
+  ASSERT_TRUE(stormy.ok()) << stormy.status().ToString();
+  ASSERT_GE(server.stats().breaker.trips, 1);
+
+  // Cooldown over: this query is granted the probe, then rejected for
+  // an oversized quota without ever executing.
+  auto rejected = session.Query("r1 INTERSECT r2")
+                      .WithSeed(22)
+                      .WithQuota(1000.0)
+                      .Run();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(server.stats().breaker.probe_aborts, 1);
+
+  // The relation is not wedged: the next clean query probes and
+  // recloses the breaker.
+  auto after = session.Query("r1 INTERSECT r2").WithSeed(23).Run();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.breaker.sheds, 0);
+  EXPECT_EQ(stats.breaker.open, 0);
+  EXPECT_EQ(stats.completed, 2);
+}
+
 // The TSan target of the fault path: concurrent faulty queries exercise
 // retry/backoff inside the engine and the breaker's shared books at once.
 TEST(ServerTest, ConcurrentFaultStormKeepsTheServerCoherent) {
