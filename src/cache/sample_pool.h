@@ -3,8 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tcq {
 
@@ -40,32 +42,31 @@ namespace tcq {
 class RelationSamplePool {
  public:
   explicit RelationSamplePool(int64_t total_blocks)
-      : consumed_(static_cast<size_t>(total_blocks), 0) {}
+      : total_blocks_(total_blocks),
+        consumed_(static_cast<size_t>(total_blocks), 0) {}
 
   /// Fixed at construction; safe without the lock.
-  int64_t total_blocks() const {
-    return static_cast<int64_t>(consumed_.size());
-  }
+  int64_t total_blocks() const { return total_blocks_; }
   /// Number of pooled (previously drawn) blocks.
   int64_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return static_cast<int64_t>(order_.size());
   }
   /// Copy of the pooled blocks in first-draw order; a sampler replays
   /// this snapshot so later concurrent appends cannot shift it.
   std::vector<uint32_t> SnapshotOrder() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return order_;
   }
   /// True when `block` is already in the pool (consumed for sampling
   /// purposes — a fresh draw must never produce it again).
   bool Contains(uint32_t block) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return consumed_[static_cast<size_t>(block)] != 0;
   }
   /// Seed substream id that drew pool entry `i`.
   uint64_t substream_of(int64_t i) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return substreams_[static_cast<size_t>(i)];
   }
 
@@ -74,7 +75,7 @@ class RelationSamplePool {
   /// — leaving the pool unchanged — when a concurrent query already
   /// appended the block; the caller keeps its draw either way.
   bool TryAppend(uint32_t block, uint64_t substream) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     char& consumed = consumed_[static_cast<size_t>(block)];
     if (consumed != 0) return false;
     consumed = 1;
@@ -86,29 +87,33 @@ class RelationSamplePool {
 
   /// Replay accounting (called by the pool-aware BlockSampler).
   void NoteReplayed(int64_t n) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     replayed_total_ += n;
   }
 
   /// Cumulative blocks served by replaying the pooled prefix, across all
   /// queries of the session.
   int64_t replayed_total() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return replayed_total_;
   }
   /// Cumulative fresh draws retained into the pool.
   int64_t fresh_total() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return fresh_total_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<uint32_t> order_;        // pooled blocks, first-draw order
-  std::vector<uint64_t> substreams_;   // provenance, parallel to order_
-  std::vector<char> consumed_;         // membership bitmap
-  int64_t replayed_total_ = 0;
-  int64_t fresh_total_ = 0;
+  const int64_t total_blocks_;  // immutable copy of consumed_.size()
+  mutable Mutex mu_;
+  // Pooled blocks in first-draw order.
+  std::vector<uint32_t> order_ TCQ_GUARDED_BY(mu_);
+  // Provenance, parallel to order_.
+  std::vector<uint64_t> substreams_ TCQ_GUARDED_BY(mu_);
+  // Membership bitmap.
+  std::vector<char> consumed_ TCQ_GUARDED_BY(mu_);
+  int64_t replayed_total_ TCQ_GUARDED_BY(mu_) = 0;
+  int64_t fresh_total_ TCQ_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tcq

@@ -28,7 +28,7 @@ const WarmStartCache::Shard& WarmStartCache::ShardFor(
 RelationSamplePool* WarmStartCache::PoolFor(const std::string& relation,
                                             int64_t total_blocks) {
   Shard& shard = ShardFor(relation);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.pools.find(relation);
   if (it == shard.pools.end()) {
     it = shard.pools
@@ -43,7 +43,7 @@ RelationSamplePool* WarmStartCache::PoolFor(const std::string& relation,
 
 std::optional<double> WarmStartCache::LookupPrior(const CacheKey& key) {
   Shard& shard = ShardFor(key.text());
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.priors.find(key);
   if (it == shard.priors.end()) {
     ++shard.prior_misses;
@@ -55,14 +55,14 @@ std::optional<double> WarmStartCache::LookupPrior(const CacheKey& key) {
 
 void WarmStartCache::RecordPrior(const CacheKey& key, double selectivity) {
   Shard& shard = ShardFor(key.text());
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   shard.priors[key] = selectivity;
 }
 
 std::optional<AdaptiveCostModel::Snapshot> WarmStartCache::LookupCostSnapshot(
     const CacheKey& key) {
   Shard& shard = ShardFor(key.text());
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.snapshots.find(key);
   if (it == shard.snapshots.end()) return std::nullopt;
   ++shard.snapshot_hits;
@@ -72,14 +72,14 @@ std::optional<AdaptiveCostModel::Snapshot> WarmStartCache::LookupCostSnapshot(
 void WarmStartCache::RecordCostSnapshot(const CacheKey& key,
                                         AdaptiveCostModel::Snapshot snapshot) {
   Shard& shard = ShardFor(key.text());
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   shard.snapshots[key] = std::move(snapshot);
 }
 
 WarmStartStats WarmStartCache::Stats() const {
   WarmStartStats s;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     s.relations += static_cast<int>(shard->pools.size());
     for (const auto& [name, pool] : shard->pools) {
       (void)name;
@@ -98,7 +98,7 @@ WarmStartStats WarmStartCache::Stats() const {
 
 void WarmStartCache::Clear() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->pools.clear();
     shard->priors.clear();
     shard->snapshots.clear();

@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 #include "cache/sample_pool.h"
 #include "cache/signature.h"
@@ -85,13 +87,15 @@ class WarmStartCache {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::map<std::string, std::unique_ptr<RelationSamplePool>> pools;
-    std::map<CacheKey, double> priors;
-    std::map<CacheKey, AdaptiveCostModel::Snapshot> snapshots;
-    int64_t prior_hits = 0;
-    int64_t prior_misses = 0;
-    int64_t snapshot_hits = 0;
+    mutable Mutex mu;
+    std::map<std::string, std::unique_ptr<RelationSamplePool>> pools
+        TCQ_GUARDED_BY(mu);
+    std::map<CacheKey, double> priors TCQ_GUARDED_BY(mu);
+    std::map<CacheKey, AdaptiveCostModel::Snapshot> snapshots
+        TCQ_GUARDED_BY(mu);
+    int64_t prior_hits TCQ_GUARDED_BY(mu) = 0;
+    int64_t prior_misses TCQ_GUARDED_BY(mu) = 0;
+    int64_t snapshot_hits TCQ_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(std::string_view key_text);

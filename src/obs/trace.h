@@ -24,12 +24,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "sim/clock.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tcq {
 
@@ -92,22 +93,24 @@ class Tracer {
   void Counter(const char* name, double value);
 
   /// Total events currently buffered across all threads; takes the
-  /// registration mutex — not for hot paths.
-  size_t event_count() const;
+  /// registration mutex — not for hot paths. Safe to call while other
+  /// threads record: it sums the per-buffer published counters, not the
+  /// append-only event vectors themselves.
+  size_t event_count() const TCQ_EXCLUDES(mu_);
   /// Events discarded because a thread hit `max_events_per_thread`.
-  int64_t dropped_events() const;
+  int64_t dropped_events() const TCQ_EXCLUDES(mu_);
 
   /// Serializes every buffered event as a Chrome trace_event JSON object
   /// ({"traceEvents": [...], ...}). Only call when no recording is in
   /// flight (after the engine's stage barriers).
-  std::string ExportChromeJson() const;
+  std::string ExportChromeJson() const TCQ_EXCLUDES(mu_);
   /// ExportChromeJson to a file.
   [[nodiscard]] Status ExportToFile(const std::string& path) const;
 
  private:
   struct ThreadBuffer;
 
-  ThreadBuffer* LocalBuffer();
+  ThreadBuffer* LocalBuffer() TCQ_EXCLUDES(mu_);
   void Record(const TraceEvent& event);
 
   TraceOptions options_;
@@ -115,8 +118,8 @@ class Tracer {
   uint64_t id_ = 0;  // process-unique, guards the thread-local cache
   const Clock* clock_ = nullptr;
   std::chrono::steady_clock::time_point fallback_start_;
-  mutable std::mutex mu_;  // buffer registration + export only
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mu_;  // buffer registration + export only
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ TCQ_GUARDED_BY(mu_);
 };
 
 /// RAII span: captures the start time at construction and records one

@@ -18,9 +18,9 @@ struct ThreadPool::Batch {
   int max_participants = 0;  // 0 = uncapped
   std::atomic<int> participants{0};
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t finished = 0;
+  Mutex mu;
+  CondVar done_cv;
+  size_t finished TCQ_GUARDED_BY(mu) = 0;
 
   bool Drained() const {
     return next.load(std::memory_order_relaxed) >= total;
@@ -51,10 +51,10 @@ ThreadPool::ThreadPool(int workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -71,14 +71,14 @@ void ThreadPool::ExecuteFrom(const std::shared_ptr<Batch>& batch,
     if (i >= batch->total) return;
     (*batch->tasks)[i]();
     tally.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(batch->mu);
+    MutexLock lock(batch->mu);
     ++batch->finished;
     // Each index is claimed exactly once (fetch_add), so completions
     // can never outnumber tasks; more means a task ran twice and the
     // disjoint-slot determinism contract is void.
     TCQ_CHECK_INVARIANT(batch->finished <= batch->total,
                         "thread-pool batch finished more tasks than it has");
-    if (batch->finished == batch->total) batch->done_cv.notify_all();
+    if (batch->finished == batch->total) batch->done_cv.NotifyAll();
   }
 }
 
@@ -86,8 +86,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      MutexLock lock(mu_);
+      // Manual wait loop (not a predicate lambda) so the thread-safety
+      // analysis sees the guarded reads happen under mu_.
+      while (!stop_ && pending_.empty()) work_cv_.Wait(mu_);
       if (stop_) return;
       // Drop drained and participant-full batches (their participants
       // finish them); join the first one with work and a free slot. A
@@ -124,14 +126,15 @@ void ThreadPool::RunAll(std::vector<std::function<void()>>* tasks,
   // (participants == 0 here, so the join cannot fail).
   TCQ_CHECK_INVARIANT(batch->TryJoin(), "caller failed to join its own batch");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending_.push_back(batch);
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   ExecuteFrom(batch, /*is_worker=*/false);  // help until every task is claimed
-  std::unique_lock<std::mutex> lock(batch->mu);
-  batch->done_cv.wait(lock,
-                      [&batch] { return batch->finished == batch->total; });
+  {
+    MutexLock lock(batch->mu);
+    while (batch->finished != batch->total) batch->done_cv.Wait(batch->mu);
+  }
   TCQ_CHECK_INVARIANT(
       batch->next.load(std::memory_order_relaxed) >= batch->total,
       "RunAll returned with unclaimed tasks");

@@ -2,13 +2,14 @@
 #define TCQ_PARALLEL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tcq {
 
@@ -48,7 +49,8 @@ class ThreadPool {
   /// this batch, counting the helping caller — a query narrower than the
   /// pool can reuse a wide (high-water) pool without gaining parallelism
   /// beyond its configured width. 0 means no cap.
-  void RunAll(std::vector<std::function<void()>>* tasks, int max_width = 0);
+  void RunAll(std::vector<std::function<void()>>* tasks, int max_width = 0)
+      TCQ_EXCLUDES(mu_);
 
   /// Lifetime execution statistics (scheduling-dependent: how tasks split
   /// between workers and helping callers varies run to run — export these
@@ -69,13 +71,13 @@ class ThreadPool {
  private:
   struct Batch;
 
-  void WorkerLoop();
+  void WorkerLoop() TCQ_EXCLUDES(mu_);
   void ExecuteFrom(const std::shared_ptr<Batch>& batch, bool is_worker);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::vector<std::shared_ptr<Batch>> pending_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  std::vector<std::shared_ptr<Batch>> pending_ TCQ_GUARDED_BY(mu_);
+  bool stop_ TCQ_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> worker_tasks_{0};

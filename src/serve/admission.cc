@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metric_names.h"
+
 namespace tcq {
 
 namespace {
@@ -79,7 +81,7 @@ void AdmissionController::PumpLocked() {
     queue_.erase(queue_.begin());
     granted_any = true;
   }
-  if (granted_any) cv_.notify_all();
+  if (granted_any) cv_.NotifyAll();
 }
 
 void AdmissionController::CountOutcomeLocked(
@@ -88,15 +90,15 @@ void AdmissionController::CountOutcomeLocked(
   switch (outcome) {
     case AdmissionReport::Outcome::kAdmitted:
       ++admitted_;
-      name = "serve.admitted";
+      name = metric_names::kServeAdmitted;
       break;
     case AdmissionReport::Outcome::kShrunk:
       ++shrunk_;
-      name = "serve.shrunk";
+      name = metric_names::kServeShrunk;
       break;
     case AdmissionReport::Outcome::kQueued:
       ++queued_;
-      name = "serve.queued";
+      name = metric_names::kServeQueued;
       break;
     case AdmissionReport::Outcome::kStandalone:
       return;  // never produced by the controller
@@ -106,22 +108,25 @@ void AdmissionController::CountOutcomeLocked(
 
 void AdmissionController::CountRejectedLocked() {
   ++rejected_;
-  if (metrics_ != nullptr) metrics_->counter("serve.rejected")->Increment();
+  if (metrics_ != nullptr) {
+    metrics_->counter(metric_names::kServeRejected)->Increment();
+  }
 }
 
 void AdmissionController::UpdateGaugesLocked() {
   if (metrics_ == nullptr) return;
-  metrics_->gauge("serve.queue_depth")
+  metrics_->gauge(metric_names::kServeQueueDepth)
       ->Set(static_cast<double>(queue_.size()));
-  metrics_->gauge("serve.outstanding_quota_s")->Set(outstanding_s_);
-  metrics_->gauge("serve.active")->Set(static_cast<double>(active_));
+  metrics_->gauge(metric_names::kServeOutstandingQuotaS)->Set(outstanding_s_);
+  metrics_->gauge(metric_names::kServeActive)
+      ->Set(static_cast<double>(active_));
 }
 
 Status AdmissionController::ProbeReservedGrant(const FitProbe& fit_probe,
                                                double granted_s) {
   const Status probed = fit_probe ? fit_probe(granted_s) : Status::OK();
   if (probed.ok()) return probed;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   UnreserveLocked(granted_s);
   CountRejectedLocked();
   UpdateGaugesLocked();
@@ -138,13 +143,18 @@ Result<QuotaLedger> AdmissionController::Admit(double requested_quota_s,
   const double effective_deadline_s =
       deadline_s > 0.0 ? deadline_s : requested_quota_s;
 
-  std::unique_lock<std::mutex> lk(mu_);
+  // The lock is managed explicitly (not RAII) because the shrunk and
+  // queued paths release it across the fit probe; clang's thread-safety
+  // analysis checks that every return leaves it released.
+  mu_.Lock();
   QuotaLedger ledger;
   ledger.id = ++next_id_;
   ledger.requested_s = requested_quota_s;
   ledger.deadline_s = effective_deadline_s;
   ++submitted_;
-  if (metrics_ != nullptr) metrics_->counter("serve.submitted")->Increment();
+  if (metrics_ != nullptr) {
+    metrics_->counter(metric_names::kServeSubmitted)->Increment();
+  }
 
   if (!options_.enabled) {
     // Accounting-only mode: every request is granted in full, but active
@@ -155,6 +165,7 @@ Result<QuotaLedger> AdmissionController::Admit(double requested_quota_s,
     ReserveLocked(requested_quota_s);
     CountOutcomeLocked(ledger.outcome);
     UpdateGaugesLocked();
+    mu_.Unlock();
     return ledger;
   }
 
@@ -166,6 +177,7 @@ Result<QuotaLedger> AdmissionController::Admit(double requested_quota_s,
       ReserveLocked(grant);
       CountOutcomeLocked(ledger.outcome);
       UpdateGaugesLocked();
+      mu_.Unlock();
       return ledger;
     }
     if (grant > 0.0) {
@@ -177,10 +189,11 @@ Result<QuotaLedger> AdmissionController::Admit(double requested_quota_s,
       ledger.granted_s = grant;
       ReserveLocked(grant);
       UpdateGaugesLocked();
-      lk.unlock();
+      mu_.Unlock();
       TCQ_RETURN_NOT_OK(ProbeReservedGrant(fit_probe, grant));
-      lk.lock();
+      mu_.Lock();
       CountOutcomeLocked(ledger.outcome);
+      mu_.Unlock();
       return ledger;
     }
   }
@@ -189,6 +202,7 @@ Result<QuotaLedger> AdmissionController::Admit(double requested_quota_s,
       static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
     CountRejectedLocked();
     UpdateGaugesLocked();
+    mu_.Unlock();
     return Status::ResourceExhausted(
         options_.allow_queue
             ? "admission queue is full"
@@ -212,7 +226,7 @@ Result<QuotaLedger> AdmissionController::Admit(double requested_quota_s,
   PumpLocked();
 
   while (!waiter.granted) {
-    if (cv_.wait_until(lk, absolute_deadline) == std::cv_status::timeout &&
+    if (cv_.WaitUntil(mu_, absolute_deadline) == std::cv_status::timeout &&
         !waiter.granted) {
       queue_.erase(key);
       // Last-chance shrink: budget freed between the final wake-up and
@@ -226,6 +240,7 @@ Result<QuotaLedger> AdmissionController::Admit(double requested_quota_s,
       }
       CountRejectedLocked();
       UpdateGaugesLocked();
+      mu_.Unlock();
       return Status::DeadlineExceeded(
           "serving deadline expired in the admission queue");
     }
@@ -236,22 +251,23 @@ Result<QuotaLedger> AdmissionController::Admit(double requested_quota_s,
   ledger.queue_wait_s = SecondsBetween(enqueued, ServeClock::now());
   UpdateGaugesLocked();
   if (waiter.granted_s < requested_quota_s) {
-    lk.unlock();
+    mu_.Unlock();
     TCQ_RETURN_NOT_OK(ProbeReservedGrant(fit_probe, waiter.granted_s));
-    lk.lock();
+    mu_.Lock();
   }
   CountOutcomeLocked(ledger.outcome);
+  mu_.Unlock();
   return ledger;
 }
 
 void AdmissionController::Release(const QuotaLedger& ledger) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   UnreserveLocked(ledger.granted_s);
   UpdateGaugesLocked();
 }
 
 AdmissionController::Stats AdmissionController::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   Stats s;
   s.submitted = submitted_;
   s.admitted = admitted_;

@@ -32,17 +32,17 @@
 /// internal mutex guards the accounting state and the EDF queue.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 
 #include "engine/executor.h"
 #include "obs/metrics.h"
 #include "serve/circuit_breaker.h"
+#include "util/mutex.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tcq {
 
@@ -115,11 +115,12 @@ class AdmissionController {
   /// once after the query finishes.
   [[nodiscard]] Result<QuotaLedger> Admit(double requested_quota_s,
                                           double deadline_s,
-                                          const FitProbe& fit_probe = {});
+                                          const FitProbe& fit_probe = {})
+      TCQ_EXCLUDES(mu_);
 
   /// Returns a grant to the pool and wakes the EDF queue. Idempotence is
   /// the caller's responsibility: release each ledger exactly once.
-  void Release(const QuotaLedger& ledger);
+  void Release(const QuotaLedger& ledger) TCQ_EXCLUDES(mu_);
 
   /// Accounting snapshot; counters partition submissions exactly:
   /// admitted + shrunk + queued + rejected == submitted (once no Admit
@@ -134,7 +135,7 @@ class AdmissionController {
     int queue_depth = 0;         // submissions currently waiting
     double outstanding_s = 0.0;  // sum of outstanding grants
   };
-  Stats stats() const;
+  Stats stats() const TCQ_EXCLUDES(mu_);
 
   const AdmissionOptions& options() const { return options_; }
 
@@ -153,36 +154,38 @@ class AdmissionController {
   /// Grants the queue head(s) while budget and concurrency allow; strict
   /// head-of-line — a later waiter never overtakes an unserved earlier
   /// deadline. Requires `mu_` held; notifies waiters when it grants.
-  void PumpLocked();
+  void PumpLocked() TCQ_REQUIRES(mu_);
   /// Immediate grant for `requested_s` under the current accounting, or
   /// 0.0 when none is possible. Requires `mu_` held.
-  double ImmediateGrantLocked(double requested_s) const;
+  double ImmediateGrantLocked(double requested_s) const TCQ_REQUIRES(mu_);
   /// Reserves `granted_s` for one query. Requires `mu_` held.
-  void ReserveLocked(double granted_s);
+  void ReserveLocked(double granted_s) TCQ_REQUIRES(mu_);
   /// Returns a reservation and pumps the queue. Requires `mu_` held.
-  void UnreserveLocked(double granted_s);
+  void UnreserveLocked(double granted_s) TCQ_REQUIRES(mu_);
   /// Runs the fit probe on a reserved grant; on failure the reservation
   /// is returned and the submission counted rejected. Takes `mu_`.
   [[nodiscard]] Status ProbeReservedGrant(const FitProbe& fit_probe,
-                                          double granted_s);
-  void CountOutcomeLocked(AdmissionReport::Outcome outcome);
-  void CountRejectedLocked();
-  void UpdateGaugesLocked();
+                                          double granted_s)
+      TCQ_EXCLUDES(mu_);
+  void CountOutcomeLocked(AdmissionReport::Outcome outcome)
+      TCQ_REQUIRES(mu_);
+  void CountRejectedLocked() TCQ_REQUIRES(mu_);
+  void UpdateGaugesLocked() TCQ_REQUIRES(mu_);
 
   const AdmissionOptions options_;
   Metrics* const metrics_;  // may be null
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<QueueKey, Waiter*> queue_;
-  uint64_t next_id_ = 0;
-  int active_ = 0;
-  double outstanding_s_ = 0.0;
-  int64_t submitted_ = 0;
-  int64_t admitted_ = 0;
-  int64_t shrunk_ = 0;
-  int64_t queued_ = 0;
-  int64_t rejected_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<QueueKey, Waiter*> queue_ TCQ_GUARDED_BY(mu_);
+  uint64_t next_id_ TCQ_GUARDED_BY(mu_) = 0;
+  int active_ TCQ_GUARDED_BY(mu_) = 0;
+  double outstanding_s_ TCQ_GUARDED_BY(mu_) = 0.0;
+  int64_t submitted_ TCQ_GUARDED_BY(mu_) = 0;
+  int64_t admitted_ TCQ_GUARDED_BY(mu_) = 0;
+  int64_t shrunk_ TCQ_GUARDED_BY(mu_) = 0;
+  int64_t queued_ TCQ_GUARDED_BY(mu_) = 0;
+  int64_t rejected_ TCQ_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tcq

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metric_names.h"
+
 namespace tcq {
 
 Status CircuitBreakerOptions::Validate() const {
@@ -42,7 +44,7 @@ Status RelationCircuitBreaker::Check(
   if (probes != nullptr) probes->clear();
   if (!options_.enabled) return Status::OK();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const ServeClock::time_point now = NowLocked();
   double scale = 1.0;
   std::vector<ProbeGrant> granted;
@@ -69,7 +71,8 @@ Status RelationCircuitBreaker::Check(
         health.probe_token = 0;
         ++probe_aborts_;
         if (metrics_ != nullptr) {
-          metrics_->counter("serve.breaker_probe_aborts")->Increment();
+          metrics_->counter(metric_names::kServeBreakerProbeAborts)
+              ->Increment();
         }
       }
       // This query becomes the single probe; concurrent arrivals below
@@ -91,7 +94,7 @@ Status RelationCircuitBreaker::Check(
         for (const ProbeGrant& grant : granted) ReleaseProbeLocked(grant);
         ++sheds_;
         if (metrics_ != nullptr) {
-          metrics_->counter("serve.breaker_sheds")->Increment();
+          metrics_->counter(metric_names::kServeBreakerSheds)->Increment();
         }
         return Status::Unavailable("relation '" + relation +
                                    "' is in a fault storm (breaker open)");
@@ -102,7 +105,7 @@ Status RelationCircuitBreaker::Check(
   if (!granted.empty()) {
     probes_ += static_cast<int64_t>(granted.size());
     if (metrics_ != nullptr) {
-      auto* counter = metrics_->counter("serve.breaker_probes");
+      auto* counter = metrics_->counter(metric_names::kServeBreakerProbes);
       for (size_t i = 0; i < granted.size(); ++i) counter->Increment();
     }
     *probes = std::move(granted);
@@ -110,7 +113,7 @@ Status RelationCircuitBreaker::Check(
   if (scale < 1.0) {
     ++shrinks_;
     if (metrics_ != nullptr) {
-      metrics_->counter("serve.breaker_shrinks")->Increment();
+      metrics_->counter(metric_names::kServeBreakerShrinks)->Increment();
     }
     if (quota_scale != nullptr) *quota_scale = scale;
   }
@@ -121,7 +124,7 @@ void RelationCircuitBreaker::Report(std::string_view relation, int64_t reads,
                                     int64_t faults, uint64_t probe_token) {
   if (!options_.enabled) return;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = relations_.find(relation);
   if (it == relations_.end()) {
     if (reads <= 0) return;  // nothing to record about an unseen relation
@@ -171,19 +174,19 @@ void RelationCircuitBreaker::Report(std::string_view relation, int64_t reads,
 void RelationCircuitBreaker::AbortProbes(
     const std::vector<ProbeGrant>& probes) {
   if (!options_.enabled || probes.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const ProbeGrant& grant : probes) ReleaseProbeLocked(grant);
 }
 
 RelationCircuitBreaker::State RelationCircuitBreaker::state(
     std::string_view relation) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = relations_.find(relation);
   return it == relations_.end() ? State::kClosed : it->second.state;
 }
 
 RelationCircuitBreaker::Stats RelationCircuitBreaker::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats s;
   s.trips = trips_;
   s.sheds = sheds_;
@@ -195,13 +198,13 @@ RelationCircuitBreaker::Stats RelationCircuitBreaker::stats() const {
 }
 
 void RelationCircuitBreaker::UseVirtualClockForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   virtual_clock_ = true;
   virtual_now_ = ServeClock::time_point{} + std::chrono::hours(1);
 }
 
 void RelationCircuitBreaker::AdvanceClockForTest(double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   virtual_now_ += std::chrono::duration_cast<ServeClock::duration>(
       std::chrono::duration<double>(seconds));
 }
@@ -234,7 +237,7 @@ void RelationCircuitBreaker::ReleaseProbeLocked(const ProbeGrant& grant) {
   health.probe_token = 0;
   ++probe_aborts_;
   if (metrics_ != nullptr) {
-    metrics_->counter("serve.breaker_probe_aborts")->Increment();
+    metrics_->counter(metric_names::kServeBreakerProbeAborts)->Increment();
   }
 }
 
@@ -248,7 +251,7 @@ void RelationCircuitBreaker::TripLocked(const std::string& relation,
   health->probe_token = 0;
   ++trips_;
   if (metrics_ != nullptr) {
-    metrics_->counter("serve.breaker_trips")->Increment();
+    metrics_->counter(metric_names::kServeBreakerTrips)->Increment();
     (void)relation;
   }
   UpdateGaugeLocked();
@@ -256,7 +259,8 @@ void RelationCircuitBreaker::TripLocked(const std::string& relation,
 
 void RelationCircuitBreaker::UpdateGaugeLocked() {
   if (metrics_ != nullptr) {
-    metrics_->gauge("serve.breaker_open")->Set(static_cast<double>(open_));
+    metrics_->gauge(metric_names::kServeBreakerOpen)
+        ->Set(static_cast<double>(open_));
   }
 }
 

@@ -38,13 +38,14 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace tcq {
 
@@ -116,7 +117,8 @@ class RelationCircuitBreaker {
   /// `cooldown_s` ago without a verdict are reclaimed here.
   [[nodiscard]] Status Check(const std::vector<std::string>& relations,
                              double* quota_scale,
-                             std::vector<ProbeGrant>* probes);
+                             std::vector<ProbeGrant>* probes)
+      TCQ_EXCLUDES(mu_);
 
   /// Post-run feedback: `reads` attempts against `relation`, of which
   /// `faults` failed (transients plus lost blocks). Folds the tallies
@@ -126,17 +128,17 @@ class RelationCircuitBreaker {
   /// half-open breaker's current token closes (clean) or re-opens
   /// (faulty) it — any other report just accumulates.
   void Report(std::string_view relation, int64_t reads, int64_t faults,
-              uint64_t probe_token = 0);
+              uint64_t probe_token = 0) TCQ_EXCLUDES(mu_);
 
   /// Hands granted probes back without a verdict — the query was turned
   /// away after Check (admission rejection, engine error), so the
   /// breaker should offer the probe to the next arrival instead of
   /// waiting out the reclaim backstop. Grants whose token is no longer
   /// current are ignored.
-  void AbortProbes(const std::vector<ProbeGrant>& probes);
+  void AbortProbes(const std::vector<ProbeGrant>& probes) TCQ_EXCLUDES(mu_);
 
   /// Current state of one relation's breaker (kClosed if never seen).
-  State state(std::string_view relation) const;
+  State state(std::string_view relation) const TCQ_EXCLUDES(mu_);
 
   struct Stats {
     int64_t trips = 0;         // closed/half-open -> open transitions
@@ -146,15 +148,15 @@ class RelationCircuitBreaker {
     int64_t probe_aborts = 0;  // probes handed back or reclaimed unheard
     int open = 0;              // relations currently open or half-open
   };
-  Stats stats() const;
+  Stats stats() const TCQ_EXCLUDES(mu_);
 
   const CircuitBreakerOptions& options() const { return options_; }
 
   /// Test-only: replace the serving clock with a virtual one that only
   /// AdvanceClockForTest() moves, so cooldown and probe-expiry paths are
   /// testable without sleeping. Production code never calls these.
-  void UseVirtualClockForTest();
-  void AdvanceClockForTest(double seconds);
+  void UseVirtualClockForTest() TCQ_EXCLUDES(mu_);
+  void AdvanceClockForTest(double seconds) TCQ_EXCLUDES(mu_);
 
  private:
   using ServeClock = std::chrono::steady_clock;
@@ -173,32 +175,34 @@ class RelationCircuitBreaker {
 
   /// Serving-clock `now`, or the virtual test clock. Requires `mu_`
   /// held (the virtual clock is guarded by it).
-  ServeClock::time_point NowLocked() const;
+  ServeClock::time_point NowLocked() const TCQ_REQUIRES(mu_);
   /// Folds one report into the window and applies halving decay.
   /// Requires `mu_` held.
   void AccumulateLocked(RelationHealth* health, int64_t reads,
-                        int64_t faults) const;
+                        int64_t faults) const TCQ_REQUIRES(mu_);
   /// Hands one granted probe back if its token is still current.
   /// Requires `mu_` held.
-  void ReleaseProbeLocked(const ProbeGrant& grant);
+  void ReleaseProbeLocked(const ProbeGrant& grant) TCQ_REQUIRES(mu_);
   /// Trips `health` open and counts the transition. Requires `mu_` held.
-  void TripLocked(const std::string& relation, RelationHealth* health);
-  void UpdateGaugeLocked();
+  void TripLocked(const std::string& relation, RelationHealth* health)
+      TCQ_REQUIRES(mu_);
+  void UpdateGaugeLocked() TCQ_REQUIRES(mu_);
 
   const CircuitBreakerOptions options_;
   Metrics* const metrics_;  // may be null
 
-  mutable std::mutex mu_;
-  std::map<std::string, RelationHealth, std::less<>> relations_;
-  uint64_t last_probe_token_ = 0;
-  int open_ = 0;
-  int64_t trips_ = 0;
-  int64_t sheds_ = 0;
-  int64_t shrinks_ = 0;
-  int64_t probes_ = 0;
-  int64_t probe_aborts_ = 0;
-  bool virtual_clock_ = false;
-  ServeClock::time_point virtual_now_{};
+  mutable Mutex mu_;
+  std::map<std::string, RelationHealth, std::less<>> relations_
+      TCQ_GUARDED_BY(mu_);
+  uint64_t last_probe_token_ TCQ_GUARDED_BY(mu_) = 0;
+  int open_ TCQ_GUARDED_BY(mu_) = 0;
+  int64_t trips_ TCQ_GUARDED_BY(mu_) = 0;
+  int64_t sheds_ TCQ_GUARDED_BY(mu_) = 0;
+  int64_t shrinks_ TCQ_GUARDED_BY(mu_) = 0;
+  int64_t probes_ TCQ_GUARDED_BY(mu_) = 0;
+  int64_t probe_aborts_ TCQ_GUARDED_BY(mu_) = 0;
+  bool virtual_clock_ TCQ_GUARDED_BY(mu_) = false;
+  ServeClock::time_point virtual_now_ TCQ_GUARDED_BY(mu_){};
 };
 
 }  // namespace tcq

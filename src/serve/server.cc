@@ -1,14 +1,16 @@
 #include "serve/server.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/metric_names.h"
 #include "ra/expr.h"
 #include "serve/circuit_breaker.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tcq {
 
@@ -168,28 +170,31 @@ class Server::Impl final : public QueryBackend {
     report.serve_latency_s = SecondsSince(arrival);
     report.deadline_missed = report.serve_latency_s > report.deadline_s;
 
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    if (report.deadline_missed) {
-      deadline_missed_.fetch_add(1, std::memory_order_relaxed);
+    {
+      MutexLock lock(stats_mu_);
+      ++completed_;
+      if (report.deadline_missed) ++deadline_missed_;
     }
     if (metrics_ != nullptr) {
-      metrics_->counter("serve.completed")->Increment();
-      metrics_->histogram("serve.latency_s")->Record(report.serve_latency_s);
+      metrics_->counter(metric_names::kServeCompleted)->Increment();
+      metrics_->histogram(metric_names::kServeLatencyS)
+          ->Record(report.serve_latency_s);
       if (report.deadline_missed) {
-        metrics_->counter("serve.deadline_missed")->Increment();
-        metrics_->histogram("serve.deadline_miss_s")
+        metrics_->counter(metric_names::kServeDeadlineMissed)->Increment();
+        metrics_->histogram(metric_names::kServeDeadlineMissS)
             ->Record(report.serve_latency_s - report.deadline_s);
       }
     }
     return result;
   }
 
-  ServerStats stats() const {
+  ServerStats stats() const TCQ_EXCLUDES(stats_mu_) {
     ServerStats s;
     s.admission = admission_.stats();
     s.breaker = breaker_.stats();
-    s.completed = completed_.load(std::memory_order_relaxed);
-    s.deadline_missed = deadline_missed_.load(std::memory_order_relaxed);
+    MutexLock lock(stats_mu_);
+    s.completed = completed_;
+    s.deadline_missed = deadline_missed_;
     return s;
   }
 
@@ -200,8 +205,12 @@ class Server::Impl final : public QueryBackend {
   AdmissionController admission_;
   RelationCircuitBreaker breaker_;
   Metrics* const metrics_;  // may be null
-  std::atomic<int64_t> completed_{0};
-  std::atomic<int64_t> deadline_missed_{0};
+  /// Completion tallies are the only Impl state RunQuery writes directly
+  /// (everything else synchronizes at its own layer, per the class
+  /// comment); a dedicated mutex keeps them off the admission hot path.
+  mutable Mutex stats_mu_;
+  int64_t completed_ TCQ_GUARDED_BY(stats_mu_) = 0;
+  int64_t deadline_missed_ TCQ_GUARDED_BY(stats_mu_) = 0;
 };
 
 Server::Server() : Server(Catalog{}, Options{}) {}

@@ -1,0 +1,144 @@
+#ifndef TCQ_UTIL_MUTEX_H_
+#define TCQ_UTIL_MUTEX_H_
+
+/// Annotated mutex wrappers (util/thread_annotations.h): thin shims over
+/// std::mutex / std::shared_mutex whose Lock/Unlock members carry Clang
+/// thread-safety attributes, so `-Wthread-safety` can track what they
+/// guard. Zero overhead — everything is an inline forward to the
+/// standard primitive.
+///
+///   class Registry {
+///     mutable tcq::Mutex mu_;
+///     std::map<K, V> entries_ TCQ_GUARDED_BY(mu_);
+///   };
+///   tcq::MutexLock lock(mu_);           // scoped acquire/release
+///
+/// CondVar replaces std::condition_variable so waits keep the capability
+/// visible to the analysis: Wait(mu) is annotated TCQ_REQUIRES(mu) and
+/// internally re-wraps the Mutex's std::mutex with std::adopt_lock.
+/// There is no predicate-lambda overload on purpose — a lambda body
+/// cannot carry TCQ_REQUIRES, so waits are written as explicit
+/// `while (!pred) cv.Wait(mu);` loops the analysis can see into.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace tcq {
+
+/// Exclusive mutex; wraps std::mutex.
+class TCQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TCQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() TCQ_RELEASE() { mu_.unlock(); }
+  bool TryLock() TCQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // re-wraps mu_ with std::adopt_lock during waits
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex; wraps std::shared_mutex.
+class TCQ_CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() TCQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() TCQ_RELEASE() { mu_.unlock(); }
+  void ReaderLock() TCQ_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() TCQ_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock on a Mutex (the std::lock_guard analogue the
+/// analysis understands).
+class TCQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TCQ_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() TCQ_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class TCQ_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) TCQ_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  ~ReaderMutexLock() TCQ_RELEASE() { mu_.ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped exclusive (writer) lock on a SharedMutex.
+class TCQ_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) TCQ_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() TCQ_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable over tcq::Mutex. Waits atomically release and
+/// reacquire the mutex exactly like std::condition_variable — the adopt/
+/// release dance below hands the already-held lock to a std::unique_lock
+/// for the duration of the wait without an extra lock/unlock pair.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) TCQ_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      TCQ_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lk, deadline);
+    lk.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_UTIL_MUTEX_H_

@@ -1,0 +1,82 @@
+#ifndef TCQ_UTIL_THREAD_ANNOTATIONS_H_
+#define TCQ_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety capability annotations (Abseil-style spellings,
+/// TCQ_-prefixed). Under clang with -Wthread-safety these turn the lock
+/// discipline of every mutex-bearing class into a compile-time check:
+/// which fields a mutex guards (TCQ_GUARDED_BY), which methods must be
+/// called with it held (TCQ_REQUIRES) or not held (TCQ_EXCLUDES), and
+/// which functions acquire/release it (TCQ_ACQUIRE/TCQ_RELEASE). Under
+/// any other compiler every macro expands to nothing, so the annotations
+/// are free documentation — and the tcq_lint rule
+/// `unannotated-guarded-field` keeps coverage honest where the compiler
+/// cannot (GCC has no -Wthread-safety).
+///
+/// ci.sh's `thread-safety` stage builds the tree with clang++ and
+/// -Werror=thread-safety (SKIP-gated when clang is absent), so a guarded
+/// field touched without its mutex is a build break, not a TSan roll of
+/// the interleaving dice.
+///
+/// Use through the wrapper types in util/mutex.h (tcq::Mutex,
+/// tcq::SharedMutex, tcq::MutexLock, ...): raw std::mutex is invisible to
+/// the analysis because its lock()/unlock() carry no annotations.
+
+#if defined(__clang__)
+#define TCQ_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TCQ_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a capability ("mutex") the analysis can track.
+#define TCQ_CAPABILITY(x) TCQ_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability (tcq::MutexLock and friends).
+#define TCQ_SCOPED_CAPABILITY TCQ_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field annotation: reads and writes require holding the named mutex.
+#define TCQ_GUARDED_BY(x) TCQ_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field annotation: the *pointee* is guarded by the named mutex
+/// (the pointer itself may be read freely).
+#define TCQ_PT_GUARDED_BY(x) TCQ_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function must be called with the capability held (exclusively /
+/// shared). The convention in this codebase: private helpers named
+/// *Locked() carry TCQ_REQUIRES on their declaration.
+#define TCQ_REQUIRES(...) \
+  TCQ_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define TCQ_REQUIRES_SHARED(...) \
+  TCQ_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the capability (exclusively or
+/// shared). On a member of a capability type the argument list is empty:
+/// the capability is *this.
+#define TCQ_ACQUIRE(...) \
+  TCQ_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define TCQ_ACQUIRE_SHARED(...) \
+  TCQ_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define TCQ_RELEASE(...) \
+  TCQ_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define TCQ_RELEASE_SHARED(...) \
+  TCQ_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability and returns `ret` on
+/// success (e.g. TCQ_TRY_ACQUIRE(true)).
+#define TCQ_TRY_ACQUIRE(...) \
+  TCQ_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// The function must be called with the capability NOT held (it acquires
+/// it internally). Public methods of the annotated classes carry this so
+/// re-entrant self-deadlocks are compile errors under clang.
+#define TCQ_EXCLUDES(...) TCQ_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define TCQ_RETURN_CAPABILITY(x) TCQ_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function body is exempt from analysis. Justify in a
+/// comment at every use.
+#define TCQ_NO_THREAD_SAFETY_ANALYSIS \
+  TCQ_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // TCQ_UTIL_THREAD_ANNOTATIONS_H_

@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "parallel/thread_pool.h"
 #include "sim/ledger.h"
 #include "workload/generators.h"
 
@@ -341,6 +342,50 @@ TEST(StageReportTest, ObserverStreamsEveryStage) {
   for (size_t i = 0; i < observer.stage_indices.size(); ++i) {
     EXPECT_EQ(observer.stage_indices[i], r->stages()[i].index);
   }
+}
+
+// TSan regression: event_count()/dropped_events() once summed the
+// per-thread event vectors (and a plain int64 drop tally) that recording
+// threads mutate lock-free — polling them mid-run was a data race. They
+// now read atomic published counters; this test runs concurrent
+// recorders against a polling reader under the sanitizer matrix, with a
+// cap small enough to exercise the dropped path too.
+TEST(TraceTest, CountersReadableWhileRecording) {
+  TraceOptions options;
+  options.max_events_per_thread = 64;
+  Tracer tracer(options);
+
+  constexpr int kRecorders = 4;
+  constexpr int kEventsPerRecorder = 500;
+  ThreadPool pool(kRecorders);
+  std::vector<std::function<void()>> tasks;
+  for (int t = 0; t < kRecorders; ++t) {
+    tasks.push_back([&tracer] {
+      for (int i = 0; i < kEventsPerRecorder; ++i) {
+        tracer.Instant("race_probe", "test");
+      }
+    });
+  }
+  // The reader races the recorders on purpose; it runs as one more task
+  // so the pool supplies all the concurrency.
+  tasks.push_back([&tracer] {
+    size_t last = 0;
+    for (int i = 0; i < 2000; ++i) {
+      size_t now = tracer.event_count();
+      EXPECT_GE(now, last);  // published counts only move forward
+      last = now;
+      (void)tracer.dropped_events();
+    }
+  });
+  pool.RunAll(&tasks);
+
+  // Every recording attempt either landed in a buffer or was counted
+  // dropped; with the cap at 64 per thread, drops must have occurred.
+  const size_t total = kRecorders * kEventsPerRecorder;
+  EXPECT_EQ(tracer.event_count() +
+                static_cast<size_t>(tracer.dropped_events()),
+            total);
+  EXPECT_GT(tracer.dropped_events(), 0);
 }
 
 // ---------------------------------------------------------------------------

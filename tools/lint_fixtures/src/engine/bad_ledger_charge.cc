@@ -1,0 +1,11 @@
+// Positive fixture for ledger-category-charged: the first charge names a
+// category the registry enum never declared, the second routes a
+// variable instead of spelling CostCategory::k... at the call site.
+namespace tcq {
+
+void ChargeBad(CostLedger* ledger, CostCategory cat) {
+  ledger->Charge(CostCategory::kBogusCategory, 1.0);
+  ledger->ChargeN(cat, 4, 0.001);
+}
+
+}  // namespace tcq

@@ -1,0 +1,10 @@
+// Positive fixture for metric-name-registry: neither instrument name is
+// declared in the registry header (src/obs/metric_names.h).
+namespace tcq {
+
+void RecordBad(Metrics* metrics) {
+  metrics->counter("engine.unregistered_total")->Increment();
+  metrics->histogram("serve.not_in_registry_s")->Record(0.5);
+}
+
+}  // namespace tcq

@@ -1,0 +1,10 @@
+// Negative fixture for ledger-category-charged: every charge names a
+// declared CostCategory enumerator literally at the call site.
+namespace tcq {
+
+void ChargeOk(CostLedger* ledger) {
+  ledger->Charge(CostCategory::kBlockRead, 0.001);
+  ledger->ChargeN(CostCategory::kFaultDelay, 2, 0.5);
+}
+
+}  // namespace tcq

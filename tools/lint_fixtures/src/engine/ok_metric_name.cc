@@ -1,0 +1,11 @@
+// Negative fixture for metric-name-registry: registered names pass, and
+// a dynamically composed (non-literal) name is exempt by design.
+namespace tcq {
+
+void RecordOk(Metrics* metrics, const std::string& dynamic_name) {
+  metrics->counter("serve.test_ok")->Increment();
+  metrics->gauge("cache.test_ok")->Set(1.0);
+  metrics->counter(dynamic_name)->Increment();
+}
+
+}  // namespace tcq

@@ -1,0 +1,9 @@
+// Negative fixture for stale-allow: this suppression consumes a real
+// finding on its line, so it is not stale (see also suppressed_rng.cc).
+namespace tcq {
+
+void PrintForDebug() {
+  std::cout << "debug";  // tcq-lint: allow(stdout-in-lib)
+}
+
+}  // namespace tcq

@@ -1,0 +1,11 @@
+// Positive fixture for stale-allow: the first suppression silences
+// nothing on its line, the second names a rule that does not exist.
+namespace tcq {
+
+int StaleAllows() {
+  int x = 1;  // tcq-lint: allow(unseeded-rng)
+  int y = 2;  // tcq-lint: allow(no-such-rule)
+  return x + y;
+}
+
+}  // namespace tcq

@@ -1,0 +1,15 @@
+// Fixture metric-name registry (mirrors src/obs/metric_names.h in the
+// real tree): the metric-name-registry rule resolves instrument-name
+// string literals against the constants declared here. Also a negative
+// fixture — the registry itself lints clean.
+#ifndef TCQ_LINT_FIXTURE_SRC_OBS_METRIC_NAMES_H_
+#define TCQ_LINT_FIXTURE_SRC_OBS_METRIC_NAMES_H_
+
+namespace tcq::metric_names {
+
+inline constexpr char kServeTestOk[] = "serve.test_ok";
+inline constexpr char kCacheTestOk[] = "cache.test_ok";
+
+}  // namespace tcq::metric_names
+
+#endif  // TCQ_LINT_FIXTURE_SRC_OBS_METRIC_NAMES_H_

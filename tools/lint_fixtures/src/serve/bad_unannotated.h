@@ -1,0 +1,26 @@
+// Positive fixture for unannotated-guarded-field: one class declares a
+// tcq Mutex but puts TCQ_GUARDED_BY on nothing; another holds a raw
+// std::mutex instead of the annotated wrapper.
+#ifndef TCQ_LINT_FIXTURE_SRC_SERVE_BAD_UNANNOTATED_H_
+#define TCQ_LINT_FIXTURE_SRC_SERVE_BAD_UNANNOTATED_H_
+
+namespace tcq {
+
+class UnannotatedCounter {
+ public:
+  void Increment();
+
+ private:
+  mutable Mutex mu_;
+  long count_ = 0;
+};
+
+class RawMutexHolder {
+ private:
+  std::mutex raw_mu_;
+  long value_ = 0;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_LINT_FIXTURE_SRC_SERVE_BAD_UNANNOTATED_H_

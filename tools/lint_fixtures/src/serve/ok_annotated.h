@@ -1,0 +1,19 @@
+// Negative fixture for unannotated-guarded-field: the guarded field is
+// annotated, so the capability rule stays quiet.
+#ifndef TCQ_LINT_FIXTURE_SRC_SERVE_OK_ANNOTATED_H_
+#define TCQ_LINT_FIXTURE_SRC_SERVE_OK_ANNOTATED_H_
+
+namespace tcq {
+
+class AnnotatedCounter {
+ public:
+  void Increment();
+
+ private:
+  mutable Mutex mu_;
+  long count_ TCQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_LINT_FIXTURE_SRC_SERVE_OK_ANNOTATED_H_

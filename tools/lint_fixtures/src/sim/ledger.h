@@ -1,0 +1,18 @@
+// Fixture cost-category registry (mirrors src/sim/ledger.h in the real
+// tree): the ledger-category-charged rule resolves CostCategory::k...
+// enumerators against the enum declared here. Also a negative fixture —
+// the registry itself lints clean.
+#ifndef TCQ_LINT_FIXTURE_SRC_SIM_LEDGER_H_
+#define TCQ_LINT_FIXTURE_SRC_SIM_LEDGER_H_
+
+namespace tcq {
+
+enum class CostCategory {
+  kBlockRead = 0,
+  kFaultDelay,
+  kNumCategories,  // sentinel, not chargeable
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_LINT_FIXTURE_SRC_SIM_LEDGER_H_

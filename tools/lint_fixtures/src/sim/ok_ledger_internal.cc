@@ -1,0 +1,10 @@
+// Negative fixture for ledger-category-charged: src/sim/ is exempt —
+// the ledger's own internals may forward a variable category.
+namespace tcq {
+
+void CostLedgerForward(CostLedger* ledger, CostCategory category,
+                       double seconds) {
+  ledger->Charge(category, seconds);
+}
+
+}  // namespace tcq

@@ -1,0 +1,21 @@
+// Negative fixture for unannotated-guarded-field: src/util/ is exempt —
+// the annotated wrapper types themselves must hold the raw primitives.
+#ifndef TCQ_LINT_FIXTURE_SRC_UTIL_OK_MUTEX_WRAPPER_H_
+#define TCQ_LINT_FIXTURE_SRC_UTIL_OK_MUTEX_WRAPPER_H_
+
+#include <mutex>
+
+namespace tcq {
+
+class WrapperForTest {
+ public:
+  void Lock() { raw_.lock(); }
+  void Unlock() { raw_.unlock(); }
+
+ private:
+  std::mutex raw_;
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_LINT_FIXTURE_SRC_UTIL_OK_MUTEX_WRAPPER_H_
