@@ -50,12 +50,12 @@ int Main(int argc, char** argv) {
       int64_t hits = 0, points = 0;
       for (uint32_t i : idx) {
         int64_t y = 0;
-        for (const Tuple& t : (*rel)->block(i).tuples) {
+        for (const Tuple& t : (*rel)->ViewBlock(i).rows()) {
           if (pred->Eval(t)) ++y;
         }
         block_hits.push_back(y);
         hits += y;
-        points += static_cast<int64_t>((*rel)->block(i).tuples.size());
+        points += static_cast<int64_t>((*rel)->ViewBlock(i).rows().size());
       }
       double b_total = static_cast<double>((*rel)->NumBlocks());
       double estimate = b_total * static_cast<double>(hits) /

@@ -42,7 +42,7 @@ int SweepAccuracy(const char* title, const Workload& workload,
         auto idx = rng.SampleWithoutReplacement(
             static_cast<uint32_t>(total), count);
         std::vector<const Block*> chosen;
-        for (uint32_t i : idx) chosen.push_back(&(*rel)->block(i));
+        for (uint32_t i : idx) chosen.push_back((*rel)->ViewBlock(i).raw());
         blocks[name] = std::move(chosen);
       }
       if (!(*ev)->ExecuteStage(blocks).ok()) return 1;

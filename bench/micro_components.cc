@@ -58,7 +58,7 @@ void BM_SelectStage(benchmark::State& state) {
     auto idx = rng.SampleWithoutReplacement(
         2000, static_cast<uint32_t>(blocks_per_stage));
     std::vector<const Block*> blocks;
-    for (uint32_t i : idx) blocks.push_back(&(*rel)->block(i));
+    for (uint32_t i : idx) blocks.push_back((*rel)->ViewBlock(i).raw());
     benchmark::DoNotOptimize((*ev)->ExecuteStage({{"r1", blocks}}));
   }
   state.SetItemsProcessed(state.iterations() * blocks_per_stage * 5);
@@ -80,7 +80,7 @@ void BM_IntersectStage(benchmark::State& state) {
       auto idx = rng.SampleWithoutReplacement(
           2000, static_cast<uint32_t>(blocks_per_stage));
       std::vector<const Block*> chosen;
-      for (uint32_t i : idx) chosen.push_back(&rel->block(i));
+      for (uint32_t i : idx) chosen.push_back(rel->ViewBlock(i).raw());
       blocks[rel->name()] = std::move(chosen);
     }
     benchmark::DoNotOptimize((*ev)->ExecuteStage(blocks));

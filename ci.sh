@@ -36,6 +36,12 @@
 #                 fault_tolerance.json, refreshes BENCH_fault.json, and
 #                 gates the <=5% miss rate and >=80% exact-count CI
 #                 coverage of the degraded answers
+#   vec-bench     row-vs-columnar evaluation comparison via
+#                 bench/vector_eval; archives build/artifacts/
+#                 vector_eval.json, refreshes BENCH_vector.json, and
+#                 gates the >=2x per-block Select AND Intersect speedups
+#                 of the columnar kernels plus whole-query bit-identity
+#                 across layouts
 #   tsan          ThreadSanitizer build + ctest (contracts armed)
 #   asan          AddressSanitizer build + ctest (contracts armed)
 #   ubsan         UndefinedBehaviorSanitizer build + ctest (contracts armed)
@@ -47,7 +53,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs="$(nproc 2>/dev/null || echo 2)"
-ALL_STAGES=(lint format-check tidy thread-safety release trace-smoke warm-bench serve-bench fault-bench tsan asan ubsan)
+ALL_STAGES=(lint format-check tidy thread-safety release trace-smoke warm-bench serve-bench fault-bench vec-bench tsan asan ubsan)
 
 usage() {
   echo "usage: $0 [stage...]   stages: ${ALL_STAGES[*]}" >&2
@@ -260,6 +266,37 @@ with open("BENCH_fault.json", "w") as f:
 print(f"fault-bench: {result['miss_pct']:.1f}% miss, "
       f"{result['coverage_pct']:.1f}% CI coverage under faults; "
       "summary at BENCH_fault.json")
+EOF_PY
+}
+
+stage_vec_bench() {
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release &&
+    cmake --build build -j "$jobs" --target vector_eval &&
+    mkdir -p build/artifacts &&
+    ./build/bench/vector_eval | tee build/artifacts/vector_eval.json &&
+    python3 - <<'EOF_PY'
+import json
+with open("build/artifacts/vector_eval.json") as f:
+    result = json.load(f)
+assert result["ok"], "vector_eval bench gate failed"
+assert result["bit_identical"], "layouts diverged"
+assert result["select_speedup"] >= result["min_speedup"]
+assert result["intersect_speedup"] >= result["min_speedup"]
+summary = {
+    "bench": "vector_eval",
+    "tuples_per_block": result["tuples_per_block"],
+    "select_speedup": result["select_speedup"],
+    "intersect_speedup": result["intersect_speedup"],
+    "min_speedup": result["min_speedup"],
+    "bit_identical": result["bit_identical"],
+    "ok": result["ok"],
+}
+with open("BENCH_vector.json", "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+print(f"vec-bench: select {result['select_speedup']:.2f}x, "
+      f"intersect {result['intersect_speedup']:.2f}x, bit-identical; "
+      "summary at BENCH_vector.json")
 EOF_PY
 }
 

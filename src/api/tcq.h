@@ -146,6 +146,18 @@ class QueryBuilder {
     options_.use_wall_clock = on;
     return *this;
   }
+  /// Evaluation path of the operators (ExecutorOptions::layout):
+  /// Layout::kColumnar runs selections through batch predicate masks and
+  /// sort/merge through encoded-key kernels over the per-block column
+  /// arrays; Layout::kRow (the default) is the classic tuple-at-a-time
+  /// path. Estimates, variances, and stage schedules are bit-identical
+  /// across layouts at the same seed — only wall-clock speed (and the
+  /// wall-clock planner's initial cost coefficients) differ. EXPLAIN and
+  /// StageReport::layout report the choice.
+  QueryBuilder& WithLayout(Layout layout) {
+    options_.layout = layout;
+    return *this;
+  }
   /// Arms deterministic fault injection (ExecutorOptions::faults; see
   /// DESIGN.md §10): transient read errors retried with quota-charged
   /// backoff, permanently lost blocks dropped from the frame with the

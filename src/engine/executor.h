@@ -106,6 +106,14 @@ struct ExecutorOptions {
   /// serve metrics. 0 (the default) means "use quota_s". The standalone
   /// engine ignores it — quota_s alone bounds execution time.
   double serve_deadline_s = 0.0;
+  /// Physical evaluation path (DESIGN.md §11): Layout::kColumnar routes
+  /// selections through the batch-vectorized bitmap kernel and the
+  /// join/intersect sorts and merges through encoded-key columnar kernels.
+  /// Estimates, variances, stage reports and every simulated-time charge
+  /// are bit-identical to Layout::kRow at any seed and thread count —
+  /// only real elapsed time (and, in wall-clock mode, the measured step
+  /// times the cost model fits) changes.
+  Layout layout = Layout::kRow;
   /// Deterministic fault injection at the storage boundary (DESIGN.md
   /// §10): transient read errors retried with quota-charged exponential
   /// backoff, permanently unreadable blocks excluded from the sampling
@@ -247,6 +255,7 @@ struct StagePrediction {
 struct ExplainResult {
   std::string strategy;       // time-control strategy name
   double quota_s = 0.0;       // T
+  Layout layout = Layout::kRow;  // chosen evaluation path
   int num_sampled_terms = 0;  // inclusion–exclusion terms to sample
   int num_constant_terms = 0;  // bare-scan terms answered from the catalog
   int64_t total_blocks = 0;   // across all scanned relations

@@ -33,9 +33,10 @@ Result<TupleSet> EvaluateExact(const ExprPtr& expr, const Catalog& catalog) {
       TupleSet out;
       out.schema = rel->schema();
       out.tuples.reserve(static_cast<size_t>(rel->NumTuples()));
-      for (const Block& b : rel->blocks()) {
-        out.tuples.insert(out.tuples.end(), b.tuples.begin(),
-                          b.tuples.end());
+      for (int64_t b = 0; b < rel->NumBlocks(); ++b) {
+        BlockView view = rel->ViewBlock(b);
+        out.tuples.insert(out.tuples.end(), view.rows().begin(),
+                          view.rows().end());
       }
       return out;
     }

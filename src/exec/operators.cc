@@ -72,6 +72,35 @@ std::vector<Tuple> SelectTuples(const std::vector<Tuple>& tuples,
   return out;
 }
 
+std::vector<Tuple> SelectTuplesColumnar(const std::vector<Tuple>& tuples,
+                                        const ColumnBatch& batch,
+                                        const BoundPredicate& predicate,
+                                        const Schema& schema,
+                                        CostLedger* ledger,
+                                        const CostModel& model,
+                                        OpMetrics* metrics) {
+  assert(static_cast<size_t>(batch.num_rows()) == tuples.size());
+  StepMetrics* process = metrics != nullptr ? &metrics->process : nullptr;
+  std::vector<uint8_t> mask;
+  predicate.EvalBatch(batch, &mask);
+  std::vector<Tuple> out;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (mask[i] != 0) out.push_back(tuples[i]);
+  }
+  int64_t n = static_cast<int64_t>(tuples.size());
+  int64_t out_n = static_cast<int64_t>(out.size());
+  ChargeScope charge(ledger, process);
+  charge.ChargeN(CostCategory::kPredicate, n * predicate.num_comparisons(),
+                 model.predicate_compare_s);
+  if (process != nullptr) {
+    process->in_tuples += n;
+    process->comparisons += n * predicate.num_comparisons();
+  }
+  ChargeOutput(schema, out_n, ledger, model,
+               metrics != nullptr ? &metrics->output : nullptr);
+  return out;
+}
+
 void ChargeTempWrite(const Schema& schema, int64_t num_tuples,
                      CostLedger* ledger, const CostModel& model,
                      StepMetrics* metrics) {

@@ -41,6 +41,19 @@ std::vector<Tuple> SelectTuples(const std::vector<Tuple>& tuples,
                                 const Schema& schema, CostLedger* ledger,
                                 const CostModel& model, OpMetrics* metrics);
 
+/// Vectorized selection: evaluates the formula over the columnar batch
+/// (selection bitmap via BoundPredicate::EvalBatch), then gathers the
+/// passing rows from `tuples`. `batch` must hold the same rows as `tuples`
+/// in the same order. Output and charges are identical to SelectTuples —
+/// selection cost is per formula leaf per input tuple in both paths.
+std::vector<Tuple> SelectTuplesColumnar(const std::vector<Tuple>& tuples,
+                                        const ColumnBatch& batch,
+                                        const BoundPredicate& predicate,
+                                        const Schema& schema,
+                                        CostLedger* ledger,
+                                        const CostModel& model,
+                                        OpMetrics* metrics);
+
 /// Writes `tuples` to a temporary file (step 1 of the paper's intersect/
 /// join/project algorithms, Figures 4.4/4.6/4.7): charges one tuple move
 /// per tuple and one page write per output page.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "exec/vectorized.h"
+#include "obs/metric_names.h"
 #include "util/check.h"
 #include <cmath>
 #include <functional>
@@ -158,6 +160,12 @@ void StagedTermEvaluator::SetObs(const ObsHandle& obs, int term_index) {
   tracer_ = obs.tracer;
   tuples_counter_ =
       obs.metering() ? obs.metrics->counter("exec.tuples_scanned") : nullptr;
+  vector_batches_counter_ =
+      obs.metering() ? obs.metrics->counter(metric_names::kVectorBatches)
+                     : nullptr;
+  vector_rows_counter_ =
+      obs.metering() ? obs.metrics->counter(metric_names::kVectorRows)
+                     : nullptr;
   term_index_ = term_index;
 }
 
@@ -299,7 +307,24 @@ Status StagedTermEvaluator::ExecuteNode(
       }
       std::vector<Tuple> run;
       for (const Block* b : it->second) {
-        run.insert(run.end(), b->tuples.begin(), b->tuples.end());
+        BlockView view(b);
+        run.insert(run.end(), view.rows().begin(), view.rows().end());
+      }
+      if (layout_ == Layout::kColumnar) {
+        // Mirror the fetched rows as one columnar batch for the vectorized
+        // select; blocks built by the relation loader carry their column
+        // arrays, so this is a contiguous column-wise concatenation.
+        ColumnBatch batch;
+        batch.Configure(node->rel->schema());
+        for (const Block* b : it->second) {
+          BlockView view(b);
+          if (view.columns().num_rows() == view.num_rows()) {
+            batch.AppendBatch(view.columns());
+          } else {
+            for (const Tuple& t : view.rows()) batch.AppendRow(t);
+          }
+        }
+        node->stage_out_cols.push_back(std::move(batch));
       }
       node->cum_blocks += static_cast<int64_t>(it->second.size());
       rec.new_blocks = static_cast<int64_t>(it->second.size());
@@ -319,9 +344,33 @@ Status StagedTermEvaluator::ExecuteNode(
       }
       OpMetrics om;
       double t0 = now();
-      std::vector<Tuple> run =
-          SelectTuples(node->left->stage_out[s], *node->predicate,
-                       node->out_schema, ledger_, model_, &om);
+      std::vector<Tuple> run;
+      if (layout_ == Layout::kColumnar) {
+        const StagedNode* child = node->left.get();
+        ColumnBatch local;
+        const ColumnBatch* batch = nullptr;
+        if (child->kind == ExprKind::kScan &&
+            s < child->stage_out_cols.size()) {
+          batch = &child->stage_out_cols[s];
+        } else {
+          // Non-scan child: assemble the batch from its row output.
+          local.Configure(node->out_schema);
+          for (const Tuple& t : child->stage_out[s]) local.AppendRow(t);
+          batch = &local;
+        }
+        run = SelectTuplesColumnar(child->stage_out[s], *batch,
+                                   *node->predicate, node->out_schema,
+                                   ledger_, model_, &om);
+        if (vector_batches_counter_ != nullptr) {
+          vector_batches_counter_->Add(1);
+        }
+        if (vector_rows_counter_ != nullptr && batch->num_rows() > 0) {
+          vector_rows_counter_->Add(batch->num_rows());
+        }
+      } else {
+        run = SelectTuples(node->left->stage_out[s], *node->predicate,
+                           node->out_schema, ledger_, model_, &om);
+      }
       double t1 = now();
       rec.process = om.process;
       rec.output = om.output;
@@ -438,6 +487,21 @@ Status StagedTermEvaluator::ExecuteNode(
           is_join ? node->lkey : std::vector<int>{};
       const std::vector<int> rkey =
           is_join ? node->rkey : std::vector<int>{};
+      if (layout_ == Layout::kColumnar && node->sorted_left.empty()) {
+        // Decided once, before the first run is sorted, so every stage of
+        // the node takes the same path and the per-stage key buffers stay
+        // aligned with the sorted runs.
+        node->columnar_merge_ok =
+            !is_join ||
+            ColumnarJoinKeysCompatible(node->left->out_schema, node->lkey,
+                                       node->right->out_schema, node->rkey);
+        if (node->columnar_merge_ok) {
+          node->merge_key_width =
+              EncodedKeyWidth(node->left->out_schema, lkey);
+        }
+      }
+      const bool columnar =
+          layout_ == Layout::kColumnar && node->columnar_merge_ok;
       // Runs the prepared task batch on the pool (inline when none),
       // recording the section's span and the tasks' summed durations for
       // the parallel-efficiency fit. Charges never happen inside tasks.
@@ -452,18 +516,33 @@ Status StagedTermEvaluator::ExecuteNode(
       // Steps 1–2 parallel part: the two new runs sort on their own tasks;
       // the realized comparison counts are charged post-barrier in fixed
       // (left, right) order, mirroring the serial SortRun sequence.
+      std::vector<uint8_t> lkeys_buf, rkeys_buf;
       {
         int64_t sort_comp[2] = {0, 0};
         std::vector<double> durs(2, 0.0);
         std::vector<std::function<void()>> tasks;
-        tasks.push_back([&new_l, &lkey, &sort_comp, &durs] {
+        const Schema& lschema = node->left->out_schema;
+        const Schema& rschema = node->right->out_schema;
+        tasks.push_back([&new_l, &lkey, &sort_comp, &durs, columnar,
+                         &lschema, &lkeys_buf] {
           auto start = std::chrono::steady_clock::now();
-          SortRunRange(&new_l, lkey, &sort_comp[0]);
+          if (columnar) {
+            SortRunRangeColumnar(&new_l, lschema, lkey, &lkeys_buf,
+                                 &sort_comp[0]);
+          } else {
+            SortRunRange(&new_l, lkey, &sort_comp[0]);
+          }
           durs[0] = SecondsSince(start);
         });
-        tasks.push_back([&new_r, &rkey, &sort_comp, &durs] {
+        tasks.push_back([&new_r, &rkey, &sort_comp, &durs, columnar,
+                         &rschema, &rkeys_buf] {
           auto start = std::chrono::steady_clock::now();
-          SortRunRange(&new_r, rkey, &sort_comp[1]);
+          if (columnar) {
+            SortRunRangeColumnar(&new_r, rschema, rkey, &rkeys_buf,
+                                 &sort_comp[1]);
+          } else {
+            SortRunRange(&new_r, rkey, &sort_comp[1]);
+          }
           durs[1] = SecondsSince(start);
         });
         run_section(&tasks, &durs);
@@ -484,6 +563,10 @@ Status StagedTermEvaluator::ExecuteNode(
       double t2 = now();
       node->sorted_left.push_back(std::move(new_l));
       node->sorted_right.push_back(std::move(new_r));
+      if (columnar) {
+        node->sorted_left_keys.push_back(std::move(lkeys_buf));
+        node->sorted_right_keys.push_back(std::move(rkeys_buf));
+      }
 
       // Step 3: merge run pairs. Full fulfillment: every pair whose newest
       // run is this stage (Figure 4.5). Partial: new×new only. Each pair's
@@ -544,15 +627,37 @@ Status StagedTermEvaluator::ExecuteNode(
                                        chunk->lend - chunk->lbeg);
           std::span<const Tuple> rspan(rrun.data() + chunk->rbeg,
                                        chunk->rend - chunk->rbeg);
+          const int kw = node->merge_key_width;
+          const uint8_t* lkptr =
+              columnar && chunk->lend > chunk->lbeg
+                  ? node->sorted_left_keys[pairs[chunk->pair].first].data() +
+                        chunk->lbeg * static_cast<size_t>(kw)
+                  : nullptr;
+          const uint8_t* rkptr =
+              columnar && chunk->rend > chunk->rbeg
+                  ? node->sorted_right_keys[pairs[chunk->pair].second]
+                            .data() +
+                        chunk->rbeg * static_cast<size_t>(kw)
+                  : nullptr;
           double* dur = &durs[t];
           tasks.push_back([chunk, lspan, rspan, is_join, &lkey, &rkey,
-                           dur] {
+                           columnar, lkptr, rkptr, kw, dur] {
             auto start = std::chrono::steady_clock::now();
-            chunk->out =
-                is_join ? MergeJoinRange(lspan, lkey, rspan, rkey,
-                                         &chunk->comparisons)
-                        : MergeIntersectRange(lspan, rspan,
-                                              &chunk->comparisons);
+            if (columnar) {
+              chunk->out = is_join
+                               ? MergeJoinRangeColumnar(lspan, lkptr, rspan,
+                                                        rkptr, kw,
+                                                        &chunk->comparisons)
+                               : MergeIntersectRangeColumnar(
+                                     lspan, lkptr, rspan, rkptr, kw,
+                                     &chunk->comparisons);
+            } else {
+              chunk->out =
+                  is_join ? MergeJoinRange(lspan, lkey, rspan, rkey,
+                                           &chunk->comparisons)
+                          : MergeIntersectRange(lspan, rspan,
+                                                &chunk->comparisons);
+            }
             *dur = SecondsSince(start);
           });
         }

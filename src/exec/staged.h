@@ -14,7 +14,9 @@
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 #include "sim/ledger.h"
+#include "storage/column_batch.h"
 #include "storage/relation.h"
+#include "util/layout.h"
 #include "util/result.h"
 
 namespace tcq {
@@ -86,6 +88,20 @@ struct StagedNode {
   std::vector<std::vector<Tuple>> sorted_left;   // per-stage sorted runs
   std::vector<std::vector<Tuple>> sorted_right;
 
+  // Columnar mode (Layout::kColumnar) only: the encoded sort keys of each
+  // per-stage sorted run (indices aligned with sorted_left/sorted_right),
+  // their byte width, and whether the columnar merge kernels apply to this
+  // node's keys (join keys of mismatched type or width fall back to the
+  // row kernels — see ColumnarJoinKeysCompatible).
+  std::vector<std::vector<uint8_t>> sorted_left_keys;
+  std::vector<std::vector<uint8_t>> sorted_right_keys;
+  int merge_key_width = 0;
+  bool columnar_merge_ok = true;
+
+  // kScan, columnar mode only: per-stage columnar batches mirroring
+  // stage_out, assembled from the fetched blocks' column arrays.
+  std::vector<ColumnBatch> stage_out_cols;
+
   std::unique_ptr<StagedNode> left;
   std::unique_ptr<StagedNode> right;
 
@@ -134,6 +150,16 @@ class StagedTermEvaluator {
     pool_ = pool;
     pool_max_width_ = max_width;
   }
+
+  /// Selects the evaluation path: Layout::kColumnar routes selections
+  /// through the batch-vectorized bitmap kernel and sorts/merges through
+  /// the encoded-key columnar kernels. Estimates, stage outputs and every
+  /// simulated-time charge are bit-identical to the row path (the columnar
+  /// kernels count comparisons at exactly the same points — DESIGN.md
+  /// §11); only real elapsed time differs. Set before the first stage and
+  /// keep fixed for the evaluator's lifetime.
+  void SetLayout(Layout layout) { layout_ = layout; }
+  Layout layout() const { return layout_; }
 
   /// Realized work/span of the last executed stage's parallel sections.
   const ParallelStats& last_stage_parallelism() const {
@@ -225,7 +251,10 @@ class StagedTermEvaluator {
   const Clock* timing_clock_ = nullptr;
   Tracer* tracer_ = nullptr;
   Counter* tuples_counter_ = nullptr;
+  Counter* vector_batches_counter_ = nullptr;
+  Counter* vector_rows_counter_ = nullptr;
   int term_index_ = 0;
+  Layout layout_ = Layout::kRow;
   ThreadPool* pool_ = nullptr;
   int pool_max_width_ = 0;
   ParallelStats stage_parallel_;

@@ -47,7 +47,7 @@ std::vector<const Block*> BlockSampler::DrawInternal(int64_t count, Rng* rng,
   for (int64_t i = 0; i < replay_n; ++i) {
     uint32_t block = replay_order_[static_cast<size_t>(replay_pos_++)];
     last_draw_indices_.push_back(block);
-    out.push_back(&rel_->block(block));
+    out.push_back(rel_->ViewBlock(block).raw());
   }
   if (replay_n > 0) pool_->NoteReplayed(replay_n);
   last_draw_replayed_ = replay_n;
@@ -58,7 +58,7 @@ std::vector<const Block*> BlockSampler::DrawInternal(int64_t count, Rng* rng,
     std::swap(remaining_[j], remaining_.back());
     uint32_t block = remaining_.back();
     last_draw_indices_.push_back(block);
-    out.push_back(&rel_->block(block));
+    out.push_back(rel_->ViewBlock(block).raw());
     remaining_.pop_back();
     if (pool_ != nullptr) {
       // Replays never reach past the snapshot, so our own appends cannot
@@ -90,11 +90,11 @@ Result<std::vector<DrawnBlock>> BlockSampler::DrawSubstreamChecked(
   out.reserve(drawn.size());
   for (size_t i = 0; i < drawn.size(); ++i) {
     uint32_t index = last_draw_indices_[i];
-    TCQ_ASSIGN_OR_RETURN(const Block* block,
+    TCQ_ASSIGN_OR_RETURN(BlockView view,
                          rel_->ReadBlock(static_cast<int64_t>(index)));
-    TCQ_CHECK_INVARIANT(block == drawn[i],
+    TCQ_CHECK_INVARIANT(view.raw() == drawn[i],
                         "checked read disagrees with the drawn block");
-    out.push_back(DrawnBlock{index, block});
+    out.push_back(DrawnBlock{index, view.raw()});
   }
   return out;
 }

@@ -11,8 +11,9 @@ namespace tcq {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'C', 'Q', 'F'};
-/// v1: no page checksums; v2 appends a 64-bit FNV-1a sum after each page.
-constexpr uint32_t kVersion = 2;
+/// v1: row pages, no checksums; v2 appends a 64-bit FNV-1a sum after each
+/// page; v3 keeps the checksums but stores each page column-major.
+constexpr uint32_t kVersion = 3;
 constexpr uint32_t kMinVersion = 1;
 
 void PutU32(uint32_t v, std::vector<uint8_t>* out) {
@@ -209,13 +210,120 @@ Result<Block> DecodePage(const std::vector<uint8_t>& page, int count,
   return block;
 }
 
+Result<std::vector<uint8_t>> EncodePageColumnar(const Block& block,
+                                                const Schema& schema,
+                                                int block_bytes) {
+  int tuple_bytes = schema.TupleBytes();
+  if (static_cast<int>(block.tuples.size()) * tuple_bytes > block_bytes) {
+    return Status::InvalidArgument("block holds more bytes than the page");
+  }
+  for (const Tuple& t : block.tuples) {
+    TCQ_RETURN_NOT_OK(schema.ValidateTuple(t));
+  }
+  std::vector<uint8_t> page;
+  page.reserve(static_cast<size_t>(block_bytes));
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    const Column& column = schema.column(c);
+    for (const Tuple& t : block.tuples) {
+      const Value& v = t[static_cast<size_t>(c)];
+      switch (column.type) {
+        case DataType::kInt64:
+          PutU64(static_cast<uint64_t>(std::get<int64_t>(v)), &page);
+          break;
+        case DataType::kDouble: {
+          uint64_t raw = 0;
+          double d = std::get<double>(v);
+          std::memcpy(&raw, &d, sizeof(raw));
+          PutU64(raw, &page);
+          break;
+        }
+        case DataType::kString: {
+          const std::string& s = std::get<std::string>(v);
+          page.insert(page.end(), s.begin(), s.end());
+          page.insert(page.end(),
+                      static_cast<size_t>(column.width) - s.size(), 0);
+          break;
+        }
+      }
+    }
+  }
+  page.resize(static_cast<size_t>(block_bytes), 0);
+  return page;
+}
+
+Result<Block> DecodePageColumnar(const std::vector<uint8_t>& page, int count,
+                                 const Schema& schema) {
+  size_t need = static_cast<size_t>(count) *
+                static_cast<size_t>(schema.TupleBytes());
+  if (need > page.size()) {
+    return Status::OutOfRange("columnar page smaller than its tuples");
+  }
+  Block block;
+  block.tuples.resize(static_cast<size_t>(count));
+  for (Tuple& t : block.tuples) {
+    t.reserve(static_cast<size_t>(schema.num_columns()));
+  }
+  size_t pos = 0;
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    const Column& column = schema.column(c);
+    switch (column.type) {
+      case DataType::kInt64:
+        for (int r = 0; r < count; ++r) {
+          uint64_t raw = 0;
+          for (int i = 0; i < 8; ++i) {
+            raw |= static_cast<uint64_t>(page[pos + static_cast<size_t>(i)])
+                   << (8 * i);
+          }
+          // In-place construction, as in DecodeTuple (GCC 12 PR 105562).
+          block.tuples[static_cast<size_t>(r)].emplace_back(
+              std::in_place_type<int64_t>, static_cast<int64_t>(raw));
+          pos += 8;
+        }
+        break;
+      case DataType::kDouble:
+        for (int r = 0; r < count; ++r) {
+          uint64_t raw = 0;
+          for (int i = 0; i < 8; ++i) {
+            raw |= static_cast<uint64_t>(page[pos + static_cast<size_t>(i)])
+                   << (8 * i);
+          }
+          double d = 0.0;
+          std::memcpy(&d, &raw, sizeof(d));
+          block.tuples[static_cast<size_t>(r)].emplace_back(
+              std::in_place_type<double>, d);
+          pos += 8;
+        }
+        break;
+      case DataType::kString:
+        for (int r = 0; r < count; ++r) {
+          size_t len = static_cast<size_t>(column.width);
+          while (len > 0 && page[pos + len - 1] == 0) --len;
+          block.tuples[static_cast<size_t>(r)].push_back(std::string(
+              reinterpret_cast<const char*>(&page[pos]), len));
+          pos += static_cast<size_t>(column.width);
+        }
+        break;
+    }
+  }
+  return block;
+}
+
 Status SaveRelation(const Relation& relation, const std::string& path) {
+  return SaveRelationAtVersion(relation, path, kVersion);
+}
+
+Status SaveRelationAtVersion(const Relation& relation, const std::string& path,
+                             uint32_t version) {
+  if (version < kMinVersion || version > kVersion) {
+    return Status::InvalidArgument("unsupported TCQF version " +
+                                   std::to_string(version));
+  }
   std::vector<uint8_t> out;
   // Byte-wise append: vector::insert over the char[4] range makes GCC 12
   // under -fsanitize report a bogus -Wstringop-overflow (memmove into a
   // "size 0" region); the loop compiles to the same stores warning-free.
   for (char c : kMagic) out.push_back(static_cast<uint8_t>(c));
-  PutU32(kVersion, &out);
+  PutU32(version, &out);
   PutString(relation.name(), &out);
   PutU32(static_cast<uint32_t>(relation.schema().num_columns()), &out);
   for (const Column& c : relation.schema().columns()) {
@@ -232,9 +340,11 @@ Status SaveRelation(const Relation& relation, const std::string& path) {
   for (const Block& b : relation.blocks()) {
     TCQ_ASSIGN_OR_RETURN(
         std::vector<uint8_t> page,
-        EncodePage(b, relation.schema(), relation.block_bytes()));
+        version >= 3
+            ? EncodePageColumnar(b, relation.schema(), relation.block_bytes())
+            : EncodePage(b, relation.schema(), relation.block_bytes()));
     out.insert(out.end(), page.begin(), page.end());
-    PutU64(PageChecksum(page), &out);
+    if (version >= 2) PutU64(PageChecksum(page), &out);
   }
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) {
@@ -299,10 +409,10 @@ Result<Relation> LoadRelation(const std::string& path) {
                                 path + "' failed checksum verification");
       }
     }
-    TCQ_ASSIGN_OR_RETURN(
-        Block block,
-        DecodePage(page, static_cast<int>(counts[static_cast<size_t>(b)]),
-                   schema));
+    int count = static_cast<int>(counts[static_cast<size_t>(b)]);
+    TCQ_ASSIGN_OR_RETURN(Block block,
+                         version >= 3 ? DecodePageColumnar(page, count, schema)
+                                      : DecodePage(page, count, schema));
     for (Tuple& t : block.tuples) {
       relation.AppendUnchecked(std::move(t));
       ++loaded;
@@ -312,6 +422,13 @@ Result<Relation> LoadRelation(const std::string& path) {
     return Status::Internal("tuple count mismatch in '" + path + "'");
   }
   return relation;
+}
+
+Status ConvertRelationFile(const std::string& in_path,
+                           const std::string& out_path,
+                           uint32_t target_version) {
+  TCQ_ASSIGN_OR_RETURN(Relation relation, LoadRelation(in_path));
+  return SaveRelationAtVersion(relation, out_path, target_version);
 }
 
 Status SaveCatalog(const Catalog& catalog, const std::string& directory) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/column_batch.h"
 #include "storage/schema.h"
 #include "storage/value.h"
 #include "util/result.h"
@@ -18,9 +19,39 @@ inline constexpr int kDefaultBlockBytes = 1024;
 
 /// A disk block: up to `blocking factor` tuples stored together. The block
 /// is the cluster-sampling unit (paper §2): drawing a block retrieves all
-/// of its tuples at the cost of one random read.
+/// of its tuples at the cost of one random read. Both physical layouts of
+/// the same block are kept: decoded row tuples for the tuple-at-a-time
+/// path and per-column contiguous arrays for the vectorized batch path
+/// (Layout::kColumnar). They always describe the same tuples in the same
+/// order.
 struct Block {
   std::vector<Tuple> tuples;
+  ColumnBatch columns;
+};
+
+/// Read-only view of one block exposing both access styles: `rows()` for
+/// tuple iteration and `columns()` for the columnar batch. This is the
+/// block-access surface — operators and samplers consume BlockViews, never
+/// raw Block internals (the `raw-tuple-scan` lint rule enforces it in
+/// src/exec/). The view borrows the block; the owning Relation must
+/// outlive it.
+class BlockView {
+ public:
+  explicit BlockView(const Block* block) : block_(block) {}
+
+  /// Decoded row tuples, in block order.
+  const std::vector<Tuple>& rows() const { return block_->tuples; }
+  /// Per-column contiguous arrays of the same tuples.
+  const ColumnBatch& columns() const { return block_->columns; }
+  int64_t num_rows() const {
+    return static_cast<int64_t>(block_->tuples.size());
+  }
+  /// Underlying block pointer, for identity checks and the engine's
+  /// per-stage block lists. Stable for the Relation's lifetime.
+  const Block* raw() const { return block_; }
+
+ private:
+  const Block* block_;
 };
 
 /// A stored relation: a schema plus a sequence of disk blocks.
@@ -51,23 +82,33 @@ class Relation {
   /// Unchecked append for bulk loading by trusted generators.
   void AppendUnchecked(Tuple tuple);
 
+  [[deprecated(
+      "per-tuple block access is the legacy row-at-a-time surface; use "
+      "ViewBlock()/ReadBlock(), whose BlockView exposes rows() and "
+      "columns()")]]
   const Block& block(int64_t i) const {
     return blocks_[static_cast<size_t>(i)];
   }
+  /// Bulk accessor for the page codec (serialization walks every block).
   const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// Unchecked view of one block — the index must be in range.
+  BlockView ViewBlock(int64_t i) const {
+    return BlockView(&blocks_[static_cast<size_t>(i)]);
+  }
 
   /// Fallible read path to one block: `OutOfRange` on a bad index. The
   /// fault-tolerant executor fetches drawn blocks through this (not the
-  /// unchecked `block()` accessor) so the returned Status is a real
+  /// unchecked `ViewBlock()` accessor) so the returned Status is a real
   /// failure channel — the `status-discarded-in-storage` lint rule
   /// forbids ignoring it.
-  [[nodiscard]] Result<const Block*> ReadBlock(int64_t i) const {
+  [[nodiscard]] Result<BlockView> ReadBlock(int64_t i) const {
     if (i < 0 || i >= NumBlocks()) {
       return Status::OutOfRange("block " + std::to_string(i) +
                                 " out of range for relation '" + name_ +
                                 "'");
     }
-    return &blocks_[static_cast<size_t>(i)];
+    return BlockView(&blocks_[static_cast<size_t>(i)]);
   }
 
  private:

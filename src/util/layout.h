@@ -1,0 +1,31 @@
+#ifndef TCQ_UTIL_LAYOUT_H_
+#define TCQ_UTIL_LAYOUT_H_
+
+#include <string_view>
+
+namespace tcq {
+
+/// Physical evaluation layout of sampled blocks. The layout changes only
+/// how the inner loops touch bytes — row-at-a-time tuple walks versus
+/// columnar batches with selection bitmaps — never which blocks are drawn
+/// or what is charged to the cost ledger, so estimates are bit-identical
+/// across layouts (DESIGN.md §11).
+///
+/// Header-only and dependency-free on purpose: obs/report.h (kept free of
+/// engine/ra dependencies) names the layout in per-stage reports.
+enum class Layout {
+  /// Tuple-at-a-time evaluation over decoded row tuples (historical path).
+  kRow,
+  /// Batch evaluation over per-column contiguous arrays: selection
+  /// bitmaps + gathers for Select, order-preserving encoded-key memcmp
+  /// kernels for the sort/merge of Join/Intersect.
+  kColumnar,
+};
+
+inline std::string_view LayoutName(Layout layout) {
+  return layout == Layout::kColumnar ? "columnar" : "row";
+}
+
+}  // namespace tcq
+
+#endif  // TCQ_UTIL_LAYOUT_H_

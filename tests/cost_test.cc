@@ -112,7 +112,7 @@ std::vector<const Block*> SampleBlocks(const RelationPtr& rel, Rng* rng,
           count, static_cast<int64_t>(available.size()))));
   for (uint32_t p : picks) {
     (*used)[available[p]] = true;
-    out.push_back(&rel->block(available[p]));
+    out.push_back(rel->ViewBlock(available[p]).raw());
   }
   return out;
 }
@@ -231,7 +231,7 @@ TEST(PredictorTest, ScanFractionCappedByRemainingBlocks) {
   ASSERT_TRUE(ev.ok());
   // Sample 8 of 10 blocks first.
   std::vector<const Block*> blocks;
-  for (int64_t i = 0; i < 8; ++i) blocks.push_back(&rel->block(i));
+  for (int64_t i = 0; i < 8; ++i) blocks.push_back(rel->ViewBlock(i).raw());
   ASSERT_TRUE((*ev)->ExecuteStage({{"R", blocks}}).ok());
   AdaptiveCostModel coefs(physical);
   const StagedNode& root = (*ev)->root();

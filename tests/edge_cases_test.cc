@@ -75,7 +75,7 @@ TEST(EdgeCaseTest, TwoAttributeJoinExactAndSampled) {
     auto rel = catalog.Find(name);
     std::vector<const Block*> all;
     for (int64_t i = 0; i < (*rel)->NumBlocks(); ++i) {
-      all.push_back(&(*rel)->block(i));
+      all.push_back((*rel)->ViewBlock(i).raw());
     }
     blocks[name] = std::move(all);
   }

@@ -155,7 +155,7 @@ TEST_P(FuzzEquivalenceTest, InvariantsHold) {
         ASSERT_TRUE(rel.ok());
         std::vector<const Block*> all;
         for (int64_t i = 0; i < (*rel)->NumBlocks(); ++i) {
-          all.push_back(&(*rel)->block(i));
+          all.push_back((*rel)->ViewBlock(i).raw());
         }
         blocks[name] = std::move(all);
       }

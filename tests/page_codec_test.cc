@@ -98,11 +98,11 @@ TEST(RelationFileTest, RoundTripPaperRelation) {
   EXPECT_EQ(loaded->blocking_factor(), 5);
   // Every tuple identical, block by block.
   for (int64_t b = 0; b < loaded->NumBlocks(); ++b) {
-    const Block& orig = (*rel)->block(b);
-    const Block& copy = loaded->block(b);
-    ASSERT_EQ(orig.tuples.size(), copy.tuples.size()) << b;
-    for (size_t i = 0; i < orig.tuples.size(); ++i) {
-      ASSERT_EQ(CompareTuples(orig.tuples[i], copy.tuples[i]), 0);
+    BlockView orig = (*rel)->ViewBlock(b);
+    BlockView copy = loaded->ViewBlock(b);
+    ASSERT_EQ(orig.rows().size(), copy.rows().size()) << b;
+    for (size_t i = 0; i < orig.rows().size(); ++i) {
+      ASSERT_EQ(CompareTuples(orig.rows()[i], copy.rows()[i]), 0);
     }
   }
 }
@@ -188,7 +188,140 @@ TEST(RelationFileTest, VersionOneFileStillLoads) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded->name(), "v1");
   ASSERT_EQ(loaded->NumTuples(), 1);
-  EXPECT_EQ(std::get<int64_t>(loaded->block(0).tuples[0][0]), 7);
+  EXPECT_EQ(std::get<int64_t>(loaded->ViewBlock(0).rows()[0][0]), 7);
+}
+
+TEST(ColumnarPageCodecTest, RoundTripPartialPage) {
+  Schema schema = Mixed();  // 24 bytes/tuple
+  Block block;
+  block.tuples.push_back(Tuple{int64_t{-1}, -0.0, std::string("a")});
+  block.tuples.push_back(Tuple{int64_t{2}, 2.5, std::string("bbbbbbbb")});
+  auto page = EncodePageColumnar(block, schema, 128);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->size(), 128u);
+  auto back = DecodePageColumnar(*page, 2, schema);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->tuples.size(), 2u);
+  EXPECT_EQ(CompareTuples(back->tuples[0], block.tuples[0]), 0);
+  EXPECT_EQ(CompareTuples(back->tuples[1], block.tuples[1]), 0);
+}
+
+TEST(ColumnarPageCodecTest, ColumnMajorByteOrder) {
+  // Two int64 columns, two tuples: the page must hold column 0's values
+  // first ({1, 3}), then column 1's ({2, 4}) — not row-major {1,2,3,4}.
+  Schema schema({{"a", DataType::kInt64, 0}, {"b", DataType::kInt64, 0}});
+  Block block;
+  block.tuples.push_back(Tuple{int64_t{1}, int64_t{2}});
+  block.tuples.push_back(Tuple{int64_t{3}, int64_t{4}});
+  auto page = EncodePageColumnar(block, schema, 64);
+  ASSERT_TRUE(page.ok());
+  auto u64_at = [&page](size_t off) {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>((*page)[off + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    return v;
+  };
+  EXPECT_EQ(u64_at(0), 1u);
+  EXPECT_EQ(u64_at(8), 3u);
+  EXPECT_EQ(u64_at(16), 2u);
+  EXPECT_EQ(u64_at(24), 4u);
+}
+
+TEST(RelationFileTest, ExplicitVersionRoundTrips) {
+  auto w = MakeSelectionWorkload(50, 23);
+  ASSERT_TRUE(w.ok());
+  auto rel = w->catalog.Find("r1");
+  ASSERT_TRUE(rel.ok());
+  for (uint32_t version : {1u, 2u, 3u}) {
+    std::string path =
+        TempDir() + "/v" + std::to_string(version) + "_explicit.tcq";
+    ASSERT_TRUE(SaveRelationAtVersion(**rel, path, version).ok()) << version;
+    auto loaded = LoadRelation(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ASSERT_EQ(loaded->NumTuples(), (*rel)->NumTuples()) << version;
+    for (int64_t b = 0; b < loaded->NumBlocks(); ++b) {
+      BlockView orig = (*rel)->ViewBlock(b);
+      BlockView copy = loaded->ViewBlock(b);
+      ASSERT_EQ(orig.rows().size(), copy.rows().size());
+      for (size_t i = 0; i < orig.rows().size(); ++i) {
+        ASSERT_EQ(CompareTuples(orig.rows()[i], copy.rows()[i]), 0)
+            << "version " << version << " block " << b;
+      }
+    }
+  }
+  // v1 files carry no checksums, so the three files differ in size.
+  EXPECT_LT(std::filesystem::file_size(TempDir() + "/v1_explicit.tcq"),
+            std::filesystem::file_size(TempDir() + "/v2_explicit.tcq"));
+  EXPECT_EQ(std::filesystem::file_size(TempDir() + "/v2_explicit.tcq"),
+            std::filesystem::file_size(TempDir() + "/v3_explicit.tcq"));
+}
+
+TEST(RelationFileTest, ConvertRoundTripsAcrossVersions) {
+  auto w = MakeSelectionWorkload(40, 31);
+  ASSERT_TRUE(w.ok());
+  auto rel = w->catalog.Find("r1");
+  ASSERT_TRUE(rel.ok());
+  std::string v2 = TempDir() + "/convert_v2.tcq";
+  std::string v3 = TempDir() + "/convert_v3.tcq";
+  std::string back2 = TempDir() + "/convert_back_v2.tcq";
+  ASSERT_TRUE(SaveRelationAtVersion(**rel, v2, 2).ok());
+  ASSERT_TRUE(ConvertRelationFile(v2, v3, 3).ok());
+  ASSERT_TRUE(ConvertRelationFile(v3, back2, 2).ok());
+
+  auto from_v3 = LoadRelation(v3);
+  ASSERT_TRUE(from_v3.ok()) << from_v3.status().ToString();
+  auto from_back = LoadRelation(back2);
+  ASSERT_TRUE(from_back.ok()) << from_back.status().ToString();
+  ASSERT_EQ(from_v3->NumTuples(), (*rel)->NumTuples());
+  ASSERT_EQ(from_back->NumTuples(), (*rel)->NumTuples());
+  for (int64_t b = 0; b < (*rel)->NumBlocks(); ++b) {
+    BlockView orig = (*rel)->ViewBlock(b);
+    for (size_t i = 0; i < orig.rows().size(); ++i) {
+      ASSERT_EQ(
+          CompareTuples(orig.rows()[i], from_v3->ViewBlock(b).rows()[i]), 0);
+      ASSERT_EQ(
+          CompareTuples(orig.rows()[i], from_back->ViewBlock(b).rows()[i]),
+          0);
+    }
+  }
+}
+
+TEST(RelationFileTest, CorruptedColumnarPageFailsWithDataLoss) {
+  auto w = MakeSelectionWorkload(50, 13);
+  ASSERT_TRUE(w.ok());
+  auto rel = w->catalog.Find("r1");
+  ASSERT_TRUE(rel.ok());
+  std::string path = TempDir() + "/corrupt_v3.tcq";
+  ASSERT_TRUE(SaveRelationAtVersion(**rel, path, 3).ok());
+
+  std::vector<uint8_t> bytes;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    bytes.resize(static_cast<size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+  ASSERT_GT(bytes.size(), 9u);
+  bytes[bytes.size() - 9] ^= 0xff;  // payload byte, not the checksum
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+  auto loaded = LoadRelation(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  // A converter pointed at the corrupt file must surface the same error,
+  // never silently rewrite garbage.
+  EXPECT_EQ(
+      ConvertRelationFile(path, TempDir() + "/never_written.tcq", 2).code(),
+      StatusCode::kDataLoss);
 }
 
 TEST(RelationFileTest, LoadRejectsGarbage) {

@@ -24,7 +24,7 @@ RelationPtr MakeRel(const std::string& name,
 std::vector<const Block*> BlocksOf(const RelationPtr& rel,
                                    const std::vector<int64_t>& indices) {
   std::vector<const Block*> out;
-  for (int64_t i : indices) out.push_back(&rel->block(i));
+  for (int64_t i : indices) out.push_back(rel->ViewBlock(i).raw());
   return out;
 }
 
@@ -333,7 +333,7 @@ TEST_P(ClusterUnbiasednessTest, SelectEstimatorCentersOnExact) {
         static_cast<uint32_t>(num_blocks),
         static_cast<uint32_t>(sample_blocks));
     std::vector<const Block*> blocks;
-    for (uint32_t i : idx) blocks.push_back(&r->block(i));
+    for (uint32_t i : idx) blocks.push_back(r->ViewBlock(i).raw());
     ASSERT_TRUE((*ev)->ExecuteStage({{"R", blocks}}).ok());
     double estimate = (*ev)->total_space_blocks() *
                       static_cast<double>((*ev)->cum_hits()) /

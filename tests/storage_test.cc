@@ -108,8 +108,8 @@ TEST(RelationTest, PaperGeometry) {
   }
   EXPECT_EQ(rel->NumTuples(), 10000);
   EXPECT_EQ(rel->NumBlocks(), 2000);
-  EXPECT_EQ(rel->block(0).tuples.size(), 5u);
-  EXPECT_EQ(rel->block(1999).tuples.size(), 5u);
+  EXPECT_EQ(rel->ViewBlock(0).rows().size(), 5u);
+  EXPECT_EQ(rel->ViewBlock(1999).rows().size(), 5u);
 }
 
 TEST(RelationTest, PartialLastBlock) {
@@ -119,7 +119,7 @@ TEST(RelationTest, PartialLastBlock) {
     rel->AppendUnchecked({int64_t{i}, int64_t{0}, std::string()});
   }
   EXPECT_EQ(rel->NumBlocks(), 2);
-  EXPECT_EQ(rel->block(1).tuples.size(), 2u);
+  EXPECT_EQ(rel->ViewBlock(1).rows().size(), 2u);
 }
 
 TEST(RelationTest, AppendValidates) {

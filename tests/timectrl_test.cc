@@ -30,7 +30,7 @@ std::map<std::string, std::vector<const Block*>> FirstBlocks(
     EXPECT_TRUE(rel.ok());
     std::vector<const Block*> blocks;
     for (int64_t i = 0; i < count && i < (*rel)->NumBlocks(); ++i) {
-      blocks.push_back(&(*rel)->block(i));
+      blocks.push_back((*rel)->ViewBlock(i).raw());
     }
     out[name] = std::move(blocks);
   }

@@ -43,7 +43,7 @@ TEST(SelectionWorkloadTest, QualifyingTuplesScattered) {
   ASSERT_TRUE(rel.ok());
   int qualifying = 0;
   for (int64_t b = 0; b < 10; ++b) {
-    for (const Tuple& t : (*rel)->block(b).tuples) {
+    for (const Tuple& t : (*rel)->ViewBlock(b).rows()) {
       if (std::get<int64_t>(t[1]) < 2000) ++qualifying;
     }
   }
@@ -118,8 +118,8 @@ TEST(WorkloadTest, DifferentSeedsDifferentLayouts) {
   auto ra = a->catalog.Find("r1");
   auto rb = b->catalog.Find("r1");
   // First block should differ with overwhelming probability.
-  EXPECT_NE(CompareTuples((*ra)->block(0).tuples[0],
-                          (*rb)->block(0).tuples[0]),
+  EXPECT_NE(CompareTuples((*ra)->ViewBlock(0).rows()[0],
+                          (*rb)->ViewBlock(0).rows()[0]),
             0);
 }
 

@@ -1,0 +1,11 @@
+// Fixture: tuple-at-a-time block access in src/exec/ must go through
+// BlockView (raw-tuple-scan).
+#include "storage/relation.h"
+
+namespace tcq {
+int64_t CountAll(const Relation& rel, const Block* b) {
+  int64_t n = static_cast<int64_t>(b->tuples.size());
+  n += static_cast<int64_t>(rel.block(0).tuples.size());
+  return n;
+}
+}  // namespace tcq

@@ -1,0 +1,20 @@
+// Fixture: BlockView-based scanning is the sanctioned access style, and
+// the StepMetrics-style in_tuples/out_tuples fields must not trip
+// raw-tuple-scan.
+#include "storage/relation.h"
+
+namespace tcq {
+struct StepCounts {
+  long in_tuples = 0;
+  long out_tuples = 0;
+};
+long CountAll(const Relation& rel, StepCounts* metrics) {
+  long n = 0;
+  for (int64_t i = 0; i < rel.NumBlocks(); ++i) {
+    n += static_cast<long>(rel.ViewBlock(i).rows().size());
+  }
+  metrics->in_tuples += n;
+  metrics->out_tuples += n;
+  return n;
+}
+}  // namespace tcq

@@ -53,6 +53,14 @@ enforces them statically:
                      admission fit probe planned against. Tests may use
                      the hatch deliberately (e.g. to prove the typed
                      setters configure the very same options).
+  raw-tuple-scan     Tuple-at-a-time block access in src/exec/: reaching
+                     into a Block's `tuples` member (`b->tuples`) or
+                     calling the deprecated per-tuple `block(i)` accessor.
+                     Operators consume blocks through BlockView
+                     (`ViewBlock()/ReadBlock()`), whose rows()/columns()
+                     keep the row and columnar layouts interchangeable —
+                     a raw scan silently pins code to the row layout and
+                     escapes the vectorized path's bit-identity tests.
   status-discarded-in-storage
                      A storage I/O call (SaveRelation, LoadCatalog,
                      EncodePage, ...) used as a bare statement — or behind
@@ -570,6 +578,26 @@ def rule_raw_options_edit(relpath, lines, code_lines):
                        "EXPLAIN and admission control (tests excepted)")
 
 
+# Block-internals access only: `->tuples` (blocks travel through exec as
+# `const Block*`, so member access on one is an arrow) and the deprecated
+# `block(` accessor behind a member dot/arrow. TupleSet-style value
+# members (`out.tuples`), StepMetrics fields (`->in_tuples`,
+# `->out_tuples`) and BlockView calls (`ViewBlock(`) do not match.
+RAW_TUPLE_SCAN_TOKENS = re.compile(r"->\s*tuples\b|(?:\.|->)\s*block\s*\(")
+
+
+def rule_raw_tuple_scan(relpath, lines, code_lines):
+    if not _norm(relpath).startswith("src/exec/"):
+        return
+    for no, code in enumerate(code_lines, 1):
+        m = RAW_TUPLE_SCAN_TOKENS.search(code)
+        if m:
+            yield no, (f"'{m.group(0).strip()}' — tuple-at-a-time block "
+                       "access; operators consume blocks through BlockView "
+                       "(ViewBlock()/ReadBlock()) so the row and columnar "
+                       "layouts stay interchangeable and bit-identical")
+
+
 # The Status/Result-returning storage entry points (page_codec.h,
 # relation.h). All carry [[nodiscard]], but a `(void)` cast compiles
 # cleanly and a missed wrapper macro is easy to write; with per-page
@@ -818,6 +846,7 @@ LINE_RULES = {
     "cache-key-canonical": rule_cache_key_canonical,
     "trace-format-outside-obs": rule_trace_format_outside_obs,
     "raw-options-edit": rule_raw_options_edit,
+    "raw-tuple-scan": rule_raw_tuple_scan,
     "status-discarded-in-storage": rule_status_discarded_in_storage,
 }
 

@@ -58,6 +58,10 @@ EXPECTED = {
         (9, "raw-options-edit"),
         (11, "raw-options-edit"),
     ],
+    "src/exec/bad_raw_tuple_scan.cc": [
+        (7, "raw-tuple-scan"),
+        (8, "raw-tuple-scan"),
+    ],
     "src/storage/bad_discard.cc": [
         (7, "status-discarded-in-storage"),
         (8, "status-discarded-in-storage"),
@@ -96,6 +100,7 @@ EXPECTED = {
     "src/sim/ok_ledger_internal.cc": [],
     "src/engine/ok_metric_name.cc": [],
     "src/exec/ok_allow.cc": [],
+    "src/exec/ok_block_view.cc": [],
     # The fixture registry headers the cross-file rules resolve against;
     # both must themselves lint clean.
     "src/sim/ledger.h": [],
