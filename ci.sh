@@ -42,6 +42,11 @@
 #                 gates the >=2x per-block Select AND Intersect speedups
 #                 of the columnar kernels plus whole-query bit-identity
 #                 across layouts
+#   pred-bench    hybrid-selectivity-predictor comparison on a drifting
+#                 join workload via bench/sel_predictor; archives
+#                 build/artifacts/sel_predictor.json, refreshes
+#                 BENCH_pred.json, and gates the >=10% wasted-draw savings
+#                 and lower stage-cost error vs the prior-cache baseline
 #   tsan          ThreadSanitizer build + ctest (contracts armed)
 #   asan          AddressSanitizer build + ctest (contracts armed)
 #   ubsan         UndefinedBehaviorSanitizer build + ctest (contracts armed)
@@ -53,7 +58,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 jobs="$(nproc 2>/dev/null || echo 2)"
-ALL_STAGES=(lint format-check tidy thread-safety release trace-smoke warm-bench serve-bench fault-bench vec-bench tsan asan ubsan)
+ALL_STAGES=(lint format-check tidy thread-safety release trace-smoke warm-bench serve-bench fault-bench vec-bench pred-bench tsan asan ubsan)
 
 usage() {
   echo "usage: $0 [stage...]   stages: ${ALL_STAGES[*]}" >&2
@@ -297,6 +302,42 @@ with open("BENCH_vector.json", "w") as f:
 print(f"vec-bench: select {result['select_speedup']:.2f}x, "
       f"intersect {result['intersect_speedup']:.2f}x, bit-identical; "
       "summary at BENCH_vector.json")
+EOF_PY
+}
+
+stage_pred_bench() {
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release &&
+    cmake --build build -j "$jobs" --target sel_predictor &&
+    mkdir -p build/artifacts &&
+    ./build/bench/sel_predictor | tee build/artifacts/sel_predictor.json &&
+    python3 - <<'EOF_PY'
+import json
+with open("build/artifacts/sel_predictor.json") as f:
+    result = json.load(f)
+assert result["ok"], "sel_predictor bench gate failed"
+assert result["wasted_savings_pct"] >= result["min_savings_pct"]
+assert (result["predictor"]["stage_cost_overrun_err"]
+        < result["prior_cache"]["stage_cost_overrun_err"])
+summary = {
+    "bench": "sel_predictor",
+    "wasted_savings_pct": result["wasted_savings_pct"],
+    "min_savings_pct": result["min_savings_pct"],
+    "overrun_err_predictor": result["predictor"]["stage_cost_overrun_err"],
+    "overrun_err_prior_cache": result["prior_cache"]["stage_cost_overrun_err"],
+    "stage_cost_err_predictor": result["predictor"]["stage_cost_err"],
+    "stage_cost_err_prior_cache": result["prior_cache"]["stage_cost_err"],
+    "zero_estimate_runs_predictor": result["predictor"]["zero_estimate_runs"],
+    "zero_estimate_runs_prior_cache": result["prior_cache"]["zero_estimate_runs"],
+    "ok": result["ok"],
+}
+with open("BENCH_pred.json", "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+print(f"pred-bench: {result['wasted_savings_pct']:.1f}% wasted-draw savings, "
+      f"stage-cost overrun error "
+      f"{result['predictor']['stage_cost_overrun_err']:.3f} vs "
+      f"{result['prior_cache']['stage_cost_overrun_err']:.3f}; "
+      "summary at BENCH_pred.json")
 EOF_PY
 }
 

@@ -63,6 +63,8 @@ class LocalQueryBackend final : public QueryBackend {
     return pool_ == nullptr ? 0 : pool_->workers();
   }
 
+  WarmStartCache* warm_cache_if_any() override { return warm_cache_.get(); }
+
   WarmStartStats CacheStats() const override {
     return warm_cache_ == nullptr ? WarmStartStats{} : warm_cache_->Stats();
   }
@@ -174,6 +176,12 @@ Result<ExplainResult> QueryBuilder::Explain() {
   TCQ_RETURN_NOT_OK(options.Validate());
   // Planning only: no pool, no samples, no side effects, no admission.
   options.pool = nullptr;
+  // The predictor's EXPLAIN peek is read-only (PeekPrior / Peek move no
+  // counters), so attaching the session cache keeps Explain side-effect
+  // free; everything else still plans cold.
+  options.warm_cache = (warm_start_ && options.sel_predictor.enabled)
+                           ? session_->backend_->warm_cache_if_any()
+                           : nullptr;
   return ExplainTimeConstrainedAggregate(expr_, aggregate_,
                                          session_->catalog(), options);
 }

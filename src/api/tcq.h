@@ -59,6 +59,11 @@ class QueryBackend {
   /// Current worker count of the execution pool (0 = none yet).
   virtual int pool_workers() const = 0;
 
+  /// The backing warm-start cache if one exists already, else nullptr.
+  /// Read-only consumers (EXPLAIN's predictor peek) use this; it never
+  /// creates the cache, so cold sessions stay cold.
+  virtual WarmStartCache* warm_cache_if_any() { return nullptr; }
+
   /// Aggregate warm-start cache statistics (all-zero before the first
   /// warm query).
   virtual WarmStartStats CacheStats() const = 0;
@@ -208,6 +213,23 @@ class QueryBuilder {
   /// anything, at any seed and thread count. Explain() always plans cold.
   QueryBuilder& WithWarmStart(bool on = true) {
     warm_start_ = on;
+    return *this;
+  }
+  /// Arms the hybrid stage-0 selectivity predictor (DESIGN.md §12) with
+  /// its default knobs: a tournament chooser over the within-query
+  /// observation, the warm-start prior and a query-stream history table,
+  /// whose confidence also scales the sel⁺ inflation width per node.
+  /// Most useful together with WithWarmStart — the predictor's history
+  /// then persists across the session's runs. Off by default;
+  /// WithSelPredictor(false) is bit-identical to a build without the
+  /// predictor at any seed and thread count.
+  QueryBuilder& WithSelPredictor(bool on = true) {
+    options_.sel_predictor.enabled = on;
+    return *this;
+  }
+  /// Same, with explicit predictor knobs (`options.enabled` decides).
+  QueryBuilder& WithSelPredictor(const SelPredictorOptions& options) {
+    options_.sel_predictor = options;
     return *this;
   }
 

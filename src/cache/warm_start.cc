@@ -53,10 +53,31 @@ std::optional<double> WarmStartCache::LookupPrior(const CacheKey& key) {
   return it->second;
 }
 
+std::optional<double> WarmStartCache::PeekPrior(const CacheKey& key) const {
+  const Shard& shard = ShardFor(key.text());
+  MutexLock lock(shard.mu);
+  auto it = shard.priors.find(key);
+  if (it == shard.priors.end()) return std::nullopt;
+  return it->second;
+}
+
 void WarmStartCache::RecordPrior(const CacheKey& key, double selectivity) {
   Shard& shard = ShardFor(key.text());
   MutexLock lock(shard.mu);
   shard.priors[key] = selectivity;
+}
+
+SelPredictor* WarmStartCache::PredictorFor(const SelPredictorOptions& options) {
+  MutexLock lock(predictor_mu_);
+  if (predictor_ == nullptr) {
+    predictor_ = std::make_unique<SelPredictor>(options);
+  }
+  return predictor_.get();
+}
+
+SelPredictor* WarmStartCache::predictor() const {
+  MutexLock lock(predictor_mu_);
+  return predictor_.get();
 }
 
 std::optional<AdaptiveCostModel::Snapshot> WarmStartCache::LookupCostSnapshot(
@@ -93,6 +114,13 @@ WarmStartStats WarmStartCache::Stats() const {
     s.cost_snapshots += static_cast<int64_t>(shard->snapshots.size());
     s.cost_snapshot_hits += shard->snapshot_hits;
   }
+  if (SelPredictor* p = predictor()) {
+    SelPredictorStats ps = p->stats();
+    s.predictor_entries = ps.chooser_entries;
+    s.predictor_history_hits = ps.history_hits;
+    s.predictor_history_misses = ps.history_misses;
+    s.predictor_updates = ps.updates;
+  }
   return s;
 }
 
@@ -106,6 +134,8 @@ void WarmStartCache::Clear() {
     shard->prior_misses = 0;
     shard->snapshot_hits = 0;
   }
+  MutexLock lock(predictor_mu_);
+  predictor_.reset();
 }
 
 }  // namespace tcq

@@ -15,6 +15,7 @@
 #include "cache/sample_pool.h"
 #include "cache/signature.h"
 #include "cost/adaptive_model.h"
+#include "cost/sel_predictor.h"
 
 namespace tcq {
 
@@ -29,6 +30,12 @@ struct WarmStartStats {
   int64_t prior_misses = 0;     // stage-0 lookups that fell back to defaults
   int64_t cost_snapshots = 0;       // cached fitted cost-coefficient sets
   int64_t cost_snapshot_hits = 0;   // queries that started from one
+  // Hybrid selectivity predictor (all zero until a predictor-enabled run
+  // instantiates it; see PredictorFor).
+  int64_t predictor_entries = 0;       // chooser entries (nodes tracked)
+  int64_t predictor_history_hits = 0;  // predictions with a history hit
+  int64_t predictor_history_misses = 0;
+  int64_t predictor_updates = 0;       // realized selectivities scored
 };
 
 /// Session-lifetime warm-start state shared by consecutive queries: the
@@ -68,8 +75,20 @@ class WarmStartCache {
   /// Last observed selectivity of a canonically equal operator, or
   /// nullopt; counts a prior hit or miss.
   std::optional<double> LookupPrior(const CacheKey& key);
+  /// Same lookup without touching the hit/miss counters — for EXPLAIN
+  /// and other read-only previews that must not skew the stats.
+  std::optional<double> PeekPrior(const CacheKey& key) const;
   /// Records (or overwrites with) the latest observed selectivity.
   void RecordPrior(const CacheKey& key, double selectivity);
+
+  /// The session's hybrid selectivity predictor (DESIGN.md §12), created
+  /// lazily with `options` on first use so its history persists across
+  /// runs alongside the priors. The pointer stays valid until Clear() or
+  /// destruction; later calls ignore `options` (first writer wins, as
+  /// with pools). SelPredictor is internally synchronized.
+  SelPredictor* PredictorFor(const SelPredictorOptions& options);
+  /// The predictor if one was ever created, else nullptr (EXPLAIN peeks).
+  SelPredictor* predictor() const;
 
   /// Fitted cost-coefficient snapshot of the last run of a canonically
   /// equal query, or nullopt; counts a snapshot hit when found.
@@ -102,6 +121,9 @@ class WarmStartCache {
   const Shard& ShardFor(std::string_view key_text) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable Mutex predictor_mu_;
+  std::unique_ptr<SelPredictor> predictor_ TCQ_GUARDED_BY(predictor_mu_);
 };
 
 }  // namespace tcq

@@ -1,0 +1,417 @@
+#include "cost/sel_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcq {
+
+namespace {
+
+/// FNV-1a, fixed constants: the hash (and with it every table index and
+/// tag) is identical across platforms and runs, which keeps predictor-on
+/// runs reproducible at a fixed seed and session history.
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FnvHash(std::string_view text) {
+  uint64_t h = kFnvOffset;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Fixed arbitration order: used cold (no trained chooser entry) as the
+/// priority list, and as the deterministic tie-break among trained
+/// components with equal error EWMAs. `observed > prior` preserves the
+/// legacy stage-0 behaviour exactly when the chooser has not learned
+/// anything yet; history ranks below prior until it earns its place.
+constexpr SelComponent kColdOrder[4] = {
+    SelComponent::kObserved, SelComponent::kPrior, SelComponent::kHistory,
+    SelComponent::kDefault};
+
+double ClampSel(double sel) { return std::clamp(sel, 0.0, 1.0); }
+
+}  // namespace
+
+Status SelPredictorOptions::Validate() const {
+  if (max_ngram < 1 || max_ngram > 8) {
+    return Status::InvalidArgument(
+        "sel_predictor.max_ngram must lie in [1, 8]; got " +
+        std::to_string(max_ngram));
+  }
+  if (table_size < 16) {
+    return Status::InvalidArgument(
+        "sel_predictor.table_size must be >= 16; got " +
+        std::to_string(table_size));
+  }
+  if (confidence_max < 1) {
+    return Status::InvalidArgument(
+        "sel_predictor.confidence_max must be >= 1; got " +
+        std::to_string(confidence_max));
+  }
+  if (!std::isfinite(error_alpha) ||
+      !(error_alpha > 0.0 && error_alpha <= 1.0) ||
+      !std::isfinite(history_alpha) ||
+      !(history_alpha > 0.0 && history_alpha <= 1.0)) {
+    return Status::InvalidArgument(
+        "sel_predictor EWMA alphas must lie in (0, 1]");
+  }
+  if (!std::isfinite(blend_margin) || blend_margin < 0.0 ||
+      !std::isfinite(accuracy_abs) || accuracy_abs < 0.0 ||
+      !std::isfinite(accuracy_rel) || accuracy_rel < 0.0) {
+    return Status::InvalidArgument(
+        "sel_predictor blend/accuracy knobs must be finite and >= 0");
+  }
+  if (!std::isfinite(width_scale_min) || !std::isfinite(width_scale_max) ||
+      !(width_scale_min > 0.0) || width_scale_min > width_scale_max ||
+      width_scale_max > 10.0) {
+    return Status::InvalidArgument(
+        "sel_predictor width scales must satisfy 0 < min <= max <= 10");
+  }
+  return Status::OK();
+}
+
+std::string_view SelComponentName(SelComponent component) {
+  switch (component) {
+    case SelComponent::kDefault:
+      return "default";
+    case SelComponent::kObserved:
+      return "observed";
+    case SelComponent::kPrior:
+      return "prior";
+    case SelComponent::kHistory:
+      return "history";
+  }
+  return "default";
+}
+
+std::string StructuralSignature(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kScan:
+      return "scan(" + expr.relation + ")";
+    case ExprKind::kSelect:
+      return "select(" + StructuralSignature(*expr.left) + ")";
+    case ExprKind::kProject:
+      return "project(" + StructuralSignature(*expr.left) + ")";
+    case ExprKind::kJoin:
+      return "join(" + StructuralSignature(*expr.left) + "," +
+             StructuralSignature(*expr.right) + ")";
+    case ExprKind::kIntersect: {
+      // Commutative: order the children like CanonicalSignature does, so
+      // a ∩ b and b ∩ a share the structural key too.
+      std::string l = StructuralSignature(*expr.left);
+      std::string r = StructuralSignature(*expr.right);
+      if (r < l) std::swap(l, r);
+      return "intersect(" + l + "," + r + ")";
+    }
+    case ExprKind::kUnion: {
+      std::string l = StructuralSignature(*expr.left);
+      std::string r = StructuralSignature(*expr.right);
+      if (r < l) std::swap(l, r);
+      return "union(" + l + "," + r + ")";
+    }
+    case ExprKind::kDifference:
+      return "difference(" + StructuralSignature(*expr.left) + "," +
+             StructuralSignature(*expr.right) + ")";
+  }
+  return "unknown";
+}
+
+SelPredictor::SelPredictor(const SelPredictorOptions& options)
+    : options_(options) {
+  tables_.resize(static_cast<size_t>(std::max(1, options_.max_ngram)));
+  for (auto& level : tables_) {
+    level.resize(static_cast<size_t>(std::max(16, options_.table_size)));
+  }
+}
+
+void SelPredictor::BeginQuery(const CacheKey& query_signature) {
+  MutexLock lock(mu_);
+  stream_.push_back(FnvHash(query_signature.text()));
+  const size_t keep = static_cast<size_t>(std::max(1, options_.max_ngram));
+  if (stream_.size() > keep) {
+    stream_.erase(stream_.begin(),
+                  stream_.end() - static_cast<ptrdiff_t>(keep));
+  }
+}
+
+uint64_t SelPredictor::ContextHash(const std::vector<uint64_t>& stream,
+                                   int ngram,
+                                   const CacheKey& node_key) const {
+  uint64_t h = kFnvOffset;
+  h = FnvMix(h, static_cast<uint64_t>(ngram) * 0x9e3779b97f4a7c15ULL);
+  for (size_t i = stream.size() - static_cast<size_t>(ngram);
+       i < stream.size(); ++i) {
+    h = FnvMix(h, stream[i]);
+  }
+  h = FnvMix(h, FnvHash(node_key.text()));
+  return h;
+}
+
+std::optional<double> SelPredictor::LookupHistory(
+    const std::vector<uint64_t>& stream, const CacheKey& node_key,
+    const std::string& structural_key) const {
+  // Longest tagged match wins; the untagged structural EWMA is the
+  // level-0 base every miss falls back to.
+  for (int n = options_.max_ngram; n >= 1; --n) {
+    if (stream.size() < static_cast<size_t>(n)) continue;
+    const uint64_t ctx = ContextHash(stream, n, node_key);
+    const auto& level = tables_[static_cast<size_t>(n - 1)];
+    const TaggedEntry& entry = level[ctx % level.size()];
+    if (entry.valid && entry.tag == ctx) return entry.value;
+  }
+  auto it = structural_.find(structural_key);
+  if (it != structural_.end()) return it->second;
+  return std::nullopt;
+}
+
+SelPrediction SelPredictor::Choose(const CacheKey& node_key,
+                                   std::optional<double> observed,
+                                   std::optional<double> prior,
+                                   std::optional<double> history,
+                                   double fallback,
+                                   Pending* pending) const {
+  double value[4] = {fallback, 0.0, 0.0, 0.0};
+  bool has[4] = {true, false, false, false};
+  if (observed.has_value()) {
+    value[static_cast<int>(SelComponent::kObserved)] = *observed;
+    has[static_cast<int>(SelComponent::kObserved)] = true;
+  }
+  if (prior.has_value()) {
+    value[static_cast<int>(SelComponent::kPrior)] = *prior;
+    has[static_cast<int>(SelComponent::kPrior)] = true;
+  }
+  if (history.has_value()) {
+    value[static_cast<int>(SelComponent::kHistory)] = *history;
+    has[static_cast<int>(SelComponent::kHistory)] = true;
+  }
+
+  const ChooserEntry* entry = nullptr;
+  auto it = chooser_.find(node_key.text());
+  if (it != chooser_.end()) entry = &it->second;
+
+  SelPrediction out;
+  out.history_hit = history.has_value();
+
+  // Pick the trained component with the smallest error EWMA; cold (no
+  // trained component for this node yet) falls back to the fixed
+  // priority order, which reproduces the legacy observed > prior >
+  // default arbitration.
+  SelComponent best = SelComponent::kDefault;
+  SelComponent second = SelComponent::kDefault;
+  bool have_best = false;
+  bool have_second = false;
+  if (entry != nullptr) {
+    for (SelComponent c : kColdOrder) {
+      const int ci = static_cast<int>(c);
+      if (!has[ci] || entry->components[ci].seen <= 0) continue;
+      if (!have_best ||
+          entry->components[ci].err <
+              entry->components[static_cast<int>(best)].err) {
+        if (have_best) {
+          second = best;
+          have_second = true;
+        }
+        best = c;
+        have_best = true;
+      } else if (!have_second ||
+                 entry->components[ci].err <
+                     entry->components[static_cast<int>(second)].err) {
+        second = c;
+        have_second = true;
+      }
+    }
+  }
+  if (!have_best) {
+    for (SelComponent c : kColdOrder) {
+      if (has[static_cast<int>(c)]) {
+        best = c;
+        break;
+      }
+    }
+    out.component = best;
+    out.selectivity = ClampSel(value[static_cast<int>(best)]);
+    out.confidence = 0.0;
+    out.width_scale = options_.width_scale_max;
+  } else {
+    const int bi = static_cast<int>(best);
+    double chosen = value[bi];
+    if (have_second) {
+      // Inverse-error blend when the runner-up is close: both
+      // components carry signal and a hard switch would thrash.
+      const double e1 = std::max(entry->components[bi].err, 1e-4);
+      const double e2 = std::max(
+          entry->components[static_cast<int>(second)].err, 1e-4);
+      if (e2 <= e1 * (1.0 + options_.blend_margin)) {
+        const double w1 = 1.0 / e1;
+        const double w2 = 1.0 / e2;
+        chosen = (value[bi] * w1 +
+                  value[static_cast<int>(second)] * w2) /
+                 (w1 + w2);
+      }
+    }
+    out.component = best;
+    out.selectivity = ClampSel(chosen);
+    out.confidence =
+        static_cast<double>(entry->components[bi].conf) /
+        static_cast<double>(options_.confidence_max);
+    out.width_scale =
+        options_.width_scale_max +
+        (options_.width_scale_min - options_.width_scale_max) *
+            out.confidence;
+  }
+
+  if (pending != nullptr) {
+    for (int c = 0; c < 4; ++c) {
+      pending->value[c] = value[c];
+      pending->has[c] = has[c];
+    }
+    pending->chosen = out.selectivity;
+  }
+  return out;
+}
+
+SelPrediction SelPredictor::Predict(const CacheKey& node_key,
+                                    const std::string& structural_key,
+                                    std::optional<double> observed,
+                                    std::optional<double> prior,
+                                    double fallback) {
+  MutexLock lock(mu_);
+  std::optional<double> history =
+      LookupHistory(stream_, node_key, structural_key);
+  Pending pending;
+  SelPrediction out =
+      Choose(node_key, observed, prior, history, fallback, &pending);
+  pending_[node_key.text()] = pending;
+  ++stats_.predictions;
+  if (out.history_hit) {
+    ++stats_.history_hits;
+  } else {
+    ++stats_.history_misses;
+  }
+  return out;
+}
+
+SelPrediction SelPredictor::Peek(const CacheKey& query_signature,
+                                 const CacheKey& node_key,
+                                 const std::string& structural_key,
+                                 std::optional<double> observed,
+                                 std::optional<double> prior,
+                                 double fallback) const {
+  MutexLock lock(mu_);
+  // The stream a run of this query would hash over, without mutating the
+  // predictor (EXPLAIN stays side-effect free).
+  std::vector<uint64_t> stream = stream_;
+  stream.push_back(FnvHash(query_signature.text()));
+  const size_t keep = static_cast<size_t>(std::max(1, options_.max_ngram));
+  if (stream.size() > keep) {
+    stream.erase(stream.begin(),
+                 stream.end() - static_cast<ptrdiff_t>(keep));
+  }
+  std::optional<double> history =
+      LookupHistory(stream, node_key, structural_key);
+  return Choose(node_key, observed, prior, history, fallback, nullptr);
+}
+
+void SelPredictor::Update(const CacheKey& node_key,
+                          const std::string& structural_key,
+                          double realized) {
+  realized = ClampSel(realized);
+  MutexLock lock(mu_);
+  const double tol =
+      std::max(options_.accuracy_abs, options_.accuracy_rel * realized);
+
+  auto pit = pending_.find(node_key.text());
+  if (pit != pending_.end()) {
+    ChooserEntry& entry = chooser_[node_key.text()];
+    for (int c = 0; c < 4; ++c) {
+      if (!pit->second.has[c]) continue;
+      const double err = std::abs(pit->second.value[c] - realized);
+      ComponentState& cs = entry.components[c];
+      cs.err = cs.seen == 0
+                   ? err
+                   : (1.0 - options_.error_alpha) * cs.err +
+                         options_.error_alpha * err;
+      ++cs.seen;
+      if (err <= tol) {
+        cs.conf = std::min(options_.confidence_max, cs.conf + 1);
+      } else {
+        cs.conf = std::max(0, cs.conf - 1);
+      }
+    }
+    const double chosen_err = std::abs(pit->second.chosen - realized);
+    stats_.abs_error_ewma =
+        stats_.updates == 0
+            ? chosen_err
+            : (1.0 - options_.error_alpha) * stats_.abs_error_ewma +
+                  options_.error_alpha * chosen_err;
+    pending_.erase(pit);
+  }
+
+  // Tagged levels: matching entries fold the realized value in and earn
+  // or lose usefulness; mismatches steal the slot only once the
+  // incumbent's usefulness counter has drained (TAGE replacement).
+  for (int n = 1; n <= options_.max_ngram; ++n) {
+    if (stream_.size() < static_cast<size_t>(n)) continue;
+    const uint64_t ctx = ContextHash(stream_, n, node_key);
+    auto& level = tables_[static_cast<size_t>(n - 1)];
+    TaggedEntry& entry = level[ctx % level.size()];
+    if (entry.valid && entry.tag == ctx) {
+      const bool accurate = std::abs(entry.value - realized) <= tol;
+      entry.value = (1.0 - options_.history_alpha) * entry.value +
+                    options_.history_alpha * realized;
+      if (accurate) {
+        entry.useful = std::min(options_.confidence_max, entry.useful + 1);
+      } else {
+        entry.useful = std::max(0, entry.useful - 1);
+      }
+    } else if (!entry.valid || entry.useful <= 0) {
+      entry.valid = true;
+      entry.tag = ctx;
+      entry.value = realized;
+      entry.useful = 1;
+    } else {
+      --entry.useful;
+    }
+  }
+
+  auto sit = structural_.find(structural_key);
+  if (sit == structural_.end()) {
+    structural_[structural_key] = realized;
+  } else {
+    sit->second = (1.0 - options_.history_alpha) * sit->second +
+                  options_.history_alpha * realized;
+  }
+  ++stats_.updates;
+}
+
+SelPredictorStats SelPredictor::stats() const {
+  MutexLock lock(mu_);
+  SelPredictorStats out = stats_;
+  out.chooser_entries = static_cast<int64_t>(chooser_.size());
+  return out;
+}
+
+void SelPredictor::Clear() {
+  MutexLock lock(mu_);
+  stream_.clear();
+  for (auto& level : tables_) {
+    std::fill(level.begin(), level.end(), TaggedEntry{});
+  }
+  structural_.clear();
+  chooser_.clear();
+  pending_.clear();
+  stats_ = SelPredictorStats{};
+}
+
+}  // namespace tcq

@@ -1,0 +1,225 @@
+#ifndef TCQ_COST_SEL_PREDICTOR_H_
+#define TCQ_COST_SEL_PREDICTOR_H_
+
+/// Hybrid stage-0 selectivity prediction (DESIGN.md §12).
+///
+/// The engine's planner has three independent sources for an operator's
+/// selectivity at the start of a stage:
+///   - observed: the running within-query revision of Figure 3.3
+///     (cum_tuples / cum_points), only available once the node sampled;
+///   - prior: the warm-start cache's last-value prior for a canonically
+///     equal operator (PR 5), stale whenever the data drifted since;
+///   - history: a tagged table keyed by n-grams of the session's query-
+///     signature stream plus the node signature, falling back to an
+///     untagged EWMA keyed by the node's *structural* signature
+///     (operator tree + relations, predicates stripped).
+/// A tournament-style chooser tracks each component's absolute
+/// misprediction per node with an error EWMA and a saturating confidence
+/// counter, picks (or blends) the currently best component, and exposes
+/// the winner's confidence as a per-node *inflation width* for
+/// ComputeSelPlus: high-confidence predictions inflate less than the
+/// paper's flat d_beta, low-confidence ones more. Everything here is
+/// default-off; with `enabled == false` no engine code path ever touches
+/// a predictor and runs are bit-identical to the historical behaviour.
+///
+/// Thread safety: a SelPredictor may live in a WarmStartCache shared by
+/// a server's concurrent sessions, so every method synchronizes on an
+/// internal mutex. The engine only calls it from its serial sections, so
+/// single-owner runs stay deterministic at a fixed seed.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/signature.h"
+#include "ra/expr.h"
+#include "util/mutex.h"
+#include "util/result.h"
+#include "util/thread_annotations.h"
+
+namespace tcq {
+
+/// Knobs of the hybrid selectivity predictor. Defaults are sized for
+/// session-lifetime workloads of tens to thousands of queries; the
+/// predictor is cheap (a few map lookups per operator per stage).
+struct SelPredictorOptions {
+  /// Master switch; false leaves every engine path bit-identical to a
+  /// build without the predictor.
+  bool enabled = false;
+  /// Deepest tagged history level: level n keys entries by the hash of
+  /// the last n query signatures (current included) + the node
+  /// signature. Longest matching level wins (TAGE-style).
+  int max_ngram = 2;
+  /// Entries per tagged level (hashed, tag-checked; colliding entries
+  /// steal slots only once the incumbent's usefulness counter drains).
+  int table_size = 512;
+  /// Ceiling of the saturating per-component confidence counters; the
+  /// reported confidence is counter / confidence_max in [0, 1].
+  int confidence_max = 8;
+  /// EWMA weight of a new |prediction − realized| sample in the
+  /// chooser's per-component error estimate.
+  double error_alpha = 0.3;
+  /// EWMA weight of a realized selectivity folded into a history entry.
+  double history_alpha = 0.5;
+  /// Relative error-EWMA gap under which the two best components are
+  /// inverse-error blended instead of winner-take-all.
+  double blend_margin = 0.25;
+  /// A prediction counts as accurate (confidence counter up, else down)
+  /// when |prediction − realized| <= max(accuracy_abs,
+  /// accuracy_rel · realized).
+  double accuracy_abs = 0.02;
+  double accuracy_rel = 0.25;
+  /// Confidence → inflation-width mapping: width_scale_max at confidence
+  /// 0 linearly down to width_scale_min at confidence 1. The width
+  /// multiplies d_beta in ComputeSelPlus, so 1.0 reproduces the paper's
+  /// flat margin.
+  double width_scale_min = 0.25;
+  double width_scale_max = 1.25;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+/// Which component the chooser picked for one prediction.
+enum class SelComponent {
+  kDefault = 0,   // the stage-1 default of SelectivityOptions
+  kObserved = 1,  // the within-query running revision
+  kPrior = 2,     // the warm-start cached prior
+  kHistory = 3,   // the tagged n-gram / structural history table
+};
+std::string_view SelComponentName(SelComponent component);
+
+/// One prediction: the selectivity to plan with, the inflation-width
+/// multiplier for ComputeSelPlus, and the chooser's view of itself.
+struct SelPrediction {
+  double selectivity = 0.0;
+  double width_scale = 1.0;
+  double confidence = 0.0;  // winner's counter / confidence_max, in [0, 1]
+  SelComponent component = SelComponent::kDefault;
+  bool history_hit = false;  // any history level (tagged or structural) hit
+};
+
+/// Aggregate predictor telemetry (WarmStartCache::Stats export).
+struct SelPredictorStats {
+  int64_t predictions = 0;
+  int64_t updates = 0;
+  int64_t history_hits = 0;
+  int64_t history_misses = 0;
+  int64_t chooser_entries = 0;
+  /// EWMA of the chosen component's absolute misprediction.
+  double abs_error_ewma = 0.0;
+};
+
+/// The node's structural signature: operator kinds and scanned relations
+/// only, predicates/columns/join keys stripped. Structurally similar
+/// queries (same shape over the same relations, different constants)
+/// share this key, so its EWMA tracks data drift that exact-signature
+/// priors cannot see until the identical query repeats.
+std::string StructuralSignature(const Expr& expr);
+
+/// The hybrid predictor. One instance per session (inside the
+/// WarmStartCache) or per query (engine-local when no cache is
+/// attached). See the file comment for the component/chooser model.
+class SelPredictor {
+ public:
+  explicit SelPredictor(const SelPredictorOptions& options);
+
+  /// Starts a query: appends its canonical signature to the history
+  /// stream the tagged levels hash over. Call once per run, before the
+  /// first Predict of that run.
+  void BeginQuery(const CacheKey& query_signature);
+
+  /// Predicts one node's stage selectivity from the available
+  /// components. `observed`/`prior` are nullopt when that component has
+  /// no value for this node; `fallback` is the stage-1 default and is
+  /// always available. Records a pending prediction so the next Update
+  /// for the same node can score every component.
+  SelPrediction Predict(const CacheKey& node_key,
+                        const std::string& structural_key,
+                        std::optional<double> observed,
+                        std::optional<double> prior, double fallback);
+
+  /// Read-only variant for EXPLAIN: predicts as if `query_signature` had
+  /// just been Begun, without mutating the stream, the tables, the
+  /// chooser, or the stats.
+  SelPrediction Peek(const CacheKey& query_signature,
+                     const CacheKey& node_key,
+                     const std::string& structural_key,
+                     std::optional<double> observed,
+                     std::optional<double> prior, double fallback) const;
+
+  /// Scores the pending prediction of `node_key` against the realized
+  /// stage selectivity, updates the chooser's error EWMAs and confidence
+  /// counters, and folds `realized` into the tagged and structural
+  /// history tables.
+  void Update(const CacheKey& node_key, const std::string& structural_key,
+              double realized);
+
+  SelPredictorStats stats() const;
+
+  /// Drops all learned state (stream, tables, chooser, stats).
+  void Clear();
+
+  const SelPredictorOptions& options() const { return options_; }
+
+ private:
+  struct ComponentState {
+    double err = 0.0;  // EWMA of |prediction − realized|
+    int64_t seen = 0;  // updates scored (0 = untrained)
+    int conf = 0;      // saturating counter in [0, confidence_max]
+  };
+  struct ChooserEntry {
+    ComponentState components[4];  // indexed by SelComponent
+  };
+  struct TaggedEntry {
+    uint64_t tag = 0;
+    double value = 0.0;
+    int useful = 0;  // replacement counter, saturating
+    bool valid = false;
+  };
+  struct Pending {
+    double value[4] = {0.0, 0.0, 0.0, 0.0};
+    bool has[4] = {false, false, false, false};
+    double chosen = 0.0;
+  };
+
+  /// Longest-match history lookup over the tagged levels, then the
+  /// structural base table. Context hashes use `stream` (most recent
+  /// query last, current query included).
+  std::optional<double> LookupHistory(const std::vector<uint64_t>& stream,
+                                      const CacheKey& node_key,
+                                      const std::string& structural_key)
+      const TCQ_REQUIRES(mu_);
+
+  /// The pick/blend decision shared by Predict and Peek.
+  SelPrediction Choose(const CacheKey& node_key,
+                       std::optional<double> observed,
+                       std::optional<double> prior,
+                       std::optional<double> history, double fallback,
+                       Pending* pending) const TCQ_REQUIRES(mu_);
+
+  uint64_t ContextHash(const std::vector<uint64_t>& stream, int ngram,
+                       const CacheKey& node_key) const;
+
+  const SelPredictorOptions options_;
+
+  mutable Mutex mu_;
+  /// Hashes of the session's query signatures, oldest first, current
+  /// query last; trimmed to max_ngram entries.
+  std::vector<uint64_t> stream_ TCQ_GUARDED_BY(mu_);
+  /// Tagged levels, [n-1] keyed by n-gram context hashes.
+  std::vector<std::vector<TaggedEntry>> tables_ TCQ_GUARDED_BY(mu_);
+  /// Untagged base level: structural-signature → selectivity EWMA.
+  std::map<std::string, double> structural_ TCQ_GUARDED_BY(mu_);
+  /// Per-node tournament chooser, keyed by node signature text.
+  std::map<std::string, ChooserEntry> chooser_ TCQ_GUARDED_BY(mu_);
+  /// Predictions awaiting their realized value, keyed by node text.
+  std::map<std::string, Pending> pending_ TCQ_GUARDED_BY(mu_);
+  SelPredictorStats stats_ TCQ_GUARDED_BY(mu_);
+};
+
+}  // namespace tcq
+
+#endif  // TCQ_COST_SEL_PREDICTOR_H_

@@ -152,6 +152,7 @@ Status ExecutorOptions::Validate() const {
         std::to_string(precision.confidence));
   }
   TCQ_RETURN_NOT_OK(faults.Validate());
+  TCQ_RETURN_NOT_OK(sel_predictor.Validate());
   return Status::OK();
 }
 
@@ -383,6 +384,38 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     }
   }
 
+  // Hybrid selectivity predictor (DESIGN.md §12): session-lifetime when a
+  // warm cache is attached (its history persists alongside the priors),
+  // query-local otherwise. freeze_initial is the prestored-statistics
+  // ablation — predictions would fight the frozen values, so it wins.
+  // With the predictor off, nothing below this block ever runs and the
+  // stage loop is bit-identical to the historical path.
+  SelPredictor* predictor = nullptr;
+  std::unique_ptr<SelPredictor> query_predictor;
+  if (options.sel_predictor.enabled && !options.selectivity.freeze_initial) {
+    if (cache != nullptr) {
+      predictor = cache->PredictorFor(options.sel_predictor);
+    } else {
+      query_predictor =
+          std::make_unique<SelPredictor>(options.sel_predictor);
+      predictor = query_predictor.get();
+    }
+    predictor->BeginQuery(CanonicalSignature(*expr));
+  }
+  // Per-node signature and structural keys, computed once per run.
+  std::vector<std::map<int, CacheKey>> node_keys(evaluators.size());
+  std::vector<std::map<int, std::string>> node_structs(evaluators.size());
+  if (predictor != nullptr) {
+    for (size_t t = 0; t < evaluators.size(); ++t) {
+      for (const StagedNode* node : evaluators[t]->NodesPreOrder()) {
+        if (node->kind == ExprKind::kScan) continue;
+        node_keys[t].emplace(node->id, CanonicalSignature(*node->expr));
+        node_structs[t].emplace(node->id,
+                                StructuralSignature(*node->expr));
+      }
+    }
+  }
+
   const Deadline deadline = Deadline::StartingNow(clock, quota_s);
 
   TraceSpan query_span(obs.tracer, "query", "engine");
@@ -430,6 +463,51 @@ Result<QueryResult> RunTimeConstrainedAggregate(
           cache != nullptr ? &term_priors[t] : nullptr));
     }
 
+    // Hybrid predictor: let the chooser override each node's planning
+    // selectivity and collect its per-node inflation widths for
+    // ComputeSelPlus. Serial section, node order — deterministic at a
+    // fixed seed and cache state at any thread count.
+    std::vector<std::map<int, double>> sel_widths(evaluators.size());
+    std::vector<std::map<int, SelPrediction>> stage_predictions(
+        evaluators.size());
+    if (predictor != nullptr) {
+      for (size_t t = 0; t < evaluators.size(); ++t) {
+        for (const StagedNode* node : evaluators[t]->NodesPreOrder()) {
+          if (node->kind == ExprKind::kScan) continue;
+          std::optional<double> observed;
+          if (evaluators[t]->num_stages() > 0 && node->cum_points > 0.0) {
+            auto sit = sel_prev[t].find(node->id);
+            if (sit != sel_prev[t].end()) observed = sit->second;
+          }
+          std::optional<double> prior;
+          auto pit = term_priors[t].find(node->id);
+          if (pit != term_priors[t].end()) {
+            prior = SanitizedStagePrior(pit->second, node->total_points,
+                                        options.selectivity.zero_hit_beta);
+          }
+          double fallback =
+              InitialSelectivity(*node, options.selectivity, nullptr);
+          SelPrediction p = predictor->Predict(
+              node_keys[t].at(node->id), node_structs[t].at(node->id),
+              observed, prior, fallback);
+          sel_prev[t][node->id] = p.selectivity;
+          sel_widths[t][node->id] = p.width_scale;
+          stage_predictions[t].emplace(node->id, p);
+          if (obs.metering()) {
+            obs.metrics->counter(metric_names::kPredictorPredictions)
+                ->Increment();
+            obs.metrics
+                ->counter(p.history_hit
+                              ? metric_names::kPredictorHistoryHits
+                              : metric_names::kPredictorHistoryMisses)
+                ->Increment();
+            obs.metrics->histogram(metric_names::kPredictorWidthScale)
+                ->Record(p.width_scale);
+          }
+        }
+      }
+    }
+
     // Full-query cost formula: per-stage overhead + block fetches (priced
     // once per relation) + every term's operator costs.
     auto fetch_cost = [&](double f) {
@@ -468,7 +546,8 @@ Result<QueryResult> RunTimeConstrainedAggregate(
                        fetch_cost(f);
       for (size_t t = 0; t < evaluators.size(); ++t) {
         std::map<int, double> sel_plus = ComputeSelPlus(
-            *evaluators[t], sel_prev[t], f, d_beta, current_mode);
+            *evaluators[t], sel_prev[t], f, d_beta, current_mode,
+            predictor != nullptr ? &sel_widths[t] : nullptr);
         TCQ_ASSIGN_OR_RETURN(
             TermStagePrediction p,
             PredictTermStageCost(*evaluators[t], f, sel_plus, coefs,
@@ -515,6 +594,7 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     context.f_max = f_max;
     context.f_min_step = min_step;
     context.epsilon = options.epsilon_s;
+    context.predictor_active = predictor != nullptr;
     context.obs = obs;
     context.qcost = qcost;
     context.qcost_sigma = qcost_sigma;
@@ -792,6 +872,31 @@ Result<QueryResult> RunTimeConstrainedAggregate(
         ObserveTermStage(*evaluators[t], &coefs);
       }
     }
+    if (predictor != nullptr) {
+      // Score this stage's predictions against the realized per-node
+      // stage selectivities and fold them into the history tables.
+      // Serial section, node order — deterministic. Aborted stages still
+      // update: their samples are real even though they never count.
+      for (size_t t = 0; t < evaluators.size(); ++t) {
+        for (const StagedNode* node : evaluators[t]->NodesPreOrder()) {
+          if (node->kind == ExprKind::kScan) continue;
+          if (node->stages.empty()) continue;
+          const NodeStageRecord& rec = node->stages.back();
+          if (rec.new_points <= 0.0) continue;
+          double realized =
+              static_cast<double>(rec.new_tuples) / rec.new_points;
+          predictor->Update(node_keys[t].at(node->id),
+                            node_structs[t].at(node->id), realized);
+          if (obs.metering()) {
+            auto it = stage_predictions[t].find(node->id);
+            if (it != stage_predictions[t].end()) {
+              obs.metrics->histogram(metric_names::kPredictorAbsError)
+                  ->Record(std::abs(it->second.selectivity - realized));
+            }
+          }
+        }
+      }
+    }
     if (wall) {
       // Re-fit the parallel-efficiency coefficient η from the realized
       // speedup of this stage's fan-out sections.
@@ -891,6 +996,7 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     report.blocks_lost = stage_lost;
     report.stragglers = stage_stragglers;
     report.fault_delay_s = stage_fault_delay_s;
+    report.predictor_used = plan.predictor_used;
     for (size_t t = 0; t < evaluators.size(); ++t) {
       for (const StagedNode* node : evaluators[t]->NodesPreOrder()) {
         auto it = sel_prev[t].find(node->id);
@@ -900,6 +1006,15 @@ Result<QueryResult> RunTimeConstrainedAggregate(
         sel.node = node->id;
         sel.op = std::string(ExprKindName(node->kind));
         sel.selectivity = it->second;
+        if (predictor != nullptr) {
+          auto pit = stage_predictions[t].find(node->id);
+          if (pit != stage_predictions[t].end()) {
+            sel.component =
+                std::string(SelComponentName(pit->second.component));
+            sel.confidence = pit->second.confidence;
+            sel.width_scale = pit->second.width_scale;
+          }
+        }
         report.selectivities.push_back(std::move(sel));
       }
     }
@@ -1061,6 +1176,10 @@ Result<QueryResult> RunTimeConstrainedAggregate(
     }
   }
 
+  if (obs.metering() && predictor != nullptr) {
+    obs.metrics->gauge(metric_names::kPredictorEntries)
+        ->Set(static_cast<double>(predictor->stats().chooser_entries));
+  }
   if (obs.metering()) {
     obs.metrics->gauge(metric_names::kEngineSpendS)
         ->Set(result.elapsed_seconds);
@@ -1134,6 +1253,18 @@ std::string ExplainResult::ToString() const {
   out += exhausts_samples
              ? "plan exhausts every relation's blocks within the quota\n"
              : "plan stops when no further stage fits the remaining time\n";
+  if (predictor_active) {
+    out += "predictor (stage-0 peek): term node op         component  "
+           "selectivity  conf  width\n";
+    for (const PredictorNodeView& n : predictor_nodes) {
+      std::snprintf(line, sizeof(line),
+                    "predictor:                %4d %4d %-10s %-9s  %11.6f  "
+                    "%4.2f  %5.2f\n",
+                    n.term, n.node, n.op.c_str(), n.component.c_str(),
+                    n.selectivity, n.confidence, n.width_scale);
+      out += line;
+    }
+  }
   return out;
 }
 
@@ -1207,6 +1338,58 @@ Result<ExplainResult> ExplainTimeConstrainedAggregate(
   const double explain_fault_overhead_s =
       options.faults.ExpectedOverheadSeconds(options.physical.block_read_s);
 
+  // Hybrid-predictor peek (read-only; no counters move): what the
+  // chooser would pick at stage 0. The peeked selectivities and widths
+  // also drive the planning loop below, so EXPLAIN shows the stages a
+  // predictor-enabled run would actually plan. With a warm cache
+  // attached the session predictor and the prior cache are consulted;
+  // cold, a scratch predictor yields the default component.
+  const bool predictor_on =
+      options.sel_predictor.enabled && !options.selectivity.freeze_initial;
+  out.predictor_active = predictor_on;
+  std::vector<std::map<int, double>> peeked_sel(evaluators.size());
+  std::vector<std::map<int, double>> peeked_widths(evaluators.size());
+  if (predictor_on) {
+    SelPredictor* session_predictor =
+        options.warm_cache != nullptr ? options.warm_cache->predictor()
+                                      : nullptr;
+    const SelPredictor scratch(options.sel_predictor);
+    const SelPredictor& pred =
+        session_predictor != nullptr ? *session_predictor : scratch;
+    const CacheKey query_sig = CanonicalSignature(*expr);
+    for (size_t t = 0; t < evaluators.size(); ++t) {
+      for (const StagedNode* node : evaluators[t]->NodesPreOrder()) {
+        if (node->kind == ExprKind::kScan) continue;
+        CacheKey node_key = CanonicalSignature(*node->expr);
+        std::optional<double> prior;
+        if (options.warm_cache != nullptr) {
+          std::optional<double> raw =
+              options.warm_cache->PeekPrior(node_key);
+          if (raw.has_value()) {
+            prior = SanitizedStagePrior(*raw, node->total_points,
+                                        options.selectivity.zero_hit_beta);
+          }
+        }
+        double fallback =
+            InitialSelectivity(*node, options.selectivity, nullptr);
+        SelPrediction p = pred.Peek(query_sig, node_key,
+                                    StructuralSignature(*node->expr),
+                                    std::nullopt, prior, fallback);
+        peeked_sel[t][node->id] = p.selectivity;
+        peeked_widths[t][node->id] = p.width_scale;
+        PredictorNodeView view;
+        view.term = static_cast<int>(t);
+        view.node = node->id;
+        view.op = std::string(ExprKindName(node->kind));
+        view.component = std::string(SelComponentName(p.component));
+        view.selectivity = p.selectivity;
+        view.confidence = p.confidence;
+        view.width_scale = p.width_scale;
+        out.predictor_nodes.push_back(std::move(view));
+      }
+    }
+  }
+
   // The planning loop of the run path against hypothetical time/block
   // state: each chosen stage charges its predicted cost to the budget and
   // decrements the relations' remaining blocks. Selectivity revisions and
@@ -1230,6 +1413,14 @@ Result<ExplainResult> ExplainTimeConstrainedAggregate(
     for (const auto& ev : evaluators) {
       sel_prev.push_back(ReviseSelectivities(*ev, options.selectivity));
     }
+    if (predictor_on) {
+      for (size_t t = 0; t < evaluators.size(); ++t) {
+        for (auto& [id, sel] : sel_prev[t]) {
+          auto it = peeked_sel[t].find(id);
+          if (it != peeked_sel[t].end()) sel = it->second;
+        }
+      }
+    }
     auto fetch_cost = [&](double f) {
       double seconds = 0.0;
       for (const auto& [name, total] : total_blocks) {
@@ -1246,7 +1437,8 @@ Result<ExplainResult> ExplainTimeConstrainedAggregate(
                        fetch_cost(f);
       for (size_t t = 0; t < evaluators.size(); ++t) {
         std::map<int, double> sel_plus = ComputeSelPlus(
-            *evaluators[t], sel_prev[t], f, d_beta, options.fulfillment);
+            *evaluators[t], sel_prev[t], f, d_beta, options.fulfillment,
+            predictor_on ? &peeked_widths[t] : nullptr);
         TCQ_ASSIGN_OR_RETURN(
             TermStagePrediction p,
             PredictTermStageCost(*evaluators[t], f, sel_plus, coefs,
@@ -1289,6 +1481,7 @@ Result<ExplainResult> ExplainTimeConstrainedAggregate(
     context.f_max = f_max;
     context.f_min_step = min_step;
     context.epsilon = options.epsilon_s;
+    context.predictor_active = predictor_on;
     context.obs = options.obs;
     context.qcost = qcost;
     context.qcost_sigma = qcost_sigma;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cost/adaptive_model.h"
+#include "cost/sel_predictor.h"
 #include "estimator/count_estimator.h"
 #include "exec/staged.h"
 #include "fault/fault.h"
@@ -114,6 +115,15 @@ struct ExecutorOptions {
   /// only real elapsed time (and, in wall-clock mode, the measured step
   /// times the cost model fits) changes.
   Layout layout = Layout::kRow;
+  /// Hybrid stage-0 selectivity prediction (DESIGN.md §12): a tournament
+  /// chooser over the within-query observation, the warm-start prior and
+  /// a query-stream history table, whose confidence also scales the sel⁺
+  /// inflation width per node. Default-off; with `enabled == false`
+  /// every run is bit-identical to a build without the predictor at any
+  /// seed and thread count. When enabled with a warm cache attached the
+  /// predictor's history persists across runs; without a cache it is
+  /// query-local (only the observed/default components ever win).
+  SelPredictorOptions sel_predictor;
   /// Deterministic fault injection at the storage boundary (DESIGN.md
   /// §10): transient read errors retried with quota-charged exponential
   /// backoff, permanently unreadable blocks excluded from the sampling
@@ -126,8 +136,8 @@ struct ExecutorOptions {
   /// Rejects nonsense configurations: non-finite or non-positive
   /// quota_s, epsilon_s or confidence outside (0, 1), threads < 1,
   /// max_stages < 1, serve_deadline_s negative or non-finite, NaN or
-  /// negative precision-stop targets, and invalid fault options. The
-  /// Run* entry points call this before touching any data.
+  /// negative precision-stop targets, and invalid fault or predictor
+  /// options. The Run* entry points call this before touching any data.
   [[nodiscard]] Status Validate() const;
 };
 
@@ -251,6 +261,18 @@ struct StagePrediction {
   int64_t blocks_planned = 0;      // over all relations
 };
 
+/// One operator's stage-0 prediction in an EXPLAIN plan, as peeked from
+/// the hybrid selectivity predictor (read-only; no counters move).
+struct PredictorNodeView {
+  int term = 0;
+  int node = 0;            // pre-order id within the term
+  std::string op;          // operator kind name
+  std::string component;   // chooser pick: observed/prior/history/default
+  double selectivity = 0.0;
+  double confidence = 0.0;
+  double width_scale = 1.0;
+};
+
 /// The planner's view of a query before any sample is drawn.
 struct ExplainResult {
   std::string strategy;       // time-control strategy name
@@ -263,6 +285,12 @@ struct ExplainResult {
   /// True when the predicted stages exhaust every relation's blocks
   /// before the quota runs out.
   bool exhausts_samples = false;
+  /// Hybrid-predictor view (DESIGN.md §12): set when
+  /// `options.sel_predictor.enabled`, with one entry per sampled
+  /// operator node showing the component the chooser would pick at
+  /// stage 0, its confidence and the resulting inflation width.
+  bool predictor_active = false;
+  std::vector<PredictorNodeView> predictor_nodes;
 
   /// Multi-line human-readable plan (the `Session::Explain` output).
   std::string ToString() const;

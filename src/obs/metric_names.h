@@ -59,6 +59,14 @@ inline constexpr char kPoolTasksByWorkers[] = "pool.tasks_by_workers";
 inline constexpr char kPoolWidth[] = "pool.width";
 inline constexpr char kPoolWorkers[] = "pool.workers";
 
+// predictor.* — hybrid selectivity predictor (DESIGN.md §12).
+inline constexpr char kPredictorAbsError[] = "predictor.abs_error";
+inline constexpr char kPredictorEntries[] = "predictor.entries";
+inline constexpr char kPredictorHistoryHits[] = "predictor.history_hits";
+inline constexpr char kPredictorHistoryMisses[] = "predictor.history_misses";
+inline constexpr char kPredictorPredictions[] = "predictor.predictions";
+inline constexpr char kPredictorWidthScale[] = "predictor.width_scale";
+
 // sampling.* — block-sampling telemetry.
 inline constexpr char kSamplingBlocksDrawn[] = "sampling.blocks_drawn";
 
@@ -86,6 +94,8 @@ inline constexpr char kServeSubmitted[] = "serve.submitted";
 inline constexpr char kSessionPoolWorkers[] = "session.pool_workers";
 
 // timectrl.* — time-control (Sample-Size-Determine) diagnostics.
+inline constexpr char kTimectrlIntersectFallback[] =
+    "timectrl.intersect_fallback";
 inline constexpr char kTimectrlSelectivity[] = "timectrl.selectivity";
 inline constexpr char kTimectrlSsdProbes[] = "timectrl.ssd_probes";
 

@@ -23,6 +23,13 @@ struct OperatorSelectivity {
   int node = 0;
   std::string op;
   double selectivity = 0.0;
+  /// Hybrid-predictor annotations (DESIGN.md §12); defaults when the
+  /// predictor is off. `component` names the chooser's pick ("observed",
+  /// "prior", "history", "default"), `confidence` its saturating-counter
+  /// confidence in [0, 1], `width_scale` the resulting d_β multiplier.
+  std::string component;
+  double confidence = 0.0;
+  double width_scale = 1.0;
 };
 
 /// What happened during one stage. The first block of fields is the
@@ -53,6 +60,8 @@ struct StageReport {
   double span_seconds = 0.0;       // parallel sections: elapsed
   int parallel_tasks = 0;
   std::vector<OperatorSelectivity> selectivities;
+  /// True when the hybrid selectivity predictor planned this stage.
+  bool predictor_used = false;
 
   // Fault-injection tally of this stage (all zero with faults disabled;
   // see DESIGN.md §10). Retried reads are *attempts*, never fresh draws:

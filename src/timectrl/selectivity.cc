@@ -8,10 +8,10 @@
 
 namespace tcq {
 
-namespace {
-
 double InitialSelectivity(const StagedNode& node,
-                          const SelectivityOptions& options) {
+                          const SelectivityOptions& options,
+                          bool* intersect_fallback) {
+  if (intersect_fallback != nullptr) *intersect_fallback = false;
   switch (node.kind) {
     case ExprKind::kSelect:
       return options.initial_select;
@@ -23,13 +23,34 @@ double InitialSelectivity(const StagedNode& node,
       // Figure 3.3: sel = 1 / maximum(|r1|, |r2|).
       double max_side = std::max(node.left->total_points,
                                  node.right->total_points);
-      if (max_side <= 0.0) return 1.0;
+      if (max_side <= 0.0) {
+        // Neither side's point space is known (total_points unset):
+        // 1/max is undefined. The historical 1.0 here was the most
+        // pessimistic possible default; fall back to the selection
+        // default instead and let callers count the event.
+        if (intersect_fallback != nullptr) *intersect_fallback = true;
+        return options.initial_select;
+      }
       return std::min(1.0, options.initial_intersect_scale / max_side);
     }
     default:
       return 1.0;
   }
 }
+
+double SanitizedStagePrior(double prior, double total_points,
+                           double zero_hit_beta) {
+  double p = std::clamp(prior, 0.0, 1.0);
+  int64_t m = static_cast<int64_t>(total_points);
+  if (m < 1) m = 1;
+  // §3.4 fix, applied to cached priors: a recorded selectivity of (or
+  // near) zero means the previous run saw zero hits — the honest stage-0
+  // plan uses the (1−β) upper confidence bound of a zero-hit sample over
+  // the node's full point space, never a hard 0 that would freeze sel⁺.
+  return std::max(p, ZeroHitUpperBound(m, zero_hit_beta));
+}
+
+namespace {
 
 struct PointsWalk {
   double new_points = 0.0;
@@ -86,18 +107,25 @@ PointsWalk WalkPoints(const StagedNode& node, double f,
 
 std::map<int, double> ReviseSelectivities(
     const StagedTermEvaluator& term, const SelectivityOptions& options,
-    const std::map<int, double>* stage0_priors) {
+    const std::map<int, double>* stage0_priors,
+    int* intersect_fallbacks) {
   std::map<int, double> out;
   for (const StagedNode* node : term.NodesPreOrder()) {
     if (node->kind == ExprKind::kScan) continue;
     if (options.freeze_initial || term.num_stages() == 0 ||
         node->cum_points <= 0.0) {
-      double sel = InitialSelectivity(*node, options);
+      bool fell_back = false;
+      double sel = InitialSelectivity(*node, options, &fell_back);
       if (!options.freeze_initial && stage0_priors != nullptr) {
         auto it = stage0_priors->find(node->id);
         if (it != stage0_priors->end()) {
-          sel = std::clamp(it->second, 0.0, 1.0);
+          sel = SanitizedStagePrior(it->second, node->total_points,
+                                    options.zero_hit_beta);
+          fell_back = false;  // the prior, not the default, was used
         }
+      }
+      if (fell_back && intersect_fallbacks != nullptr) {
+        ++*intersect_fallbacks;
       }
       out[node->id] = sel;
       continue;
@@ -140,20 +168,41 @@ std::map<int, double> ComputeSelPlus(const StagedTermEvaluator& term,
                                      const std::map<int, double>& sel_prev,
                                      double f, double d_beta,
                                      Fulfillment mode) {
+  return ComputeSelPlus(term, sel_prev, f, d_beta, mode, nullptr);
+}
+
+std::map<int, double> ComputeSelPlus(
+    const StagedTermEvaluator& term, const std::map<int, double>& sel_prev,
+    double f, double d_beta, Fulfillment mode,
+    const std::map<int, double>* width_scales) {
   std::map<int, NodePoints> points = PredictNodePoints(term, f, mode);
   std::map<int, double> out;
   // At stage 1 no samples exist, so there is no variation to estimate
   // Var(sel) from (Figure 3.5 uses "the variation among previously
-  // sampled units"); the assumed initial selectivity is used as is.
-  const bool can_inflate = term.num_stages() > 0;
+  // sampled units"); the assumed initial selectivity is used as is —
+  // unless the predictor supplied widths, in which case its selectivity
+  // (at the candidate fraction's predicted points) is the variance
+  // basis even at stage 1.
+  const bool can_inflate = width_scales != nullptr || term.num_stages() > 0;
   for (const auto& [id, sel] : sel_prev) {
     double inflated = sel;
     auto it = points.find(id);
     if (can_inflate && d_beta > 0.0 && it != points.end()) {
       double m = it->second.new_points;
       double remaining = it->second.remaining_points;
-      double var = SrsProportionVariance(sel, remaining, m);
-      inflated = sel + d_beta * std::sqrt(var);
+      // m can be 0 for an exhausted side under partial fulfillment:
+      // nothing will be sampled there, so there is no stage selectivity
+      // to overshoot and inflating from a 0-sample variance is
+      // meaningless.
+      if (m > 0.0) {
+        double width = 1.0;
+        if (width_scales != nullptr) {
+          auto w = width_scales->find(id);
+          if (w != width_scales->end()) width = w->second;
+        }
+        double var = SrsProportionVariance(sel, remaining, m);
+        inflated = sel + d_beta * width * std::sqrt(var);
+      }
     }
     out[id] = std::clamp(inflated, 0.0, 1.0);
   }
@@ -163,13 +212,18 @@ std::map<int, double> ComputeSelPlus(const StagedTermEvaluator& term,
 std::map<int, double> ReviseSelectivities(
     const StagedTermEvaluator& term, const SelectivityOptions& options,
     const ObsHandle& obs, const std::map<int, double>* stage0_priors) {
+  int intersect_fallbacks = 0;
   std::map<int, double> revised =
-      ReviseSelectivities(term, options, stage0_priors);
+      ReviseSelectivities(term, options, stage0_priors, &intersect_fallbacks);
   if (obs.metering()) {
     Histogram* h = obs.metrics->histogram("timectrl.selectivity");
     for (const auto& [id, sel] : revised) {
       (void)id;
       h->Record(sel);
+    }
+    if (intersect_fallbacks > 0) {
+      obs.metrics->counter("timectrl.intersect_fallback")
+          ->Add(intersect_fallbacks);
     }
   }
   return revised;

@@ -20,6 +20,7 @@ Result<StagePlan> OneAtATimeStrategy::PlanStage(
   StagePlan plan;
   plan.fraction = r.fraction;
   plan.predicted_seconds = r.predicted_seconds;
+  plan.predictor_used = context.predictor_active;
   plan.d_beta_used = d_beta;
   return plan;
 }
@@ -39,6 +40,7 @@ Result<StagePlan> SingleIntervalStrategy::PlanStage(
   StagePlan plan;
   plan.fraction = r.fraction;
   plan.predicted_seconds = r.predicted_seconds;
+  plan.predictor_used = context.predictor_active;
   plan.d_beta_used = 0.0;
   return plan;
 }
@@ -55,6 +57,7 @@ Result<StagePlan> HeuristicStrategy::PlanStage(
   StagePlan plan;
   plan.fraction = r.fraction;
   plan.predicted_seconds = r.predicted_seconds;
+  plan.predictor_used = context.predictor_active;
   plan.d_beta_used = 0.0;
   return plan;
 }

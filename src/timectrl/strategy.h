@@ -21,6 +21,11 @@ struct StagePlanContext {
   double f_min_step = 0.0;  // one disk block, as a fraction
   double epsilon = 0.0;     // Figure 3.4's tolerance
 
+  /// True when a hybrid selectivity predictor supplied the selectivities
+  /// (and inflation widths) behind `qcost` (DESIGN.md §12). Strategies
+  /// copy it into StagePlan::predictor_used for the stage report.
+  bool predictor_active = false;
+
   /// Observability sinks for the planning pass (tracer spans around the
   /// Sample-Size-Determine bisection, probe counters). Default-empty =
   /// no instrumentation.
@@ -40,6 +45,8 @@ struct StagePlan {
   double fraction = 0.0;  // 0 => stop: no affordable stage remains
   double predicted_seconds = 0.0;
   double d_beta_used = 0.0;
+  /// Echo of StagePlanContext::predictor_active for the stage report.
+  bool predictor_used = false;
 };
 
 /// Strategy interface (paper §3.3): decide how much of the remaining quota
